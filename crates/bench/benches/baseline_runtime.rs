@@ -1,0 +1,36 @@
+//! Criterion benchmark comparing the run time of the linear-complexity baselines
+//! (Clubbing, MaxMISO) against the exact single-cut search on the same blocks — the cost
+//! the paper accepts in exchange for the larger speed-ups of Fig. 11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_baselines::{Clubbing, IdentificationAlgorithm, MaxMiso, SingleNode};
+use ise_core::Constraints;
+use ise_hw::DefaultCostModel;
+use ise_workloads::{adpcm, gsm};
+
+fn baseline_runtime(c: &mut Criterion) {
+    let model = DefaultCostModel::new();
+    let blocks = vec![adpcm::decode_kernel(), gsm::short_term_filter_kernel()];
+    let algorithms: Vec<Box<dyn IdentificationAlgorithm>> = vec![
+        Box::new(Clubbing::new()),
+        Box::new(MaxMiso::new()),
+        Box::new(SingleNode::new()),
+    ];
+    let constraints = Constraints::new(4, 2);
+    let mut group = c.benchmark_group("baseline_runtime");
+    group.sample_size(20);
+    for block in &blocks {
+        for algorithm in &algorithms {
+            let id = BenchmarkId::new(algorithm.name(), block.name());
+            group.bench_with_input(id, block, |b, block| {
+                b.iter(|| {
+                    std::hint::black_box(algorithm.candidates(block, constraints, &model))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, baseline_runtime);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark behind Fig. 11: run time of the end-to-end selection flows
+//! (identification + selection of up to 16 instructions) for each compared algorithm on
+//! the MediaBench-like trio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_bench::fig11::{evaluate, Algorithm, Fig11Config};
+use ise_core::Constraints;
+use ise_workloads::suite;
+
+fn fig11_speedup(c: &mut Criterion) {
+    let config = Fig11Config {
+        constraints: vec![Constraints::new(4, 2)],
+        max_instructions: 16,
+        ..Fig11Config::default()
+    };
+    let benchmarks = suite::fig11_benchmarks();
+    let mut group = c.benchmark_group("fig11_selection_flow");
+    group.sample_size(10);
+    for program in &benchmarks {
+        for algorithm in Algorithm::all() {
+            let id = BenchmarkId::new(algorithm.name(), program.name());
+            group.bench_with_input(id, program, |b, program| {
+                b.iter(|| {
+                    std::hint::black_box(evaluate(
+                        program,
+                        algorithm,
+                        Constraints::new(4, 2),
+                        &config,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11_speedup);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmark behind Fig. 8: run time and search-space size of the single-cut
+//! identification algorithm as the basic-block size grows (Nout = 2, unbounded Nin).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_core::{Constraints, SingleCutSearch};
+use ise_hw::DefaultCostModel;
+use ise_workloads::random::{random_dfg, RandomDfgConfig};
+
+fn fig8_search_space(c: &mut Criterion) {
+    let model = DefaultCostModel::new();
+    let mut group = c.benchmark_group("fig8_search_space");
+    group.sample_size(10);
+    for nodes in [8usize, 16, 24, 32, 48, 64] {
+        let dfg = random_dfg(&RandomDfgConfig::with_nodes(nodes), 42);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &dfg, |b, dfg| {
+            b.iter(|| {
+                let constraints = Constraints::new(usize::MAX >> 1, 2);
+                let search = SingleCutSearch::new(dfg, constraints, &model)
+                    .with_exploration_budget(2_000_000);
+                std::hint::black_box(search.run().stats.cuts_considered)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8_search_space);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benchmark for the paper's run-time claim (Section 8): single-cut
+//! identification on every bundled kernel block under the paper's constraint sweep
+//! finishes in far less than a second per block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ise_core::{identify_single_cut, Constraints};
+use ise_hw::DefaultCostModel;
+use ise_workloads::{adpcm, dsp, g721, gsm};
+
+fn identification_runtime(c: &mut Criterion) {
+    let model = DefaultCostModel::new();
+    let blocks = vec![
+        adpcm::decode_kernel(),
+        adpcm::encode_kernel(),
+        gsm::short_term_filter_kernel(),
+        g721::fmult_kernel(),
+        dsp::fir_kernel(),
+        dsp::idct_kernel(),
+    ];
+    let mut group = c.benchmark_group("identification_runtime");
+    group.sample_size(10);
+    for block in &blocks {
+        for constraints in [Constraints::new(4, 2), Constraints::new(8, 4)] {
+            let id = BenchmarkId::new(
+                format!("Nin{}_Nout{}", constraints.max_inputs, constraints.max_outputs),
+                block.name(),
+            );
+            group.bench_with_input(id, block, |b, block| {
+                b.iter(|| std::hint::black_box(identify_single_cut(block, constraints, &model)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, identification_runtime);
+criterion_main!(benches);

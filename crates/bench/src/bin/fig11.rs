@@ -1,0 +1,45 @@
+//! Regenerates Fig. 11 of the paper: estimated speed-up of Optimal, Iterative, Clubbing
+//! and MaxMISO on the MediaBench-like trio for a sweep of port constraints, with up to 16
+//! special instructions.
+//!
+//! Usage: `cargo run --release -p ise-bench --bin fig11 [output-dir]`
+
+use std::fs;
+use std::path::PathBuf;
+
+use ise_bench::fig11::{self, Fig11Config};
+use ise_bench::report;
+use ise_workloads::suite;
+
+fn main() {
+    let output_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    let config = Fig11Config::default();
+    let benchmarks = suite::fig11_benchmarks();
+    let rows = fig11::run(&benchmarks, &config);
+
+    println!(
+        "# Fig. 11 — estimated speed-up, up to {} special instructions",
+        config.max_instructions
+    );
+    println!();
+    print!("{}", report::fig11_markdown(&rows));
+    println!();
+    let checks = fig11::shape_checks(&rows);
+    println!("exact algorithms dominate baselines: {}", checks.exact_dominates_baselines);
+    println!("gap grows with port budget:          {}", checks.gap_grows_with_ports);
+    println!("Optimal ≈ Iterative:                 {}", checks.optimal_close_to_iterative);
+    let max_area = rows.iter().map(|r| r.area).fold(0.0f64, f64::max);
+    println!("largest total datapath area:         {max_area:.2} MAC-equivalents");
+
+    if let Err(error) = fs::create_dir_all(&output_dir) {
+        eprintln!("warning: cannot create {}: {error}", output_dir.display());
+        return;
+    }
+    let csv_path = output_dir.join("fig11.csv");
+    match fs::write(&csv_path, report::fig11_csv(&rows)) {
+        Ok(()) => println!("wrote {}", csv_path.display()),
+        Err(error) => eprintln!("warning: cannot write {}: {error}", csv_path.display()),
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 8 of the paper: cuts considered by the identification algorithm
+//! versus basic-block size, with `Nout = 2` and unbounded `Nin`.
+//!
+//! Usage: `cargo run --release -p ise-bench --bin fig8 [output-dir]`
+//!
+//! Prints a Markdown table to stdout and writes `fig8.csv` into the output directory
+//! (default `results/`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use ise_bench::fig8::{self, Fig8Config};
+use ise_bench::report;
+
+fn main() {
+    let output_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    let config = Fig8Config::default();
+    let rows = fig8::run(&config);
+
+    println!("# Fig. 8 — search-space size (Nout = {})", config.max_outputs);
+    println!();
+    print!("{}", report::fig8_markdown(&rows));
+    println!();
+    println!(
+        "within polynomial (N^4) envelope: {}",
+        fig8::within_polynomial_envelope(&rows)
+    );
+
+    if let Err(error) = fs::create_dir_all(&output_dir) {
+        eprintln!("warning: cannot create {}: {error}", output_dir.display());
+        return;
+    }
+    let csv_path = output_dir.join("fig8.csv");
+    match fs::write(&csv_path, report::fig8_csv(&rows)) {
+        Ok(()) => println!("wrote {}", csv_path.display()),
+        Err(error) => eprintln!("warning: cannot write {}: {error}", csv_path.display()),
+    }
+}

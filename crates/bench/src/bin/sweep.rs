@@ -1,0 +1,71 @@
+//! Full experiment sweep: runs the Fig. 11 comparison over *every* bundled application
+//! (not only the trio of the figure) and a finer constraint grid, in parallel, writing
+//! one CSV per application.
+//!
+//! Usage: `cargo run --release -p ise-bench --bin sweep [output-dir]`
+
+use std::fs;
+use std::path::PathBuf;
+use std::thread;
+
+use ise_bench::fig11::{self, Fig11Config};
+use ise_bench::report;
+use ise_core::Constraints;
+use ise_workloads::suite;
+
+fn main() {
+    let output_dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    let config = Fig11Config {
+        constraints: vec![
+            Constraints::new(2, 1),
+            Constraints::new(3, 1),
+            Constraints::new(4, 1),
+            Constraints::new(4, 2),
+            Constraints::new(4, 3),
+            Constraints::new(6, 3),
+            Constraints::new(8, 4),
+        ],
+        max_instructions: 16,
+        ..Fig11Config::default()
+    };
+    let benchmarks = suite::mediabench_like();
+
+    // One worker thread per application; each application's sweep is independent.
+    let results: Vec<(String, Vec<fig11::Fig11Row>)> = thread::scope(|scope| {
+        let handles: Vec<_> = benchmarks
+            .iter()
+            .map(|program| {
+                let config = &config;
+                scope.spawn(move || {
+                    let rows = fig11::run(std::slice::from_ref(program), config);
+                    (program.name().to_string(), rows)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+
+    if let Err(error) = fs::create_dir_all(&output_dir) {
+        eprintln!("warning: cannot create {}: {error}", output_dir.display());
+    }
+    let mut all_rows = Vec::new();
+    for (name, rows) in results {
+        println!("## {name}");
+        print!("{}", report::fig11_markdown(&rows));
+        println!();
+        let path = output_dir.join(format!("sweep_{name}.csv"));
+        if let Err(error) = fs::write(&path, report::fig11_csv(&rows)) {
+            eprintln!("warning: cannot write {}: {error}", path.display());
+        }
+        all_rows.extend(rows);
+    }
+    let checks = fig11::shape_checks(&all_rows);
+    println!("exact algorithms dominate baselines: {}", checks.exact_dominates_baselines);
+    let path = output_dir.join("sweep_all.csv");
+    match fs::write(&path, report::fig11_csv(&all_rows)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("warning: cannot write {}: {error}", path.display()),
+    }
+}

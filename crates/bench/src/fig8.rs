@@ -1,0 +1,140 @@
+//! Fig. 8 — cuts considered by the identification algorithm versus block size.
+
+use ise_core::{Constraints, SingleCutSearch};
+use ise_hw::DefaultCostModel;
+use ise_ir::Dfg;
+use ise_workloads::{random, suite};
+
+/// One point of the Fig. 8 scatter plot.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Fig8Row {
+    /// Name of the basic block.
+    pub block: String,
+    /// Origin of the block (`"kernel"` for bundled benchmarks, `"random"` for synthetic).
+    pub origin: String,
+    /// Number of operation nodes in the block.
+    pub nodes: usize,
+    /// Cuts considered by the search.
+    pub cuts_considered: u64,
+    /// Reference values `N²`, `N³` and `N⁴` for the guide lines of the figure.
+    pub n2: u64,
+    /// `N³` guide line.
+    pub n3: u64,
+    /// `N⁴` guide line.
+    pub n4: u64,
+}
+
+/// Configuration of the Fig. 8 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Config {
+    /// Output-port constraint (the paper uses `Nout = 2`).
+    pub max_outputs: usize,
+    /// Sizes of the synthetic random blocks added to the kernel blocks.
+    pub random_sizes: Vec<usize>,
+    /// Seed of the random-graph generator.
+    pub seed: u64,
+    /// Optional exploration budget guarding the largest blocks.
+    pub exploration_budget: Option<u64>,
+}
+
+impl Default for Fig8Config {
+    fn default() -> Self {
+        Fig8Config {
+            max_outputs: 2,
+            random_sizes: vec![2, 4, 6, 8, 12, 16, 20, 25, 30, 40, 50, 60, 80, 100],
+            seed: 20030610,
+            exploration_budget: Some(crate::DEFAULT_EXPLORATION_BUDGET),
+        }
+    }
+}
+
+/// Counts the cuts considered when searching one block with `Nout = max_outputs` and an
+/// effectively unbounded `Nin` (the configuration of Fig. 8).
+#[must_use]
+pub fn cuts_considered(dfg: &Dfg, max_outputs: usize, budget: Option<u64>) -> u64 {
+    let model = DefaultCostModel::new();
+    let constraints = Constraints::new(usize::MAX >> 1, max_outputs);
+    let mut search = SingleCutSearch::new(dfg, constraints, &model);
+    if let Some(budget) = budget {
+        search = search.with_exploration_budget(budget);
+    }
+    search.run().stats.cuts_considered
+}
+
+/// Runs the full experiment: every basic block of the bundled suite plus a random-graph
+/// size sweep.
+#[must_use]
+pub fn run(config: &Fig8Config) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for program in suite::mediabench_like() {
+        for block in program.blocks() {
+            if block.node_count() < 2 {
+                continue;
+            }
+            rows.push(make_row(block, "kernel", config));
+        }
+    }
+    for dfg in random::size_sweep(&config.random_sizes, config.seed) {
+        rows.push(make_row(&dfg, "random", config));
+    }
+    rows.sort_by_key(|r| r.nodes);
+    rows
+}
+
+fn make_row(dfg: &Dfg, origin: &str, config: &Fig8Config) -> Fig8Row {
+    let n = dfg.node_count() as u64;
+    Fig8Row {
+        block: dfg.name().to_string(),
+        origin: origin.to_string(),
+        nodes: dfg.node_count(),
+        cuts_considered: cuts_considered(dfg, config.max_outputs, config.exploration_budget),
+        n2: n.saturating_pow(2),
+        n3: n.saturating_pow(3),
+        n4: n.saturating_pow(4),
+    }
+}
+
+/// Checks the qualitative claim of Fig. 8 on a set of rows: the number of cuts considered
+/// stays at or below the `N⁴` guide line for every practical block (it may exceed `N²`).
+#[must_use]
+pub fn within_polynomial_envelope(rows: &[Fig8Row]) -> bool {
+    rows.iter()
+        .filter(|r| r.nodes >= 4)
+        .all(|r| r.cuts_considered <= r.n4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_workloads::adpcm;
+
+    #[test]
+    fn kernel_blocks_stay_within_the_polynomial_envelope() {
+        let config = Fig8Config {
+            random_sizes: vec![4, 8, 16, 24],
+            ..Fig8Config::default()
+        };
+        let rows = run(&config);
+        assert!(rows.len() >= 10);
+        assert!(within_polynomial_envelope(&rows));
+        // Rows are sorted by block size for plotting.
+        assert!(rows.windows(2).all(|w| w[0].nodes <= w[1].nodes));
+    }
+
+    #[test]
+    fn pruning_beats_exhaustive_enumeration() {
+        let block = adpcm::decode_kernel();
+        let considered = cuts_considered(&block, 2, None);
+        let exhaustive = 1u64 << block.node_count().min(63);
+        assert!(considered < exhaustive / 4, "considered {considered} of {exhaustive}");
+        assert!(considered > block.node_count() as u64);
+    }
+
+    #[test]
+    fn tighter_output_ports_consider_fewer_cuts() {
+        let block = adpcm::decode_kernel();
+        let one = cuts_considered(&block, 1, None);
+        let three = cuts_considered(&block, 3, None);
+        assert!(one <= three);
+    }
+}

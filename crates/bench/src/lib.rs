@@ -1,0 +1,29 @@
+//! # ise-bench — experiment harness for the paper's figures
+//!
+//! This crate regenerates the evaluation artefacts of the paper:
+//!
+//! * [`fig8`] — the search-space scaling experiment: number of cuts considered by the
+//!   single-cut identification algorithm versus basic-block size, with `Nout = 2` and
+//!   unbounded `Nin`, over the bundled kernels and a random-graph size sweep (Fig. 8);
+//! * [`fig11`] — the algorithm comparison: estimated application speed-up of *Optimal*,
+//!   *Iterative*, *Clubbing* and *MaxMISO* for a sweep of `(Nin, Nout)` constraints and up
+//!   to 16 special instructions on the MediaBench-like trio (Fig. 11), together with the
+//!   per-benchmark area report quoted in Section 8;
+//! * [`report`] — CSV and Markdown rendering of the experiment rows.
+//!
+//! The binaries `fig8`, `fig11` and `sweep` print the tables and write CSV files; the
+//! Criterion benchmarks under `benches/` measure the *run time* of the identification and
+//! selection algorithms themselves (the paper's "seconds in all but extreme cases"
+//! claim).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig11;
+pub mod fig8;
+pub mod report;
+
+/// Default exploration budget (cuts considered per identifier invocation) applied to the
+/// exact algorithms when they are driven over the largest blocks; the paper similarly
+/// notes that the Optimal algorithm could not be run on the largest adpcmdecode blocks.
+pub const DEFAULT_EXPLORATION_BUDGET: u64 = 2_000_000;

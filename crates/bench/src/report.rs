@@ -1,0 +1,144 @@
+//! CSV and Markdown rendering of experiment rows.
+
+use crate::fig11::Fig11Row;
+use crate::fig8::Fig8Row;
+
+/// Renders the Fig. 8 rows as CSV.
+#[must_use]
+pub fn fig8_csv(rows: &[Fig8Row]) -> String {
+    let mut out = String::from("block,origin,nodes,cuts_considered,n2,n3,n4\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{}\n",
+            r.block, r.origin, r.nodes, r.cuts_considered, r.n2, r.n3, r.n4
+        ));
+    }
+    out
+}
+
+/// Renders the Fig. 8 rows as a Markdown table.
+#[must_use]
+pub fn fig8_markdown(rows: &[Fig8Row]) -> String {
+    let mut out = String::from("| block | origin | nodes | cuts considered | N² | N³ | N⁴ |\n");
+    out.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            r.block, r.origin, r.nodes, r.cuts_considered, r.n2, r.n3, r.n4
+        ));
+    }
+    out
+}
+
+/// Renders the Fig. 11 rows as CSV.
+#[must_use]
+pub fn fig11_csv(rows: &[Fig11Row]) -> String {
+    let mut out = String::from(
+        "benchmark,nin,nout,algorithm,speedup,improvement_percent,instructions,area,largest_instruction\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{:.4},{:.2},{},{:.3},{}\n",
+            r.benchmark,
+            r.max_inputs,
+            r.max_outputs,
+            r.algorithm,
+            r.speedup,
+            r.improvement_percent,
+            r.instructions,
+            r.area,
+            r.largest_instruction
+        ));
+    }
+    out
+}
+
+/// Renders the Fig. 11 rows as a Markdown table grouped the way the figure is laid out:
+/// one line per (benchmark, constraint pair), one column per algorithm.
+#[must_use]
+pub fn fig11_markdown(rows: &[Fig11Row]) -> String {
+    let mut keys: Vec<(String, usize, usize)> = rows
+        .iter()
+        .map(|r| (r.benchmark.clone(), r.max_inputs, r.max_outputs))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let algorithms = ["Optimal", "Iterative", "Clubbing", "MaxMISO"];
+    let mut out = String::from(
+        "| benchmark | Nin | Nout | Optimal | Iterative | Clubbing | MaxMISO |\n|---|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for (benchmark, nin, nout) in keys {
+        out.push_str(&format!("| {benchmark} | {nin} | {nout} |"));
+        for algorithm in algorithms {
+            let speedup = rows
+                .iter()
+                .find(|r| {
+                    r.benchmark == benchmark
+                        && r.max_inputs == nin
+                        && r.max_outputs == nout
+                        && r.algorithm == algorithm
+                })
+                .map(|r| r.speedup);
+            match speedup {
+                Some(s) => out.push_str(&format!(" {s:.3} |")),
+                None => out.push_str(" – |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig8_row() -> Fig8Row {
+        Fig8Row {
+            block: "bb".into(),
+            origin: "kernel".into(),
+            nodes: 10,
+            cuts_considered: 250,
+            n2: 100,
+            n3: 1000,
+            n4: 10_000,
+        }
+    }
+
+    fn fig11_row(algorithm: &str, speedup: f64) -> Fig11Row {
+        Fig11Row {
+            benchmark: "gsm".into(),
+            max_inputs: 4,
+            max_outputs: 2,
+            algorithm: algorithm.into(),
+            speedup,
+            improvement_percent: (speedup - 1.0) * 100.0,
+            instructions: 3,
+            area: 1.25,
+            largest_instruction: 9,
+        }
+    }
+
+    #[test]
+    fn csv_has_a_header_and_one_line_per_row() {
+        let csv = fig8_csv(&[fig8_row(), fig8_row()]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("block,origin"));
+        let csv = fig11_csv(&[fig11_row("Iterative", 1.4)]);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("1.4000"));
+    }
+
+    #[test]
+    fn markdown_tables_are_well_formed() {
+        let md = fig8_markdown(&[fig8_row()]);
+        assert!(md.contains("| bb | kernel | 10 | 250 |"));
+        let md = fig11_markdown(&[
+            fig11_row("Iterative", 1.4),
+            fig11_row("Clubbing", 1.1),
+            fig11_row("MaxMISO", 1.2),
+            fig11_row("Optimal", 1.4),
+        ]);
+        assert!(md.contains("| gsm | 4 | 2 | 1.400 | 1.400 | 1.100 | 1.200 |"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Cut collapsing: rewriting a basic block so that a selected cut becomes a single
+//! application-specific instruction.
+//!
+//! The identification algorithms only *choose* cuts; turning a choice into an actual
+//! instruction-set extension means (a) extracting the cut into a standalone AFU
+//! specification (a small dataflow graph whose inputs/outputs are the cut's `IN`/`OUT`
+//! values) and (b) rewriting the original block so that the cut's nodes are replaced by
+//! [`Opcode::Afu`] nodes referencing that specification. Convexity guarantees that a
+//! legal def-before-use placement of the new instruction exists; this module constructs
+//! it and the test-suite uses the IR interpreter to prove behavioural equivalence.
+//!
+//! The iterative selection algorithm of the paper merges previously identified cuts into
+//! single graph nodes before searching again; collapsing also provides exactly that.
+
+use std::collections::BTreeMap;
+
+use ise_ir::{Dfg, Node, NodeId, Opcode, Operand, Program};
+
+use crate::cut::{self, CutSet};
+
+/// The outcome of collapsing one cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollapseResult {
+    /// The rewritten basic block, with the cut replaced by AFU nodes.
+    pub rewritten: Dfg,
+    /// The extracted AFU datapath (inputs = the cut's external values, outputs = the
+    /// cut's externally visible results).
+    pub afu_graph: Dfg,
+    /// Number of values read by the new instruction.
+    pub inputs: usize,
+    /// Number of values produced by the new instruction.
+    pub outputs: usize,
+}
+
+/// Extracts `cut` from `dfg` into an AFU specification graph.
+///
+/// The specification's input variables correspond positionally to the cut's external
+/// sources (in the deterministic order returned by [`cut::input_sources`]) and its output
+/// variables to the cut's output nodes (in the order returned by [`cut::output_nodes`]).
+///
+/// # Panics
+///
+/// Panics if the cut is empty.
+#[must_use]
+pub fn extract_afu_graph(dfg: &Dfg, cut: &CutSet, name: &str) -> Dfg {
+    assert!(!cut.is_empty(), "cannot extract an empty cut");
+    let sources = cut::input_sources(dfg, cut);
+    let outputs = cut::output_nodes(dfg, cut);
+    let mut graph = Dfg::new(name.to_string());
+    let mut source_map: BTreeMap<Operand, Operand> = BTreeMap::new();
+    for (i, source) in sources.iter().enumerate() {
+        let port = graph.add_input(format!("in{i}"));
+        source_map.insert(*source, Operand::Input(port));
+    }
+    let mut node_map: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    for (id, node) in dfg.iter_nodes() {
+        if !cut.contains(id) {
+            continue;
+        }
+        let operands = node
+            .operands
+            .iter()
+            .map(|operand| match *operand {
+                Operand::Imm(v) => Operand::Imm(v),
+                Operand::Node(n) if cut.contains(n) => Operand::Node(node_map[&n]),
+                other => source_map[&other],
+            })
+            .collect();
+        let new_id = graph.add_node(Node {
+            opcode: node.opcode,
+            operands,
+            name: node.name.clone(),
+        });
+        node_map.insert(id, new_id);
+    }
+    for (i, output) in outputs.iter().enumerate() {
+        graph.add_output(format!("out{i}"), Operand::Node(node_map[output]));
+    }
+    graph
+}
+
+/// Rewrites `dfg`, replacing the nodes of `cut` by AFU nodes that reference `afu_id`.
+///
+/// # Panics
+///
+/// Panics if the cut is empty, non-convex, or contains nodes that are illegal in an AFU.
+#[must_use]
+pub fn collapse_cut(dfg: &Dfg, cut: &CutSet, afu_id: u16, name: &str) -> CollapseResult {
+    assert!(!cut.is_empty(), "cannot collapse an empty cut");
+    assert!(cut::is_convex(dfg, cut), "only convex cuts can be collapsed");
+    assert!(
+        cut::is_afu_legal(dfg, cut),
+        "cut contains nodes that cannot be implemented in an AFU"
+    );
+
+    let afu_graph = extract_afu_graph(dfg, cut, name);
+    let sources = cut::input_sources(dfg, cut);
+    let output_nodes = cut::output_nodes(dfg, cut);
+
+    // Nodes strictly downstream of the cut (and outside it) must be emitted after the
+    // AFU nodes; everything else (ancestors and unrelated nodes) is emitted before.
+    let mut downstream = vec![false; dfg.node_count()];
+    let mut stack: Vec<NodeId> = cut.iter().collect();
+    while let Some(id) = stack.pop() {
+        for &consumer in dfg.consumers(id) {
+            if !cut.contains(consumer) && !downstream[consumer.index()] {
+                downstream[consumer.index()] = true;
+                stack.push(consumer);
+            }
+        }
+    }
+
+    let mut rewritten = Dfg::new(dfg.name().to_string());
+    rewritten.set_exec_count(dfg.exec_count());
+    for (_, input) in dfg.iter_inputs() {
+        rewritten.add_input(input.name.clone());
+    }
+    // Old operand -> new operand.
+    let mut value_map: BTreeMap<Operand, Operand> = BTreeMap::new();
+    for (id, _) in dfg.iter_inputs().enumerate() {
+        let port = ise_ir::PortId::new(id);
+        value_map.insert(Operand::Input(port), Operand::Input(port));
+    }
+
+    let remap = |value_map: &BTreeMap<Operand, Operand>, operand: &Operand| -> Operand {
+        match operand {
+            Operand::Imm(v) => Operand::Imm(*v),
+            other => value_map[other],
+        }
+    };
+    let emit = |rewritten: &mut Dfg,
+                value_map: &mut BTreeMap<Operand, Operand>,
+                id: NodeId,
+                node: &Node| {
+        let operands = node
+            .operands
+            .iter()
+            .map(|o| remap(value_map, o))
+            .collect();
+        let new_id = rewritten.add_node(Node {
+            opcode: node.opcode,
+            operands,
+            name: node.name.clone(),
+        });
+        value_map.insert(Operand::Node(id), Operand::Node(new_id));
+    };
+
+    // Phase 1: ancestors of the cut and unrelated nodes.
+    for (id, node) in dfg.iter_nodes() {
+        if !cut.contains(id) && !downstream[id.index()] {
+            emit(&mut rewritten, &mut value_map, id, node);
+        }
+    }
+    // Phase 2: one AFU node per produced output, all reading the same external sources.
+    let afu_operands: Vec<Operand> = sources.iter().map(|s| remap(&value_map, s)).collect();
+    for (out, output_node) in output_nodes.iter().enumerate() {
+        let new_id = rewritten.add_node(Node::named(
+            Opcode::Afu {
+                id: afu_id,
+                out: u16::try_from(out).expect("fewer than 65536 outputs"),
+            },
+            afu_operands.clone(),
+            name.to_string(),
+        ));
+        value_map.insert(Operand::Node(*output_node), Operand::Node(new_id));
+    }
+    // Phase 3: nodes downstream of the cut.
+    for (id, node) in dfg.iter_nodes() {
+        if downstream[id.index()] {
+            emit(&mut rewritten, &mut value_map, id, node);
+        }
+    }
+    // Block outputs.
+    for output in dfg.iter_outputs() {
+        rewritten.add_output(output.name.clone(), remap(&value_map, &output.source));
+    }
+
+    CollapseResult {
+        inputs: afu_graph.input_count(),
+        outputs: afu_graph.output_count(),
+        rewritten,
+        afu_graph,
+    }
+}
+
+/// Collapses a cut of block `block_index` of `program`, registering the AFU
+/// specification in the program and replacing the block in place. Returns the new AFU id.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`collapse_cut`], or if `block_index` is out of
+/// range.
+pub fn collapse_into_program(
+    program: &mut Program,
+    block_index: usize,
+    cut: &CutSet,
+    name: &str,
+) -> u16 {
+    let afu_id = u16::try_from(program.afus().len()).expect("fewer than 65536 AFUs");
+    let result = collapse_cut(program.block(block_index), cut, afu_id, name);
+    let registered = program.add_afu(name, result.afu_graph);
+    debug_assert_eq!(registered, afu_id);
+    program.blocks_mut()[block_index] = result.rewritten;
+    afu_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_ir::interp::Evaluator;
+    use ise_ir::{AfuSpec, DfgBuilder};
+    use std::collections::BTreeMap as Map;
+
+    fn saturating_mac() -> Dfg {
+        let mut b = DfgBuilder::new("satmac");
+        let x = b.input("x");
+        let y = b.input("y");
+        let acc = b.input("acc");
+        let prod = b.mul(x, y);
+        let sum = b.add(prod, acc);
+        let too_big = b.gt(sum, b.imm(32767));
+        let clipped = b.select(too_big, b.imm(32767), sum);
+        let flag = b.ne(clipped, sum);
+        b.output("acc", clipped);
+        b.output("sat", flag);
+        b.finish()
+    }
+
+    fn eval(
+        dfg: &Dfg,
+        afus: Vec<AfuSpec>,
+        inputs: &[(&str, i32)],
+    ) -> Map<String, i32> {
+        let mut evaluator = Evaluator::with_afus(afus);
+        let bindings: Map<String, i32> = inputs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        evaluator.eval_block(dfg, &bindings).expect("evaluation").outputs
+    }
+
+    #[test]
+    fn extraction_preserves_port_counts() {
+        let g = saturating_mac();
+        let cut = CutSet::from_nodes(&g, [NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        let afu = extract_afu_graph(&g, &cut, "mac_cmp");
+        assert!(afu.validate().is_ok());
+        assert_eq!(afu.input_count(), cut::input_count(&g, &cut));
+        assert_eq!(afu.output_count(), cut::output_count(&g, &cut));
+        assert_eq!(afu.node_count(), 3);
+    }
+
+    #[test]
+    fn collapse_preserves_semantics_for_single_output_cut() {
+        let g = saturating_mac();
+        // Collapse {mul, add}: one external output (sum feeds the compare and select).
+        let cut = CutSet::from_nodes(&g, [NodeId::new(0), NodeId::new(1)]);
+        let result = collapse_cut(&g, &cut, 0, "mac");
+        assert!(result.rewritten.validate().is_ok());
+        assert_eq!(result.outputs, 1);
+        let spec = AfuSpec {
+            id: 0,
+            name: "mac".into(),
+            graph: result.afu_graph.clone(),
+        };
+        for (x, y, acc) in [(3, 4, 5), (1000, 40, 1), (-7, 9, 100), (200, 300, 500)] {
+            let original = eval(&g, vec![], &[("x", x), ("y", y), ("acc", acc)]);
+            let rewritten = eval(
+                &result.rewritten,
+                vec![spec.clone()],
+                &[("x", x), ("y", y), ("acc", acc)],
+            );
+            assert_eq!(original, rewritten, "inputs ({x}, {y}, {acc})");
+        }
+    }
+
+    #[test]
+    fn collapse_preserves_semantics_for_multi_output_cut() {
+        let g = saturating_mac();
+        // The whole block is convex and has two outputs (clipped value and the flag).
+        let cut = CutSet::from_nodes(&g, g.node_ids());
+        let result = collapse_cut(&g, &cut, 3, "satmac_all");
+        assert!(result.rewritten.validate().is_ok());
+        assert_eq!(result.outputs, 2);
+        assert_eq!(result.rewritten.node_count(), 2, "two AFU output nodes remain");
+        let spec = AfuSpec {
+            id: 3,
+            name: "satmac_all".into(),
+            graph: result.afu_graph.clone(),
+        };
+        for (x, y, acc) in [(3, 4, 5), (1000, 40, 1), (-7, 9, 100)] {
+            let original = eval(&g, vec![], &[("x", x), ("y", y), ("acc", acc)]);
+            let rewritten = eval(
+                &result.rewritten,
+                vec![spec.clone()],
+                &[("x", x), ("y", y), ("acc", acc)],
+            );
+            assert_eq!(original, rewritten);
+        }
+    }
+
+    #[test]
+    fn collapse_into_program_registers_the_afu() {
+        let mut program = Program::new("app");
+        program.add_block(saturating_mac());
+        let cut = CutSet::from_nodes(program.block(0), [NodeId::new(0), NodeId::new(1)]);
+        let afu_id = collapse_into_program(&mut program, 0, &cut, "mac");
+        assert_eq!(afu_id, 0);
+        assert_eq!(program.afus().len(), 1);
+        assert_eq!(program.afus()[0].input_count(), 3);
+        assert!(program.validate().is_ok());
+        assert!(program
+            .block(0)
+            .iter_nodes()
+            .any(|(_, n)| matches!(n.opcode, Opcode::Afu { id: 0, .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "convex")]
+    fn non_convex_cuts_are_rejected() {
+        let g = saturating_mac();
+        // {mul, select} is non-convex (the add and compare sit in between).
+        let cut = CutSet::from_nodes(&g, [NodeId::new(0), NodeId::new(3)]);
+        let _ = collapse_cut(&g, &cut, 0, "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_cuts_are_rejected() {
+        let g = saturating_mac();
+        let _ = collapse_cut(&g, &CutSet::for_dfg(&g), 0, "empty");
+    }
+}

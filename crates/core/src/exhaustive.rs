@@ -1,0 +1,140 @@
+//! Brute-force enumeration oracle.
+//!
+//! This module enumerates *all* `2^|V|` cuts of a basic block and evaluates each one with
+//! the reference (non-incremental) implementations of [`crate::cut`]. It exists purely as
+//! a correctness oracle for the pruned branch-and-bound search and for the property-based
+//! tests; it is exponential with no pruning and must only be used on small graphs.
+
+use ise_hw::CostModel;
+use ise_ir::{Dfg, NodeId};
+
+use crate::constraints::Constraints;
+use crate::cut::{self, CutSet};
+use crate::search::IdentifiedCut;
+
+/// Statistics of an exhaustive enumeration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExhaustiveStats {
+    /// Total number of non-empty cuts enumerated (`2^|V| - 1`).
+    pub cuts_enumerated: u64,
+    /// Cuts satisfying all constraints (ports, convexity, legality, budgets).
+    pub feasible_cuts: u64,
+}
+
+/// Result of an exhaustive enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExhaustiveOutcome {
+    /// The best feasible cut with strictly positive merit, if any.
+    pub best: Option<IdentifiedCut>,
+    /// Enumeration statistics.
+    pub stats: ExhaustiveStats,
+}
+
+/// Enumerates every cut of `dfg` and returns the best feasible one.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 24 nodes; the oracle is meant for tests only and
+/// larger graphs would enumerate hundreds of millions of cuts.
+#[must_use]
+pub fn best_cut_exhaustive(
+    dfg: &Dfg,
+    constraints: Constraints,
+    model: &dyn CostModel,
+) -> ExhaustiveOutcome {
+    let n = dfg.node_count();
+    assert!(
+        n <= 24,
+        "exhaustive enumeration is a test oracle; {n} nodes is too large"
+    );
+    let mut stats = ExhaustiveStats::default();
+    let mut best: Option<IdentifiedCut> = None;
+    for mask in 1u64..(1u64 << n) {
+        stats.cuts_enumerated += 1;
+        let cut = CutSet::from_nodes(
+            dfg,
+            (0..n).filter(|i| mask & (1 << i) != 0).map(NodeId::new),
+        );
+        if !cut::is_afu_legal(dfg, &cut) {
+            continue;
+        }
+        let evaluation = cut::evaluate(dfg, &cut, model);
+        if !evaluation.convex
+            || !constraints.ports_ok(evaluation.inputs, evaluation.outputs)
+            || !constraints.budget_ok(evaluation.area, evaluation.nodes)
+        {
+            continue;
+        }
+        stats.feasible_cuts += 1;
+        if evaluation.merit > best.as_ref().map_or(0.0, |b| b.evaluation.merit) {
+            best = Some(IdentifiedCut { cut, evaluation });
+        }
+    }
+    ExhaustiveOutcome { best, stats }
+}
+
+/// Enumerates every cut of `dfg` and counts how many satisfy all constraints.
+#[must_use]
+pub fn count_feasible_cuts(dfg: &Dfg, constraints: Constraints, model: &dyn CostModel) -> u64 {
+    best_cut_exhaustive(dfg, constraints, model).stats.feasible_cuts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::identify_single_cut;
+    use ise_hw::DefaultCostModel;
+    use ise_ir::DfgBuilder;
+
+    fn sample() -> Dfg {
+        let mut b = DfgBuilder::new("sample");
+        let x = b.input("x");
+        let y = b.input("y");
+        let z = b.input("z");
+        let m = b.mul(x, y);
+        let s = b.add(m, z);
+        let c = b.gt(s, b.imm(255));
+        let sat = b.select(c, b.imm(255), s);
+        let t = b.xor(sat, y);
+        b.output("o", t);
+        b.finish()
+    }
+
+    #[test]
+    fn oracle_and_search_agree_on_the_best_merit() {
+        let g = sample();
+        let model = DefaultCostModel::new();
+        for constraints in Constraints::paper_sweep() {
+            let oracle = best_cut_exhaustive(&g, constraints, &model);
+            let fast = identify_single_cut(&g, constraints, &model);
+            let oracle_merit = oracle.best.as_ref().map_or(0.0, |b| b.evaluation.merit);
+            let fast_merit = fast.best.as_ref().map_or(0.0, |b| b.evaluation.merit);
+            assert_eq!(oracle_merit, fast_merit, "constraints {constraints}");
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_all_cuts() {
+        let g = sample();
+        let model = DefaultCostModel::new();
+        let outcome = best_cut_exhaustive(&g, Constraints::new(4, 2), &model);
+        assert_eq!(outcome.stats.cuts_enumerated, (1 << g.node_count()) - 1);
+        assert!(outcome.stats.feasible_cuts > 0);
+        assert!(outcome.stats.feasible_cuts < outcome.stats.cuts_enumerated);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oracle_refuses_large_graphs() {
+        let mut b = DfgBuilder::new("big");
+        let x = b.input("x");
+        let mut v = x;
+        for _ in 0..30 {
+            v = b.add(v, b.imm(1));
+        }
+        b.output("o", v);
+        let g = b.finish();
+        let model = DefaultCostModel::new();
+        let _ = best_cut_exhaustive(&g, Constraints::new(2, 1), &model);
+    }
+}

@@ -1,0 +1,66 @@
+//! # ise-core — automatic instruction-set extension identification and selection
+//!
+//! This crate implements the algorithms of *Atasu, Pozzi and Ienne, "Automatic
+//! Application-Specific Instruction-Set Extensions under Microarchitectural
+//! Constraints"* (DAC 2003 / IJPP 31(6), 2003):
+//!
+//! * [`cut`] — cuts (subgraphs) of a basic-block dataflow graph and the reference
+//!   implementations of `IN(S)`, `OUT(S)` and convexity;
+//! * [`Constraints`] — the microarchitectural constraints `Nin`/`Nout` (plus optional
+//!   area and size budgets);
+//! * [`SingleCutSearch`] — the exact single-cut identification algorithm of Section 6.1
+//!   with incremental constraint checking and subtree pruning;
+//! * [`MultiCutSearch`] — the multiple-cut generalisation of Section 6.2;
+//! * [`selection`] — the optimal (Section 6.2) and iterative (Section 6.3) selection
+//!   strategies across all basic blocks, plus an area-budgeted variant;
+//! * [`collapse`] — rewriting blocks so that selected cuts become
+//!   [`ise_ir::Opcode::Afu`] instructions, with extraction of the AFU datapath;
+//! * [`exhaustive`] — a brute-force oracle used by the test-suite.
+//!
+//! # Example
+//!
+//! ```
+//! use ise_core::{identify_single_cut, Constraints};
+//! use ise_hw::DefaultCostModel;
+//! use ise_ir::DfgBuilder;
+//!
+//! // A multiply-accumulate with saturation: a classic ISE candidate.
+//! let mut b = DfgBuilder::new("sat_mac");
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let acc = b.input("acc");
+//! let prod = b.mul(x, y);
+//! let sum = b.add(prod, acc);
+//! let hi = b.gt(sum, b.imm(32767));
+//! let sat = b.select(hi, b.imm(32767), sum);
+//! b.output("acc", sat);
+//! let block = b.finish();
+//!
+//! let model = DefaultCostModel::new();
+//! let outcome = identify_single_cut(&block, Constraints::new(3, 1), &model);
+//! let best = outcome.best.expect("profitable instruction found");
+//! assert_eq!(best.cut.len(), 4);        // the whole saturating MAC
+//! assert!(best.evaluation.merit > 0.0); // cycles saved per execution
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collapse;
+mod constraints;
+pub mod cut;
+pub mod exhaustive;
+pub mod multicut;
+mod search;
+pub mod selection;
+
+pub use constraints::Constraints;
+pub use cut::{CutEvaluation, CutSet};
+pub use multicut::{identify_multiple_cuts, MultiCutOutcome, MultiCutSearch};
+pub use search::{
+    identify_single_cut, IdentifiedCut, SearchOutcome, SearchStats, SingleCutSearch,
+};
+pub use selection::{
+    select_iterative, select_optimal, select_under_area, ChosenCut, SelectionOptions,
+    SelectionResult,
+};

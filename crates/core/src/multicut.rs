@@ -1,0 +1,475 @@
+//! Multiple-cut identification: the (M+1)-ary search tree of Section 6.2.
+//!
+//! To select several instructions from the *same* basic block optimally, the paper
+//! generalises the binary search tree of the single-cut algorithm to a tree in which
+//! every level makes `M + 1` branches: node `i` is either left in software or assigned to
+//! one of the `M` cuts under construction (Fig. 9). Each cut must individually satisfy
+//! the output-port, convexity and input-port constraints; the objective is the sum of the
+//! cuts' merits. The same subtree-elimination arguments apply per cut.
+//!
+//! The search is exponential in `M·|V|` and is only practical for moderate blocks; the
+//! optimal selection algorithm (Section 6.2 of the paper, [`crate::selection`]) invokes it
+//! with growing `M`, and the iterative heuristic (Section 6.3) avoids it altogether.
+
+use ise_hw::{cut_merit, CostModel};
+use ise_ir::{topo, Dfg, NodeId, Operand};
+
+use crate::constraints::Constraints;
+use crate::cut::{CutEvaluation, CutSet};
+use crate::search::{IdentifiedCut, SearchStats};
+
+/// Result of a multiple-cut identification run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MultiCutOutcome {
+    /// The selected cuts (only non-empty, positive-merit cuts are reported), sorted by
+    /// decreasing merit.
+    pub cuts: Vec<IdentifiedCut>,
+    /// Sum of the merits of the reported cuts.
+    pub total_merit: f64,
+    /// Search statistics (cut counters aggregate all cuts of the tuple).
+    pub stats: SearchStats,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CutAccum {
+    inputs: usize,
+    outputs: usize,
+    software: u64,
+    critical_path: f64,
+    area: f64,
+    nodes: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    Node(usize),
+    Input(usize),
+}
+
+/// The exact multiple-cut identification algorithm.
+pub struct MultiCutSearch<'a> {
+    dfg: &'a Dfg,
+    model: &'a dyn CostModel,
+    constraints: Constraints,
+    num_cuts: usize,
+    blocked: Vec<bool>,
+    order: Vec<NodeId>,
+    sources: Vec<Vec<Source>>,
+    is_output_source: Vec<bool>,
+    software_cost: Vec<u32>,
+    hardware_delay: Vec<f64>,
+    area_cost: Vec<f64>,
+    exploration_budget: Option<u64>,
+
+    /// Cut assignment per node: 0 = software, 1..=M = cut index.
+    assignment: Vec<u8>,
+    /// Per cut, per decided node: does a downstream path reach that cut?
+    reaches: Vec<Vec<bool>>,
+    /// Longest in-cut downstream path per node (a node belongs to at most one cut).
+    longest_path: Vec<f64>,
+    /// Per cut: number of members consuming each external node.
+    node_external_uses: Vec<Vec<u32>>,
+    /// Per cut: number of members reading each block input.
+    input_uses: Vec<Vec<u32>>,
+    /// Per cut: members in insertion order.
+    cut_stacks: Vec<Vec<NodeId>>,
+    stats: SearchStats,
+    best: Vec<IdentifiedCut>,
+    best_total: f64,
+}
+
+impl<'a> MultiCutSearch<'a> {
+    /// Prepares a search for up to `num_cuts` simultaneous cuts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cuts` is zero or greater than 255.
+    #[must_use]
+    pub fn new(
+        dfg: &'a Dfg,
+        constraints: Constraints,
+        model: &'a dyn CostModel,
+        num_cuts: usize,
+    ) -> Self {
+        assert!(num_cuts >= 1, "at least one cut must be requested");
+        assert!(num_cuts <= 255, "more than 255 simultaneous cuts is not supported");
+        let n = dfg.node_count();
+        let mut sources = Vec::with_capacity(n);
+        let mut blocked = Vec::with_capacity(n);
+        let mut is_output_source = Vec::with_capacity(n);
+        let mut software_cost = Vec::with_capacity(n);
+        let mut hardware_delay = Vec::with_capacity(n);
+        let mut area_cost = Vec::with_capacity(n);
+        for (id, node) in dfg.iter_nodes() {
+            let mut node_sources: Vec<Source> = Vec::new();
+            for operand in &node.operands {
+                let source = match *operand {
+                    Operand::Node(m) => Source::Node(m.index()),
+                    Operand::Input(p) => Source::Input(p.index()),
+                    Operand::Imm(_) => continue,
+                };
+                let duplicate = node_sources.iter().any(|s| match (s, &source) {
+                    (Source::Node(a), Source::Node(b)) => a == b,
+                    (Source::Input(a), Source::Input(b)) => a == b,
+                    _ => false,
+                });
+                if !duplicate {
+                    node_sources.push(source);
+                }
+            }
+            sources.push(node_sources);
+            blocked.push(node.is_forbidden_in_afu());
+            is_output_source.push(dfg.is_output_source(id));
+            software_cost.push(model.software_cycles(node));
+            hardware_delay.push(model.hardware_delay(node));
+            area_cost.push(model.hardware_area(node));
+        }
+        MultiCutSearch {
+            dfg,
+            model,
+            constraints,
+            num_cuts,
+            blocked,
+            order: topo::consumers_first(dfg),
+            sources,
+            is_output_source,
+            software_cost,
+            hardware_delay,
+            area_cost,
+            exploration_budget: None,
+            assignment: vec![0; n],
+            reaches: vec![vec![false; n]; num_cuts],
+            longest_path: vec![0.0; n],
+            node_external_uses: vec![vec![0; n]; num_cuts],
+            input_uses: vec![vec![0; dfg.input_count()]; num_cuts],
+            cut_stacks: vec![Vec::new(); num_cuts],
+            stats: SearchStats::default(),
+            best: Vec::new(),
+            best_total: 0.0,
+        }
+    }
+
+    /// Additionally forbids the given nodes from entering any cut.
+    #[must_use]
+    pub fn with_excluded(mut self, excluded: &CutSet) -> Self {
+        for id in excluded.iter() {
+            if id.index() < self.blocked.len() {
+                self.blocked[id.index()] = true;
+            }
+        }
+        self
+    }
+
+    /// Limits the number of assignments considered before giving up on optimality.
+    #[must_use]
+    pub fn with_exploration_budget(mut self, budget: u64) -> Self {
+        self.exploration_budget = Some(budget);
+        self
+    }
+
+    /// Runs the search.
+    #[must_use]
+    pub fn run(mut self) -> MultiCutOutcome {
+        if self.dfg.node_count() > 0 {
+            let accums = vec![CutAccum::default(); self.num_cuts];
+            self.explore(0, &accums);
+        }
+        let mut cuts = self.best;
+        cuts.sort_by(|a, b| {
+            b.evaluation
+                .merit
+                .partial_cmp(&a.evaluation.merit)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let total_merit = cuts.iter().map(|c| c.evaluation.merit).sum();
+        MultiCutOutcome {
+            cuts,
+            total_merit,
+            stats: self.stats,
+        }
+    }
+
+    fn budget_left(&self) -> bool {
+        self.exploration_budget
+            .is_none_or(|budget| self.stats.cuts_considered < budget)
+    }
+
+    fn explore(&mut self, level: usize, accums: &[CutAccum]) {
+        if level == self.order.len() {
+            return;
+        }
+        if !self.budget_left() {
+            self.stats.budget_exhausted = true;
+            return;
+        }
+        let node = self.order[level];
+        let index = node.index();
+
+        if !self.blocked[index] {
+            // Symmetry breaking: a node may start cut k only if cuts 1..k-1 are in use.
+            let used_cuts = self
+                .cut_stacks
+                .iter()
+                .take_while(|stack| !stack.is_empty())
+                .count();
+            let reachable_cuts = (used_cuts + 1).min(self.num_cuts);
+            for cut_index in 0..reachable_cuts {
+                self.try_assign(level, node, cut_index, accums);
+            }
+        }
+
+        // Software branch: update reachability towards every cut.
+        let mut saved = Vec::with_capacity(self.num_cuts);
+        for cut_index in 0..self.num_cuts {
+            let reaches = self.dfg.consumers(node).iter().any(|c| {
+                self.assignment[c.index()] == (cut_index + 1) as u8
+                    || self.reaches[cut_index][c.index()]
+            });
+            saved.push(self.reaches[cut_index][index]);
+            self.reaches[cut_index][index] = reaches;
+        }
+        self.explore(level + 1, accums);
+        for cut_index in 0..self.num_cuts {
+            self.reaches[cut_index][index] = saved[cut_index];
+        }
+    }
+
+    fn try_assign(&mut self, level: usize, node: NodeId, cut_index: usize, accums: &[CutAccum]) {
+        let index = node.index();
+        let tag = (cut_index + 1) as u8;
+        self.stats.cuts_considered += 1;
+
+        let consumers = self.dfg.consumers(node);
+        let has_external_consumer = self.is_output_source[index]
+            || consumers.iter().any(|c| self.assignment[c.index()] != tag);
+        let new_out = accums[cut_index].outputs + usize::from(has_external_consumer);
+        let convex = !consumers.iter().any(|c| {
+            self.assignment[c.index()] != tag && self.reaches[cut_index][c.index()]
+        });
+        let within_node_budget = self
+            .constraints
+            .max_nodes
+            .is_none_or(|limit| accums[cut_index].nodes + 1 <= limit);
+
+        if new_out > self.constraints.max_outputs {
+            self.stats.pruned_output += 1;
+            return;
+        }
+        if !convex {
+            self.stats.pruned_convexity += 1;
+            return;
+        }
+        if !within_node_budget {
+            self.stats.pruned_node_budget += 1;
+            return;
+        }
+        self.stats.feasible_cuts += 1;
+
+        // Incremental IN(S_k).
+        let mut new_in = accums[cut_index].inputs;
+        if self.node_external_uses[cut_index][index] > 0 {
+            new_in -= 1;
+        }
+        for source in &self.sources[index] {
+            match *source {
+                Source::Node(m) => {
+                    self.node_external_uses[cut_index][m] += 1;
+                    if self.node_external_uses[cut_index][m] == 1 {
+                        new_in += 1;
+                    }
+                }
+                Source::Input(p) => {
+                    self.input_uses[cut_index][p] += 1;
+                    if self.input_uses[cut_index][p] == 1 {
+                        new_in += 1;
+                    }
+                }
+            }
+        }
+        let downstream = consumers
+            .iter()
+            .filter(|c| self.assignment[c.index()] == tag)
+            .map(|c| self.longest_path[c.index()])
+            .fold(0.0f64, f64::max);
+        let path_through_node = downstream + self.hardware_delay[index];
+        self.longest_path[index] = path_through_node;
+
+        let mut new_accums = accums.to_vec();
+        let accum = &mut new_accums[cut_index];
+        accum.inputs = new_in;
+        accum.outputs = new_out;
+        accum.software += u64::from(self.software_cost[index]);
+        accum.critical_path = accum.critical_path.max(path_through_node);
+        accum.area += self.area_cost[index];
+        accum.nodes += 1;
+
+        self.assignment[index] = tag;
+        self.cut_stacks[cut_index].push(node);
+
+        self.consider_candidate(&new_accums);
+        self.explore(level + 1, &new_accums);
+
+        // Undo.
+        self.cut_stacks[cut_index].pop();
+        self.assignment[index] = 0;
+        for source in &self.sources[index] {
+            match *source {
+                Source::Node(m) => self.node_external_uses[cut_index][m] -= 1,
+                Source::Input(p) => self.input_uses[cut_index][p] -= 1,
+            }
+        }
+    }
+
+    fn consider_candidate(&mut self, accums: &[CutAccum]) {
+        // Every non-empty cut must satisfy the input-port and budget constraints.
+        let mut total = 0.0;
+        for accum in accums {
+            if accum.nodes == 0 {
+                continue;
+            }
+            if accum.inputs > self.constraints.max_inputs
+                || !self.constraints.budget_ok(accum.area, accum.nodes)
+            {
+                return;
+            }
+            total += cut_merit(accum.software, accum.critical_path);
+        }
+        if total > self.best_total {
+            self.best_total = total;
+            self.stats.best_updates += 1;
+            self.best = accums
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.nodes > 0)
+                .map(|(k, accum)| {
+                    let merit = cut_merit(accum.software, accum.critical_path);
+                    IdentifiedCut {
+                        cut: CutSet::from_nodes(self.dfg, self.cut_stacks[k].iter().copied()),
+                        evaluation: CutEvaluation {
+                            nodes: accum.nodes,
+                            inputs: accum.inputs,
+                            outputs: accum.outputs,
+                            convex: true,
+                            software_cycles: accum.software,
+                            hardware_critical_path: accum.critical_path,
+                            hardware_cycles: self.model.cycles_for_delay(accum.critical_path),
+                            area: accum.area,
+                            merit,
+                        },
+                    }
+                })
+                .filter(|c| c.evaluation.merit > 0.0)
+                .collect();
+        }
+    }
+}
+
+/// Convenience wrapper: runs a [`MultiCutSearch`] with no exclusions.
+#[must_use]
+pub fn identify_multiple_cuts(
+    dfg: &Dfg,
+    constraints: Constraints,
+    model: &dyn CostModel,
+    num_cuts: usize,
+) -> MultiCutOutcome {
+    MultiCutSearch::new(dfg, constraints, model, num_cuts).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::identify_single_cut;
+    use ise_hw::DefaultCostModel;
+    use ise_ir::DfgBuilder;
+
+    /// Two independent multiply-accumulate chains feeding two block outputs.
+    fn two_chains() -> Dfg {
+        let mut b = DfgBuilder::new("two_chains");
+        let a = b.input("a");
+        let c = b.input("c");
+        let d = b.input("d");
+        let e = b.input("e");
+        let m1 = b.mul(a, c);
+        let s1 = b.add(m1, d);
+        let m2 = b.mul(d, e);
+        let s2 = b.add(m2, a);
+        b.output("o1", s1);
+        b.output("o2", s2);
+        b.finish()
+    }
+
+    #[test]
+    fn one_cut_matches_single_cut_search() {
+        let g = two_chains();
+        let model = DefaultCostModel::new();
+        let constraints = Constraints::new(2, 1);
+        let single = identify_single_cut(&g, constraints, &model);
+        let multi = identify_multiple_cuts(&g, constraints, &model, 1);
+        assert!((multi.total_merit - single.best_merit()).abs() < 1e-9);
+        assert_eq!(multi.cuts.len(), 1);
+    }
+
+    #[test]
+    fn two_cuts_capture_both_chains() {
+        let g = two_chains();
+        let model = DefaultCostModel::new();
+        let constraints = Constraints::new(2, 1);
+        let one = identify_multiple_cuts(&g, constraints, &model, 1);
+        let two = identify_multiple_cuts(&g, constraints, &model, 2);
+        assert_eq!(two.cuts.len(), 2);
+        assert!(two.total_merit > one.total_merit);
+        // The two chains do not overlap.
+        assert!(!two.cuts[0].cut.intersects(&two.cuts[1].cut));
+        for cut in &two.cuts {
+            assert!(cut.evaluation.inputs <= 2);
+            assert_eq!(cut.evaluation.outputs, 1);
+        }
+    }
+
+    #[test]
+    fn extra_cut_slots_do_not_hurt() {
+        let g = two_chains();
+        let model = DefaultCostModel::new();
+        let constraints = Constraints::new(2, 1);
+        let two = identify_multiple_cuts(&g, constraints, &model, 2);
+        let four = identify_multiple_cuts(&g, constraints, &model, 4);
+        assert!((four.total_merit - two.total_merit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn excluded_nodes_stay_in_software() {
+        let g = two_chains();
+        let model = DefaultCostModel::new();
+        let constraints = Constraints::new(2, 1);
+        let excluded = CutSet::from_nodes(&g, [ise_ir::NodeId::new(0), ise_ir::NodeId::new(1)]);
+        let outcome = MultiCutSearch::new(&g, constraints, &model, 2)
+            .with_excluded(&excluded)
+            .run();
+        for cut in &outcome.cuts {
+            assert!(!cut.cut.intersects(&excluded));
+        }
+    }
+
+    #[test]
+    fn stats_accounting_is_consistent() {
+        let g = two_chains();
+        let model = DefaultCostModel::new();
+        let outcome = identify_multiple_cuts(&g, Constraints::new(2, 1), &model, 2);
+        let stats = outcome.stats;
+        assert_eq!(
+            stats.cuts_considered,
+            stats.feasible_cuts
+                + stats.pruned_output
+                + stats.pruned_convexity
+                + stats.pruned_node_budget
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cut")]
+    fn zero_cuts_is_rejected() {
+        let g = two_chains();
+        let model = DefaultCostModel::new();
+        let _ = MultiCutSearch::new(&g, Constraints::new(2, 1), &model, 0);
+    }
+}

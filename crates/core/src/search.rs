@@ -1,0 +1,522 @@
+//! Single-cut identification: the exact branch-and-bound search of Section 6.1.
+//!
+//! The algorithm explores the `2^|V|` possible cuts of a basic block with a recursive
+//! binary search tree built over a topological ordering in which every node appears
+//! *after* its consumers. At each tree node it checks the register-file output-port
+//! constraint and the convexity constraint; when either fails, the whole subtree can be
+//! eliminated, because nodes added later in the ordering are always (transitive)
+//! producers of the already-decided nodes and can therefore neither remove an external
+//! consumer nor re-establish convexity. The input-port constraint cannot be used for
+//! pruning (adding a producer may *reduce* the number of inputs) and is only checked when
+//! a candidate is evaluated, exactly as in the paper.
+//!
+//! All bookkeeping — `IN(S)`, `OUT(S)`, convexity reachability, software cost, hardware
+//! critical path and area — is maintained incrementally in `O(fan-in + fan-out)` per
+//! step, giving the `O(1)`-per-step behaviour (for bounded-degree graphs) claimed in the
+//! paper.
+
+use ise_hw::{cut_merit, CostModel};
+use ise_ir::{topo, Dfg, NodeId, Operand};
+
+use crate::constraints::Constraints;
+use crate::cut::{CutEvaluation, CutSet};
+
+/// Counters describing one run of the identification algorithm.
+///
+/// `cuts_considered` is the quantity plotted against graph size in Fig. 8 of the paper:
+/// the number of distinct non-empty cuts for which the feasibility checks were evaluated
+/// (the pruned subtrees below failing cuts are never counted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SearchStats {
+    /// Distinct non-empty cuts whose feasibility checks were evaluated.
+    pub cuts_considered: u64,
+    /// Cuts that passed both the output-port and the convexity check.
+    pub feasible_cuts: u64,
+    /// Cuts rejected (with their subtree) by the output-port check.
+    pub pruned_output: u64,
+    /// Cuts rejected (with their subtree) by the convexity check.
+    pub pruned_convexity: u64,
+    /// Cuts rejected (with their subtree) by the optional node-count budget.
+    pub pruned_node_budget: u64,
+    /// Number of times the incumbent best cut was improved.
+    pub best_updates: u64,
+    /// True when the optional exploration budget stopped the search early; the result is
+    /// then a lower bound rather than the proven optimum.
+    pub budget_exhausted: bool,
+}
+
+/// A cut returned by an identification algorithm, together with its evaluation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IdentifiedCut {
+    /// The selected nodes.
+    pub cut: CutSet,
+    /// The cut's microarchitectural and cost evaluation.
+    pub evaluation: CutEvaluation,
+}
+
+/// Result of one identification run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SearchOutcome {
+    /// The maximal-merit cut satisfying all constraints, if any cut with positive merit
+    /// exists.
+    pub best: Option<IdentifiedCut>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// Merit of the best cut, or zero when no profitable cut was found.
+    #[must_use]
+    pub fn best_merit(&self) -> f64 {
+        self.best.as_ref().map_or(0.0, |c| c.evaluation.merit)
+    }
+}
+
+/// Deduplicated external value source of a node, precomputed for the incremental
+/// `IN(S)` bookkeeping.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    Node(usize),
+    Input(usize),
+}
+
+/// The exact single-cut identification algorithm (Fig. 6 of the paper).
+pub struct SingleCutSearch<'a> {
+    dfg: &'a Dfg,
+    model: &'a dyn CostModel,
+    constraints: Constraints,
+    /// Nodes that may never enter a cut: memory operations, collapsed AFU nodes, and any
+    /// node excluded by the caller (e.g. nodes already claimed by a previous selection).
+    blocked: Vec<bool>,
+    /// Search order: consumers before producers.
+    order: Vec<NodeId>,
+    /// Deduplicated operand sources per node.
+    sources: Vec<Vec<Source>>,
+    is_output_source: Vec<bool>,
+    software_cost: Vec<u32>,
+    hardware_delay: Vec<f64>,
+    area_cost: Vec<f64>,
+    /// Optional limit on the number of cuts considered before giving up on optimality.
+    exploration_budget: Option<u64>,
+
+    // --- mutable search state ---
+    in_cut: Vec<bool>,
+    /// For nodes decided as excluded: does a downstream path reach the current cut?
+    reaches_cut: Vec<bool>,
+    /// For nodes in the cut: longest downstream delay path within the cut, including the
+    /// node's own delay.
+    longest_path: Vec<f64>,
+    /// Number of cut nodes currently consuming each (outside) node.
+    node_external_uses: Vec<u32>,
+    /// Number of cut nodes currently reading each block input variable.
+    input_uses: Vec<u32>,
+    /// Nodes of the current cut, in insertion order.
+    cut_stack: Vec<NodeId>,
+    stats: SearchStats,
+    best: Option<IdentifiedCut>,
+    best_merit: f64,
+}
+
+impl<'a> SingleCutSearch<'a> {
+    /// Prepares a search over `dfg` under `constraints`, using `model` for the merit
+    /// function.
+    #[must_use]
+    pub fn new(dfg: &'a Dfg, constraints: Constraints, model: &'a dyn CostModel) -> Self {
+        let n = dfg.node_count();
+        let mut sources = Vec::with_capacity(n);
+        let mut blocked = Vec::with_capacity(n);
+        let mut is_output_source = Vec::with_capacity(n);
+        let mut software_cost = Vec::with_capacity(n);
+        let mut hardware_delay = Vec::with_capacity(n);
+        let mut area_cost = Vec::with_capacity(n);
+        for (id, node) in dfg.iter_nodes() {
+            let mut node_sources: Vec<Source> = Vec::new();
+            for operand in &node.operands {
+                let source = match *operand {
+                    Operand::Node(m) => Source::Node(m.index()),
+                    Operand::Input(p) => Source::Input(p.index()),
+                    Operand::Imm(_) => continue,
+                };
+                let duplicate = node_sources.iter().any(|s| match (s, &source) {
+                    (Source::Node(a), Source::Node(b)) => a == b,
+                    (Source::Input(a), Source::Input(b)) => a == b,
+                    _ => false,
+                });
+                if !duplicate {
+                    node_sources.push(source);
+                }
+            }
+            sources.push(node_sources);
+            blocked.push(node.is_forbidden_in_afu());
+            is_output_source.push(dfg.is_output_source(id));
+            software_cost.push(model.software_cycles(node));
+            hardware_delay.push(model.hardware_delay(node));
+            area_cost.push(model.hardware_area(node));
+        }
+        SingleCutSearch {
+            dfg,
+            model,
+            constraints,
+            blocked,
+            order: topo::consumers_first(dfg),
+            sources,
+            is_output_source,
+            software_cost,
+            hardware_delay,
+            area_cost,
+            exploration_budget: None,
+            in_cut: vec![false; n],
+            reaches_cut: vec![false; n],
+            longest_path: vec![0.0; n],
+            node_external_uses: vec![0; n],
+            input_uses: vec![0; dfg.input_count()],
+            cut_stack: Vec::new(),
+            stats: SearchStats::default(),
+            best: None,
+            best_merit: 0.0,
+        }
+    }
+
+    /// Additionally forbids the given nodes from entering any cut.
+    ///
+    /// The iterative selection algorithm (Section 6.3) uses this to exclude nodes already
+    /// absorbed by previously chosen instructions.
+    #[must_use]
+    pub fn with_excluded(mut self, excluded: &CutSet) -> Self {
+        for id in excluded.iter() {
+            if id.index() < self.blocked.len() {
+                self.blocked[id.index()] = true;
+            }
+        }
+        self
+    }
+
+    /// Limits the number of cuts considered; when the budget is exhausted the incumbent
+    /// best cut is returned and [`SearchStats::budget_exhausted`] is set.
+    #[must_use]
+    pub fn with_exploration_budget(mut self, budget: u64) -> Self {
+        self.exploration_budget = Some(budget);
+        self
+    }
+
+    /// Runs the search and returns the best cut found together with statistics.
+    #[must_use]
+    pub fn run(mut self) -> SearchOutcome {
+        if self.dfg.node_count() > 0 {
+            self.explore(0, 0, 0, 0, 0.0, 0.0);
+        }
+        SearchOutcome {
+            best: self.best,
+            stats: self.stats,
+        }
+    }
+
+    fn budget_left(&self) -> bool {
+        self.exploration_budget
+            .is_none_or(|budget| self.stats.cuts_considered < budget)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn explore(
+        &mut self,
+        level: usize,
+        in_count: usize,
+        out_count: usize,
+        software: u64,
+        critical_path: f64,
+        area: f64,
+    ) {
+        if level == self.order.len() {
+            return;
+        }
+        if !self.budget_left() {
+            self.stats.budget_exhausted = true;
+            return;
+        }
+        let node = self.order[level];
+        let index = node.index();
+
+        // ----- 1-branch: try adding `node` to the cut -------------------------------
+        if !self.blocked[index] {
+            self.stats.cuts_considered += 1;
+            let consumers = self.dfg.consumers(node);
+            let has_external_consumer = self.is_output_source[index]
+                || consumers.iter().any(|c| !self.in_cut[c.index()]);
+            let new_out = out_count + usize::from(has_external_consumer);
+            let convex = !consumers
+                .iter()
+                .any(|c| !self.in_cut[c.index()] && self.reaches_cut[c.index()]);
+            let within_node_budget = self
+                .constraints
+                .max_nodes
+                .is_none_or(|limit| self.cut_stack.len() + 1 <= limit);
+
+            if new_out > self.constraints.max_outputs {
+                self.stats.pruned_output += 1;
+            } else if !convex {
+                self.stats.pruned_convexity += 1;
+            } else if !within_node_budget {
+                self.stats.pruned_node_budget += 1;
+            } else {
+                self.stats.feasible_cuts += 1;
+                // Incremental IN(S) update: `node` stops being an external source, and
+                // its own external sources start counting (once each).
+                let mut new_in = in_count;
+                if self.node_external_uses[index] > 0 {
+                    new_in -= 1;
+                }
+                for source in &self.sources[index] {
+                    match *source {
+                        Source::Node(m) => {
+                            self.node_external_uses[m] += 1;
+                            if self.node_external_uses[m] == 1 {
+                                new_in += 1;
+                            }
+                        }
+                        Source::Input(p) => {
+                            self.input_uses[p] += 1;
+                            if self.input_uses[p] == 1 {
+                                new_in += 1;
+                            }
+                        }
+                    }
+                }
+                // Incremental critical path: consumers inside the cut are already final.
+                let downstream = self
+                    .dfg
+                    .consumers(node)
+                    .iter()
+                    .filter(|c| self.in_cut[c.index()])
+                    .map(|c| self.longest_path[c.index()])
+                    .fold(0.0f64, f64::max);
+                let path_through_node = downstream + self.hardware_delay[index];
+                self.longest_path[index] = path_through_node;
+                let new_cp = critical_path.max(path_through_node);
+                let new_sw = software + u64::from(self.software_cost[index]);
+                let new_area = area + self.area_cost[index];
+
+                self.in_cut[index] = true;
+                self.cut_stack.push(node);
+
+                let merit = cut_merit(new_sw, new_cp);
+                if merit > self.best_merit
+                    && new_in <= self.constraints.max_inputs
+                    && self
+                        .constraints
+                        .budget_ok(new_area, self.cut_stack.len())
+                {
+                    self.best_merit = merit;
+                    self.stats.best_updates += 1;
+                    self.best = Some(IdentifiedCut {
+                        cut: CutSet::from_nodes(self.dfg, self.cut_stack.iter().copied()),
+                        evaluation: CutEvaluation {
+                            nodes: self.cut_stack.len(),
+                            inputs: new_in,
+                            outputs: new_out,
+                            convex: true,
+                            software_cycles: new_sw,
+                            hardware_critical_path: new_cp,
+                            hardware_cycles: self.model.cycles_for_delay(new_cp),
+                            area: new_area,
+                            merit,
+                        },
+                    });
+                }
+
+                self.explore(level + 1, new_in, new_out, new_sw, new_cp, new_area);
+
+                // Undo.
+                self.cut_stack.pop();
+                self.in_cut[index] = false;
+                for source in &self.sources[index] {
+                    match *source {
+                        Source::Node(m) => self.node_external_uses[m] -= 1,
+                        Source::Input(p) => self.input_uses[p] -= 1,
+                    }
+                }
+            }
+        }
+
+        // ----- 0-branch: leave `node` out of the cut ---------------------------------
+        let reaches = self
+            .dfg
+            .consumers(node)
+            .iter()
+            .any(|c| self.in_cut[c.index()] || self.reaches_cut[c.index()]);
+        let saved = self.reaches_cut[index];
+        self.reaches_cut[index] = reaches;
+        self.explore(level + 1, in_count, out_count, software, critical_path, area);
+        self.reaches_cut[index] = saved;
+    }
+}
+
+/// Convenience wrapper: runs a [`SingleCutSearch`] with no exclusions.
+#[must_use]
+pub fn identify_single_cut(
+    dfg: &Dfg,
+    constraints: Constraints,
+    model: &dyn CostModel,
+) -> SearchOutcome {
+    SingleCutSearch::new(dfg, constraints, model).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut;
+    use ise_hw::DefaultCostModel;
+    use ise_ir::DfgBuilder;
+
+    fn fig4() -> Dfg {
+        let mut b = DfgBuilder::new("fig4");
+        let x = b.input("x");
+        let y = b.input("y");
+        let mul = b.mul(x, y);
+        let shr = b.lshr(mul, b.imm(2));
+        let add1 = b.add(mul, y);
+        let add0 = b.add(shr, add1);
+        b.output("out", add0);
+        b.finish()
+    }
+
+    #[test]
+    fn finds_the_whole_graph_when_ports_allow_it() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let outcome = identify_single_cut(&g, Constraints::new(2, 1), &model);
+        let best = outcome.best.expect("a profitable cut exists");
+        assert_eq!(best.cut.len(), 4);
+        assert_eq!(best.evaluation.inputs, 2);
+        assert_eq!(best.evaluation.outputs, 1);
+        assert_eq!(best.evaluation.merit, 3.0);
+        assert!(best.evaluation.convex);
+    }
+
+    #[test]
+    fn incremental_evaluation_matches_reference_evaluation() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        for constraints in Constraints::paper_sweep() {
+            let outcome = identify_single_cut(&g, constraints, &model);
+            if let Some(best) = outcome.best {
+                let reference = cut::evaluate(&g, &best.cut, &model);
+                assert_eq!(best.evaluation.inputs, reference.inputs);
+                assert_eq!(best.evaluation.outputs, reference.outputs);
+                assert_eq!(best.evaluation.software_cycles, reference.software_cycles);
+                assert!(
+                    (best.evaluation.hardware_critical_path - reference.hardware_critical_path)
+                        .abs()
+                        < 1e-9
+                );
+                assert_eq!(best.evaluation.merit, reference.merit);
+            }
+        }
+    }
+
+    #[test]
+    fn search_tree_is_pruned() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let outcome = identify_single_cut(&g, Constraints::new(8, 1), &model);
+        let stats = outcome.stats;
+        // 15 non-empty cuts exist; pruning must remove at least one of them.
+        assert!(stats.cuts_considered < 15);
+        assert_eq!(
+            stats.cuts_considered,
+            stats.feasible_cuts
+                + stats.pruned_output
+                + stats.pruned_convexity
+                + stats.pruned_node_budget
+        );
+        assert!(stats.pruned_output > 0);
+        assert!(!stats.budget_exhausted);
+    }
+
+    #[test]
+    fn memory_nodes_never_enter_a_cut() {
+        let mut b = DfgBuilder::new("mem");
+        let base = b.input("base");
+        let idx = b.input("idx");
+        let addr = b.add(base, idx);
+        let v = b.load(addr);
+        let w = b.mul(v, v);
+        let s = b.add(w, idx);
+        b.output("o", s);
+        let g = b.finish();
+        let model = DefaultCostModel::new();
+        let outcome = identify_single_cut(&g, Constraints::new(4, 4), &model);
+        let best = outcome.best.expect("mul/add cluster is profitable");
+        assert!(cut::is_afu_legal(&g, &best.cut));
+        for id in best.cut.iter() {
+            assert!(!g.node(id).opcode.is_memory());
+        }
+    }
+
+    #[test]
+    fn excluded_nodes_are_respected() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let all = identify_single_cut(&g, Constraints::new(4, 2), &model)
+            .best
+            .unwrap();
+        let excluded = all.cut.clone();
+        let outcome = SingleCutSearch::new(&g, Constraints::new(4, 2), &model)
+            .with_excluded(&excluded)
+            .run();
+        assert!(outcome.best.is_none(), "all profitable nodes were excluded");
+    }
+
+    #[test]
+    fn exploration_budget_terminates_early() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let outcome = SingleCutSearch::new(&g, Constraints::new(4, 2), &model)
+            .with_exploration_budget(2)
+            .run();
+        assert!(outcome.stats.budget_exhausted);
+        assert!(outcome.stats.cuts_considered <= 3);
+    }
+
+    #[test]
+    fn single_logic_op_is_not_profitable() {
+        let mut b = DfgBuilder::new("xor");
+        let x = b.input("x");
+        let y = b.input("y");
+        let v = b.xor(x, y);
+        b.output("o", v);
+        let g = b.finish();
+        let model = DefaultCostModel::new();
+        let outcome = identify_single_cut(&g, Constraints::new(2, 1), &model);
+        // One 1-cycle instruction replaced by one 1-cycle instruction: no gain.
+        assert!(outcome.best.is_none());
+        assert_eq!(outcome.best_merit(), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_cut() {
+        let g = Dfg::new("empty");
+        let model = DefaultCostModel::new();
+        let outcome = identify_single_cut(&g, Constraints::new(2, 1), &model);
+        assert!(outcome.best.is_none());
+        assert_eq!(outcome.stats.cuts_considered, 0);
+    }
+
+    #[test]
+    fn tighter_output_constraint_prunes_more() {
+        let mut b = DfgBuilder::new("wide");
+        let x = b.input("x");
+        let y = b.input("y");
+        let mut leaves = Vec::new();
+        for i in 0..6 {
+            let s = b.add(x, b.imm(i));
+            let t = b.mul(s, y);
+            leaves.push(t);
+            b.output(format!("o{i}"), t);
+        }
+        let g = b.finish();
+        let model = DefaultCostModel::new();
+        let tight = identify_single_cut(&g, Constraints::new(8, 1), &model).stats;
+        let loose = identify_single_cut(&g, Constraints::new(8, 4), &model).stats;
+        assert!(tight.cuts_considered < loose.cuts_considered);
+    }
+}

@@ -1,0 +1,547 @@
+//! Selection of up to `Ninstr` instructions across all basic blocks (Problem 2).
+//!
+//! Two strategies are provided, mirroring Sections 6.2 and 6.3 of the paper:
+//!
+//! * [`select_optimal`] — drives the multiple-cut identification algorithm with a growing
+//!   per-block cut count, choosing at each step the block whose next cut yields the
+//!   largest improvement. It provably reaches the optimum with at most
+//!   `Ninstr + Nbb − 1` identifier invocations (Fig. 10 of the paper), but each
+//!   invocation is itself exponential and becomes impractical on large blocks.
+//! * [`select_iterative`] — the practical heuristic: repeatedly run the *single*-cut
+//!   identification on every block, commit the globally best cut, exclude its nodes, and
+//!   repeat until `Ninstr` cuts are chosen or no profitable cut remains.
+//!
+//! Both return a [`SelectionResult`] which can be turned into the application-level
+//! speed-up report used by the Fig. 11 experiments.
+//!
+//! As an extension (anticipated as future work in Section 9), [`select_under_area`]
+//! performs the same iterative selection under a global area budget.
+
+use ise_hw::speedup::{SelectedInstruction, SpeedupReport};
+use ise_hw::{CostModel, SoftwareLatencyModel};
+use ise_ir::Program;
+
+use crate::constraints::Constraints;
+use crate::cut::CutSet;
+use crate::multicut::MultiCutSearch;
+use crate::search::{IdentifiedCut, SingleCutSearch};
+
+/// One instruction chosen by a selection algorithm.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChosenCut {
+    /// Index of the basic block the cut belongs to.
+    pub block_index: usize,
+    /// The cut and its evaluation.
+    pub identified: IdentifiedCut,
+}
+
+impl ChosenCut {
+    /// Dynamic cycle saving contributed by this instruction (merit × block frequency).
+    #[must_use]
+    pub fn weighted_saving(&self, program: &Program) -> f64 {
+        self.identified.evaluation.merit * program.block(self.block_index).exec_count() as f64
+    }
+}
+
+/// Result of a selection run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SelectionResult {
+    /// The chosen instructions, in the order they were committed.
+    pub chosen: Vec<ChosenCut>,
+    /// Total dynamic cycles saved (sum of merit × block frequency).
+    pub total_weighted_saving: f64,
+    /// Number of identification-algorithm invocations performed.
+    pub identifier_calls: u64,
+    /// Total number of cuts considered across all identifier invocations.
+    pub cuts_considered: u64,
+}
+
+impl SelectionResult {
+    /// Number of chosen instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chosen.len()
+    }
+
+    /// Returns `true` if no instruction was selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chosen.is_empty()
+    }
+
+    /// Total normalised datapath area of the selected instructions.
+    #[must_use]
+    pub fn total_area(&self) -> f64 {
+        self.chosen.iter().map(|c| c.identified.evaluation.area).sum()
+    }
+
+    /// Builds the application-level speed-up report for this selection.
+    #[must_use]
+    pub fn speedup_report(
+        &self,
+        program: &Program,
+        software: &SoftwareLatencyModel,
+    ) -> SpeedupReport {
+        let instructions = self
+            .chosen
+            .iter()
+            .map(|c| SelectedInstruction {
+                block_index: c.block_index,
+                saving_per_execution: c.identified.evaluation.merit,
+                exec_count: program.block(c.block_index).exec_count(),
+                area: c.identified.evaluation.area,
+                inputs: c.identified.evaluation.inputs,
+                outputs: c.identified.evaluation.outputs,
+                nodes: c.identified.evaluation.nodes,
+            })
+            .collect();
+        SpeedupReport::for_program(program, software, instructions)
+    }
+}
+
+/// Options shared by the selection drivers.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SelectionOptions {
+    /// Maximum number of special instructions to select (`Ninstr`).
+    pub max_instructions: usize,
+    /// Optional per-identifier-invocation exploration budget (number of cuts considered)
+    /// after which a run returns its incumbent instead of the proven optimum.
+    pub exploration_budget: Option<u64>,
+}
+
+impl SelectionOptions {
+    /// Creates options for selecting up to `max_instructions` instructions.
+    #[must_use]
+    pub fn new(max_instructions: usize) -> Self {
+        SelectionOptions {
+            max_instructions,
+            exploration_budget: None,
+        }
+    }
+
+    /// Sets a per-invocation exploration budget.
+    #[must_use]
+    pub fn with_exploration_budget(mut self, budget: u64) -> Self {
+        self.exploration_budget = Some(budget);
+        self
+    }
+}
+
+/// Iterative selection (Section 6.3): repeatedly identify the best single cut over all
+/// blocks, commit it, exclude its nodes and continue.
+#[must_use]
+pub fn select_iterative(
+    program: &Program,
+    constraints: Constraints,
+    model: &dyn CostModel,
+    options: SelectionOptions,
+) -> SelectionResult {
+    let block_count = program.block_count();
+    let mut excluded: Vec<CutSet> = program.blocks().iter().map(CutSet::for_dfg).collect();
+    // Cached best candidate per block; only the block whose exclusion set changed needs
+    // to be re-identified.
+    let mut candidate: Vec<Option<IdentifiedCut>> = vec![None; block_count];
+    let mut stale: Vec<bool> = vec![true; block_count];
+    let mut result = SelectionResult {
+        chosen: Vec::new(),
+        total_weighted_saving: 0.0,
+        identifier_calls: 0,
+        cuts_considered: 0,
+    };
+
+    while result.chosen.len() < options.max_instructions {
+        for block_index in 0..block_count {
+            if !stale[block_index] {
+                continue;
+            }
+            let dfg = program.block(block_index);
+            let mut search = SingleCutSearch::new(dfg, constraints, model)
+                .with_excluded(&excluded[block_index]);
+            if let Some(budget) = options.exploration_budget {
+                search = search.with_exploration_budget(budget);
+            }
+            let outcome = search.run();
+            result.identifier_calls += 1;
+            result.cuts_considered += outcome.stats.cuts_considered;
+            candidate[block_index] = outcome.best;
+            stale[block_index] = false;
+        }
+        // Pick the block whose candidate saves the most dynamic cycles.
+        let best_block = (0..block_count)
+            .filter(|&b| candidate[b].is_some())
+            .max_by(|&a, &b| {
+                let wa = candidate[a].as_ref().unwrap().evaluation.merit
+                    * program.block(a).exec_count() as f64;
+                let wb = candidate[b].as_ref().unwrap().evaluation.merit
+                    * program.block(b).exec_count() as f64;
+                wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        let Some(block_index) = best_block else {
+            break;
+        };
+        let identified = candidate[block_index].take().expect("candidate present");
+        let weighted =
+            identified.evaluation.merit * program.block(block_index).exec_count() as f64;
+        if weighted <= 0.0 {
+            break;
+        }
+        excluded[block_index].union_with(&identified.cut);
+        stale[block_index] = true;
+        result.total_weighted_saving += weighted;
+        result.chosen.push(ChosenCut {
+            block_index,
+            identified,
+        });
+    }
+    result
+}
+
+/// Optimal selection (Section 6.2): grow the per-block cut count greedily on marginal
+/// improvements, using the multiple-cut identification algorithm.
+#[must_use]
+pub fn select_optimal(
+    program: &Program,
+    constraints: Constraints,
+    model: &dyn CostModel,
+    options: SelectionOptions,
+) -> SelectionResult {
+    let block_count = program.block_count();
+    let mut result = SelectionResult {
+        chosen: Vec::new(),
+        total_weighted_saving: 0.0,
+        identifier_calls: 0,
+        cuts_considered: 0,
+    };
+    if block_count == 0 || options.max_instructions == 0 {
+        return result;
+    }
+
+    // best_total[b][m] = weighted total merit of the best m simultaneous cuts in block b.
+    let mut best_total: Vec<Vec<f64>> = vec![vec![0.0]; block_count];
+    let mut best_cuts: Vec<Vec<Vec<IdentifiedCut>>> = vec![vec![Vec::new()]; block_count];
+    let mut committed: Vec<usize> = vec![0; block_count];
+
+    let run_identifier = |result: &mut SelectionResult, block_index: usize, m: usize| {
+        let dfg = program.block(block_index);
+        let mut search = MultiCutSearch::new(dfg, constraints, model, m);
+        if let Some(budget) = options.exploration_budget {
+            search = search.with_exploration_budget(budget);
+        }
+        let outcome = search.run();
+        result.identifier_calls += 1;
+        result.cuts_considered += outcome.stats.cuts_considered;
+        let weight = dfg.exec_count() as f64;
+        (outcome.total_merit * weight, outcome.cuts)
+    };
+
+    // Initial improvements: one cut per block.
+    for block_index in 0..block_count {
+        let (total, cuts) = run_identifier(&mut result, block_index, 1);
+        best_total[block_index].push(total);
+        best_cuts[block_index].push(cuts);
+    }
+
+    while result.chosen.len() < options.max_instructions {
+        // The improvement of adding the (committed+1)-th cut to each block.
+        let best_block = (0..block_count).max_by(|&a, &b| {
+            let ia = best_total[a][committed[a] + 1] - best_total[a][committed[a]];
+            let ib = best_total[b][committed[b] + 1] - best_total[b][committed[b]];
+            ia.partial_cmp(&ib).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let Some(block_index) = best_block else { break };
+        let improvement =
+            best_total[block_index][committed[block_index] + 1] - best_total[block_index][committed[block_index]];
+        if improvement <= 0.0 {
+            break;
+        }
+        committed[block_index] += 1;
+        result.total_weighted_saving += improvement;
+        result.chosen.push(ChosenCut {
+            block_index,
+            // The concrete cut attributed to this step is refined below once the final
+            // per-block counts are known; store the best current solution's extra cut.
+            identified: best_cuts[block_index][committed[block_index]]
+                .last()
+                .cloned()
+                .unwrap_or_else(|| best_cuts[block_index][committed[block_index]][0].clone()),
+        });
+
+        if result.chosen.len() >= options.max_instructions {
+            break;
+        }
+        // Refresh the improvement of the chosen block by solving it with one more cut.
+        let next_m = committed[block_index] + 1;
+        if best_total[block_index].len() <= next_m {
+            let (total, cuts) = run_identifier(&mut result, block_index, next_m);
+            best_total[block_index].push(total);
+            best_cuts[block_index].push(cuts);
+        }
+    }
+
+    // Replace the per-step attributions by the final optimal per-block solutions, which
+    // is what the total saving corresponds to.
+    let mut chosen = Vec::new();
+    let mut total = 0.0;
+    for block_index in 0..block_count {
+        let m = committed[block_index];
+        if m == 0 {
+            continue;
+        }
+        total += best_total[block_index][m];
+        for identified in &best_cuts[block_index][m] {
+            chosen.push(ChosenCut {
+                block_index,
+                identified: identified.clone(),
+            });
+        }
+    }
+    result.chosen = chosen;
+    result.total_weighted_saving = total;
+    result
+}
+
+/// Iterative selection under a global normalised-area budget (future-work extension).
+///
+/// Candidates are committed greedily by weighted saving as in [`select_iterative`], but a
+/// candidate whose datapath would exceed the remaining area budget is skipped and the
+/// block is re-identified with a correspondingly tighter per-instruction area constraint.
+#[must_use]
+pub fn select_under_area(
+    program: &Program,
+    constraints: Constraints,
+    model: &dyn CostModel,
+    options: SelectionOptions,
+    area_budget: f64,
+) -> SelectionResult {
+    let mut remaining = area_budget;
+    let mut result = SelectionResult {
+        chosen: Vec::new(),
+        total_weighted_saving: 0.0,
+        identifier_calls: 0,
+        cuts_considered: 0,
+    };
+    let block_count = program.block_count();
+    let mut excluded: Vec<CutSet> = program.blocks().iter().map(CutSet::for_dfg).collect();
+
+    while result.chosen.len() < options.max_instructions && remaining > 0.0 {
+        let constrained = constraints.with_max_area(remaining);
+        let mut best: Option<(usize, IdentifiedCut, f64)> = None;
+        for block_index in 0..block_count {
+            let dfg = program.block(block_index);
+            let mut search = SingleCutSearch::new(dfg, constrained, model)
+                .with_excluded(&excluded[block_index]);
+            if let Some(budget) = options.exploration_budget {
+                search = search.with_exploration_budget(budget);
+            }
+            let outcome = search.run();
+            result.identifier_calls += 1;
+            result.cuts_considered += outcome.stats.cuts_considered;
+            if let Some(identified) = outcome.best {
+                let weighted = identified.evaluation.merit * dfg.exec_count() as f64;
+                if weighted > 0.0
+                    && best
+                        .as_ref()
+                        .is_none_or(|(_, _, best_weighted)| weighted > *best_weighted)
+                {
+                    best = Some((block_index, identified, weighted));
+                }
+            }
+        }
+        let Some((block_index, identified, weighted)) = best else {
+            break;
+        };
+        remaining -= identified.evaluation.area;
+        excluded[block_index].union_with(&identified.cut);
+        result.total_weighted_saving += weighted;
+        result.chosen.push(ChosenCut {
+            block_index,
+            identified,
+        });
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_hw::DefaultCostModel;
+    use ise_ir::DfgBuilder;
+
+    /// Three blocks with different profiles: a hot MAC block, a lukewarm saturation
+    /// block, and a cold bitwise block.
+    fn program() -> Program {
+        let mut p = Program::new("toy");
+
+        let mut b = DfgBuilder::new("hot_mac");
+        b.exec_count(1000);
+        let x = b.input("x");
+        let y = b.input("y");
+        let acc = b.input("acc");
+        let m = b.mul(x, y);
+        let s = b.add(m, acc);
+        let n = b.mul(s, y);
+        let t = b.add(n, x);
+        b.output("acc", t);
+        p.add_block(b.finish());
+
+        let mut b = DfgBuilder::new("warm_sat");
+        b.exec_count(100);
+        let v = b.input("v");
+        let lo = b.input("lo");
+        let hi = b.input("hi");
+        let clipped_hi = b.min(v, hi);
+        let clipped = b.max(clipped_hi, lo);
+        let scaled = b.shl(clipped, b.imm(1));
+        b.output("o", scaled);
+        p.add_block(b.finish());
+
+        let mut b = DfgBuilder::new("cold_bits");
+        b.exec_count(1);
+        let a = b.input("a");
+        let c = b.input("c");
+        let x1 = b.xor(a, c);
+        let x2 = b.and(x1, b.imm(0xff));
+        b.output("o", x2);
+        p.add_block(b.finish());
+
+        p
+    }
+
+    #[test]
+    fn iterative_selection_prefers_hot_blocks() {
+        let p = program();
+        let model = DefaultCostModel::new();
+        let result = select_iterative(
+            &p,
+            Constraints::new(4, 2),
+            &model,
+            SelectionOptions::new(1),
+        );
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.chosen[0].block_index, 0);
+        assert!(result.total_weighted_saving > 0.0);
+    }
+
+    #[test]
+    fn iterative_selection_does_not_overlap_cuts() {
+        let p = program();
+        let model = DefaultCostModel::new();
+        let result = select_iterative(
+            &p,
+            Constraints::new(4, 2),
+            &model,
+            SelectionOptions::new(16),
+        );
+        // Cuts within the same block must be disjoint.
+        for i in 0..result.chosen.len() {
+            for j in i + 1..result.chosen.len() {
+                if result.chosen[i].block_index == result.chosen[j].block_index {
+                    assert!(!result.chosen[i]
+                        .identified
+                        .cut
+                        .intersects(&result.chosen[j].identified.cut));
+                }
+            }
+        }
+        // Savings accumulate monotonically with the number of instructions allowed.
+        let fewer = select_iterative(
+            &p,
+            Constraints::new(4, 2),
+            &model,
+            SelectionOptions::new(1),
+        );
+        assert!(result.total_weighted_saving >= fewer.total_weighted_saving);
+    }
+
+    #[test]
+    fn optimal_matches_or_beats_iterative_on_small_programs() {
+        let p = program();
+        let model = DefaultCostModel::new();
+        for constraints in [Constraints::new(2, 1), Constraints::new(4, 2)] {
+            for ninstr in [1, 2, 4] {
+                let iterative =
+                    select_iterative(&p, constraints, &model, SelectionOptions::new(ninstr));
+                let optimal =
+                    select_optimal(&p, constraints, &model, SelectionOptions::new(ninstr));
+                assert!(
+                    optimal.total_weighted_saving >= iterative.total_weighted_saving - 1e-9,
+                    "optimal {} < iterative {} under {constraints}, Ninstr={ninstr}",
+                    optimal.total_weighted_saving,
+                    iterative.total_weighted_saving
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_respects_the_identifier_call_bound() {
+        let p = program();
+        let model = DefaultCostModel::new();
+        let ninstr = 4;
+        let result = select_optimal(&p, Constraints::new(4, 2), &model, SelectionOptions::new(ninstr));
+        assert!(
+            result.identifier_calls <= (ninstr + p.block_count() - 1) as u64,
+            "used {} identifier calls",
+            result.identifier_calls
+        );
+    }
+
+    #[test]
+    fn speedup_report_reflects_the_selection() {
+        let p = program();
+        let model = DefaultCostModel::new();
+        let software = SoftwareLatencyModel::new();
+        let result = select_iterative(
+            &p,
+            Constraints::new(4, 2),
+            &model,
+            SelectionOptions::new(8),
+        );
+        let report = result.speedup_report(&p, &software);
+        assert!(report.speedup > 1.0);
+        assert!((report.saved_cycles - result.total_weighted_saving).abs() < 1e-9);
+        assert_eq!(report.instructions.len(), result.len());
+    }
+
+    #[test]
+    fn area_constrained_selection_respects_the_budget() {
+        let p = program();
+        let model = DefaultCostModel::new();
+        let unconstrained = select_iterative(
+            &p,
+            Constraints::new(4, 2),
+            &model,
+            SelectionOptions::new(8),
+        );
+        let budget = unconstrained.total_area() / 2.0;
+        let constrained = select_under_area(
+            &p,
+            Constraints::new(4, 2),
+            &model,
+            SelectionOptions::new(8),
+            budget,
+        );
+        assert!(constrained.total_area() <= budget + 1e-9);
+        assert!(constrained.total_weighted_saving <= unconstrained.total_weighted_saving + 1e-9);
+    }
+
+    #[test]
+    fn zero_instruction_budget_selects_nothing() {
+        let p = program();
+        let model = DefaultCostModel::new();
+        let result = select_iterative(
+            &p,
+            Constraints::new(4, 2),
+            &model,
+            SelectionOptions::new(0),
+        );
+        assert!(result.is_empty());
+        let result = select_optimal(
+            &p,
+            Constraints::new(4, 2),
+            &model,
+            SelectionOptions::new(0),
+        );
+        assert!(result.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Hardware (combinational datapath) delay table.
+
+use ise_ir::{Dfg, NodeId, Opcode};
+
+/// Per-operation combinational delay, normalised to the delay of a 32-bit
+/// multiply-accumulate.
+///
+/// The paper evaluates operator latencies "by synthesizing arithmetic and logic operators
+/// on a common 0.18 µm CMOS process" and normalises "to the delay of a 32-bit
+/// multiply-accumulate" (Section 7). The relative values below follow the standard
+/// ordering of synthesised operators: wiring/bit-select ≪ logic ≪ selector ≪ comparator ≈
+/// adder < barrel shifter < multiplier ≤ MAC; the iterative divider is far slower than a
+/// MAC and is essentially never profitable inside an AFU.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HardwareDelayModel {
+    wiring: f64,
+    logic: f64,
+    select: f64,
+    compare_eq: f64,
+    compare_rel: f64,
+    add: f64,
+    minmax: f64,
+    shift: f64,
+    multiply: f64,
+    mac: f64,
+    divide: f64,
+    memory: f64,
+}
+
+impl Default for HardwareDelayModel {
+    fn default() -> Self {
+        HardwareDelayModel {
+            wiring: 0.02,
+            logic: 0.05,
+            select: 0.10,
+            compare_eq: 0.18,
+            compare_rel: 0.28,
+            add: 0.30,
+            minmax: 0.35,
+            shift: 0.22,
+            multiply: 0.87,
+            mac: 1.00,
+            divide: 6.00,
+            memory: 2.00,
+        }
+    }
+}
+
+impl HardwareDelayModel {
+    /// Creates the default 0.18 µm-style normalised delay model.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalised combinational delay of `opcode`, as a fraction of a 32-bit MAC delay.
+    #[must_use]
+    pub fn delay(&self, opcode: Opcode) -> f64 {
+        use Opcode::*;
+        match opcode {
+            And | Or | Xor | Not => self.logic,
+            SextB | SextH | ZextB | ZextH | TruncB | TruncH | Copy | Const => self.wiring,
+            Select => self.select,
+            Eq | Ne => self.compare_eq,
+            Lt | Le | Gt | Ge | Ltu | Geu => self.compare_rel,
+            Add | Sub | Neg | Abs => self.add,
+            Min | Max => self.minmax,
+            Shl | Lshr | Ashr => self.shift,
+            Mul | MulHi => self.multiply,
+            Mac => self.mac,
+            Div | Rem => self.divide,
+            Load | Store => self.memory,
+            Afu { .. } => self.mac,
+        }
+    }
+
+    /// Critical-path delay (in normalised MAC delays) of the subgraph induced by the
+    /// nodes for which `in_subgraph` returns `true`.
+    ///
+    /// The path length of a node only accumulates delays of predecessors that are also in
+    /// the subgraph; values entering the subgraph are considered available at time zero,
+    /// exactly as the paper assumes all AFU operands are read from the register file at
+    /// issue time.
+    #[must_use]
+    pub fn critical_path_of(&self, dfg: &Dfg, in_subgraph: impl Fn(NodeId) -> bool) -> f64 {
+        let mut finish = vec![0.0f64; dfg.node_count()];
+        let mut max_finish = 0.0f64;
+        for (id, node) in dfg.iter_nodes() {
+            if !in_subgraph(id) {
+                continue;
+            }
+            let ready = node
+                .node_operands()
+                .filter(|p| in_subgraph(*p))
+                .map(|p| finish[p.index()])
+                .fold(0.0f64, f64::max);
+            let done = ready + self.delay(node.opcode);
+            finish[id.index()] = done;
+            max_finish = max_finish.max(done);
+        }
+        max_finish
+    }
+
+    /// Critical-path delay of the whole basic block.
+    #[must_use]
+    pub fn critical_path(&self, dfg: &Dfg) -> f64 {
+        self.critical_path_of(dfg, |_| true)
+    }
+
+    /// Number of processor cycles needed by a single instruction implementing a datapath
+    /// with the given critical-path delay: the ceiling of the delay, with a minimum of
+    /// one cycle for any non-empty datapath.
+    #[must_use]
+    pub fn cycles_for_delay(delay: f64) -> u32 {
+        if delay <= 0.0 {
+            0
+        } else {
+            delay.ceil() as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_ir::DfgBuilder;
+
+    #[test]
+    fn delay_ordering_matches_synthesis_intuition() {
+        let m = HardwareDelayModel::new();
+        assert!(m.delay(Opcode::And) < m.delay(Opcode::Add));
+        assert!(m.delay(Opcode::Add) < m.delay(Opcode::Mul));
+        assert!(m.delay(Opcode::Mul) < m.delay(Opcode::Mac));
+        assert!((m.delay(Opcode::Mac) - 1.0).abs() < 1e-12);
+        assert!(m.delay(Opcode::Div) > 1.0);
+    }
+
+    #[test]
+    fn critical_path_follows_the_longest_chain() {
+        // Two parallel chains: add->add->add vs mul; the three adds (0.9) dominate the mul (0.87).
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a1 = b.add(x, y);
+        let a2 = b.add(a1, y);
+        let a3 = b.add(a2, y);
+        let m1 = b.mul(x, y);
+        b.output("a", a3);
+        b.output("m", m1);
+        let g = b.finish();
+        let m = HardwareDelayModel::new();
+        let cp = m.critical_path(&g);
+        assert!((cp - 0.90).abs() < 1e-9, "critical path was {cp}");
+    }
+
+    #[test]
+    fn critical_path_of_subgraph_ignores_external_nodes() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x");
+        let p = b.mul(x, x);
+        let q = b.add(p, x);
+        let r = b.add(q, x);
+        b.output("r", r);
+        let g = b.finish();
+        let m = HardwareDelayModel::new();
+        // Only the two adds are in the subgraph: the multiplier's delay must not count.
+        let cp = m.critical_path_of(&g, |id| id.index() >= 1);
+        assert!((cp - 0.60).abs() < 1e-9, "critical path was {cp}");
+    }
+
+    #[test]
+    fn cycles_for_delay_uses_ceiling() {
+        assert_eq!(HardwareDelayModel::cycles_for_delay(0.0), 0);
+        assert_eq!(HardwareDelayModel::cycles_for_delay(0.3), 1);
+        assert_eq!(HardwareDelayModel::cycles_for_delay(1.0), 1);
+        assert_eq!(HardwareDelayModel::cycles_for_delay(1.01), 2);
+        assert_eq!(HardwareDelayModel::cycles_for_delay(3.7), 4);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_critical_path() {
+        let g = ise_ir::Dfg::new("empty");
+        assert_eq!(HardwareDelayModel::new().critical_path(&g), 0.0);
+    }
+}

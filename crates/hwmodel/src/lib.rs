@@ -1,0 +1,54 @@
+//! # ise-hw — latency, delay and area models for ISE identification
+//!
+//! The identification algorithm of Atasu, Pozzi and Ienne (2003) scores each candidate
+//! cut `S` with a merit function `M(S)` that estimates the speed-up obtained by executing
+//! the cut as a single instruction of a specialised datapath (Section 7 of the paper):
+//!
+//! * in **software**, the cut costs the *sum* of the per-operation latencies in the
+//!   execution stage of a single-issue processor;
+//! * in **hardware**, the cut costs the *ceiling* of the sum of normalised combinational
+//!   delays along the critical path of the subgraph (delays are normalised to the delay
+//!   of a 32-bit multiply-accumulate synthesised on a 0.18 µm CMOS process).
+//!
+//! The difference between the two is the estimated cycle saving per execution. This crate
+//! provides those two tables ([`SoftwareLatencyModel`], [`HardwareDelayModel`]), an area
+//! table used for the paper's closing observation about AFU cost ([`AreaModel`]), the
+//! [`CostModel`] trait consumed by the search algorithms, and application-level speed-up
+//! accounting ([`speedup`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ise_hw::{CostModel, DefaultCostModel, cut_merit};
+//! use ise_ir::{DfgBuilder, NodeId};
+//!
+//! let model = DefaultCostModel::new();
+//! let mut b = DfgBuilder::new("mac16");
+//! let x = b.input("x");
+//! let y = b.input("y");
+//! let acc = b.input("acc");
+//! let prod = b.mul(x, y);
+//! let sum = b.add(prod, acc);
+//! b.output("acc", sum);
+//! let g = b.finish();
+//!
+//! // Software: mul + add executed sequentially; hardware: one multiply-accumulate level.
+//! let sw: u32 = g.iter_nodes().map(|(_, n)| model.software_cycles(n)).sum();
+//! let hw = model.hardware_delay(g.node(NodeId::new(0)))
+//!     + model.hardware_delay(g.node(NodeId::new(1)));
+//! assert!(cut_merit(sw.into(), hw) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod cost;
+mod delay;
+mod latency;
+pub mod speedup;
+
+pub use area::AreaModel;
+pub use cost::{cut_merit, CostModel, DefaultCostModel, VliwCostModel};
+pub use delay::HardwareDelayModel;
+pub use latency::SoftwareLatencyModel;

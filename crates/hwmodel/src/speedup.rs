@@ -1,0 +1,151 @@
+//! Application-level speed-up accounting.
+//!
+//! The paper reports, for each benchmark and each microarchitectural constraint, the
+//! estimated whole-application speed-up achieved by the selected special instructions
+//! (Fig. 11). The speed-up is computed from the baseline dynamic cycle count of the
+//! profiled basic blocks and the per-execution cycle savings of each selected cut,
+//! weighted by its block's execution count.
+
+use ise_ir::Program;
+
+use crate::latency::SoftwareLatencyModel;
+
+/// One selected special instruction, as seen by the speed-up accounting.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SelectedInstruction {
+    /// Index of the basic block the cut was extracted from.
+    pub block_index: usize,
+    /// Estimated cycles saved per execution of the block.
+    pub saving_per_execution: f64,
+    /// Execution count of the block.
+    pub exec_count: u64,
+    /// Normalised area of the cut's datapath.
+    pub area: f64,
+    /// Number of register-file read ports used.
+    pub inputs: usize,
+    /// Number of register-file write ports used.
+    pub outputs: usize,
+    /// Number of operation nodes in the cut.
+    pub nodes: usize,
+}
+
+impl SelectedInstruction {
+    /// Total dynamic cycles saved by this instruction.
+    #[must_use]
+    pub fn total_saving(&self) -> f64 {
+        self.saving_per_execution * self.exec_count as f64
+    }
+}
+
+/// Speed-up report for one application under one configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpeedupReport {
+    /// Baseline dynamic cycle count (no special instructions).
+    pub baseline_cycles: f64,
+    /// Dynamic cycles after adding the selected instructions.
+    pub extended_cycles: f64,
+    /// Total dynamic cycles saved.
+    pub saved_cycles: f64,
+    /// Estimated speed-up `baseline / extended`.
+    pub speedup: f64,
+    /// Total normalised area of all selected datapaths.
+    pub total_area: f64,
+    /// The selected instructions.
+    pub instructions: Vec<SelectedInstruction>,
+}
+
+impl SpeedupReport {
+    /// Builds a report from a baseline cycle count and a set of selected instructions.
+    ///
+    /// Savings are clamped so that the extended execution never drops below zero cycles
+    /// (which could only happen with an inconsistent cost model).
+    #[must_use]
+    pub fn from_selection(baseline_cycles: f64, instructions: Vec<SelectedInstruction>) -> Self {
+        let saved: f64 = instructions.iter().map(SelectedInstruction::total_saving).sum();
+        // A selection can never remove more cycles than the baseline executes; keep at
+        // least one residual cycle so that the reported speed-up stays finite.
+        let saved = saved.min((baseline_cycles - 1.0).max(0.0));
+        let extended = (baseline_cycles - saved).max(1.0);
+        let speedup = if baseline_cycles <= 0.0 {
+            1.0
+        } else {
+            baseline_cycles / extended
+        };
+        SpeedupReport {
+            baseline_cycles,
+            extended_cycles: extended,
+            saved_cycles: saved,
+            speedup,
+            total_area: instructions.iter().map(|i| i.area).sum(),
+            instructions,
+        }
+    }
+
+    /// Builds a report for `program` given its selected instructions, computing the
+    /// baseline with the supplied software latency model.
+    #[must_use]
+    pub fn for_program(
+        program: &Program,
+        software: &SoftwareLatencyModel,
+        instructions: Vec<SelectedInstruction>,
+    ) -> Self {
+        let baseline = software.program_dynamic_cycles(program) as f64;
+        Self::from_selection(baseline, instructions)
+    }
+
+    /// Percentage improvement over the baseline, `(speedup - 1) * 100`.
+    #[must_use]
+    pub fn improvement_percent(&self) -> f64 {
+        (self.speedup - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instruction(saving: f64, count: u64, area: f64) -> SelectedInstruction {
+        SelectedInstruction {
+            block_index: 0,
+            saving_per_execution: saving,
+            exec_count: count,
+            area,
+            inputs: 2,
+            outputs: 1,
+            nodes: 3,
+        }
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_baseline_to_extended() {
+        let report = SpeedupReport::from_selection(1000.0, vec![instruction(5.0, 40, 0.5)]);
+        assert_eq!(report.saved_cycles, 200.0);
+        assert_eq!(report.extended_cycles, 800.0);
+        assert!((report.speedup - 1.25).abs() < 1e-12);
+        assert!((report.improvement_percent() - 25.0).abs() < 1e-9);
+        assert_eq!(report.total_area, 0.5);
+    }
+
+    #[test]
+    fn savings_are_clamped_to_the_baseline() {
+        let report = SpeedupReport::from_selection(100.0, vec![instruction(1000.0, 10, 1.0)]);
+        assert_eq!(report.saved_cycles, 99.0);
+        assert_eq!(report.extended_cycles, 1.0);
+        assert!(report.speedup.is_finite());
+        assert!((report.speedup - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_selection_gives_unit_speedup() {
+        let report = SpeedupReport::from_selection(500.0, vec![]);
+        assert_eq!(report.speedup, 1.0);
+        assert_eq!(report.saved_cycles, 0.0);
+        assert_eq!(report.improvement_percent(), 0.0);
+    }
+
+    #[test]
+    fn zero_baseline_is_handled() {
+        let report = SpeedupReport::from_selection(0.0, vec![]);
+        assert_eq!(report.speedup, 1.0);
+    }
+}

@@ -1,0 +1,445 @@
+//! A small register-based control-flow representation.
+//!
+//! The paper's flow compiles C code to the MachSUIF intermediate representation and runs
+//! a classic if-conversion pass before extracting per-basic-block dataflow graphs. This
+//! module provides the minimal control-flow substrate needed to reproduce that flow:
+//! sequential instructions over virtual registers, organised in basic blocks with
+//! branch/jump/return terminators. The if-conversion and lowering passes live in the
+//! `ise-passes` crate; [`Cfg::block_to_dfg`] performs the dataflow extraction.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::dfg::Dfg;
+use crate::node::{Node, Operand};
+use crate::opcode::Opcode;
+
+/// A virtual register of the control-flow representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Identifier of a basic block within a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Raw index of the block.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An operand of a sequential instruction: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RegOrImm {
+    /// A virtual register.
+    Reg(Reg),
+    /// An immediate constant.
+    Imm(i64),
+}
+
+impl From<Reg> for RegOrImm {
+    fn from(r: Reg) -> Self {
+        RegOrImm::Reg(r)
+    }
+}
+
+impl From<i64> for RegOrImm {
+    fn from(v: i64) -> Self {
+        RegOrImm::Imm(v)
+    }
+}
+
+impl fmt::Display for RegOrImm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegOrImm::Reg(r) => write!(f, "{r}"),
+            RegOrImm::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// A sequential three-address instruction.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Inst {
+    /// Destination register (`None` for stores).
+    pub dst: Option<Reg>,
+    /// Operation performed.
+    pub opcode: Opcode,
+    /// Source operands.
+    pub args: Vec<RegOrImm>,
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(dst) = self.dst {
+            write!(f, "{dst} = ")?;
+        }
+        write!(f, "{}", self.opcode)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i == 0 {
+                write!(f, " {a}")?;
+            } else {
+                write!(f, ", {a}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch on `cond != 0`.
+    Branch {
+        /// Condition register.
+        cond: Reg,
+        /// Successor taken when the condition is non-zero.
+        then_block: BlockId,
+        /// Successor taken when the condition is zero.
+        else_block: BlockId,
+    },
+    /// Function return; the listed registers are live out of the function.
+    Return(Vec<Reg>),
+}
+
+impl Terminator {
+    /// Successor blocks of the terminator.
+    #[must_use]
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => vec![*then_block, *else_block],
+            Terminator::Return(_) => Vec::new(),
+        }
+    }
+}
+
+/// A basic block of sequential instructions.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CfgBlock {
+    /// Name of the block.
+    pub name: String,
+    /// Instructions, in program order.
+    pub insts: Vec<Inst>,
+    /// Terminator of the block.
+    pub terminator: Terminator,
+    /// Profiled execution count.
+    pub exec_count: u64,
+}
+
+/// A function in control-flow form.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Cfg {
+    /// Name of the function.
+    pub name: String,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<CfgBlock>,
+}
+
+impl Cfg {
+    /// Creates an empty function.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Cfg {
+            name: name.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Appends a block and returns its identifier.
+    pub fn add_block(&mut self, block: CfgBlock) -> BlockId {
+        self.blocks.push(block);
+        BlockId(u32::try_from(self.blocks.len() - 1).expect("block count fits in u32"))
+    }
+
+    /// Returns the block with the given identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is out of range.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &CfgBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Predecessor blocks of `id`.
+    #[must_use]
+    pub fn predecessors(&self, id: BlockId) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.terminator.successors().contains(&id))
+            .map(|(i, _)| BlockId(i as u32))
+            .collect()
+    }
+
+    /// Registers defined in block `id`.
+    #[must_use]
+    pub fn defined_regs(&self, id: BlockId) -> BTreeSet<Reg> {
+        self.block(id).insts.iter().filter_map(|i| i.dst).collect()
+    }
+
+    /// Registers used in block `id` (including by the terminator) before any definition
+    /// within the block — i.e. the block's live-in candidates.
+    #[must_use]
+    pub fn upward_exposed_regs(&self, id: BlockId) -> BTreeSet<Reg> {
+        let block = self.block(id);
+        let mut defined = BTreeSet::new();
+        let mut exposed = BTreeSet::new();
+        for inst in &block.insts {
+            for arg in &inst.args {
+                if let RegOrImm::Reg(r) = arg {
+                    if !defined.contains(r) {
+                        exposed.insert(*r);
+                    }
+                }
+            }
+            if let Some(dst) = inst.dst {
+                defined.insert(dst);
+            }
+        }
+        match &block.terminator {
+            Terminator::Branch { cond, .. } => {
+                if !defined.contains(cond) {
+                    exposed.insert(*cond);
+                }
+            }
+            Terminator::Return(regs) => {
+                for r in regs {
+                    if !defined.contains(r) {
+                        exposed.insert(*r);
+                    }
+                }
+            }
+            Terminator::Jump(_) => {}
+        }
+        exposed
+    }
+
+    /// Registers defined in `id` that are observable after the block: used (upward
+    /// exposed) in some other block, returned by some block, or used by this block's own
+    /// terminator.
+    #[must_use]
+    pub fn live_out_regs(&self, id: BlockId) -> BTreeSet<Reg> {
+        let defined = self.defined_regs(id);
+        let mut live = BTreeSet::new();
+        for (i, block) in self.blocks.iter().enumerate() {
+            let other = BlockId(i as u32);
+            let wanted: BTreeSet<Reg> = if other == id {
+                match &block.terminator {
+                    Terminator::Return(regs) => regs.iter().copied().collect(),
+                    Terminator::Branch { cond, .. } => [*cond].into_iter().collect(),
+                    Terminator::Jump(_) => BTreeSet::new(),
+                }
+            } else {
+                let mut wanted = self.upward_exposed_regs(other);
+                if let Terminator::Return(regs) = &block.terminator {
+                    wanted.extend(regs.iter().copied());
+                }
+                wanted
+            };
+            for r in wanted {
+                if defined.contains(&r) {
+                    live.insert(r);
+                }
+            }
+        }
+        live
+    }
+
+    /// Extracts the dataflow graph `G⁺` of one basic block.
+    ///
+    /// Upward-exposed registers become input variables; registers live after the block
+    /// become output variables. Redefinitions within the block are resolved to the last
+    /// reaching definition, as the graph is a pure dataflow view of the block.
+    #[must_use]
+    pub fn block_to_dfg(&self, id: BlockId) -> Dfg {
+        let block = self.block(id);
+        let mut dfg = Dfg::new(block.name.clone());
+        dfg.set_exec_count(block.exec_count);
+        // Current value of each register within the block.
+        let mut current: BTreeMap<Reg, Operand> = BTreeMap::new();
+        let read_value = |dfg: &mut Dfg, current: &mut BTreeMap<Reg, Operand>, arg: &RegOrImm| {
+            match arg {
+                RegOrImm::Imm(v) => Operand::Imm(*v),
+                RegOrImm::Reg(r) => *current.entry(*r).or_insert_with(|| {
+                    Operand::Input(dfg.add_input(format!("r{}", r.0)))
+                }),
+            }
+        };
+        for inst in &block.insts {
+            let operands: Vec<Operand> = inst
+                .args
+                .iter()
+                .map(|a| read_value(&mut dfg, &mut current, a))
+                .collect();
+            let node = dfg.add_node(Node::new(inst.opcode, operands));
+            if let Some(dst) = inst.dst {
+                current.insert(dst, Operand::Node(node));
+            }
+        }
+        for reg in self.live_out_regs(id) {
+            if let Some(value) = current.get(&reg) {
+                dfg.add_output(format!("r{}", reg.0), *value);
+            }
+        }
+        dfg
+    }
+
+    /// Extracts dataflow graphs for every block of the function.
+    #[must_use]
+    pub fn to_dfgs(&self) -> Vec<Dfg> {
+        (0..self.blocks.len())
+            .map(|i| self.block_to_dfg(BlockId(i as u32)))
+            .collect()
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "function {}:", self.name)?;
+        for (i, block) in self.blocks.iter().enumerate() {
+            writeln!(f, "bb{i} ({}, x{}):", block.name, block.exec_count)?;
+            for inst in &block.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            match &block.terminator {
+                Terminator::Jump(b) => writeln!(f, "  jump {b}")?,
+                Terminator::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => writeln!(f, "  branch {cond} ? {then_block} : {else_block}")?,
+                Terminator::Return(regs) => {
+                    let regs: Vec<String> = regs.iter().map(Reg::to_string).collect();
+                    writeln!(f, "  return {}", regs.join(", "))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// bb0: r2 = r0 + r1 ; r3 = r2 * r2 ; branch r3 ? bb1 : bb1 ; bb1: return r3
+    fn two_block_cfg() -> Cfg {
+        let mut cfg = Cfg::new("f");
+        let bb1 = BlockId(1);
+        cfg.add_block(CfgBlock {
+            name: "entry".into(),
+            insts: vec![
+                Inst {
+                    dst: Some(Reg(2)),
+                    opcode: Opcode::Add,
+                    args: vec![Reg(0).into(), Reg(1).into()],
+                },
+                Inst {
+                    dst: Some(Reg(3)),
+                    opcode: Opcode::Mul,
+                    args: vec![Reg(2).into(), Reg(2).into()],
+                },
+            ],
+            terminator: Terminator::Branch {
+                cond: Reg(3),
+                then_block: bb1,
+                else_block: bb1,
+            },
+            exec_count: 10,
+        });
+        cfg.add_block(CfgBlock {
+            name: "exit".into(),
+            insts: vec![],
+            terminator: Terminator::Return(vec![Reg(3)]),
+            exec_count: 10,
+        });
+        cfg
+    }
+
+    #[test]
+    fn liveness_queries() {
+        let cfg = two_block_cfg();
+        let entry = BlockId(0);
+        assert_eq!(
+            cfg.upward_exposed_regs(entry),
+            [Reg(0), Reg(1)].into_iter().collect()
+        );
+        assert_eq!(cfg.defined_regs(entry), [Reg(2), Reg(3)].into_iter().collect());
+        assert!(cfg.live_out_regs(entry).contains(&Reg(3)));
+        assert!(!cfg.live_out_regs(entry).contains(&Reg(2)));
+        assert_eq!(cfg.predecessors(BlockId(1)), vec![entry]);
+    }
+
+    #[test]
+    fn block_to_dfg_extracts_inputs_and_outputs() {
+        let cfg = two_block_cfg();
+        let dfg = cfg.block_to_dfg(BlockId(0));
+        assert!(dfg.validate().is_ok());
+        assert_eq!(dfg.input_count(), 2);
+        assert_eq!(dfg.node_count(), 2);
+        assert_eq!(dfg.output_count(), 1);
+        assert_eq!(dfg.exec_count(), 10);
+        assert_eq!(dfg.iter_outputs().next().unwrap().name, "r3");
+    }
+
+    #[test]
+    fn redefinitions_resolve_to_last_value() {
+        let mut cfg = Cfg::new("g");
+        cfg.add_block(CfgBlock {
+            name: "b".into(),
+            insts: vec![
+                Inst {
+                    dst: Some(Reg(1)),
+                    opcode: Opcode::Add,
+                    args: vec![Reg(0).into(), 1i64.into()],
+                },
+                Inst {
+                    dst: Some(Reg(1)),
+                    opcode: Opcode::Shl,
+                    args: vec![Reg(1).into(), 2i64.into()],
+                },
+            ],
+            terminator: Terminator::Return(vec![Reg(1)]),
+            exec_count: 1,
+        });
+        let dfg = cfg.block_to_dfg(BlockId(0));
+        assert_eq!(dfg.output_count(), 1);
+        // The output must reference the shift (node 1), not the add (node 0).
+        assert_eq!(
+            dfg.iter_outputs().next().unwrap().source,
+            Operand::Node(crate::dfg::NodeId::new(1))
+        );
+        let display = cfg.to_string();
+        assert!(display.contains("r1 = shl r1, #2"));
+    }
+
+    #[test]
+    fn to_dfgs_covers_all_blocks() {
+        let cfg = two_block_cfg();
+        let dfgs = cfg.to_dfgs();
+        assert_eq!(dfgs.len(), 2);
+        assert_eq!(dfgs[1].node_count(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Graphviz export of dataflow graphs.
+//!
+//! The export mirrors the visual conventions of the paper's Fig. 3: operation nodes are
+//! ellipses labelled by their mnemonic, input/output variables are boxes, and an optional
+//! highlighted node set (a candidate cut `S`) is drawn with a filled background so that
+//! chosen instruction-set extensions can be inspected visually.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::dfg::{Dfg, NodeId};
+use crate::node::Operand;
+
+/// Options controlling [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Nodes drawn with a filled background (typically a candidate cut).
+    pub highlight: BTreeSet<NodeId>,
+    /// Label printed in the graph header.
+    pub title: Option<String>,
+    /// When true, immediates are shown as separate small nodes instead of being inlined
+    /// in the operation label.
+    pub expand_immediates: bool,
+}
+
+impl DotOptions {
+    /// Creates default options.
+    #[must_use]
+    pub fn new() -> Self {
+        DotOptions::default()
+    }
+
+    /// Highlights the given nodes.
+    #[must_use]
+    pub fn highlight(mut self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.highlight = nodes.into_iter().collect();
+        self
+    }
+
+    /// Sets the graph title.
+    #[must_use]
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+}
+
+/// Renders the graph in Graphviz `dot` syntax.
+#[must_use]
+pub fn to_dot(dfg: &Dfg, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dfg.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    if let Some(title) = &options.title {
+        let _ = writeln!(out, "  label=\"{title}\";");
+        let _ = writeln!(out, "  labelloc=t;");
+    }
+    for (id, var) in dfg.iter_inputs() {
+        let _ = writeln!(
+            out,
+            "  in{} [shape=box, style=dashed, label=\"{}\"];",
+            id.index(),
+            var.name
+        );
+    }
+    for (id, node) in dfg.iter_nodes() {
+        let mut label = node.opcode.to_string();
+        if !options.expand_immediates {
+            for operand in &node.operands {
+                if let Operand::Imm(v) = operand {
+                    let _ = write!(label, " {v}");
+                }
+            }
+        }
+        if let Some(name) = &node.name {
+            let _ = write!(label, "\\n{name}");
+        }
+        let style = if options.highlight.contains(&id) {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [shape=ellipse, label=\"{label}\"{style}];",
+            id.index()
+        );
+    }
+    for (id, node) in dfg.iter_nodes() {
+        for (slot, operand) in node.operands.iter().enumerate() {
+            match operand {
+                Operand::Node(src) => {
+                    let _ = writeln!(
+                        out,
+                        "  n{} -> n{} [label=\"{slot}\"];",
+                        src.index(),
+                        id.index()
+                    );
+                }
+                Operand::Input(src) => {
+                    let _ = writeln!(
+                        out,
+                        "  in{} -> n{} [label=\"{slot}\"];",
+                        src.index(),
+                        id.index()
+                    );
+                }
+                Operand::Imm(v) => {
+                    if options.expand_immediates {
+                        let imm_name = format!("imm_{}_{}", id.index(), slot);
+                        let _ = writeln!(out, "  {imm_name} [shape=plaintext, label=\"{v}\"];");
+                        let _ = writeln!(out, "  {imm_name} -> n{} [label=\"{slot}\"];", id.index());
+                    }
+                }
+            }
+        }
+    }
+    for (i, output) in dfg.iter_outputs().enumerate() {
+        let _ = writeln!(
+            out,
+            "  out{i} [shape=box, style=dashed, label=\"{}\"];",
+            output.name
+        );
+        match output.source {
+            Operand::Node(n) => {
+                let _ = writeln!(out, "  n{} -> out{i};", n.index());
+            }
+            Operand::Input(p) => {
+                let _ = writeln!(out, "  in{} -> out{i};", p.index());
+            }
+            Operand::Imm(v) => {
+                let _ = writeln!(out, "  imm_out{i} [shape=plaintext, label=\"{v}\"];");
+                let _ = writeln!(out, "  imm_out{i} -> out{i};");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+
+    fn sample() -> Dfg {
+        let mut b = DfgBuilder::new("sample");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.add(x, y);
+        let t = b.shl(s, b.imm(3));
+        b.output("out", t);
+        b.finish()
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_ports() {
+        let g = sample();
+        let dot = to_dot(&g, &DotOptions::new().title("example"));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("label=\"example\""));
+        assert!(dot.contains("in0 [shape=box"));
+        assert!(dot.contains("n0 [shape=ellipse, label=\"add\""));
+        assert!(dot.contains("n1 [shape=ellipse, label=\"shl 3\""));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> out0;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlighting_marks_cut_nodes() {
+        let g = sample();
+        let dot = to_dot(&g, &DotOptions::new().highlight([NodeId::new(1)]));
+        assert!(dot.contains("n1 [shape=ellipse, label=\"shl 3\", style=filled"));
+        assert!(!dot.contains("n0 [shape=ellipse, label=\"add\", style=filled"));
+    }
+
+    #[test]
+    fn expanded_immediates_get_their_own_nodes() {
+        let g = sample();
+        let mut options = DotOptions::new();
+        options.expand_immediates = true;
+        let dot = to_dot(&g, &options);
+        assert!(dot.contains("imm_1_1 [shape=plaintext, label=\"3\"]"));
+    }
+}

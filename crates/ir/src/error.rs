@@ -1,0 +1,153 @@
+//! Error types of the IR crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::dfg::{NodeId, PortId};
+use crate::opcode::Opcode;
+
+/// Structural error reported by [`crate::Dfg::validate`] and by the reference
+/// interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// A node has a number of operands inconsistent with its opcode.
+    ArityMismatch {
+        /// Name of the offending basic block.
+        block: String,
+        /// Offending node.
+        node: NodeId,
+        /// The node's opcode.
+        opcode: Opcode,
+        /// Expected operand count.
+        expected: usize,
+        /// Actual operand count.
+        found: usize,
+    },
+    /// An operand references a node defined later in the block (the graph would be
+    /// cyclic or not in def-before-use order).
+    ForwardReference {
+        /// Name of the offending basic block.
+        block: String,
+        /// Offending node.
+        node: NodeId,
+        /// The referenced (later) node.
+        operand: NodeId,
+    },
+    /// An operand references a node that produces no value (a store).
+    UseOfVoidValue {
+        /// Name of the offending basic block.
+        block: String,
+        /// Offending node.
+        node: NodeId,
+        /// The referenced void-producing node.
+        operand: NodeId,
+    },
+    /// An operand references an input variable that was never declared.
+    UnknownInput {
+        /// Name of the offending basic block.
+        block: String,
+        /// Offending node.
+        node: NodeId,
+        /// The undeclared input port.
+        port: PortId,
+    },
+    /// An output variable references a non-existent value.
+    UnknownOutputSource {
+        /// Name of the offending basic block.
+        block: String,
+        /// Name of the offending output variable.
+        output: String,
+    },
+    /// The interpreter was asked to read an input variable for which no value was bound.
+    MissingInputValue {
+        /// Name of the offending basic block.
+        block: String,
+        /// Name of the unbound input variable.
+        input: String,
+    },
+    /// The interpreter executed a division or remainder by zero.
+    DivisionByZero {
+        /// Name of the offending basic block.
+        block: String,
+        /// Offending node.
+        node: NodeId,
+    },
+    /// The interpreter encountered an AFU node for which no specification was supplied.
+    UnknownAfu {
+        /// Name of the offending basic block.
+        block: String,
+        /// Identifier of the missing AFU specification.
+        afu: u16,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::ArityMismatch {
+                block,
+                node,
+                opcode,
+                expected,
+                found,
+            } => write!(
+                f,
+                "node {node} in block `{block}`: opcode {opcode} expects {expected} operands, found {found}"
+            ),
+            IrError::ForwardReference { block, node, operand } => write!(
+                f,
+                "node {node} in block `{block}` references later node {operand}"
+            ),
+            IrError::UseOfVoidValue { block, node, operand } => write!(
+                f,
+                "node {node} in block `{block}` uses the result of {operand}, which produces no value"
+            ),
+            IrError::UnknownInput { block, node, port } => write!(
+                f,
+                "node {node} in block `{block}` reads undeclared input {port}"
+            ),
+            IrError::UnknownOutputSource { block, output } => write!(
+                f,
+                "output `{output}` of block `{block}` references a non-existent value"
+            ),
+            IrError::MissingInputValue { block, input } => write!(
+                f,
+                "no value bound for input `{input}` of block `{block}`"
+            ),
+            IrError::DivisionByZero { block, node } => {
+                write!(f, "division by zero at node {node} in block `{block}`")
+            }
+            IrError::UnknownAfu { block, afu } => {
+                write!(f, "block `{block}` uses AFU {afu} but no specification was provided")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = IrError::ArityMismatch {
+            block: "bb0".into(),
+            node: NodeId::new(3),
+            opcode: Opcode::Add,
+            expected: 2,
+            found: 1,
+        };
+        let text = e.to_string();
+        assert!(text.contains("bb0"));
+        assert!(text.contains("add"));
+        assert!(text.contains('2'));
+
+        let e = IrError::DivisionByZero {
+            block: "bb1".into(),
+            node: NodeId::new(0),
+        };
+        assert!(e.to_string().contains("division by zero"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Graph and program statistics used by the experiment harness.
+
+use std::collections::BTreeMap;
+
+use crate::dfg::Dfg;
+use crate::opcode::Opcode;
+use crate::program::Program;
+use crate::topo;
+
+/// Summary statistics of one basic-block dataflow graph.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct DfgStats {
+    /// Name of the basic block.
+    pub name: String,
+    /// Number of operation nodes `|V|`.
+    pub nodes: usize,
+    /// Number of block input variables.
+    pub inputs: usize,
+    /// Number of block output variables.
+    pub outputs: usize,
+    /// Number of memory operations (which can never be part of an AFU).
+    pub memory_ops: usize,
+    /// Length of the longest dependency chain.
+    pub depth: usize,
+    /// Profiled execution count.
+    pub exec_count: u64,
+    /// Histogram of opcodes.
+    pub opcode_histogram: BTreeMap<String, usize>,
+}
+
+/// Computes summary statistics for one graph.
+#[must_use]
+pub fn dfg_stats(dfg: &Dfg) -> DfgStats {
+    let mut histogram: BTreeMap<String, usize> = BTreeMap::new();
+    let mut memory_ops = 0;
+    for (_, node) in dfg.iter_nodes() {
+        *histogram.entry(node.opcode.to_string()).or_insert(0) += 1;
+        if node.opcode.is_memory() {
+            memory_ops += 1;
+        }
+    }
+    DfgStats {
+        name: dfg.name().to_string(),
+        nodes: dfg.node_count(),
+        inputs: dfg.input_count(),
+        outputs: dfg.output_count(),
+        memory_ops,
+        depth: if dfg.node_count() == 0 {
+            0
+        } else {
+            topo::depth(dfg)
+        },
+        exec_count: dfg.exec_count(),
+        opcode_histogram: histogram,
+    }
+}
+
+/// Summary statistics of a whole program.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ProgramStats {
+    /// Name of the application.
+    pub name: String,
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Total static operation count.
+    pub total_nodes: usize,
+    /// Total dynamic operation count (static count weighted by execution frequency).
+    pub dynamic_operations: u64,
+    /// Largest basic block size, in nodes.
+    pub largest_block: usize,
+    /// Per-block statistics.
+    pub per_block: Vec<DfgStats>,
+}
+
+/// Computes summary statistics for a program.
+#[must_use]
+pub fn program_stats(program: &Program) -> ProgramStats {
+    let per_block: Vec<DfgStats> = program.blocks().iter().map(dfg_stats).collect();
+    ProgramStats {
+        name: program.name().to_string(),
+        blocks: program.block_count(),
+        total_nodes: program.total_nodes(),
+        dynamic_operations: program.dynamic_operations(),
+        largest_block: per_block.iter().map(|s| s.nodes).max().unwrap_or(0),
+        per_block,
+    }
+}
+
+/// Fraction of nodes that may legally be part of an AFU cut (i.e. not memory or already
+/// collapsed AFU nodes).
+#[must_use]
+pub fn afu_eligible_fraction(dfg: &Dfg) -> f64 {
+    if dfg.node_count() == 0 {
+        return 0.0;
+    }
+    let eligible = dfg
+        .iter_nodes()
+        .filter(|(_, n)| !n.opcode.is_forbidden_in_afu())
+        .count();
+    eligible as f64 / dfg.node_count() as f64
+}
+
+/// Opcode mix of a graph as fractions summing to one (empty graph yields an empty map).
+#[must_use]
+pub fn opcode_mix(dfg: &Dfg) -> BTreeMap<Opcode, f64> {
+    let mut mix = BTreeMap::new();
+    let total = dfg.node_count();
+    if total == 0 {
+        return mix;
+    }
+    for (_, node) in dfg.iter_nodes() {
+        *mix.entry(node.opcode).or_insert(0.0) += 1.0;
+    }
+    for value in mix.values_mut() {
+        *value /= total as f64;
+    }
+    mix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+
+    fn sample() -> Dfg {
+        let mut b = DfgBuilder::new("s");
+        b.exec_count(77);
+        let base = b.input("base");
+        let x = b.input("x");
+        let v = b.load(base);
+        let m = b.mul(v, x);
+        let a = b.add(m, b.imm(1));
+        b.output("out", a);
+        b.finish()
+    }
+
+    #[test]
+    fn dfg_stats_are_consistent() {
+        let stats = dfg_stats(&sample());
+        assert_eq!(stats.nodes, 3);
+        assert_eq!(stats.inputs, 2);
+        assert_eq!(stats.outputs, 1);
+        assert_eq!(stats.memory_ops, 1);
+        assert_eq!(stats.depth, 3);
+        assert_eq!(stats.exec_count, 77);
+        assert_eq!(stats.opcode_histogram["mul"], 1);
+    }
+
+    #[test]
+    fn program_stats_aggregate_blocks() {
+        let mut p = Program::new("app");
+        p.add_block(sample());
+        p.add_block(sample());
+        let stats = program_stats(&p);
+        assert_eq!(stats.blocks, 2);
+        assert_eq!(stats.total_nodes, 6);
+        assert_eq!(stats.largest_block, 3);
+        assert_eq!(stats.dynamic_operations, 2 * 77 * 3);
+    }
+
+    #[test]
+    fn eligibility_and_mix() {
+        let g = sample();
+        let fraction = afu_eligible_fraction(&g);
+        assert!((fraction - 2.0 / 3.0).abs() < 1e-9);
+        let mix = opcode_mix(&g);
+        assert!((mix[&Opcode::Load] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((mix.values().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_statistics() {
+        let g = Dfg::new("empty");
+        let stats = dfg_stats(&g);
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.depth, 0);
+        assert_eq!(afu_eligible_fraction(&g), 0.0);
+        assert!(opcode_mix(&g).is_empty());
+    }
+}

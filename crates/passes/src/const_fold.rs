@@ -1,0 +1,189 @@
+//! Constant folding on dataflow graphs.
+
+use ise_ir::{Dfg, Opcode, Operand};
+
+/// Folds operations whose operands are all immediates, rewriting their consumers to use
+/// the computed immediate directly. Returns the number of nodes folded (the folded nodes
+/// themselves become dead and can be removed by a following DCE pass).
+///
+/// Division and remainder by a zero immediate are left untouched rather than folded, so
+/// that the runtime behaviour (an error reported by the interpreter) is preserved.
+pub fn fold_constants(dfg: &mut Dfg) -> usize {
+    let mut folded_value: Vec<Option<i64>> = vec![None; dfg.node_count()];
+    let mut folded = 0;
+
+    for index in 0..dfg.node_count() {
+        let id = ise_ir::NodeId::new(index);
+        // Resolve operands through already-folded producers.
+        let node = dfg.node(id).clone();
+        let resolve = |operand: &Operand| -> Option<i64> {
+            match operand {
+                Operand::Imm(v) => Some(*v),
+                Operand::Node(m) => folded_value[m.index()],
+                Operand::Input(_) => None,
+            }
+        };
+        let values: Option<Vec<i64>> = node.operands.iter().map(resolve).collect();
+        let Some(values) = values else { continue };
+        let Some(result) = evaluate_constant(node.opcode, &values) else {
+            continue;
+        };
+        folded_value[index] = Some(result);
+        folded += 1;
+    }
+
+    if folded == 0 {
+        return 0;
+    }
+    // Rewrite consumers (and outputs) of folded nodes to use immediates.
+    for index in 0..dfg.node_count() {
+        let id = ise_ir::NodeId::new(index);
+        let node = dfg.node(id);
+        let needs_rewrite = node
+            .operands
+            .iter()
+            .any(|o| matches!(o, Operand::Node(m) if folded_value[m.index()].is_some()));
+        if !needs_rewrite {
+            continue;
+        }
+        let mut node = node.clone();
+        for operand in &mut node.operands {
+            if let Operand::Node(m) = operand {
+                if let Some(value) = folded_value[m.index()] {
+                    *operand = Operand::Imm(value);
+                }
+            }
+        }
+        dfg.replace_node(id, node);
+    }
+    folded
+}
+
+/// Evaluates one operation on 32-bit constants; returns `None` for operations that cannot
+/// or should not be folded (memory, stores, AFUs, division by zero).
+fn evaluate_constant(opcode: Opcode, values: &[i64]) -> Option<i64> {
+    let v = |k: usize| values[k] as i32;
+    let result: i32 = match opcode {
+        Opcode::Add => v(0).wrapping_add(v(1)),
+        Opcode::Sub => v(0).wrapping_sub(v(1)),
+        Opcode::Mul => v(0).wrapping_mul(v(1)),
+        Opcode::MulHi => ((i64::from(v(0)) * i64::from(v(1))) >> 32) as i32,
+        Opcode::Mac => v(0).wrapping_mul(v(1)).wrapping_add(v(2)),
+        Opcode::Div => {
+            if v(1) == 0 {
+                return None;
+            }
+            v(0).wrapping_div(v(1))
+        }
+        Opcode::Rem => {
+            if v(1) == 0 {
+                return None;
+            }
+            v(0).wrapping_rem(v(1))
+        }
+        Opcode::Neg => v(0).wrapping_neg(),
+        Opcode::Abs => v(0).wrapping_abs(),
+        Opcode::Min => v(0).min(v(1)),
+        Opcode::Max => v(0).max(v(1)),
+        Opcode::And => v(0) & v(1),
+        Opcode::Or => v(0) | v(1),
+        Opcode::Xor => v(0) ^ v(1),
+        Opcode::Not => !v(0),
+        Opcode::Shl => v(0).wrapping_shl(v(1) as u32 & 31),
+        Opcode::Lshr => ((v(0) as u32).wrapping_shr(v(1) as u32 & 31)) as i32,
+        Opcode::Ashr => v(0).wrapping_shr(v(1) as u32 & 31),
+        Opcode::Eq => i32::from(v(0) == v(1)),
+        Opcode::Ne => i32::from(v(0) != v(1)),
+        Opcode::Lt => i32::from(v(0) < v(1)),
+        Opcode::Le => i32::from(v(0) <= v(1)),
+        Opcode::Gt => i32::from(v(0) > v(1)),
+        Opcode::Ge => i32::from(v(0) >= v(1)),
+        Opcode::Ltu => i32::from((v(0) as u32) < v(1) as u32),
+        Opcode::Geu => i32::from(v(0) as u32 >= v(1) as u32),
+        Opcode::Select => {
+            if v(0) != 0 {
+                v(1)
+            } else {
+                v(2)
+            }
+        }
+        Opcode::SextB => v(0) as i8 as i32,
+        Opcode::SextH => v(0) as i16 as i32,
+        Opcode::ZextB => i32::from(v(0) as u8),
+        Opcode::ZextH => i32::from(v(0) as u16),
+        Opcode::TruncB => v(0) & 0xff,
+        Opcode::TruncH => v(0) & 0xffff,
+        Opcode::Copy | Opcode::Const => v(0),
+        Opcode::Load | Opcode::Store | Opcode::Afu { .. } => return None,
+    };
+    Some(i64::from(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dce::eliminate_dead_code;
+    use ise_ir::DfgBuilder;
+
+    #[test]
+    fn folds_constant_subexpressions() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x");
+        let c1 = b.constant(6);
+        let c2 = b.shl(c1, b.imm(2)); // 24
+        let sum = b.add(x, c2);
+        b.output("o", sum);
+        let mut g = b.finish();
+        let folded = fold_constants(&mut g);
+        assert_eq!(folded, 2);
+        let removed = eliminate_dead_code(&mut g);
+        assert_eq!(removed, 2);
+        assert_eq!(g.node_count(), 1);
+        // The remaining add now has an immediate operand of 24.
+        let node = g.node(ise_ir::NodeId::new(0));
+        assert!(node.operands.contains(&Operand::Imm(24)));
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let mut b = DfgBuilder::new("t");
+        let c = b.constant(5);
+        let d = b.div(c, b.imm(0));
+        b.output("o", d);
+        let mut g = b.finish();
+        // The constant node folds; the division by zero does not.
+        assert_eq!(fold_constants(&mut g), 1);
+        assert_eq!(g.node(ise_ir::NodeId::new(1)).opcode, Opcode::Div);
+    }
+
+    #[test]
+    fn graphs_without_constants_are_untouched() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.add(x, y);
+        b.output("o", s);
+        let mut g = b.finish();
+        assert_eq!(fold_constants(&mut g), 0);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn folded_values_propagate_to_outputs_through_consumers() {
+        let mut b = DfgBuilder::new("t");
+        let x = b.input("x");
+        let c = b.constant(10);
+        let doubled = b.shl(c, b.imm(1));
+        let gated = b.select(x, doubled, b.imm(0));
+        b.output("o", gated);
+        let mut g = b.finish();
+        assert_eq!(fold_constants(&mut g), 2);
+        eliminate_dead_code(&mut g);
+        assert_eq!(g.node_count(), 1);
+        assert!(g
+            .node(ise_ir::NodeId::new(0))
+            .operands
+            .contains(&Operand::Imm(20)));
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,512 @@
+//! If-conversion: turning control dependences into `SEL` data dependences.
+//!
+//! The pass repeatedly looks for the two classic acyclic patterns and merges them into
+//! their predecessor, predicating the side-effect-free instructions of the branches and
+//! joining divergent register definitions with [`ise_ir::Opcode::Select`] nodes:
+//!
+//! * a **diamond**: `A → {T, E} → J`, where `T` and `E` are straight-line blocks whose
+//!   only predecessor is `A`;
+//! * a **triangle**: `A → {T, J}` with `T → J`, where `T`'s only predecessor is `A`.
+//!
+//! Blocks containing stores are not merged (speculating a store would change memory
+//! behaviour); this is the same conservative policy a compiler without predicated stores
+//! must apply. The pass iterates to a fixed point, so nested `if`s collapse into a single
+//! large block — the mechanism that produces blocks like Fig. 3 of the paper.
+
+use std::collections::BTreeMap;
+
+use ise_ir::{BlockId, Cfg, CfgBlock, Inst, Opcode, Reg, RegOrImm, Terminator};
+
+/// Statistics of one if-conversion run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IfConvertStats {
+    /// Number of diamonds merged.
+    pub diamonds: usize,
+    /// Number of triangles merged.
+    pub triangles: usize,
+    /// Number of `SEL` instructions inserted.
+    pub selects_inserted: usize,
+}
+
+/// Runs if-conversion to a fixed point on `cfg`, in place.
+pub fn if_convert(cfg: &mut Cfg) -> IfConvertStats {
+    let mut stats = IfConvertStats::default();
+    loop {
+        if !convert_one(cfg, &mut stats) {
+            break;
+        }
+    }
+    stats
+}
+
+/// A block is a merge candidate when it is side-effect free (no stores) and has `head` as
+/// its unique predecessor.
+fn mergeable(cfg: &Cfg, head: BlockId, candidate: BlockId) -> bool {
+    candidate != head
+        && cfg.predecessors(candidate) == vec![head]
+        && cfg
+            .block(candidate)
+            .insts
+            .iter()
+            .all(|inst| !inst.opcode.has_side_effect())
+}
+
+fn single_successor(block: &CfgBlock) -> Option<BlockId> {
+    match block.terminator {
+        Terminator::Jump(target) => Some(target),
+        _ => None,
+    }
+}
+
+/// Registers that are read outside the blocks listed in `exclude` (by instructions or by
+/// any terminator). Only these are worth joining with a `SEL` after a merge; temporaries
+/// that were private to an absorbed arm must not be joined, as that would fabricate reads
+/// of undefined values.
+fn observable_regs(cfg: &Cfg, exclude: &[BlockId]) -> std::collections::BTreeSet<Reg> {
+    let mut observable = std::collections::BTreeSet::new();
+    for (index, block) in cfg.blocks.iter().enumerate() {
+        let id = BlockId(index as u32);
+        if exclude.contains(&id) {
+            continue;
+        }
+        observable.extend(cfg.upward_exposed_regs(id));
+        match &block.terminator {
+            Terminator::Branch { cond, .. } => {
+                observable.insert(*cond);
+            }
+            Terminator::Return(regs) => observable.extend(regs.iter().copied()),
+            Terminator::Jump(_) => {}
+        }
+    }
+    observable
+}
+
+fn next_free_reg(cfg: &Cfg) -> u32 {
+    let mut max = 0;
+    for block in &cfg.blocks {
+        for inst in &block.insts {
+            if let Some(Reg(r)) = inst.dst {
+                max = max.max(r + 1);
+            }
+            for arg in &inst.args {
+                if let RegOrImm::Reg(Reg(r)) = arg {
+                    max = max.max(r + 1);
+                }
+            }
+        }
+        match &block.terminator {
+            Terminator::Branch { cond: Reg(r), .. } => max = max.max(r + 1),
+            Terminator::Return(regs) => {
+                for Reg(r) in regs {
+                    max = max.max(r + 1);
+                }
+            }
+            Terminator::Jump(_) => {}
+        }
+    }
+    max
+}
+
+/// Appends `source`'s instructions to `dest_insts`, renaming every defined register to a
+/// fresh one so the other arm's values stay observable. Returns the final value of each
+/// renamed register.
+fn inline_arm(
+    source: &CfgBlock,
+    dest_insts: &mut Vec<Inst>,
+    fresh: &mut u32,
+) -> BTreeMap<Reg, Reg> {
+    let mut renamed: BTreeMap<Reg, Reg> = BTreeMap::new();
+    for inst in &source.insts {
+        let args = inst
+            .args
+            .iter()
+            .map(|arg| match arg {
+                RegOrImm::Reg(r) => RegOrImm::Reg(*renamed.get(r).unwrap_or(r)),
+                imm => *imm,
+            })
+            .collect();
+        let dst = inst.dst.map(|dst| {
+            let new = Reg(*fresh);
+            *fresh += 1;
+            renamed.insert(dst, new);
+            new
+        });
+        dest_insts.push(Inst {
+            dst,
+            opcode: inst.opcode,
+            args,
+        });
+    }
+    renamed
+}
+
+fn convert_one(cfg: &mut Cfg, stats: &mut IfConvertStats) -> bool {
+    let block_ids: Vec<BlockId> = (0..cfg.blocks.len()).map(|i| BlockId(i as u32)).collect();
+    for &head in &block_ids {
+        let Terminator::Branch {
+            cond,
+            then_block,
+            else_block,
+        } = cfg.block(head).terminator.clone()
+        else {
+            continue;
+        };
+        if then_block == else_block {
+            // Degenerate branch: both arms identical, just jump.
+            cfg.blocks[head.index()].terminator = Terminator::Jump(then_block);
+            return true;
+        }
+
+        // Diamond: both arms mergeable and joining at the same block.
+        let diamond_join = match (
+            mergeable(cfg, head, then_block),
+            mergeable(cfg, head, else_block),
+            single_successor(cfg.block(then_block)),
+            single_successor(cfg.block(else_block)),
+        ) {
+            (true, true, Some(jt), Some(je)) if jt == je && jt != then_block && jt != else_block => {
+                Some(jt)
+            }
+            _ => None,
+        };
+        if let Some(join) = diamond_join {
+            let observable = observable_regs(cfg, &[head, then_block, else_block]);
+            let mut fresh = next_free_reg(cfg);
+            let then_blk = cfg.block(then_block).clone();
+            let else_blk = cfg.block(else_block).clone();
+            let mut insts = cfg.block(head).insts.clone();
+            let then_vals = inline_arm(&then_blk, &mut insts, &mut fresh);
+            let else_vals = inline_arm(&else_blk, &mut insts, &mut fresh);
+            // Join divergent definitions with selects (only values observable after the
+            // merged construct need a join).
+            let mut defined: Vec<Reg> = then_vals.keys().chain(else_vals.keys()).copied().collect();
+            defined.sort_unstable();
+            defined.dedup();
+            defined.retain(|reg| observable.contains(reg));
+            for reg in defined {
+                let then_value = then_vals.get(&reg).copied().unwrap_or(reg);
+                let else_value = else_vals.get(&reg).copied().unwrap_or(reg);
+                insts.push(Inst {
+                    dst: Some(reg),
+                    opcode: Opcode::Select,
+                    args: vec![cond.into(), then_value.into(), else_value.into()],
+                });
+                stats.selects_inserted += 1;
+            }
+            let head_block = &mut cfg.blocks[head.index()];
+            head_block.insts = insts;
+            head_block.terminator = Terminator::Jump(join);
+            // Disconnect the absorbed arms (they become unreachable empty shells).
+            cfg.blocks[then_block.index()].insts.clear();
+            cfg.blocks[then_block.index()].terminator = Terminator::Return(Vec::new());
+            cfg.blocks[else_block.index()].insts.clear();
+            cfg.blocks[else_block.index()].terminator = Terminator::Return(Vec::new());
+            stats.diamonds += 1;
+            return true;
+        }
+
+        // Triangle: one mergeable arm that jumps straight to the other successor.
+        let triangle = if mergeable(cfg, head, then_block)
+            && single_successor(cfg.block(then_block)) == Some(else_block)
+        {
+            Some((then_block, else_block, false))
+        } else if mergeable(cfg, head, else_block)
+            && single_successor(cfg.block(else_block)) == Some(then_block)
+        {
+            Some((else_block, then_block, true))
+        } else {
+            None
+        };
+        if let Some((arm, join, arm_is_else)) = triangle {
+            let observable = observable_regs(cfg, &[head, arm]);
+            let mut fresh = next_free_reg(cfg);
+            let arm_blk = cfg.block(arm).clone();
+            let mut insts = cfg.block(head).insts.clone();
+            let arm_vals = inline_arm(&arm_blk, &mut insts, &mut fresh);
+            for (reg, arm_value) in arm_vals {
+                if !observable.contains(&reg) {
+                    continue;
+                }
+                let (then_value, else_value) = if arm_is_else {
+                    (reg, arm_value)
+                } else {
+                    (arm_value, reg)
+                };
+                insts.push(Inst {
+                    dst: Some(reg),
+                    opcode: Opcode::Select,
+                    args: vec![cond.into(), then_value.into(), else_value.into()],
+                });
+                stats.selects_inserted += 1;
+            }
+            let head_block = &mut cfg.blocks[head.index()];
+            head_block.insts = insts;
+            head_block.terminator = Terminator::Jump(join);
+            cfg.blocks[arm.index()].insts.clear();
+            cfg.blocks[arm.index()].terminator = Terminator::Return(Vec::new());
+            stats.triangles += 1;
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_ir::interp::Evaluator;
+    use std::collections::BTreeMap as Map;
+
+    /// if (a > b) r = a - b; else r = b - a; return r   (|a - b| as a diamond)
+    fn abs_diff_cfg() -> Cfg {
+        let mut cfg = Cfg::new("abs_diff");
+        let a = Reg(0);
+        let b = Reg(1);
+        let cond = Reg(2);
+        let r = Reg(3);
+        cfg.add_block(CfgBlock {
+            name: "entry".into(),
+            insts: vec![Inst {
+                dst: Some(cond),
+                opcode: Opcode::Gt,
+                args: vec![a.into(), b.into()],
+            }],
+            terminator: Terminator::Branch {
+                cond,
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+            exec_count: 100,
+        });
+        cfg.add_block(CfgBlock {
+            name: "then".into(),
+            insts: vec![Inst {
+                dst: Some(r),
+                opcode: Opcode::Sub,
+                args: vec![a.into(), b.into()],
+            }],
+            terminator: Terminator::Jump(BlockId(3)),
+            exec_count: 50,
+        });
+        cfg.add_block(CfgBlock {
+            name: "else".into(),
+            insts: vec![Inst {
+                dst: Some(r),
+                opcode: Opcode::Sub,
+                args: vec![b.into(), a.into()],
+            }],
+            terminator: Terminator::Jump(BlockId(3)),
+            exec_count: 50,
+        });
+        cfg.add_block(CfgBlock {
+            name: "join".into(),
+            insts: vec![],
+            terminator: Terminator::Return(vec![r]),
+            exec_count: 100,
+        });
+        cfg
+    }
+
+    #[test]
+    fn diamond_becomes_straight_line_code_with_a_select() {
+        let mut cfg = abs_diff_cfg();
+        let stats = if_convert(&mut cfg);
+        assert_eq!(stats.diamonds, 1);
+        assert_eq!(stats.selects_inserted, 1);
+        let entry = cfg.block(BlockId(0));
+        assert!(matches!(entry.terminator, Terminator::Jump(BlockId(3))));
+        assert!(entry.insts.iter().any(|i| i.opcode == Opcode::Select));
+
+        // The merged block computes |a - b| for both orderings of the inputs.
+        let dfg = cfg.block_to_dfg(BlockId(0));
+        dfg.validate().expect("valid graph");
+        let mut evaluator = Evaluator::new();
+        for (a, b, expected) in [(9, 4, 5), (4, 9, 5), (7, 7, 0)] {
+            let inputs: Map<String, i32> =
+                [("r0".to_string(), a), ("r1".to_string(), b)].into();
+            let out = evaluator.eval_block(&dfg, &inputs).unwrap().outputs;
+            assert_eq!(out["r3"], expected, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn triangle_is_converted() {
+        // if (x < 0) x = -x; return x
+        let mut cfg = Cfg::new("abs");
+        let x = Reg(0);
+        let cond = Reg(1);
+        cfg.add_block(CfgBlock {
+            name: "entry".into(),
+            insts: vec![Inst {
+                dst: Some(cond),
+                opcode: Opcode::Lt,
+                args: vec![x.into(), 0i64.into()],
+            }],
+            terminator: Terminator::Branch {
+                cond,
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+            exec_count: 10,
+        });
+        cfg.add_block(CfgBlock {
+            name: "negate".into(),
+            insts: vec![Inst {
+                dst: Some(x),
+                opcode: Opcode::Neg,
+                args: vec![x.into()],
+            }],
+            terminator: Terminator::Jump(BlockId(2)),
+            exec_count: 5,
+        });
+        cfg.add_block(CfgBlock {
+            name: "exit".into(),
+            insts: vec![],
+            terminator: Terminator::Return(vec![x]),
+            exec_count: 10,
+        });
+        let stats = if_convert(&mut cfg);
+        assert_eq!(stats.triangles, 1);
+        let dfg = cfg.block_to_dfg(BlockId(0));
+        let mut evaluator = Evaluator::new();
+        for (value, expected) in [(-5, 5), (5, 5), (0, 0)] {
+            let inputs: Map<String, i32> = [("r0".to_string(), value)].into();
+            let out = evaluator.eval_block(&dfg, &inputs).unwrap().outputs;
+            assert_eq!(out["r0"], expected);
+        }
+    }
+
+    #[test]
+    fn blocks_with_stores_are_not_speculated() {
+        let mut cfg = Cfg::new("guarded_store");
+        let p = Reg(0);
+        let v = Reg(1);
+        let cond = Reg(2);
+        cfg.add_block(CfgBlock {
+            name: "entry".into(),
+            insts: vec![Inst {
+                dst: Some(cond),
+                opcode: Opcode::Ne,
+                args: vec![p.into(), 0i64.into()],
+            }],
+            terminator: Terminator::Branch {
+                cond,
+                then_block: BlockId(1),
+                else_block: BlockId(2),
+            },
+            exec_count: 10,
+        });
+        cfg.add_block(CfgBlock {
+            name: "store".into(),
+            insts: vec![Inst {
+                dst: None,
+                opcode: Opcode::Store,
+                args: vec![p.into(), v.into()],
+            }],
+            terminator: Terminator::Jump(BlockId(2)),
+            exec_count: 5,
+        });
+        cfg.add_block(CfgBlock {
+            name: "exit".into(),
+            insts: vec![],
+            terminator: Terminator::Return(vec![v]),
+            exec_count: 10,
+        });
+        let stats = if_convert(&mut cfg);
+        assert_eq!(stats.triangles, 0);
+        assert_eq!(stats.diamonds, 0);
+        assert!(matches!(
+            cfg.block(BlockId(0)).terminator,
+            Terminator::Branch { .. }
+        ));
+    }
+
+    #[test]
+    fn nested_ifs_collapse_to_a_fixed_point() {
+        // if (c1) { if (c2) r = a + b; else r = a - b; } else r = a ^ b; return r
+        let mut cfg = Cfg::new("nested");
+        let a = Reg(0);
+        let b = Reg(1);
+        let c1 = Reg(2);
+        let c2 = Reg(3);
+        let r = Reg(4);
+        cfg.add_block(CfgBlock {
+            name: "entry".into(),
+            insts: vec![],
+            terminator: Terminator::Branch {
+                cond: c1,
+                then_block: BlockId(1),
+                else_block: BlockId(4),
+            },
+            exec_count: 10,
+        });
+        cfg.add_block(CfgBlock {
+            name: "inner_if".into(),
+            insts: vec![],
+            terminator: Terminator::Branch {
+                cond: c2,
+                then_block: BlockId(2),
+                else_block: BlockId(3),
+            },
+            exec_count: 6,
+        });
+        cfg.add_block(CfgBlock {
+            name: "add".into(),
+            insts: vec![Inst {
+                dst: Some(r),
+                opcode: Opcode::Add,
+                args: vec![a.into(), b.into()],
+            }],
+            terminator: Terminator::Jump(BlockId(5)),
+            exec_count: 3,
+        });
+        cfg.add_block(CfgBlock {
+            name: "sub".into(),
+            insts: vec![Inst {
+                dst: Some(r),
+                opcode: Opcode::Sub,
+                args: vec![a.into(), b.into()],
+            }],
+            terminator: Terminator::Jump(BlockId(5)),
+            exec_count: 3,
+        });
+        cfg.add_block(CfgBlock {
+            name: "xor".into(),
+            insts: vec![Inst {
+                dst: Some(r),
+                opcode: Opcode::Xor,
+                args: vec![a.into(), b.into()],
+            }],
+            terminator: Terminator::Jump(BlockId(5)),
+            exec_count: 4,
+        });
+        cfg.add_block(CfgBlock {
+            name: "exit".into(),
+            insts: vec![],
+            terminator: Terminator::Return(vec![r]),
+            exec_count: 10,
+        });
+
+        let stats = if_convert(&mut cfg);
+        assert!(stats.diamonds + stats.triangles >= 2);
+        // After conversion the entry block reaches the exit without branching.
+        assert!(matches!(
+            cfg.block(BlockId(0)).terminator,
+            Terminator::Jump(BlockId(5))
+        ));
+        let dfg = cfg.block_to_dfg(BlockId(0));
+        assert!(dfg.count_opcode(Opcode::Select) >= 2);
+        let mut evaluator = Evaluator::new();
+        for (c1v, c2v, expected) in [(1, 1, 9 + 4), (1, 0, 9 - 4), (0, 1, 9 ^ 4), (0, 0, 9 ^ 4)] {
+            let inputs: Map<String, i32> = [
+                ("r0".to_string(), 9),
+                ("r1".to_string(), 4),
+                ("r2".to_string(), c1v),
+                ("r3".to_string(), c2v),
+            ]
+            .into();
+            let out = evaluator.eval_block(&dfg, &inputs).unwrap().outputs;
+            assert_eq!(out["r4"], expected, "c1={c1v} c2={c2v}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Loop-body unrolling at the dataflow-graph level.
+//!
+//! The paper's conclusions point out that instruction-level-parallelism transformations
+//! such as unrolling produce very large basic blocks, which is where heuristic variants
+//! of the identification algorithm become necessary. This pass replicates a loop-body
+//! dataflow graph `factor` times, wiring the loop-carried values (given as
+//! output-name → input-name pairs) from one copy to the next, and exposing the remaining
+//! inputs/outputs per iteration.
+
+use std::collections::BTreeMap;
+
+use ise_ir::{Dfg, Node, NodeId, Operand};
+
+/// Replicates `body` `factor` times.
+///
+/// `feedback` lists the loop-carried dependences as `(output_name, input_name)` pairs:
+/// the named output of iteration `i` feeds the named input of iteration `i + 1`. Inputs
+/// that are not fed back become fresh inputs `name@i` of the unrolled graph; outputs of
+/// the last iteration (and non-feedback outputs of every iteration) become outputs
+/// `name@i`.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero or if a feedback pair names an unknown input or output.
+#[must_use]
+pub fn unroll_dfg(body: &Dfg, factor: usize, feedback: &[(&str, &str)]) -> Dfg {
+    assert!(factor >= 1, "unroll factor must be at least one");
+    for (output, input) in feedback {
+        assert!(
+            body.iter_outputs().any(|o| o.name == *output),
+            "feedback output `{output}` does not exist"
+        );
+        assert!(
+            body.iter_inputs().any(|(_, v)| v.name == *input),
+            "feedback input `{input}` does not exist"
+        );
+    }
+
+    let mut unrolled = Dfg::new(format!("{}.x{}", body.name(), factor));
+    unrolled.set_exec_count(body.exec_count() / factor as u64);
+
+    // Values carried into the next iteration, keyed by the *input* name they feed.
+    let mut carried: BTreeMap<String, Operand> = BTreeMap::new();
+
+    for iteration in 0..factor {
+        // Map the body's inputs to values in the unrolled graph.
+        let mut input_map: BTreeMap<usize, Operand> = BTreeMap::new();
+        for (port, var) in body.iter_inputs() {
+            let value = if let Some(value) = carried.get(&var.name) {
+                *value
+            } else {
+                Operand::Input(unrolled.add_input(format!("{}@{iteration}", var.name)))
+            };
+            input_map.insert(port.index(), value);
+        }
+        // Copy the body nodes.
+        let mut node_map: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        for (id, node) in body.iter_nodes() {
+            let operands = node
+                .operands
+                .iter()
+                .map(|operand| match *operand {
+                    Operand::Node(n) => Operand::Node(node_map[&n]),
+                    Operand::Input(p) => input_map[&p.index()],
+                    Operand::Imm(v) => Operand::Imm(v),
+                })
+                .collect();
+            let new_id = unrolled.add_node(Node {
+                opcode: node.opcode,
+                operands,
+                name: node.name.clone(),
+            });
+            node_map.insert(id, new_id);
+        }
+        // Resolve this iteration's outputs.
+        let resolve = |operand: &Operand| -> Operand {
+            match *operand {
+                Operand::Node(n) => Operand::Node(node_map[&n]),
+                Operand::Input(p) => input_map[&p.index()],
+                Operand::Imm(v) => Operand::Imm(v),
+            }
+        };
+        let mut next_carried: BTreeMap<String, Operand> = BTreeMap::new();
+        for output in body.iter_outputs() {
+            let value = resolve(&output.source);
+            let fed_back = feedback
+                .iter()
+                .find(|(out_name, _)| *out_name == output.name);
+            match fed_back {
+                Some((_, input_name)) if iteration + 1 < factor => {
+                    next_carried.insert((*input_name).to_string(), value);
+                }
+                _ => {
+                    unrolled.add_output(format!("{}@{iteration}", output.name), value);
+                }
+            }
+        }
+        carried = next_carried;
+    }
+    unrolled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_ir::interp::Evaluator;
+    use ise_ir::DfgBuilder;
+    use std::collections::BTreeMap as Map;
+
+    /// acc' = acc + x * x
+    fn mac_body() -> Dfg {
+        let mut b = DfgBuilder::new("mac");
+        b.exec_count(1000);
+        let acc = b.input("acc");
+        let x = b.input("x");
+        let sq = b.mul(x, x);
+        let sum = b.add(acc, sq);
+        b.output("acc", sum);
+        b.finish()
+    }
+
+    #[test]
+    fn unrolling_chains_the_accumulator() {
+        let body = mac_body();
+        let unrolled = unroll_dfg(&body, 4, &[("acc", "acc")]);
+        assert!(unrolled.validate().is_ok());
+        assert_eq!(unrolled.node_count(), 8);
+        // One accumulator input plus one x per iteration; a single final accumulator output.
+        assert_eq!(unrolled.input_count(), 5);
+        assert_eq!(unrolled.output_count(), 1);
+        assert_eq!(unrolled.exec_count(), 250);
+
+        let mut evaluator = Evaluator::new();
+        let inputs: Map<String, i32> = [
+            ("acc@0".to_string(), 10),
+            ("x@0".to_string(), 1),
+            ("x@1".to_string(), 2),
+            ("x@2".to_string(), 3),
+            ("x@3".to_string(), 4),
+        ]
+        .into();
+        let out = evaluator.eval_block(&unrolled, &inputs).unwrap().outputs;
+        assert_eq!(out["acc@3"], 10 + 1 + 4 + 9 + 16);
+    }
+
+    #[test]
+    fn factor_one_is_a_renamed_copy() {
+        let body = mac_body();
+        let unrolled = unroll_dfg(&body, 1, &[("acc", "acc")]);
+        assert_eq!(unrolled.node_count(), body.node_count());
+        assert_eq!(unrolled.input_count(), body.input_count());
+        assert_eq!(unrolled.output_count(), body.output_count());
+    }
+
+    #[test]
+    fn non_feedback_outputs_appear_every_iteration() {
+        let mut b = DfgBuilder::new("body");
+        let x = b.input("x");
+        let doubled = b.shl(x, b.imm(1));
+        let flag = b.gt(doubled, b.imm(100));
+        b.output("x", doubled);
+        b.output("flag", flag);
+        let body = b.finish();
+        let unrolled = unroll_dfg(&body, 3, &[("x", "x")]);
+        // `flag` is emitted three times, `x` only for the last iteration.
+        assert_eq!(unrolled.output_count(), 4);
+        assert_eq!(unrolled.input_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn unknown_feedback_names_are_rejected() {
+        let body = mac_body();
+        let _ = unroll_dfg(&body, 2, &[("nope", "acc")]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Whole-program structural verification.
+
+use ise_ir::{IrError, Program};
+
+/// A structural problem found in a program, with the index of the offending block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyIssue {
+    /// Index of the offending basic block (or `None` for AFU specifications).
+    pub block_index: Option<usize>,
+    /// The underlying IR error.
+    pub error: IrError,
+}
+
+/// Validates every basic block and AFU specification of `program`, collecting all
+/// problems instead of stopping at the first one.
+#[must_use]
+pub fn verify_program(program: &Program) -> Vec<VerifyIssue> {
+    let mut issues = Vec::new();
+    for (index, block) in program.blocks().iter().enumerate() {
+        if let Err(error) = block.validate() {
+            issues.push(VerifyIssue {
+                block_index: Some(index),
+                error,
+            });
+        }
+    }
+    for afu in program.afus() {
+        if let Err(error) = afu.graph.validate() {
+            issues.push(VerifyIssue {
+                block_index: None,
+                error,
+            });
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_ir::DfgBuilder;
+
+    #[test]
+    fn clean_programs_report_no_issues() {
+        let mut p = Program::new("app");
+        let mut b = DfgBuilder::new("bb");
+        let x = b.input("x");
+        let y = b.add(x, b.imm(1));
+        b.output("y", y);
+        p.add_block(b.finish());
+        assert!(verify_program(&p).is_empty());
+    }
+
+    #[test]
+    fn issues_carry_the_block_index() {
+        let mut p = Program::new("app");
+        let mut b = DfgBuilder::new("good");
+        let x = b.input("x");
+        let y = b.add(x, b.imm(1));
+        b.output("y", y);
+        p.add_block(b.finish());
+        // A block whose output references a non-existent node.
+        let mut bad = ise_ir::Dfg::new("bad");
+        bad.add_output("ghost", ise_ir::Operand::Node(ise_ir::NodeId::new(7)));
+        p.add_block(bad);
+        let issues = verify_program(&p);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].block_index, Some(1));
+    }
+}

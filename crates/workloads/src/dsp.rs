@@ -1,0 +1,218 @@
+//! DSP-style kernels: EPIC/FIR filtering, JPEG 1-D IDCT and a Viterbi butterfly.
+
+use ise_ir::{Dfg, DfgBuilder, Operand, Program};
+
+/// Profile weight of the FIR inner loop.
+pub const FIR_EXEC_COUNT: u64 = 60_000;
+/// Profile weight of the IDCT column pass.
+pub const IDCT_EXEC_COUNT: u64 = 12_000;
+/// Profile weight of the Viterbi butterfly.
+pub const VITERBI_EXEC_COUNT: u64 = 30_000;
+
+/// A 4-tap unrolled FIR filter inner loop, the shape of EPIC's `internal_filter` and of
+/// countless other convolution kernels: interleaved loads, multiplies and an accumulation
+/// chain, closed by a rounding shift.
+#[must_use]
+pub fn fir_kernel() -> Dfg {
+    let mut b = DfgBuilder::new("epic.fir4");
+    b.exec_count(FIR_EXEC_COUNT);
+    let sample_ptr = b.input("sample_ptr");
+    let coeff_ptr = b.input("coeff_ptr");
+    let acc_in = b.input("acc");
+
+    let mut acc = acc_in;
+    for tap in 0..4 {
+        let sample_addr = b.add(sample_ptr, b.imm(tap));
+        let sample = b.load(sample_addr);
+        let coeff_addr = b.add(coeff_ptr, b.imm(tap));
+        let coeff = b.load(coeff_addr);
+        let product = b.mul(sample, coeff);
+        acc = b.add(acc, product);
+    }
+    let rounded = b.add(acc, b.imm(1 << 13));
+    let scaled = b.ashr(rounded, b.imm(14));
+
+    b.output("acc", acc);
+    b.output("result", scaled);
+    b.finish()
+}
+
+/// The even/odd butterfly of a fixed-point 1-D inverse DCT column pass (the structure of
+/// the JPEG `jpeg_idct_islow` kernel): constant multiplications, additions, subtractions
+/// and descaling shifts on four inputs, producing four outputs.
+#[must_use]
+pub fn idct_kernel() -> Dfg {
+    let mut b = DfgBuilder::new("jpeg.idct_col");
+    b.exec_count(IDCT_EXEC_COUNT);
+    let x0 = b.input("x0");
+    let x1 = b.input("x1");
+    let x2 = b.input("x2");
+    let x3 = b.input("x3");
+
+    // Even part.
+    let z2 = b.mul(x2, b.imm(4433)); // FIX(0.541196100) scaled
+    let z3 = b.mul(x3, b.imm(10703)); // FIX(1.306562965) scaled
+    let tmp2 = b.sub(z2, z3);
+    let tmp3 = b.add(z2, z3);
+    let x0_scaled = b.shl(x0, b.imm(13));
+    let x1_scaled = b.shl(x1, b.imm(13));
+    let tmp0 = b.add(x0_scaled, x1_scaled);
+    let tmp1 = b.sub(x0_scaled, x1_scaled);
+
+    let y0_raw = b.add(tmp0, tmp3);
+    let y3_raw = b.sub(tmp0, tmp3);
+    let y1_raw = b.add(tmp1, tmp2);
+    let y2_raw = b.sub(tmp1, tmp2);
+
+    let descale = |b: &mut DfgBuilder, v: Operand| {
+        let rounded = b.add(v, b.imm(1 << 10));
+        b.ashr(rounded, b.imm(11))
+    };
+    let y0 = descale(&mut b, y0_raw);
+    let y1 = descale(&mut b, y1_raw);
+    let y2 = descale(&mut b, y2_raw);
+    let y3 = descale(&mut b, y3_raw);
+
+    b.output("y0", y0);
+    b.output("y1", y1);
+    b.output("y2", y2);
+    b.output("y3", y3);
+    b.finish()
+}
+
+/// An add-compare-select Viterbi butterfly over two states: the canonical pattern that
+/// benefits from a multi-output special instruction (new metric and decision bit per
+/// state).
+#[must_use]
+pub fn viterbi_kernel() -> Dfg {
+    let mut b = DfgBuilder::new("viterbi.acs");
+    b.exec_count(VITERBI_EXEC_COUNT);
+    let metric0 = b.input("metric0");
+    let metric1 = b.input("metric1");
+    let branch00 = b.input("branch00");
+    let branch10 = b.input("branch10");
+    let branch01 = b.input("branch01");
+    let branch11 = b.input("branch11");
+
+    // State 0 update.
+    let path00 = b.add(metric0, branch00);
+    let path10 = b.add(metric1, branch10);
+    let better0 = b.lt(path00, path10);
+    let new_metric0 = b.select(better0, path00, path10);
+    // State 1 update.
+    let path01 = b.add(metric0, branch01);
+    let path11 = b.add(metric1, branch11);
+    let better1 = b.lt(path01, path11);
+    let new_metric1 = b.select(better1, path01, path11);
+    // Pack the two decision bits.
+    let decision1_shifted = b.shl(better1, b.imm(1));
+    let decisions = b.or(better0, decision1_shifted);
+
+    b.output("metric0", new_metric0);
+    b.output("metric1", new_metric1);
+    b.output("decisions", decisions);
+    b.finish()
+}
+
+/// The `epic`-like filtering application.
+#[must_use]
+pub fn epic_program() -> Program {
+    let mut p = Program::new("epic");
+    p.add_block(fir_kernel());
+    p.add_block(idct_kernel());
+    p
+}
+
+/// The JPEG-like transform application.
+#[must_use]
+pub fn jpeg_program() -> Program {
+    let mut p = Program::new("jpeg");
+    p.add_block(idct_kernel());
+    p
+}
+
+/// The Viterbi decoder application (used by the SIMD-style disconnected-graph studies).
+#[must_use]
+pub fn viterbi_program() -> Program {
+    let mut p = Program::new("viterbi");
+    p.add_block(viterbi_kernel());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_ir::interp::Evaluator;
+    use std::collections::BTreeMap;
+
+    fn eval_with_memory(
+        dfg: &Dfg,
+        memory: &[(i32, &[i32])],
+        inputs: &[(&str, i32)],
+    ) -> BTreeMap<String, i32> {
+        let mut evaluator = Evaluator::new();
+        for (base, values) in memory {
+            evaluator.memory.load_table(*base, values);
+        }
+        let bindings: BTreeMap<String, i32> =
+            inputs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        evaluator.eval_block(dfg, &bindings).unwrap().outputs
+    }
+
+    #[test]
+    fn fir_accumulates_four_taps() {
+        let g = fir_kernel();
+        g.validate().expect("valid graph");
+        let out = eval_with_memory(
+            &g,
+            &[(100, &[1, 2, 3, 4]), (200, &[10, 20, 30, 40])],
+            &[("sample_ptr", 100), ("coeff_ptr", 200), ("acc", 5)],
+        );
+        let expected_acc = 5 + 1 * 10 + 2 * 20 + 3 * 30 + 4 * 40;
+        assert_eq!(out["acc"], expected_acc);
+        assert_eq!(out["result"], (expected_acc + (1 << 13)) >> 14);
+        assert_eq!(g.count_opcode(ise_ir::Opcode::Load), 8);
+    }
+
+    #[test]
+    fn idct_butterfly_is_linear_and_symmetric() {
+        let g = idct_kernel();
+        g.validate().expect("valid graph");
+        // With x2 = x3 = 0 the outputs reduce to scaled sums/differences of x0, x1.
+        let out = eval_with_memory(&g, &[], &[("x0", 8), ("x1", 4), ("x2", 0), ("x3", 0)]);
+        assert_eq!(out["y0"], out["y1"] + 2 * ((4 << 13) >> 11));
+        assert_eq!(out["y0"], ((12 << 13) + (1 << 10)) >> 11);
+        assert_eq!(out["y3"], out["y0"]);
+        assert_eq!(out["y2"], out["y1"]);
+        assert_eq!(g.output_count(), 4);
+    }
+
+    #[test]
+    fn viterbi_selects_the_smaller_path_metric() {
+        let g = viterbi_kernel();
+        g.validate().expect("valid graph");
+        let out = eval_with_memory(
+            &g,
+            &[],
+            &[
+                ("metric0", 10),
+                ("metric1", 20),
+                ("branch00", 5),
+                ("branch10", 1),
+                ("branch01", 0),
+                ("branch11", 100),
+            ],
+        );
+        assert_eq!(out["metric0"], 15.min(21));
+        assert_eq!(out["metric1"], 10.min(120));
+        // Both states chose their first incoming path, so both decision bits are set.
+        assert_eq!(out["decisions"], 0b11);
+    }
+
+    #[test]
+    fn programs_are_valid() {
+        assert!(epic_program().validate().is_ok());
+        assert!(jpeg_program().validate().is_ok());
+        assert!(viterbi_program().validate().is_ok());
+    }
+}

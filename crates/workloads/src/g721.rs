@@ -1,0 +1,197 @@
+//! G.721/G.726 ADPCM (CCITT) kernels.
+//!
+//! The MediaBench `g721` coder spends most of its time in `fmult` (floating-point-like
+//! multiplication on a custom 16-bit format built from shifts, masks and adds), `quan`
+//! (a comparison ladder that if-converts into a chain of selects) and the predictor
+//! update `update`. The graphs below reproduce their dataflow.
+
+use ise_ir::{Dfg, DfgBuilder, Program};
+
+/// Profile weight of the `fmult` block (called 8 times per sample).
+pub const FMULT_EXEC_COUNT: u64 = 64_000;
+/// Profile weight of the `quan` block.
+pub const QUAN_EXEC_COUNT: u64 = 8_000;
+/// Profile weight of the predictor update block.
+pub const UPDATE_EXEC_COUNT: u64 = 8_000;
+
+/// The `fmult` kernel: multiply a quantised magnitude by a predictor coefficient in the
+/// custom mantissa/exponent format of G.726.
+///
+/// ```c
+/// fmult(an, srn):
+///   anmag  = (an > 0) ? an : (-an & 0x1FFF);
+///   anexp  = quan(anmag) - 6;            // modelled here as a priority encode chain
+///   anmant = (anmag == 0) ? 32 : (anexp >= 0 ? anmag >> anexp : anmag << -anexp);
+///   wanexp = anexp + ((srn >> 6) & 0xF) - 13;
+///   wanmant = (anmant * (srn & 077) + 0x30) >> 4;
+///   retval = (wanexp >= 0) ? (wanmant << wanexp) & 0x7FFF : wanmant >> -wanexp;
+///   return (((an ^ srn) < 0) ? -retval : retval);
+/// ```
+#[must_use]
+pub fn fmult_kernel() -> Dfg {
+    let mut b = DfgBuilder::new("g721.fmult");
+    b.exec_count(FMULT_EXEC_COUNT);
+    let an = b.input("an");
+    let srn = b.input("srn");
+    let anexp = b.input("anexp");
+
+    // anmag = (an > 0) ? an >> 2 : (-an >> 2) & 0x1FFF
+    let positive = b.gt(an, b.imm(0));
+    let shifted_pos = b.ashr(an, b.imm(2));
+    let negated = b.neg(an);
+    let shifted_neg = b.ashr(negated, b.imm(2));
+    let masked_neg = b.and(shifted_neg, b.imm(0x1fff));
+    let anmag = b.select(positive, shifted_pos, masked_neg);
+
+    // anmant = (anmag == 0) ? 32 : (anexp >= 0 ? anmag >> anexp : anmag << -anexp)
+    let is_zero = b.eq(anmag, b.imm(0));
+    let exp_nonneg = b.ge(anexp, b.imm(0));
+    let shr = b.lshr(anmag, anexp);
+    let neg_exp = b.neg(anexp);
+    let shl = b.shl(anmag, neg_exp);
+    let mant_shifted = b.select(exp_nonneg, shr, shl);
+    let anmant = b.select(is_zero, b.imm(32), mant_shifted);
+
+    // wanexp = anexp + ((srn >> 6) & 0xF) - 13
+    let srn_exp_raw = b.ashr(srn, b.imm(6));
+    let srn_exp = b.and(srn_exp_raw, b.imm(0xf));
+    let exp_sum = b.add(anexp, srn_exp);
+    let wanexp = b.sub(exp_sum, b.imm(13));
+
+    // wanmant = (anmant * (srn & 0x3F) + 0x30) >> 4
+    let srn_mant = b.and(srn, b.imm(0x3f));
+    let product = b.mul(anmant, srn_mant);
+    let rounded = b.add(product, b.imm(0x30));
+    let wanmant = b.lshr(rounded, b.imm(4));
+
+    // retval = wanexp >= 0 ? (wanmant << wanexp) & 0x7FFF : wanmant >> -wanexp
+    let wexp_nonneg = b.ge(wanexp, b.imm(0));
+    let shifted_up = b.shl(wanmant, wanexp);
+    let masked_up = b.and(shifted_up, b.imm(0x7fff));
+    let neg_wexp = b.neg(wanexp);
+    let shifted_down = b.lshr(wanmant, neg_wexp);
+    let retval = b.select(wexp_nonneg, masked_up, shifted_down);
+
+    // sign correction
+    let mixed = b.xor(an, srn);
+    let negative = b.lt(mixed, b.imm(0));
+    let negated_ret = b.neg(retval);
+    let result = b.select(negative, negated_ret, retval);
+
+    b.output("fmult", result);
+    b.finish()
+}
+
+/// The `quan` kernel after if-conversion: a 7-entry comparison ladder turned into a chain
+/// of compare/select pairs (a priority encoder on magnitude).
+#[must_use]
+pub fn quan_kernel() -> Dfg {
+    let mut b = DfgBuilder::new("g721.quan");
+    b.exec_count(QUAN_EXEC_COUNT);
+    let value = b.input("value");
+    // Thresholds of the 7-level quantiser of g721's `quan(..., power2, 15)`.
+    let thresholds: [i64; 7] = [1, 2, 4, 8, 16, 32, 64];
+    let mut level = b.imm(0);
+    for (i, threshold) in thresholds.iter().enumerate() {
+        let ge = b.ge(value, b.imm(*threshold));
+        level = b.select(ge, b.imm(i as i64 + 1), level);
+    }
+    b.output("quan", level);
+    b.finish()
+}
+
+/// One step of the predictor-coefficient update (`update`): leak the coefficient, add the
+/// sign-dependent increment and clamp it into the stability range.
+#[must_use]
+pub fn update_kernel() -> Dfg {
+    let mut b = DfgBuilder::new("g721.update");
+    b.exec_count(UPDATE_EXEC_COUNT);
+    let a1 = b.input("a1");
+    let pk0 = b.input("pk0");
+    let pk1 = b.input("pk1");
+    let a2 = b.input("a2");
+
+    // a1 -= a1 >> 8 (leakage)
+    let leak = b.ashr(a1, b.imm(8));
+    let leaked = b.sub(a1, leak);
+    // increment = (pk0 ^ pk1) ? -192 : 192
+    let agree = b.xor(pk0, pk1);
+    let inc = b.select(agree, b.imm(-192), b.imm(192));
+    let updated = b.add(leaked, inc);
+    // clamp |a1| <= 15360 - a2-dependent bound
+    let bound = b.sub(b.imm(15360), a2);
+    let neg_bound = b.neg(bound);
+    let too_big = b.gt(updated, bound);
+    let clipped_hi = b.select(too_big, bound, updated);
+    let too_small = b.lt(clipped_hi, neg_bound);
+    let a1_new = b.select(too_small, neg_bound, clipped_hi);
+
+    b.output("a1", a1_new);
+    b.finish()
+}
+
+/// The `g721` application used in the Fig. 11 comparison.
+#[must_use]
+pub fn program() -> Program {
+    let mut p = Program::new("g721");
+    p.add_block(fmult_kernel());
+    p.add_block(quan_kernel());
+    p.add_block(update_kernel());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_ir::interp::Evaluator;
+    use std::collections::BTreeMap;
+
+    fn eval(dfg: &Dfg, inputs: &[(&str, i32)]) -> BTreeMap<String, i32> {
+        let mut evaluator = Evaluator::new();
+        let bindings: BTreeMap<String, i32> =
+            inputs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        evaluator.eval_block(dfg, &bindings).unwrap().outputs
+    }
+
+    #[test]
+    fn quan_is_a_priority_encoder() {
+        let g = quan_kernel();
+        g.validate().expect("valid graph");
+        assert_eq!(eval(&g, &[("value", 0)])["quan"], 0);
+        assert_eq!(eval(&g, &[("value", 1)])["quan"], 1);
+        assert_eq!(eval(&g, &[("value", 3)])["quan"], 2);
+        assert_eq!(eval(&g, &[("value", 17)])["quan"], 5);
+        assert_eq!(eval(&g, &[("value", 1000)])["quan"], 7);
+    }
+
+    #[test]
+    fn fmult_sign_follows_operand_signs() {
+        let g = fmult_kernel();
+        g.validate().expect("valid graph");
+        let pos = eval(&g, &[("an", 4096), ("srn", 0x1c5), ("anexp", 4)])["fmult"];
+        let neg = eval(&g, &[("an", -4096), ("srn", 0x1c5), ("anexp", 4)])["fmult"];
+        assert!(pos > 0);
+        assert!(neg < 0);
+        assert_eq!(pos, -neg);
+        let zero = eval(&g, &[("an", 0), ("srn", 0x1c5), ("anexp", 0)])["fmult"];
+        assert!(zero >= 0);
+    }
+
+    #[test]
+    fn update_clamps_into_the_stability_region() {
+        let g = update_kernel();
+        g.validate().expect("valid graph");
+        let out = eval(&g, &[("a1", 20000), ("pk0", 0), ("pk1", 0), ("a2", 1000)]);
+        assert!(out["a1"] <= 15360 - 1000);
+        let out = eval(&g, &[("a1", -20000), ("pk0", 1), ("pk1", 0), ("a2", 1000)]);
+        assert!(out["a1"] >= -(15360 - 1000));
+    }
+
+    #[test]
+    fn program_contains_all_three_kernels() {
+        let p = program();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.block_count(), 3);
+        assert_eq!(p.block(0).name(), "g721.fmult");
+    }
+}

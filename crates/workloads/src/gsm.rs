@@ -1,0 +1,216 @@
+//! GSM 06.10 full-rate codec kernels.
+//!
+//! The GSM coder is dominated by saturated 16-bit arithmetic helpers (`GSM_ADD`,
+//! `GSM_MULT_R`) and by the short-term analysis filtering / autocorrelation loops that
+//! are built from them. The graphs below reproduce the if-converted dataflow of those
+//! inner loops.
+
+use ise_ir::{Dfg, DfgBuilder, Program};
+
+/// Profile weight of the short-term filtering loop.
+pub const FILTER_EXEC_COUNT: u64 = 40_000;
+/// Profile weight of the autocorrelation loop.
+pub const AUTOCORR_EXEC_COUNT: u64 = 20_000;
+/// Profile weight of the quantisation/coding block.
+pub const QUANT_EXEC_COUNT: u64 = 8_000;
+
+/// Saturated add followed by a rounded saturated multiply — the body of
+/// `Short_term_analysis_filtering` for one reflection coefficient.
+///
+/// ```c
+/// di   = GSM_ADD(d, GSM_MULT_R(rp, u));   // with 16-bit saturation
+/// ui   = GSM_ADD(u, GSM_MULT_R(rp, d));
+/// ```
+#[must_use]
+pub fn short_term_filter_kernel() -> Dfg {
+    let mut b = DfgBuilder::new("gsm.short_term_filter");
+    b.exec_count(FILTER_EXEC_COUNT);
+    let d = b.input("d");
+    let u = b.input("u");
+    let rp = b.input("rp");
+
+    // GSM_MULT_R(rp, u) = (rp * u + 16384) >> 15, saturated to 16 bits.
+    let prod1 = b.mul(rp, u);
+    let rounded1 = b.add(prod1, b.imm(16384));
+    let shifted1 = b.ashr(rounded1, b.imm(15));
+    let hi1 = b.gt(shifted1, b.imm(32767));
+    let sat1a = b.select(hi1, b.imm(32767), shifted1);
+    let lo1 = b.lt(sat1a, b.imm(-32768));
+    let mult_r1 = b.select(lo1, b.imm(-32768), sat1a);
+    // di = GSM_ADD(d, mult_r1)
+    let sum1 = b.add(d, mult_r1);
+    let hi2 = b.gt(sum1, b.imm(32767));
+    let sat2a = b.select(hi2, b.imm(32767), sum1);
+    let lo2 = b.lt(sat2a, b.imm(-32768));
+    let di = b.select(lo2, b.imm(-32768), sat2a);
+
+    // GSM_MULT_R(rp, d)
+    let prod2 = b.mul(rp, d);
+    let rounded2 = b.add(prod2, b.imm(16384));
+    let shifted2 = b.ashr(rounded2, b.imm(15));
+    let hi3 = b.gt(shifted2, b.imm(32767));
+    let sat3a = b.select(hi3, b.imm(32767), shifted2);
+    let lo3 = b.lt(sat3a, b.imm(-32768));
+    let mult_r2 = b.select(lo3, b.imm(-32768), sat3a);
+    // ui = GSM_ADD(u, mult_r2)
+    let sum2 = b.add(u, mult_r2);
+    let hi4 = b.gt(sum2, b.imm(32767));
+    let sat4a = b.select(hi4, b.imm(32767), sum2);
+    let lo4 = b.lt(sat4a, b.imm(-32768));
+    let ui = b.select(lo4, b.imm(-32768), sat4a);
+
+    b.output("di", di);
+    b.output("ui", ui);
+    b.finish()
+}
+
+/// Four steps of the `Autocorrelation` inner loop: load two samples, multiply, shift and
+/// accumulate — a classic MAC-heavy block with memory accesses interleaved.
+#[must_use]
+pub fn autocorrelation_kernel() -> Dfg {
+    let mut b = DfgBuilder::new("gsm.autocorrelation");
+    b.exec_count(AUTOCORR_EXEC_COUNT);
+    let sp = b.input("sp");
+    let mut acc0 = b.input("acc0");
+    let mut acc1 = b.input("acc1");
+    let mut acc2 = b.input("acc2");
+
+    for k in 0..2 {
+        let base = b.add(sp, b.imm(k));
+        let s0 = b.load(base);
+        let lag1_addr = b.add(base, b.imm(1));
+        let s1 = b.load(lag1_addr);
+        let lag2_addr = b.add(base, b.imm(2));
+        let s2 = b.load(lag2_addr);
+        let p0 = b.mul(s0, s0);
+        let p0s = b.ashr(p0, b.imm(1));
+        acc0 = b.add(acc0, p0s);
+        let p1 = b.mul(s0, s1);
+        let p1s = b.ashr(p1, b.imm(1));
+        acc1 = b.add(acc1, p1s);
+        let p2 = b.mul(s0, s2);
+        let p2s = b.ashr(p2, b.imm(1));
+        acc2 = b.add(acc2, p2s);
+    }
+
+    b.output("acc0", acc0);
+    b.output("acc1", acc1);
+    b.output("acc2", acc2);
+    b.finish()
+}
+
+/// The LAR (log-area-ratio) quantisation block: scale, add bias, clamp to the coding
+/// range — a chain of multiplies, adds and if-converted clamps.
+#[must_use]
+pub fn lar_quantisation_kernel() -> Dfg {
+    let mut b = DfgBuilder::new("gsm.lar_quantisation");
+    b.exec_count(QUANT_EXEC_COUNT);
+    let lar = b.input("lar");
+    let a = b.input("a");
+    let bias = b.input("bias");
+    let minimum = b.input("min");
+    let maximum = b.input("max");
+
+    let scaled = b.mul(a, lar);
+    let shifted = b.ashr(scaled, b.imm(9));
+    let biased = b.add(shifted, bias);
+    let plus_quarter = b.add(biased, b.imm(256));
+    let quantised = b.ashr(plus_quarter, b.imm(9));
+    let below = b.lt(quantised, minimum);
+    let clamped_lo = b.select(below, minimum, quantised);
+    let above = b.gt(clamped_lo, maximum);
+    let clamped = b.select(above, maximum, clamped_lo);
+    let delta = b.sub(clamped, minimum);
+
+    b.output("larc", delta);
+    b.finish()
+}
+
+/// The `gsm` application used in the Fig. 11 comparison.
+#[must_use]
+pub fn program() -> Program {
+    let mut p = Program::new("gsm");
+    p.add_block(short_term_filter_kernel());
+    p.add_block(autocorrelation_kernel());
+    p.add_block(lar_quantisation_kernel());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_ir::interp::Evaluator;
+    use std::collections::BTreeMap;
+
+    fn gsm_mult_r(a: i32, b: i32) -> i32 {
+        (((a * b) + 16384) >> 15).clamp(-32768, 32767)
+    }
+
+    fn gsm_add(a: i32, b: i32) -> i32 {
+        (a + b).clamp(-32768, 32767)
+    }
+
+    #[test]
+    fn short_term_filter_matches_reference_arithmetic() {
+        let g = short_term_filter_kernel();
+        g.validate().expect("valid graph");
+        for (d, u, rp) in [(100, -200, 15000), (32767, 32767, 32767), (-30000, 1, -32768)] {
+            let mut evaluator = Evaluator::new();
+            let inputs: BTreeMap<String, i32> = [
+                ("d".to_string(), d),
+                ("u".to_string(), u),
+                ("rp".to_string(), rp),
+            ]
+            .into();
+            let out = evaluator.eval_block(&g, &inputs).unwrap().outputs;
+            assert_eq!(out["di"], gsm_add(d, gsm_mult_r(rp, u)), "d={d} u={u} rp={rp}");
+            assert_eq!(out["ui"], gsm_add(u, gsm_mult_r(rp, d)), "d={d} u={u} rp={rp}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_accumulates_lagged_products() {
+        let g = autocorrelation_kernel();
+        g.validate().expect("valid graph");
+        let mut evaluator = Evaluator::new();
+        evaluator.memory.load_table(100, &[3, 5, 7, 11]);
+        let inputs: BTreeMap<String, i32> = [
+            ("sp".to_string(), 100),
+            ("acc0".to_string(), 0),
+            ("acc1".to_string(), 0),
+            ("acc2".to_string(), 0),
+        ]
+        .into();
+        let out = evaluator.eval_block(&g, &inputs).unwrap().outputs;
+        // k=0: s=(3,5,7); k=1: s=(5,7,11)
+        assert_eq!(out["acc0"], (3 * 3) / 2 + (5 * 5) / 2);
+        assert_eq!(out["acc1"], (3 * 5) / 2 + (5 * 7) / 2);
+        assert_eq!(out["acc2"], (3 * 7) / 2 + (5 * 11) / 2);
+    }
+
+    #[test]
+    fn lar_quantisation_clamps_into_range() {
+        let g = lar_quantisation_kernel();
+        g.validate().expect("valid graph");
+        let mut evaluator = Evaluator::new();
+        let inputs: BTreeMap<String, i32> = [
+            ("lar".to_string(), 5000),
+            ("a".to_string(), 20480),
+            ("bias".to_string(), 2048),
+            ("min".to_string(), -32),
+            ("max".to_string(), 31),
+        ]
+        .into();
+        let out = evaluator.eval_block(&g, &inputs).unwrap().outputs;
+        assert!(out["larc"] >= 0);
+        assert!(out["larc"] <= 63);
+    }
+
+    #[test]
+    fn program_has_three_profiled_blocks() {
+        let p = program();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.block_count(), 3);
+        assert!(p.block(0).exec_count() > p.block(2).exec_count());
+    }
+}

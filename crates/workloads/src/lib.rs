@@ -1,0 +1,38 @@
+//! # ise-workloads — embedded kernels expressed as dataflow graphs
+//!
+//! The paper evaluates its identification algorithms on MediaBench applications compiled
+//! to MachSUIF and preprocessed with if-conversion. Neither MediaBench's C sources nor
+//! MachSUIF are reproduced here; instead this crate provides hand-written dataflow graphs
+//! of the same hot kernels (ADPCM decode/encode, GSM arithmetic, G.721/G.726
+//! quantisation, an EPIC-style FIR filter, a JPEG 1-D IDCT pass, DES, CRC-32, SHA-1 and a
+//! Viterbi butterfly), in their post-if-conversion form (selector nodes instead of
+//! branches) and with realistic profile weights. The identification and selection
+//! algorithms only look at the structure of these graphs — operation mix, fan-in/fan-out,
+//! memory accesses, live-in/live-out counts — so reproducing that structure preserves the
+//! qualitative behaviour the paper reports (see DESIGN.md for the substitution argument).
+//!
+//! The crate also contains a parameterised [`random`] DAG generator used by the Fig. 8
+//! scaling experiment and by the property-based tests.
+//!
+//! # Example
+//!
+//! ```
+//! use ise_workloads::suite;
+//!
+//! let programs = suite::mediabench_like();
+//! assert!(programs.iter().any(|p| p.name() == "adpcmdecode"));
+//! for program in &programs {
+//!     program.validate().expect("all bundled kernels are well-formed");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adpcm;
+pub mod crypto;
+pub mod dsp;
+pub mod gsm;
+pub mod g721;
+pub mod random;
+pub mod suite;

@@ -1,0 +1,57 @@
+//! Algorithm comparison across the bundled benchmark suite (a console version of the
+//! Fig. 11 experiment).
+//!
+//! Run with `cargo run --release --example compare_algorithms`.
+//!
+//! For every bundled application and a small sweep of register-file port constraints,
+//! the example prints the estimated application speed-up obtained by the paper's
+//! Iterative algorithm and by the two prior-art baselines (Clubbing and MaxMISO), with up
+//! to 16 special instructions each.
+
+use ise::baselines::{select_greedy, Clubbing, MaxMiso};
+use ise::core::{select_iterative, Constraints, SelectionOptions};
+use ise::hw::{DefaultCostModel, SoftwareLatencyModel};
+use ise::workloads::suite;
+
+fn main() {
+    let model = DefaultCostModel::new();
+    let software = SoftwareLatencyModel::new();
+    let constraints_sweep = [
+        Constraints::new(2, 1),
+        Constraints::new(4, 2),
+        Constraints::new(8, 4),
+    ];
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "benchmark", "Nin/Nout", "Iterative", "Clubbing", "MaxMISO"
+    );
+    for program in suite::mediabench_like() {
+        for constraints in constraints_sweep {
+            let iterative = select_iterative(
+                &program,
+                constraints,
+                &model,
+                SelectionOptions::new(16).with_exploration_budget(2_000_000),
+            )
+            .speedup_report(&program, &software)
+            .speedup;
+            let clubbing = select_greedy(&program, &Clubbing::new(), constraints, &model, 16)
+                .speedup_report(&program, &software)
+                .speedup;
+            let maxmiso = select_greedy(&program, &MaxMiso::new(), constraints, &model, 16)
+                .speedup_report(&program, &software)
+                .speedup;
+            println!(
+                "{:<14} {:>7}/{:<2} {:>11.3}x {:>11.3}x {:>11.3}x",
+                program.name(),
+                constraints.max_inputs,
+                constraints.max_outputs,
+                iterative,
+                clubbing,
+                maxmiso
+            );
+        }
+    }
+    println!("\n(larger is better; the Iterative column is the paper's contribution)");
+}

@@ -1,0 +1,53 @@
+//! # ise — automatic application-specific instruction-set extensions
+//!
+//! A faithful, self-contained reproduction of *Atasu, Pozzi and Ienne, "Automatic
+//! Application-Specific Instruction-Set Extensions under Microarchitectural Constraints"*
+//! (DAC 2003 / International Journal of Parallel Programming 31(6), 2003).
+//!
+//! This facade crate re-exports the workspace crates under a single name:
+//!
+//! * [`ir`] — dataflow/control-flow IR, builder, interpreter, Graphviz export;
+//! * [`passes`] — if-conversion, dead-code elimination, constant folding, unrolling;
+//! * [`hw`] — software latency, hardware delay and area models, merit functions;
+//! * [`core`] — cut identification (single and multiple) and instruction selection
+//!   (optimal and iterative), plus cut collapsing into AFU instructions;
+//! * [`baselines`] — the Clubbing and MaxMISO comparison algorithms;
+//! * [`workloads`] — MediaBench-like kernels and random graph generation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ise::core::{select_iterative, Constraints, SelectionOptions};
+//! use ise::hw::{DefaultCostModel, SoftwareLatencyModel};
+//! use ise::workloads::adpcm;
+//!
+//! // Identify up to four special instructions for the ADPCM decoder with a register
+//! // file offering 4 read ports and 2 write ports.
+//! let program = adpcm::decode_program();
+//! let model = DefaultCostModel::new();
+//! let selection = select_iterative(
+//!     &program,
+//!     Constraints::new(4, 2),
+//!     &model,
+//!     SelectionOptions::new(4),
+//! );
+//! assert!(!selection.is_empty());
+//! let report = selection.speedup_report(&program, &SoftwareLatencyModel::new());
+//! assert!(report.speedup > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Baseline identification algorithms (Clubbing, MaxMISO, single-node).
+pub use ise_baselines as baselines;
+/// Identification and selection algorithms — the paper's contribution.
+pub use ise_core as core;
+/// Cost models: software latency, hardware delay, area, speed-up accounting.
+pub use ise_hw as hw;
+/// Dataflow and control-flow intermediate representation.
+pub use ise_ir as ir;
+/// IR transformation passes (if-conversion, DCE, constant folding, unrolling).
+pub use ise_passes as passes;
+/// Benchmark kernels and random graph generators.
+pub use ise_workloads as workloads;

@@ -1,0 +1,100 @@
+//! Integration test reproducing the behaviour of Figs. 4, 5 and 7 of the paper: the
+//! search tree over the 4-node example graph, with output-port and convexity pruning.
+
+use ise::core::{exhaustive, identify_single_cut, Constraints, CutSet};
+use ise::core::cut;
+use ise::hw::DefaultCostModel;
+use ise::ir::{Dfg, DfgBuilder, NodeId};
+
+/// The example graph of Fig. 4: a multiply feeding a shift and an add, both feeding a
+/// final add (graph node indices here are in def-before-use order, the reverse of the
+/// paper's topological numbering).
+fn fig4_graph() -> Dfg {
+    let mut b = DfgBuilder::new("fig4");
+    let x = b.input("x");
+    let y = b.input("y");
+    let mul = b.mul(x, y);
+    let shr = b.lshr(mul, b.imm(2));
+    let add1 = b.add(mul, y);
+    let add0 = b.add(shr, add1);
+    b.output("out", add0);
+    b.finish()
+}
+
+#[test]
+fn the_fig4_cut_is_nonconvex_and_therefore_illegal() {
+    let g = fig4_graph();
+    // The highlighted subgraph of Fig. 4: the multiply plus the final add, with the two
+    // intermediate operations excluded.
+    let illegal = CutSet::from_nodes(&g, [NodeId::new(0), NodeId::new(3)]);
+    assert!(!cut::is_convex(&g, &illegal));
+    // Including either intermediate node alone is not enough; including both restores
+    // convexity (the only ways to regain feasibility discussed in Section 6.1).
+    let with_shr = CutSet::from_nodes(&g, [NodeId::new(0), NodeId::new(1), NodeId::new(3)]);
+    let with_add1 = CutSet::from_nodes(&g, [NodeId::new(0), NodeId::new(2), NodeId::new(3)]);
+    let with_both = CutSet::from_nodes(&g, g.node_ids());
+    assert!(!cut::is_convex(&g, &with_shr));
+    assert!(!cut::is_convex(&g, &with_add1));
+    assert!(cut::is_convex(&g, &with_both));
+}
+
+#[test]
+fn pruning_skips_part_of_the_sixteen_cut_search_space() {
+    let g = fig4_graph();
+    let model = DefaultCostModel::new();
+    // Fig. 7 uses Nout = 1 (and no input constraint).
+    let outcome = identify_single_cut(&g, Constraints::new(8, 1), &model);
+    let stats = outcome.stats;
+    let total_nonempty_cuts = 15u64; // 2^4 - 1
+    assert!(stats.cuts_considered < total_nonempty_cuts);
+    assert!(stats.cuts_considered >= stats.feasible_cuts);
+    assert_eq!(
+        stats.cuts_considered,
+        stats.feasible_cuts + stats.pruned_output + stats.pruned_convexity + stats.pruned_node_budget
+    );
+    // At least one subtree was eliminated outright (cuts never even considered).
+    assert!(total_nonempty_cuts - stats.cuts_considered >= 1);
+    // Both kinds of pruning fire on this example.
+    assert!(stats.pruned_output > 0);
+}
+
+#[test]
+fn pruned_search_agrees_with_exhaustive_enumeration_on_the_example() {
+    let g = fig4_graph();
+    let model = DefaultCostModel::new();
+    for constraints in [
+        Constraints::new(8, 1),
+        Constraints::new(2, 1),
+        Constraints::new(2, 2),
+        Constraints::new(1, 1),
+    ] {
+        let fast = identify_single_cut(&g, constraints, &model);
+        let oracle = exhaustive::best_cut_exhaustive(&g, constraints, &model);
+        assert_eq!(
+            fast.best_merit(),
+            oracle.best.as_ref().map_or(0.0, |b| b.evaluation.merit),
+            "under {constraints}"
+        );
+        // When both find a cut, the cut itself must satisfy every constraint.
+        if let Some(best) = fast.best {
+            assert!(best.evaluation.inputs <= constraints.max_inputs);
+            assert!(best.evaluation.outputs <= constraints.max_outputs);
+            assert!(best.evaluation.convex);
+            assert!(cut::is_afu_legal(&g, &best.cut));
+        }
+    }
+}
+
+#[test]
+fn feasible_cut_count_matches_the_oracle_for_nout_one() {
+    let g = fig4_graph();
+    let model = DefaultCostModel::new();
+    // Count all cuts that satisfy Nout = 1 + convexity (any number of inputs) by brute
+    // force, and check the search's feasible counter does not exceed it (the search only
+    // visits a subset of the distinct cuts thanks to subtree elimination).
+    let constraints = Constraints::new(8, 1);
+    let oracle = exhaustive::best_cut_exhaustive(&g, constraints, &model);
+    let fast = identify_single_cut(&g, constraints, &model);
+    assert!(fast.stats.feasible_cuts <= oracle.stats.feasible_cuts);
+    assert!(oracle.stats.feasible_cuts > 0);
+}
