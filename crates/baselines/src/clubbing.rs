@@ -96,8 +96,7 @@ impl IdentificationAlgorithm for Clubbing {
                     && candidate.evaluation.convex
                     && constraints
                         .ports_ok(candidate.evaluation.inputs, candidate.evaluation.outputs)
-                    && constraints
-                        .budget_ok(candidate.evaluation.area, candidate.evaluation.nodes)
+                    && constraints.budget_ok(candidate.evaluation.area, candidate.evaluation.nodes)
             })
             .collect()
     }

@@ -17,6 +17,12 @@
 //! basic block; [`select_greedy`] then picks up to `Ninstr` non-overlapping candidates
 //! across the whole application by decreasing dynamic saving, mirroring how the paper
 //! turns per-block candidates into an instruction set.
+//!
+//! They also implement the unified [`Identifier`](ise_core::engine::Identifier) trait of
+//! the `ise-core` engine, so every baseline is reachable through the
+//! [`IdentifierRegistry`] by name (`"clubbing"`, `"maxmiso"`, `"single-node"`) and can be
+//! driven by the same `rayon`-parallel program driver as the exact algorithms:
+//! [`full_registry`] returns all six bundled algorithms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +31,10 @@ mod clubbing;
 mod maxmiso;
 mod single_node;
 
-use ise_core::selection::{ChosenCut, SelectionResult};
-use ise_core::{Constraints, IdentifiedCut};
+use ise_core::cut::CutSet;
+use ise_core::engine::{Identifier, IdentifierRegistry};
+use ise_core::selection::SelectionResult;
+use ise_core::{Constraints, IdentifiedCut, SearchOutcome, SearchStats};
 use ise_hw::CostModel;
 use ise_ir::{Dfg, Program};
 
@@ -35,7 +43,10 @@ pub use maxmiso::MaxMiso;
 pub use single_node::SingleNode;
 
 /// A candidate-generation algorithm that can be plugged into the comparison harness.
-pub trait IdentificationAlgorithm {
+///
+/// `Sync` is a supertrait so that the engine bridge below can hand any baseline to the
+/// thread-fanning program driver; baselines are stateless, so this costs nothing.
+pub trait IdentificationAlgorithm: Sync {
     /// Short human-readable name, used in reports ("Clubbing", "MaxMISO", …).
     fn name(&self) -> &'static str;
 
@@ -52,9 +63,88 @@ pub trait IdentificationAlgorithm {
     ) -> Vec<IdentifiedCut>;
 }
 
+/// Shared [`Identifier`] bridge body for the one-shot baselines: report all disjoint
+/// candidates in [`SearchOutcome::candidates`], implementing exclusion by dropping the
+/// candidates that touch excluded nodes.
+fn baseline_outcome(
+    algorithm: &dyn IdentificationAlgorithm,
+    dfg: &Dfg,
+    excluded: Option<&CutSet>,
+    constraints: &Constraints,
+    model: &dyn CostModel,
+) -> SearchOutcome {
+    let mut candidates = algorithm.candidates(dfg, *constraints, model);
+    // The effort statistic reflects the enumeration, which is identical with or without
+    // exclusions — count before dropping excluded candidates.
+    let enumerated = candidates.len() as u64;
+    if let Some(excluded) = excluded {
+        candidates.retain(|candidate| !candidate.cut.intersects(excluded));
+    }
+    let stats = SearchStats {
+        cuts_considered: enumerated,
+        feasible_cuts: candidates.len() as u64,
+        ..SearchStats::default()
+    };
+    SearchOutcome::from_candidates(candidates, stats)
+}
+
+/// Implements the engine [`Identifier`] trait for a baseline type. (A blanket impl over
+/// `IdentificationAlgorithm` would fall foul of the orphan rule: `Identifier` lives in
+/// `ise-core`.) Baselines enumerate all their candidates up front, so they are
+/// non-refining and the program driver merges them with its one-shot greedy strategy.
+macro_rules! impl_identifier_for_baseline {
+    ($type:ty, $registry_name:literal) => {
+        impl Identifier for $type {
+            fn name(&self) -> &'static str {
+                $registry_name
+            }
+
+            fn identify_excluding(
+                &self,
+                dfg: &Dfg,
+                excluded: Option<&CutSet>,
+                constraints: &Constraints,
+                model: &dyn CostModel,
+            ) -> SearchOutcome {
+                baseline_outcome(self, dfg, excluded, constraints, model)
+            }
+
+            fn refines_under_exclusion(&self) -> bool {
+                false
+            }
+        }
+    };
+}
+
+impl_identifier_for_baseline!(Clubbing, "clubbing");
+impl_identifier_for_baseline!(MaxMiso, "maxmiso");
+impl_identifier_for_baseline!(SingleNode, "single-node");
+
+/// Registers the three baselines in an existing registry.
+pub fn register_baselines(registry: &mut IdentifierRegistry) {
+    registry.register("clubbing", |_| Box::new(Clubbing::new()));
+    registry.register("maxmiso", |_| Box::new(MaxMiso::new()));
+    registry.register("single-node", |_| Box::new(SingleNode::new()));
+}
+
+/// Returns the registry holding all six bundled identification algorithms:
+/// `"single-cut"`, `"multicut"`, `"exhaustive"`, `"clubbing"`, `"maxmiso"` and
+/// `"single-node"`.
+#[must_use]
+pub fn full_registry() -> IdentifierRegistry {
+    let mut registry = IdentifierRegistry::core_algorithms();
+    register_baselines(&mut registry);
+    registry
+}
+
 /// Greedy cross-block selection shared by all baselines: sort every candidate by dynamic
 /// saving (merit × block execution count) and keep the best `max_instructions`
 /// non-overlapping ones.
+///
+/// This is a thin front over the engine's one-shot driver strategy
+/// ([`ise_core::engine::select_program`]), bridging any
+/// [`IdentificationAlgorithm`] trait object into an [`Identifier`]; the greedy merge
+/// logic lives in one place, in the engine.
 #[must_use]
 pub fn select_greedy(
     program: &Program,
@@ -63,43 +153,35 @@ pub fn select_greedy(
     model: &dyn CostModel,
     max_instructions: usize,
 ) -> SelectionResult {
-    let mut pool: Vec<(usize, IdentifiedCut, f64)> = Vec::new();
-    let mut identifier_calls = 0;
-    for (block_index, dfg) in program.blocks().iter().enumerate() {
-        identifier_calls += 1;
-        for candidate in algorithm.candidates(dfg, constraints, model) {
-            let weighted = candidate.evaluation.merit * dfg.exec_count() as f64;
-            if weighted > 0.0 {
-                pool.push((block_index, candidate, weighted));
-            }
-        }
-    }
-    pool.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    struct Bridge<'a>(&'a dyn IdentificationAlgorithm);
 
-    let mut chosen: Vec<ChosenCut> = Vec::new();
-    let mut total = 0.0;
-    for (block_index, candidate, weighted) in pool {
-        if chosen.len() >= max_instructions {
-            break;
+    impl Identifier for Bridge<'_> {
+        fn name(&self) -> &'static str {
+            "baseline"
         }
-        let overlaps = chosen.iter().any(|c| {
-            c.block_index == block_index && c.identified.cut.intersects(&candidate.cut)
-        });
-        if overlaps {
-            continue;
+
+        fn identify_excluding(
+            &self,
+            dfg: &Dfg,
+            excluded: Option<&CutSet>,
+            constraints: &Constraints,
+            model: &dyn CostModel,
+        ) -> SearchOutcome {
+            baseline_outcome(self.0, dfg, excluded, constraints, model)
         }
-        total += weighted;
-        chosen.push(ChosenCut {
-            block_index,
-            identified: candidate,
-        });
+
+        fn refines_under_exclusion(&self) -> bool {
+            false
+        }
     }
-    SelectionResult {
-        chosen,
-        total_weighted_saving: total,
-        identifier_calls,
-        cuts_considered: 0,
-    }
+
+    ise_core::engine::select_program(
+        program,
+        &Bridge(algorithm),
+        constraints,
+        model,
+        ise_core::engine::DriverOptions::new(max_instructions).sequential(),
+    )
 }
 
 #[cfg(test)]
@@ -149,6 +231,73 @@ mod tests {
                 algo.name()
             );
         }
+    }
+
+    #[test]
+    fn full_registry_resolves_all_six_algorithms() {
+        let registry = full_registry();
+        let names = registry.names();
+        for expected in [
+            "single-cut",
+            "multicut",
+            "exhaustive",
+            "clubbing",
+            "maxmiso",
+            "single-node",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing: {names:?}");
+            let identifier = registry.create(expected).expect("resolvable");
+            assert_eq!(identifier.name(), expected);
+        }
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn engine_bridge_agrees_with_select_greedy() {
+        let p = sample_program();
+        let model = DefaultCostModel::new();
+        let constraints = Constraints::new(4, 2);
+        let registry = full_registry();
+        let algorithms: [(&str, &dyn IdentificationAlgorithm); 3] = [
+            ("clubbing", &Clubbing::new()),
+            ("maxmiso", &MaxMiso::new()),
+            ("single-node", &SingleNode::new()),
+        ];
+        for (name, algorithm) in algorithms {
+            let identifier = registry.create(name).expect("registered");
+            assert!(!identifier.refines_under_exclusion(), "{name}");
+            let engine = ise_core::engine::select_program(
+                &p,
+                identifier.as_ref(),
+                constraints,
+                &model,
+                ise_core::engine::DriverOptions::new(16),
+            );
+            let greedy = select_greedy(&p, algorithm, constraints, &model, 16);
+            assert_eq!(engine.len(), greedy.len(), "{name}");
+            assert!(
+                (engine.total_weighted_saving - greedy.total_weighted_saving).abs() < 1e-9,
+                "{name}: engine {} vs greedy {}",
+                engine.total_weighted_saving,
+                greedy.total_weighted_saving
+            );
+        }
+    }
+
+    #[test]
+    fn exclusion_through_the_engine_drops_touching_candidates() {
+        let p = sample_program();
+        let model = DefaultCostModel::new();
+        let constraints = Constraints::new(4, 2);
+        let block = p.block(0);
+        let identifier = Clubbing::new();
+        let all = Identifier::identify(&identifier, block, &constraints, &model);
+        let best = all.best.clone().expect("profitable cluster");
+        let filtered = identifier.identify_excluding(block, Some(&best.cut), &constraints, &model);
+        for candidate in &filtered.candidates {
+            assert!(!candidate.cut.intersects(&best.cut));
+        }
+        assert!(filtered.candidates.len() < all.candidates.len().max(1));
     }
 
     #[test]

@@ -60,8 +60,8 @@ impl MaxMiso {
             };
         }
         let mut groups: Vec<(usize, CutSet)> = Vec::new();
-        for index in 0..n {
-            let Some(group_root) = root[index] else {
+        for (index, slot) in root.iter().enumerate() {
+            let Some(group_root) = *slot else {
                 continue;
             };
             match groups.iter_mut().find(|(r, _)| *r == group_root) {
@@ -104,8 +104,7 @@ impl IdentificationAlgorithm for MaxMiso {
                     && candidate.evaluation.convex
                     && constraints
                         .ports_ok(candidate.evaluation.inputs, candidate.evaluation.outputs)
-                    && constraints
-                        .budget_ok(candidate.evaluation.area, candidate.evaluation.nodes)
+                    && constraints.budget_ok(candidate.evaluation.area, candidate.evaluation.nodes)
             })
             .collect()
     }
@@ -205,7 +204,9 @@ mod tests {
         assert_eq!(MaxMiso::partition(&g).len(), 1);
         // With 2 read ports the single MaxMISO does not fit and nothing is proposed,
         // even though a profitable 2-input subgraph exists (found by the exact search).
-        assert!(algo.candidates(&g, Constraints::new(2, 1), &model).is_empty());
+        assert!(algo
+            .candidates(&g, Constraints::new(2, 1), &model)
+            .is_empty());
         assert_eq!(algo.candidates(&g, Constraints::new(8, 1), &model).len(), 1);
         let exact = ise_core::identify_single_cut(&g, Constraints::new(2, 1), &model);
         assert!(exact.best.is_some());

@@ -23,9 +23,7 @@ fn baseline_runtime(c: &mut Criterion) {
         for algorithm in &algorithms {
             let id = BenchmarkId::new(algorithm.name(), block.name());
             group.bench_with_input(id, block, |b, block| {
-                b.iter(|| {
-                    std::hint::black_box(algorithm.candidates(block, constraints, &model))
-                });
+                b.iter(|| std::hint::black_box(algorithm.candidates(block, constraints, &model)));
             });
         }
     }

@@ -22,7 +22,10 @@ fn identification_runtime(c: &mut Criterion) {
     for block in &blocks {
         for constraints in [Constraints::new(4, 2), Constraints::new(8, 4)] {
             let id = BenchmarkId::new(
-                format!("Nin{}_Nout{}", constraints.max_inputs, constraints.max_outputs),
+                format!(
+                    "Nin{}_Nout{}",
+                    constraints.max_inputs, constraints.max_outputs
+                ),
                 block.name(),
             );
             group.bench_with_input(id, block, |b, block| {

@@ -1,8 +1,11 @@
 //! Regenerates Fig. 11 of the paper: estimated speed-up of Optimal, Iterative, Clubbing
 //! and MaxMISO on the MediaBench-like trio for a sweep of port constraints, with up to 16
-//! special instructions.
+//! special instructions. All algorithms are driven through the engine registry.
 //!
-//! Usage: `cargo run --release -p ise-bench --bin fig11 [output-dir]`
+//! Usage: `cargo run --release -p ise-bench --bin fig11 [--quick] [output-dir]`
+//!
+//! `--quick` runs the reduced smoke configuration (two constraint pairs, the GSM and
+//! G.721 benchmarks only).
 
 use std::fs;
 use std::path::PathBuf;
@@ -12,11 +15,31 @@ use ise_bench::report;
 use ise_workloads::suite;
 
 fn main() {
-    let output_dir = std::env::args()
-        .nth(1)
-        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
-    let config = Fig11Config::default();
-    let benchmarks = suite::fig11_benchmarks();
+    let mut quick = false;
+    let mut output_dir = PathBuf::from("results");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg.starts_with('-') {
+            eprintln!("error: unknown flag {arg:?}\nusage: fig11 [--quick] [output-dir]");
+            std::process::exit(2);
+        } else {
+            output_dir = PathBuf::from(arg);
+        }
+    }
+    let config = if quick {
+        Fig11Config::quick()
+    } else {
+        Fig11Config::default()
+    };
+    let benchmarks: Vec<_> = if quick {
+        suite::fig11_benchmarks()
+            .into_iter()
+            .filter(|p| p.name() != "adpcmdecode")
+            .collect()
+    } else {
+        suite::fig11_benchmarks()
+    };
     let rows = fig11::run(&benchmarks, &config);
 
     println!(
@@ -27,9 +50,18 @@ fn main() {
     print!("{}", report::fig11_markdown(&rows));
     println!();
     let checks = fig11::shape_checks(&rows);
-    println!("exact algorithms dominate baselines: {}", checks.exact_dominates_baselines);
-    println!("gap grows with port budget:          {}", checks.gap_grows_with_ports);
-    println!("Optimal ≈ Iterative:                 {}", checks.optimal_close_to_iterative);
+    println!(
+        "exact algorithms dominate baselines: {}",
+        checks.exact_dominates_baselines
+    );
+    println!(
+        "gap grows with port budget:          {}",
+        checks.gap_grows_with_ports
+    );
+    println!(
+        "Optimal ≈ Iterative:                 {}",
+        checks.optimal_close_to_iterative
+    );
     let max_area = rows.iter().map(|r| r.area).fold(0.0f64, f64::max);
     println!("largest total datapath area:         {max_area:.2} MAC-equivalents");
 

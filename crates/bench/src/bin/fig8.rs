@@ -1,8 +1,9 @@
 //! Regenerates Fig. 8 of the paper: cuts considered by the identification algorithm
 //! versus basic-block size, with `Nout = 2` and unbounded `Nin`.
 //!
-//! Usage: `cargo run --release -p ise-bench --bin fig8 [output-dir]`
+//! Usage: `cargo run --release -p ise-bench --bin fig8 [--quick] [output-dir]`
 //!
+//! `--quick` runs the reduced smoke configuration (fewer, smaller random blocks).
 //! Prints a Markdown table to stdout and writes `fig8.csv` into the output directory
 //! (default `results/`).
 
@@ -13,13 +14,29 @@ use ise_bench::fig8::{self, Fig8Config};
 use ise_bench::report;
 
 fn main() {
-    let output_dir = std::env::args()
-        .nth(1)
-        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
-    let config = Fig8Config::default();
+    let mut quick = false;
+    let mut output_dir = PathBuf::from("results");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg.starts_with('-') {
+            eprintln!("error: unknown flag {arg:?}\nusage: fig8 [--quick] [output-dir]");
+            std::process::exit(2);
+        } else {
+            output_dir = PathBuf::from(arg);
+        }
+    }
+    let config = if quick {
+        Fig8Config::quick()
+    } else {
+        Fig8Config::default()
+    };
     let rows = fig8::run(&config);
 
-    println!("# Fig. 8 — search-space size (Nout = {})", config.max_outputs);
+    println!(
+        "# Fig. 8 — search-space size (identifier = {}, Nout = {})",
+        config.identifier, config.max_outputs
+    );
     println!();
     print!("{}", report::fig8_markdown(&rows));
     println!();

@@ -2,16 +2,19 @@
 //! (not only the trio of the figure) and a finer constraint grid, in parallel, writing
 //! one CSV per application.
 //!
+//! The applications are fanned out with `rayon`; the per-block driver inside each
+//! application run is kept sequential so the machine is not oversubscribed.
+//!
 //! Usage: `cargo run --release -p ise-bench --bin sweep [output-dir]`
 
 use std::fs;
 use std::path::PathBuf;
-use std::thread;
 
 use ise_bench::fig11::{self, Fig11Config};
 use ise_bench::report;
 use ise_core::Constraints;
 use ise_workloads::suite;
+use rayon::prelude::*;
 
 fn main() {
     let output_dir = std::env::args()
@@ -28,24 +31,19 @@ fn main() {
             Constraints::new(8, 4),
         ],
         max_instructions: 16,
+        parallel: false,
         ..Fig11Config::default()
     };
     let benchmarks = suite::mediabench_like();
 
-    // One worker thread per application; each application's sweep is independent.
-    let results: Vec<(String, Vec<fig11::Fig11Row>)> = thread::scope(|scope| {
-        let handles: Vec<_> = benchmarks
-            .iter()
-            .map(|program| {
-                let config = &config;
-                scope.spawn(move || {
-                    let rows = fig11::run(std::slice::from_ref(program), config);
-                    (program.name().to_string(), rows)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    });
+    // One parallel task per application; each application's sweep is independent.
+    let results: Vec<(String, Vec<fig11::Fig11Row>)> = benchmarks
+        .par_iter()
+        .map(|program| {
+            let rows = fig11::run(std::slice::from_ref(program), &config);
+            (program.name().to_string(), rows)
+        })
+        .collect();
 
     if let Err(error) = fs::create_dir_all(&output_dir) {
         eprintln!("warning: cannot create {}: {error}", output_dir.display());
@@ -62,7 +60,10 @@ fn main() {
         all_rows.extend(rows);
     }
     let checks = fig11::shape_checks(&all_rows);
-    println!("exact algorithms dominate baselines: {}", checks.exact_dominates_baselines);
+    println!(
+        "exact algorithms dominate baselines: {}",
+        checks.exact_dominates_baselines
+    );
     let path = output_dir.join("sweep_all.csv");
     match fs::write(&path, report::fig11_csv(&all_rows)) {
         Ok(()) => println!("wrote {}", path.display()),

@@ -1,9 +1,16 @@
 //! Fig. 11 — estimated speed-up of Optimal, Iterative, Clubbing and MaxMISO.
+//!
+//! All per-block identification goes through the engine registry and the
+//! `rayon`-parallel program driver of `ise-core`: an algorithm is a *name*, and adding a
+//! new one to the comparison means registering it (one file in its home crate) and
+//! appending [`Algorithm::Named`] to the compared list — no new dispatch code here.
+//! Only the Optimal strategy keeps a bespoke driver ([`ise_core::select_optimal`]): it
+//! re-invokes the multiple-cut identifier with a growing cut count, which is a selection
+//! *strategy* on top of an identifier rather than a per-block identifier itself.
 
-use ise_baselines::{select_greedy, Clubbing, MaxMiso};
-use ise_core::{
-    select_iterative, select_optimal, Constraints, SelectionOptions, SelectionResult,
-};
+use ise_baselines::full_registry;
+use ise_core::engine::{select_program, DriverOptions, Identifier, IdentifierConfig};
+use ise_core::{select_optimal, Constraints, SelectionOptions, SelectionResult};
 use ise_hw::{DefaultCostModel, SoftwareLatencyModel};
 use ise_ir::Program;
 
@@ -12,12 +19,15 @@ use ise_ir::Program;
 pub enum Algorithm {
     /// The optimal selection driver over the multiple-cut identification (Section 6.2).
     Optimal,
-    /// The iterative single-cut heuristic (Section 6.3).
+    /// The iterative single-cut heuristic (Section 6.3), via the `"single-cut"`
+    /// registry entry and the parallel program driver.
     Iterative,
-    /// The Clubbing baseline (Baleani et al.).
+    /// The Clubbing baseline (Baleani et al.), via the `"clubbing"` registry entry.
     Clubbing,
-    /// The MaxMISO baseline (Alippi et al.).
+    /// The MaxMISO baseline (Alippi et al.), via the `"maxmiso"` registry entry.
     MaxMiso,
+    /// Any other registered identifier, addressed by its registry name.
+    Named(&'static str),
 }
 
 impl Algorithm {
@@ -40,6 +50,20 @@ impl Algorithm {
             Algorithm::Iterative => "Iterative",
             Algorithm::Clubbing => "Clubbing",
             Algorithm::MaxMiso => "MaxMISO",
+            Algorithm::Named(name) => name,
+        }
+    }
+
+    /// The registry name of the per-block identifier this algorithm drives, or `None`
+    /// for the bespoke Optimal strategy.
+    #[must_use]
+    pub fn identifier_name(self) -> Option<&'static str> {
+        match self {
+            Algorithm::Optimal => None,
+            Algorithm::Iterative => Some("single-cut"),
+            Algorithm::Clubbing => Some("clubbing"),
+            Algorithm::MaxMiso => Some("maxmiso"),
+            Algorithm::Named(name) => Some(name),
         }
     }
 }
@@ -80,6 +104,9 @@ pub struct Fig11Config {
     /// Skip the Optimal algorithm on blocks larger than this many nodes (the paper could
     /// not run Optimal on adpcmdecode's largest blocks); `None` disables the guard.
     pub optimal_block_limit: Option<usize>,
+    /// Fan the per-block identification out across threads. The rows are identical
+    /// either way; this only trades wall-clock for cores.
+    pub parallel: bool,
 }
 
 impl Default for Fig11Config {
@@ -89,6 +116,75 @@ impl Default for Fig11Config {
             max_instructions: 16,
             exploration_budget: Some(crate::DEFAULT_EXPLORATION_BUDGET),
             optimal_block_limit: Some(24),
+            parallel: true,
+        }
+    }
+}
+
+impl Fig11Config {
+    /// A reduced configuration for smoke runs: two constraint pairs, 8 instructions.
+    #[must_use]
+    pub fn quick() -> Self {
+        Fig11Config {
+            constraints: vec![Constraints::new(2, 1), Constraints::new(4, 2)],
+            max_instructions: 8,
+            ..Fig11Config::default()
+        }
+    }
+
+    /// The engine configuration handed to registry factories.
+    #[must_use]
+    fn engine_config(&self) -> IdentifierConfig {
+        IdentifierConfig::default().with_exploration_budget(self.exploration_budget)
+    }
+}
+
+/// Runs one algorithm on one benchmark under one constraint pair and returns the
+/// resulting selection.
+#[must_use]
+pub fn select(
+    program: &Program,
+    algorithm: Algorithm,
+    constraints: Constraints,
+    config: &Fig11Config,
+) -> SelectionResult {
+    let model = DefaultCostModel::new();
+    let registry = full_registry();
+    let driver_options = if config.parallel {
+        DriverOptions::new(config.max_instructions)
+    } else {
+        DriverOptions::new(config.max_instructions).sequential()
+    };
+    let run_registry = |name: &str| -> SelectionResult {
+        let identifier: Box<dyn Identifier> = registry
+            .create_configured(name, &config.engine_config())
+            .unwrap_or_else(|| panic!("unknown identifier {name:?}"));
+        select_program(
+            program,
+            identifier.as_ref(),
+            constraints,
+            &model,
+            driver_options,
+        )
+    };
+    match algorithm.identifier_name() {
+        Some(name) => run_registry(name),
+        None => {
+            let too_large = config
+                .optimal_block_limit
+                .is_some_and(|limit| program.blocks().iter().any(|b| b.node_count() > limit));
+            if too_large {
+                // Fall back to the iterative heuristic exactly as the paper had to do for
+                // adpcmdecode; the row is still reported under the Optimal label so the
+                // figure keeps the same series.
+                run_registry("single-cut")
+            } else {
+                let mut options = SelectionOptions::new(config.max_instructions);
+                if let Some(budget) = config.exploration_budget {
+                    options = options.with_exploration_budget(budget);
+                }
+                select_optimal(program, constraints, &model, options)
+            }
         }
     }
 }
@@ -101,42 +197,8 @@ pub fn evaluate(
     constraints: Constraints,
     config: &Fig11Config,
 ) -> Fig11Row {
-    let model = DefaultCostModel::new();
     let software = SoftwareLatencyModel::new();
-    let mut options = SelectionOptions::new(config.max_instructions);
-    if let Some(budget) = config.exploration_budget {
-        options = options.with_exploration_budget(budget);
-    }
-    let selection: SelectionResult = match algorithm {
-        Algorithm::Iterative => select_iterative(program, constraints, &model, options),
-        Algorithm::Optimal => {
-            let too_large = config.optimal_block_limit.is_some_and(|limit| {
-                program.blocks().iter().any(|b| b.node_count() > limit)
-            });
-            if too_large {
-                // Fall back to the iterative heuristic exactly as the paper had to do for
-                // adpcmdecode; the row is still reported under the Optimal label so the
-                // figure keeps the same series.
-                select_iterative(program, constraints, &model, options)
-            } else {
-                select_optimal(program, constraints, &model, options)
-            }
-        }
-        Algorithm::Clubbing => select_greedy(
-            program,
-            &Clubbing::new(),
-            constraints,
-            &model,
-            config.max_instructions,
-        ),
-        Algorithm::MaxMiso => select_greedy(
-            program,
-            &MaxMiso::new(),
-            constraints,
-            &model,
-            config.max_instructions,
-        ),
-    };
+    let selection = select(program, algorithm, constraints, config);
     let report = selection.speedup_report(program, &software);
     Fig11Row {
         benchmark: program.name().to_string(),
@@ -159,10 +221,20 @@ pub fn evaluate(
 /// Runs the full comparison over a set of benchmarks.
 #[must_use]
 pub fn run(benchmarks: &[Program], config: &Fig11Config) -> Vec<Fig11Row> {
+    run_algorithms(benchmarks, &Algorithm::all(), config)
+}
+
+/// Runs the comparison for an explicit list of algorithms.
+#[must_use]
+pub fn run_algorithms(
+    benchmarks: &[Program],
+    algorithms: &[Algorithm],
+    config: &Fig11Config,
+) -> Vec<Fig11Row> {
     let mut rows = Vec::new();
     for program in benchmarks {
         for &constraints in &config.constraints {
-            for algorithm in Algorithm::all() {
+            for &algorithm in algorithms {
                 rows.push(evaluate(program, algorithm, constraints, config));
             }
         }
@@ -198,7 +270,8 @@ pub fn shape_checks(rows: &[Fig11Row]) -> ShapeChecks {
     let mut benchmarks: Vec<&str> = rows.iter().map(|r| r.benchmark.as_str()).collect();
     benchmarks.sort_unstable();
     benchmarks.dedup();
-    let mut pairs: Vec<(usize, usize)> = rows.iter().map(|r| (r.max_inputs, r.max_outputs)).collect();
+    let mut pairs: Vec<(usize, usize)> =
+        rows.iter().map(|r| (r.max_inputs, r.max_outputs)).collect();
     pairs.sort_unstable();
     pairs.dedup();
 
@@ -250,11 +323,7 @@ mod tests {
 
     #[test]
     fn single_benchmark_comparison_has_the_expected_shape() {
-        let config = Fig11Config {
-            constraints: vec![Constraints::new(2, 1), Constraints::new(4, 2)],
-            max_instructions: 8,
-            ..Fig11Config::default()
-        };
+        let config = Fig11Config::quick();
         let programs = vec![gsm::program(), g721::program()];
         let rows = run(&programs, &config);
         assert_eq!(rows.len(), 2 * 2 * 4);
@@ -270,7 +339,11 @@ mod tests {
     #[test]
     fn looser_constraints_never_reduce_the_iterative_speedup() {
         let config = Fig11Config {
-            constraints: vec![Constraints::new(2, 1), Constraints::new(4, 2), Constraints::new(8, 4)],
+            constraints: vec![
+                Constraints::new(2, 1),
+                Constraints::new(4, 2),
+                Constraints::new(8, 4),
+            ],
             max_instructions: 8,
             ..Fig11Config::default()
         };
@@ -281,5 +354,41 @@ mod tests {
             assert!(row.speedup + 1e-9 >= last);
             last = row.speedup;
         }
+    }
+
+    #[test]
+    fn parallel_and_sequential_rows_are_identical() {
+        let parallel = Fig11Config::quick();
+        let sequential = Fig11Config {
+            parallel: false,
+            ..Fig11Config::quick()
+        };
+        let program = gsm::program();
+        for algorithm in Algorithm::all() {
+            let a = evaluate(&program, algorithm, Constraints::new(4, 2), &parallel);
+            let b = evaluate(&program, algorithm, Constraints::new(4, 2), &sequential);
+            assert_eq!(a, b, "{}", algorithm.name());
+        }
+    }
+
+    #[test]
+    fn named_algorithms_run_through_the_registry() {
+        let config = Fig11Config::quick();
+        let program = gsm::program();
+        let row = evaluate(
+            &program,
+            Algorithm::Named("single-node"),
+            Constraints::new(4, 2),
+            &config,
+        );
+        assert_eq!(row.algorithm, "single-node");
+        // The trivial per-node baseline never beats the exact search.
+        let exact = evaluate(
+            &program,
+            Algorithm::Iterative,
+            Constraints::new(4, 2),
+            &config,
+        );
+        assert!(exact.speedup + 1e-9 >= row.speedup);
     }
 }

@@ -87,7 +87,10 @@ pub fn extract_afu_graph(dfg: &Dfg, cut: &CutSet, name: &str) -> Dfg {
 #[must_use]
 pub fn collapse_cut(dfg: &Dfg, cut: &CutSet, afu_id: u16, name: &str) -> CollapseResult {
     assert!(!cut.is_empty(), "cannot collapse an empty cut");
-    assert!(cut::is_convex(dfg, cut), "only convex cuts can be collapsed");
+    assert!(
+        cut::is_convex(dfg, cut),
+        "only convex cuts can be collapsed"
+    );
     assert!(
         cut::is_afu_legal(dfg, cut),
         "cut contains nodes that cannot be implemented in an AFU"
@@ -132,11 +135,7 @@ pub fn collapse_cut(dfg: &Dfg, cut: &CutSet, afu_id: u16, name: &str) -> Collaps
                 value_map: &mut BTreeMap<Operand, Operand>,
                 id: NodeId,
                 node: &Node| {
-        let operands = node
-            .operands
-            .iter()
-            .map(|o| remap(value_map, o))
-            .collect();
+        let operands = node.operands.iter().map(|o| remap(value_map, o)).collect();
         let new_id = rewritten.add_node(Node {
             opcode: node.opcode,
             operands,
@@ -226,14 +225,13 @@ mod tests {
         b.finish()
     }
 
-    fn eval(
-        dfg: &Dfg,
-        afus: Vec<AfuSpec>,
-        inputs: &[(&str, i32)],
-    ) -> Map<String, i32> {
+    fn eval(dfg: &Dfg, afus: Vec<AfuSpec>, inputs: &[(&str, i32)]) -> Map<String, i32> {
         let mut evaluator = Evaluator::with_afus(afus);
         let bindings: Map<String, i32> = inputs.iter().map(|(k, v)| (k.to_string(), *v)).collect();
-        evaluator.eval_block(dfg, &bindings).expect("evaluation").outputs
+        evaluator
+            .eval_block(dfg, &bindings)
+            .expect("evaluation")
+            .outputs
     }
 
     #[test]
@@ -279,7 +277,11 @@ mod tests {
         let result = collapse_cut(&g, &cut, 3, "satmac_all");
         assert!(result.rewritten.validate().is_ok());
         assert_eq!(result.outputs, 2);
-        assert_eq!(result.rewritten.node_count(), 2, "two AFU output nodes remain");
+        assert_eq!(
+            result.rewritten.node_count(),
+            2,
+            "two AFU output nodes remain"
+        );
         let spec = AfuSpec {
             id: 3,
             name: "satmac_all".into(),

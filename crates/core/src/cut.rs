@@ -118,10 +118,7 @@ impl CutSet {
     /// Returns `true` if the two cuts share at least one node.
     #[must_use]
     pub fn intersects(&self, other: &CutSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Adds every node of `other` to this cut.
@@ -183,17 +180,13 @@ pub fn input_sources(dfg: &Dfg, cut: &CutSet) -> Vec<Operand> {
     for id in cut.iter() {
         for operand in &dfg.node(id).operands {
             match *operand {
-                Operand::Node(n) if !cut.contains(n) => {
-                    if !seen_nodes[n.index()] {
-                        seen_nodes[n.index()] = true;
-                        sources.push(Operand::Node(n));
-                    }
+                Operand::Node(n) if !cut.contains(n) && !seen_nodes[n.index()] => {
+                    seen_nodes[n.index()] = true;
+                    sources.push(Operand::Node(n));
                 }
-                Operand::Input(p) => {
-                    if !seen_inputs[p.index()] {
-                        seen_inputs[p.index()] = true;
-                        sources.push(Operand::Input(p));
-                    }
+                Operand::Input(p) if !seen_inputs[p.index()] => {
+                    seen_inputs[p.index()] = true;
+                    sources.push(Operand::Input(p));
                 }
                 _ => {}
             }
@@ -215,8 +208,7 @@ pub fn output_nodes(dfg: &Dfg, cut: &CutSet) -> Vec<NodeId> {
     cut.iter()
         .filter(|&id| {
             dfg.node(id).opcode.has_result()
-                && (dfg.is_output_source(id)
-                    || dfg.consumers(id).iter().any(|c| !cut.contains(*c)))
+                && (dfg.is_output_source(id) || dfg.consumers(id).iter().any(|c| !cut.contains(*c)))
         })
         .collect()
 }
@@ -310,10 +302,7 @@ pub fn evaluate(dfg: &Dfg, cut: &CutSet, model: &dyn CostModel) -> CutEvaluation
         finish[id.index()] = done;
         critical_path = critical_path.max(done);
     }
-    let area: f64 = cut
-        .iter()
-        .map(|id| model.hardware_area(dfg.node(id)))
-        .sum();
+    let area: f64 = cut.iter().map(|id| model.hardware_area(dfg.node(id))).sum();
     let hardware_cycles = model.cycles_for_delay(critical_path);
     CutEvaluation {
         nodes: cut.len(),

@@ -1,0 +1,373 @@
+//! The program-level identification driver.
+//!
+//! One [`Identifier`] works on a single basic block; real applications have many blocks,
+//! and the per-block searches are completely independent. The driver fans them out with
+//! `rayon` and merges the results into a [`SelectionResult`] whose content is
+//! **deterministic and identical whether the fan-out runs parallel or sequential**:
+//! per-block outcomes are collected in block order before any cross-block decision is
+//! made, statistics are summed in block order, and every tie-break is index-based.
+//!
+//! Two merge strategies cover all bundled algorithms, chosen automatically through
+//! [`Identifier::refines_under_exclusion`]:
+//!
+//! * **iterative** (exact algorithms): repeatedly identify on every block whose
+//!   exclusion set changed, commit the globally best candidate, exclude its nodes and
+//!   re-identify that block — the Section 6.3 strategy, generalised to any identifier;
+//! * **one-shot** (baselines): identify every block once, pool all disjoint candidates
+//!   and commit them greedily by dynamic saving — the cross-block strategy the paper
+//!   applies to the prior-art techniques.
+
+use ise_hw::CostModel;
+use ise_ir::Program;
+use rayon::prelude::*;
+
+use crate::constraints::Constraints;
+use crate::cut::CutSet;
+use crate::search::{IdentifiedCut, SearchOutcome};
+use crate::selection::{ChosenCut, SelectionResult};
+
+use super::Identifier;
+
+/// Options for the program-level driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverOptions {
+    /// Maximum number of special instructions to select (`Ninstr`).
+    pub max_instructions: usize,
+    /// Fan identification out across basic blocks with `rayon`. The result is
+    /// byte-identical to the sequential path; this only trades wall-clock for cores.
+    pub parallel: bool,
+}
+
+impl DriverOptions {
+    /// Parallel driver options selecting up to `max_instructions` instructions.
+    #[must_use]
+    pub fn new(max_instructions: usize) -> Self {
+        DriverOptions {
+            max_instructions,
+            parallel: true,
+        }
+    }
+
+    /// Switches the per-block fan-out to the sequential path.
+    #[must_use]
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+/// Runs `identifier` once on each listed block (`(block_index, exclusions)` pairs) and
+/// returns the outcomes in the same order. With `parallel` set the per-block runs are
+/// fanned out with `rayon`; the returned order is unaffected.
+#[must_use]
+pub fn identify_blocks(
+    program: &Program,
+    identifier: &dyn Identifier,
+    work: &[(usize, Option<&CutSet>)],
+    constraints: Constraints,
+    model: &dyn CostModel,
+    parallel: bool,
+) -> Vec<SearchOutcome> {
+    let run = |&(block_index, excluded): &(usize, Option<&CutSet>)| {
+        identifier.identify_excluding(program.block(block_index), excluded, &constraints, model)
+    };
+    if parallel && work.len() > 1 {
+        work.par_iter().map(run).collect()
+    } else {
+        work.iter().map(run).collect()
+    }
+}
+
+/// Identifies candidate instructions on every block of `program` (no exclusions) and
+/// returns one outcome per block, in block order.
+#[must_use]
+pub fn identify_program(
+    program: &Program,
+    identifier: &dyn Identifier,
+    constraints: Constraints,
+    model: &dyn CostModel,
+    parallel: bool,
+) -> Vec<SearchOutcome> {
+    let work: Vec<(usize, Option<&CutSet>)> =
+        (0..program.block_count()).map(|b| (b, None)).collect();
+    identify_blocks(program, identifier, &work, constraints, model, parallel)
+}
+
+/// Selects up to `options.max_instructions` instructions across the whole program using
+/// `identifier`, with the per-block identification fanned out in parallel.
+///
+/// The merge strategy follows [`Identifier::refines_under_exclusion`]; see the module
+/// documentation. The result is deterministic for a given input and identical for the
+/// parallel and sequential paths.
+#[must_use]
+pub fn select_program(
+    program: &Program,
+    identifier: &dyn Identifier,
+    constraints: Constraints,
+    model: &dyn CostModel,
+    options: DriverOptions,
+) -> SelectionResult {
+    if identifier.refines_under_exclusion() {
+        select_iteratively(program, identifier, constraints, model, options)
+    } else {
+        select_one_shot(program, identifier, constraints, model, options)
+    }
+}
+
+/// Iterative strategy: re-identify blocks whose exclusion set changed, commit the best.
+fn select_iteratively(
+    program: &Program,
+    identifier: &dyn Identifier,
+    constraints: Constraints,
+    model: &dyn CostModel,
+    options: DriverOptions,
+) -> SelectionResult {
+    let block_count = program.block_count();
+    let mut excluded: Vec<CutSet> = program.blocks().iter().map(CutSet::for_dfg).collect();
+    let mut candidate: Vec<Option<IdentifiedCut>> = vec![None; block_count];
+    let mut stale: Vec<bool> = vec![true; block_count];
+    let mut result = SelectionResult {
+        chosen: Vec::new(),
+        total_weighted_saving: 0.0,
+        identifier_calls: 0,
+        cuts_considered: 0,
+    };
+
+    while result.chosen.len() < options.max_instructions {
+        let stale_blocks: Vec<usize> = (0..block_count).filter(|&b| stale[b]).collect();
+        let work: Vec<(usize, Option<&CutSet>)> = stale_blocks
+            .iter()
+            .map(|&b| (b, Some(&excluded[b])))
+            .collect();
+        let outcomes = identify_blocks(
+            program,
+            identifier,
+            &work,
+            constraints,
+            model,
+            options.parallel,
+        );
+        for (&block_index, outcome) in stale_blocks.iter().zip(outcomes) {
+            result.identifier_calls += 1;
+            result.cuts_considered += outcome.stats.cuts_considered;
+            candidate[block_index] = outcome.best;
+            stale[block_index] = false;
+        }
+        // Commit the candidate saving the most dynamic cycles (merit × block frequency);
+        // ties resolve to the highest block index, as in the pre-engine implementation.
+        let best_block = (0..block_count)
+            .filter(|&b| candidate[b].is_some())
+            .max_by(|&a, &b| {
+                let weight = |index: usize| {
+                    candidate[index].as_ref().unwrap().evaluation.merit
+                        * program.block(index).exec_count() as f64
+                };
+                weight(a)
+                    .partial_cmp(&weight(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        let Some(block_index) = best_block else {
+            break;
+        };
+        let identified = candidate[block_index].take().expect("candidate present");
+        let weighted = identified.evaluation.merit * program.block(block_index).exec_count() as f64;
+        if weighted <= 0.0 {
+            break;
+        }
+        excluded[block_index].union_with(&identified.cut);
+        stale[block_index] = true;
+        result.total_weighted_saving += weighted;
+        result.chosen.push(ChosenCut {
+            block_index,
+            identified,
+        });
+    }
+    result
+}
+
+/// One-shot strategy: pool all per-block candidates, commit greedily by dynamic saving.
+fn select_one_shot(
+    program: &Program,
+    identifier: &dyn Identifier,
+    constraints: Constraints,
+    model: &dyn CostModel,
+    options: DriverOptions,
+) -> SelectionResult {
+    let outcomes = identify_program(program, identifier, constraints, model, options.parallel);
+    let mut result = SelectionResult {
+        chosen: Vec::new(),
+        total_weighted_saving: 0.0,
+        identifier_calls: program.block_count() as u64,
+        cuts_considered: outcomes.iter().map(|o| o.stats.cuts_considered).sum(),
+    };
+
+    let mut pool: Vec<(usize, IdentifiedCut, f64)> = Vec::new();
+    for (block_index, outcome) in outcomes.into_iter().enumerate() {
+        let weight = program.block(block_index).exec_count() as f64;
+        for candidate in outcome.candidates {
+            let weighted = candidate.evaluation.merit * weight;
+            if weighted > 0.0 {
+                pool.push((block_index, candidate, weighted));
+            }
+        }
+    }
+    // Stable sort: equal savings keep block order, making the commit order deterministic.
+    pool.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+
+    for (block_index, candidate, weighted) in pool {
+        if result.chosen.len() >= options.max_instructions {
+            break;
+        }
+        let overlaps = result.chosen.iter().any(|chosen| {
+            chosen.block_index == block_index && chosen.identified.cut.intersects(&candidate.cut)
+        });
+        if overlaps {
+            continue;
+        }
+        result.total_weighted_saving += weighted;
+        result.chosen.push(ChosenCut {
+            block_index,
+            identified: candidate,
+        });
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MultiCut, SingleCut};
+    use crate::selection::{select_iterative, SelectionOptions};
+    use ise_hw::DefaultCostModel;
+    use ise_ir::DfgBuilder;
+
+    fn toy_program() -> Program {
+        let mut p = Program::new("toy");
+
+        let mut b = DfgBuilder::new("hot_mac");
+        b.exec_count(1000);
+        let x = b.input("x");
+        let y = b.input("y");
+        let acc = b.input("acc");
+        let m = b.mul(x, y);
+        let s = b.add(m, acc);
+        let n = b.mul(s, y);
+        let t = b.add(n, x);
+        b.output("acc", t);
+        p.add_block(b.finish());
+
+        let mut b = DfgBuilder::new("warm_sat");
+        b.exec_count(100);
+        let v = b.input("v");
+        let lo = b.input("lo");
+        let hi = b.input("hi");
+        let clipped_hi = b.min(v, hi);
+        let clipped = b.max(clipped_hi, lo);
+        let scaled = b.shl(clipped, b.imm(1));
+        b.output("o", scaled);
+        p.add_block(b.finish());
+
+        // A single one-cycle operation: replacing it with a one-cycle instruction saves
+        // nothing, so no identifier ever proposes a cut here.
+        let mut b = DfgBuilder::new("cold_bits");
+        b.exec_count(1);
+        let a = b.input("a");
+        let c = b.input("c");
+        let x1 = b.xor(a, c);
+        b.output("o", x1);
+        p.add_block(b.finish());
+
+        p
+    }
+
+    #[test]
+    fn parallel_and_sequential_paths_are_identical() {
+        let p = toy_program();
+        let model = DefaultCostModel::new();
+        for identifier in [&SingleCut::new() as &dyn Identifier, &MultiCut::new(2)] {
+            for constraints in [Constraints::new(2, 1), Constraints::new(4, 2)] {
+                let parallel =
+                    select_program(&p, identifier, constraints, &model, DriverOptions::new(8));
+                let sequential = select_program(
+                    &p,
+                    identifier,
+                    constraints,
+                    &model,
+                    DriverOptions::new(8).sequential(),
+                );
+                assert_eq!(parallel, sequential, "{}", identifier.name());
+            }
+        }
+    }
+
+    #[test]
+    fn single_cut_driver_reproduces_select_iterative() {
+        let p = toy_program();
+        let model = DefaultCostModel::new();
+        for constraints in [Constraints::new(2, 1), Constraints::new(4, 2)] {
+            for ninstr in [1usize, 2, 8] {
+                let legacy =
+                    select_iterative(&p, constraints, &model, SelectionOptions::new(ninstr));
+                let engine = select_program(
+                    &p,
+                    &SingleCut::new(),
+                    constraints,
+                    &model,
+                    DriverOptions::new(ninstr),
+                );
+                assert_eq!(legacy, engine, "{constraints}, Ninstr={ninstr}");
+            }
+        }
+    }
+
+    #[test]
+    fn driver_respects_the_instruction_budget_and_block_disjointness() {
+        let p = toy_program();
+        let model = DefaultCostModel::new();
+        let result = select_program(
+            &p,
+            &SingleCut::new(),
+            Constraints::new(4, 2),
+            &model,
+            DriverOptions::new(2),
+        );
+        assert!(result.len() <= 2);
+        for i in 0..result.chosen.len() {
+            for j in i + 1..result.chosen.len() {
+                if result.chosen[i].block_index == result.chosen[j].block_index {
+                    assert!(!result.chosen[i]
+                        .identified
+                        .cut
+                        .intersects(&result.chosen[j].identified.cut));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identify_program_returns_one_outcome_per_block() {
+        let p = toy_program();
+        let model = DefaultCostModel::new();
+        let outcomes =
+            identify_program(&p, &SingleCut::new(), Constraints::new(4, 2), &model, true);
+        assert_eq!(outcomes.len(), p.block_count());
+        // The hot MAC block has a profitable cut; the cold logic block does not.
+        assert!(outcomes[0].best.is_some());
+        assert!(outcomes[2].best.is_none());
+    }
+
+    #[test]
+    fn empty_program_selects_nothing() {
+        let p = Program::new("empty");
+        let model = DefaultCostModel::new();
+        let result = select_program(
+            &p,
+            &SingleCut::new(),
+            Constraints::new(4, 2),
+            &model,
+            DriverOptions::new(4),
+        );
+        assert!(result.is_empty());
+        assert_eq!(result.identifier_calls, 0);
+    }
+}

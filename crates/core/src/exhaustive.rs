@@ -42,6 +42,23 @@ pub fn best_cut_exhaustive(
     constraints: Constraints,
     model: &dyn CostModel,
 ) -> ExhaustiveOutcome {
+    best_cut_exhaustive_excluding(dfg, None, constraints, model)
+}
+
+/// Enumerates every cut of `dfg` avoiding the `excluded` nodes and returns the best
+/// feasible one. This is the exclusion-aware variant used when the oracle is driven
+/// through the [`crate::engine::Identifier`] trait by the iterative selection driver.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 24 nodes (see [`best_cut_exhaustive`]).
+#[must_use]
+pub fn best_cut_exhaustive_excluding(
+    dfg: &Dfg,
+    excluded: Option<&CutSet>,
+    constraints: Constraints,
+    model: &dyn CostModel,
+) -> ExhaustiveOutcome {
     let n = dfg.node_count();
     assert!(
         n <= 24,
@@ -55,6 +72,9 @@ pub fn best_cut_exhaustive(
             dfg,
             (0..n).filter(|i| mask & (1 << i) != 0).map(NodeId::new),
         );
+        if excluded.is_some_and(|banned| cut.intersects(banned)) {
+            continue;
+        }
         if !cut::is_afu_legal(dfg, &cut) {
             continue;
         }
@@ -76,7 +96,9 @@ pub fn best_cut_exhaustive(
 /// Enumerates every cut of `dfg` and counts how many satisfy all constraints.
 #[must_use]
 pub fn count_feasible_cuts(dfg: &Dfg, constraints: Constraints, model: &dyn CostModel) -> u64 {
-    best_cut_exhaustive(dfg, constraints, model).stats.feasible_cuts
+    best_cut_exhaustive(dfg, constraints, model)
+        .stats
+        .feasible_cuts
 }
 
 #[cfg(test)]

@@ -15,7 +15,11 @@
 //!   strategies across all basic blocks, plus an area-budgeted variant;
 //! * [`collapse`] — rewriting blocks so that selected cuts become
 //!   [`ise_ir::Opcode::Afu`] instructions, with extraction of the AFU datapath;
-//! * [`exhaustive`] — a brute-force oracle used by the test-suite.
+//! * [`exhaustive`] — a brute-force oracle used by the test-suite;
+//! * [`engine`] — the unified identification engine: the [`Identifier`] trait shared by
+//!   every algorithm (including the `ise-baselines` ones), a name-based
+//!   [`IdentifierRegistry`], and a `rayon`-parallel program driver
+//!   ([`select_program`]) with deterministic merging.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@
 pub mod collapse;
 mod constraints;
 pub mod cut;
+pub mod engine;
 pub mod exhaustive;
 pub mod multicut;
 mod search;
@@ -56,10 +61,12 @@ pub mod selection;
 
 pub use constraints::Constraints;
 pub use cut::{CutEvaluation, CutSet};
-pub use multicut::{identify_multiple_cuts, MultiCutOutcome, MultiCutSearch};
-pub use search::{
-    identify_single_cut, IdentifiedCut, SearchOutcome, SearchStats, SingleCutSearch,
+pub use engine::{
+    identify_blocks, select_program, DriverOptions, Identifier, IdentifierConfig,
+    IdentifierRegistry,
 };
+pub use multicut::{identify_multiple_cuts, MultiCutOutcome, MultiCutSearch};
+pub use search::{identify_single_cut, IdentifiedCut, SearchOutcome, SearchStats, SingleCutSearch};
 pub use selection::{
     select_iterative, select_optimal, select_under_area, ChosenCut, SelectionOptions,
     SelectionResult,

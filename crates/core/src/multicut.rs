@@ -92,7 +92,10 @@ impl<'a> MultiCutSearch<'a> {
         num_cuts: usize,
     ) -> Self {
         assert!(num_cuts >= 1, "at least one cut must be requested");
-        assert!(num_cuts <= 255, "more than 255 simultaneous cuts is not supported");
+        assert!(
+            num_cuts <= 255,
+            "more than 255 simultaneous cuts is not supported"
+        );
         let n = dfg.node_count();
         let mut sources = Vec::with_capacity(n);
         let mut blocked = Vec::with_capacity(n);
@@ -229,8 +232,8 @@ impl<'a> MultiCutSearch<'a> {
             self.reaches[cut_index][index] = reaches;
         }
         self.explore(level + 1, accums);
-        for cut_index in 0..self.num_cuts {
-            self.reaches[cut_index][index] = saved[cut_index];
+        for (cut_index, &value) in saved.iter().enumerate() {
+            self.reaches[cut_index][index] = value;
         }
     }
 
@@ -243,13 +246,13 @@ impl<'a> MultiCutSearch<'a> {
         let has_external_consumer = self.is_output_source[index]
             || consumers.iter().any(|c| self.assignment[c.index()] != tag);
         let new_out = accums[cut_index].outputs + usize::from(has_external_consumer);
-        let convex = !consumers.iter().any(|c| {
-            self.assignment[c.index()] != tag && self.reaches[cut_index][c.index()]
-        });
+        let convex = !consumers
+            .iter()
+            .any(|c| self.assignment[c.index()] != tag && self.reaches[cut_index][c.index()]);
         let within_node_budget = self
             .constraints
             .max_nodes
-            .is_none_or(|limit| accums[cut_index].nodes + 1 <= limit);
+            .is_none_or(|limit| accums[cut_index].nodes < limit);
 
         if new_out > self.constraints.max_outputs {
             self.stats.pruned_output += 1;
@@ -306,10 +309,28 @@ impl<'a> MultiCutSearch<'a> {
         self.assignment[index] = tag;
         self.cut_stacks[cut_index].push(node);
 
+        // The node is *outside* every other cut, so record whether it forwards a path
+        // towards them — exactly as the software branch does. Without this, cut `k`
+        // could later absorb a producer whose path to the rest of `k` runs through this
+        // node of cut `j`, leaving `k` non-convex (and the pair unschedulable).
+        let mut saved_reaches = Vec::with_capacity(self.num_cuts);
+        for other in 0..self.num_cuts {
+            saved_reaches.push(self.reaches[other][index]);
+            if other != cut_index {
+                let other_tag = (other + 1) as u8;
+                self.reaches[other][index] = consumers.iter().any(|c| {
+                    self.assignment[c.index()] == other_tag || self.reaches[other][c.index()]
+                });
+            }
+        }
+
         self.consider_candidate(&new_accums);
         self.explore(level + 1, &new_accums);
 
         // Undo.
+        for (other, &value) in saved_reaches.iter().enumerate() {
+            self.reaches[other][index] = value;
+        }
         self.cut_stacks[cut_index].pop();
         self.assignment[index] = 0;
         for source in &self.sources[index] {
@@ -463,6 +484,34 @@ mod tests {
                 + stats.pruned_convexity
                 + stats.pruned_node_budget
         );
+    }
+
+    /// Regression test: a cut must stay convex with respect to nodes assigned to *other*
+    /// cuts, not only to nodes left in software. In `m1 → s → m2`, putting `m1` and `m2`
+    /// in one cut with `s` in another creates a cyclic dependency between the two
+    /// instructions and must be rejected.
+    #[test]
+    fn cuts_are_convex_with_respect_to_other_cuts() {
+        let mut b = DfgBuilder::new("interleaved");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m1 = b.mul(x, y);
+        let s = b.add(m1, x);
+        let m2 = b.mul(s, y);
+        b.output("o", m2);
+        b.output("mid", s);
+        let g = b.finish();
+        let model = DefaultCostModel::new();
+        for num_cuts in [2usize, 3] {
+            let outcome = identify_multiple_cuts(&g, Constraints::new(4, 2), &model, num_cuts);
+            for cut in &outcome.cuts {
+                assert!(
+                    crate::cut::is_convex(&g, &cut.cut),
+                    "non-convex cut {:?} with {num_cuts} slots",
+                    cut.cut
+                );
+            }
+        }
     }
 
     #[test]

@@ -54,21 +54,64 @@ pub struct IdentifiedCut {
     pub evaluation: CutEvaluation,
 }
 
-/// Result of one identification run.
+/// Result of one identification run, shared by every [`crate::engine::Identifier`].
+///
+/// Algorithms that return a single best cut (the exact single-cut search, the exhaustive
+/// oracle) report it both in `best` and as the only element of `candidates`; algorithms
+/// that enumerate several disjoint candidates per block (the multiple-cut search, the
+/// Clubbing/MaxMISO/single-node baselines) report them all in `candidates`, with `best`
+/// set to the maximal-merit one.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SearchOutcome {
     /// The maximal-merit cut satisfying all constraints, if any cut with positive merit
     /// exists.
     pub best: Option<IdentifiedCut>,
+    /// All candidate cuts reported by the algorithm, sorted by decreasing merit.
+    /// Candidates from one invocation are pairwise disjoint.
+    pub candidates: Vec<IdentifiedCut>,
     /// Search statistics.
     pub stats: SearchStats,
 }
 
 impl SearchOutcome {
+    /// An outcome holding at most one cut.
+    #[must_use]
+    pub fn from_best(best: Option<IdentifiedCut>, stats: SearchStats) -> Self {
+        SearchOutcome {
+            candidates: best.iter().cloned().collect(),
+            best,
+            stats,
+        }
+    }
+
+    /// An outcome holding a set of disjoint candidates; `best` becomes the maximal-merit
+    /// one and the candidates are sorted by decreasing merit (ties keep their original
+    /// relative order, so the result is deterministic).
+    #[must_use]
+    pub fn from_candidates(mut candidates: Vec<IdentifiedCut>, stats: SearchStats) -> Self {
+        candidates.sort_by(|a, b| {
+            b.evaluation
+                .merit
+                .partial_cmp(&a.evaluation.merit)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        SearchOutcome {
+            best: candidates.first().cloned(),
+            candidates,
+            stats,
+        }
+    }
+
     /// Merit of the best cut, or zero when no profitable cut was found.
     #[must_use]
     pub fn best_merit(&self) -> f64 {
         self.best.as_ref().map_or(0.0, |c| c.evaluation.merit)
+    }
+
+    /// Sum of the merits of all reported candidates.
+    #[must_use]
+    pub fn total_merit(&self) -> f64 {
+        self.candidates.iter().map(|c| c.evaluation.merit).sum()
     }
 }
 
@@ -205,10 +248,7 @@ impl<'a> SingleCutSearch<'a> {
         if self.dfg.node_count() > 0 {
             self.explore(0, 0, 0, 0, 0.0, 0.0);
         }
-        SearchOutcome {
-            best: self.best,
-            stats: self.stats,
-        }
+        SearchOutcome::from_best(self.best, self.stats)
     }
 
     fn budget_left(&self) -> bool {
@@ -240,8 +280,8 @@ impl<'a> SingleCutSearch<'a> {
         if !self.blocked[index] {
             self.stats.cuts_considered += 1;
             let consumers = self.dfg.consumers(node);
-            let has_external_consumer = self.is_output_source[index]
-                || consumers.iter().any(|c| !self.in_cut[c.index()]);
+            let has_external_consumer =
+                self.is_output_source[index] || consumers.iter().any(|c| !self.in_cut[c.index()]);
             let new_out = out_count + usize::from(has_external_consumer);
             let convex = !consumers
                 .iter()
@@ -249,7 +289,7 @@ impl<'a> SingleCutSearch<'a> {
             let within_node_budget = self
                 .constraints
                 .max_nodes
-                .is_none_or(|limit| self.cut_stack.len() + 1 <= limit);
+                .is_none_or(|limit| self.cut_stack.len() < limit);
 
             if new_out > self.constraints.max_outputs {
                 self.stats.pruned_output += 1;
@@ -301,9 +341,7 @@ impl<'a> SingleCutSearch<'a> {
                 let merit = cut_merit(new_sw, new_cp);
                 if merit > self.best_merit
                     && new_in <= self.constraints.max_inputs
-                    && self
-                        .constraints
-                        .budget_ok(new_area, self.cut_stack.len())
+                    && self.constraints.budget_ok(new_area, self.cut_stack.len())
                 {
                     self.best_merit = merit;
                     self.stats.best_updates += 1;
@@ -345,7 +383,14 @@ impl<'a> SingleCutSearch<'a> {
             .any(|c| self.in_cut[c.index()] || self.reaches_cut[c.index()]);
         let saved = self.reaches_cut[index];
         self.reaches_cut[index] = reaches;
-        self.explore(level + 1, in_count, out_count, software, critical_path, area);
+        self.explore(
+            level + 1,
+            in_count,
+            out_count,
+            software,
+            critical_path,
+            area,
+        );
         self.reaches_cut[index] = saved;
     }
 }

@@ -72,7 +72,10 @@ impl SelectionResult {
     /// Total normalised datapath area of the selected instructions.
     #[must_use]
     pub fn total_area(&self) -> f64 {
-        self.chosen.iter().map(|c| c.identified.evaluation.area).sum()
+        self.chosen
+            .iter()
+            .map(|c| c.identified.evaluation.area)
+            .sum()
     }
 
     /// Builds the application-level speed-up report for this selection.
@@ -155,8 +158,8 @@ pub fn select_iterative(
                 continue;
             }
             let dfg = program.block(block_index);
-            let mut search = SingleCutSearch::new(dfg, constraints, model)
-                .with_excluded(&excluded[block_index]);
+            let mut search =
+                SingleCutSearch::new(dfg, constraints, model).with_excluded(&excluded[block_index]);
             if let Some(budget) = options.exploration_budget {
                 search = search.with_exploration_budget(budget);
             }
@@ -180,8 +183,7 @@ pub fn select_iterative(
             break;
         };
         let identified = candidate[block_index].take().expect("candidate present");
-        let weighted =
-            identified.evaluation.merit * program.block(block_index).exec_count() as f64;
+        let weighted = identified.evaluation.merit * program.block(block_index).exec_count() as f64;
         if weighted <= 0.0 {
             break;
         }
@@ -249,8 +251,8 @@ pub fn select_optimal(
             ia.partial_cmp(&ib).unwrap_or(std::cmp::Ordering::Equal)
         });
         let Some(block_index) = best_block else { break };
-        let improvement =
-            best_total[block_index][committed[block_index] + 1] - best_total[block_index][committed[block_index]];
+        let improvement = best_total[block_index][committed[block_index] + 1]
+            - best_total[block_index][committed[block_index]];
         if improvement <= 0.0 {
             break;
         }
@@ -326,10 +328,10 @@ pub fn select_under_area(
     while result.chosen.len() < options.max_instructions && remaining > 0.0 {
         let constrained = constraints.with_max_area(remaining);
         let mut best: Option<(usize, IdentifiedCut, f64)> = None;
-        for block_index in 0..block_count {
+        for (block_index, excluded_nodes) in excluded.iter().enumerate().take(block_count) {
             let dfg = program.block(block_index);
-            let mut search = SingleCutSearch::new(dfg, constrained, model)
-                .with_excluded(&excluded[block_index]);
+            let mut search =
+                SingleCutSearch::new(dfg, constrained, model).with_excluded(excluded_nodes);
             if let Some(budget) = options.exploration_budget {
                 search = search.with_exploration_budget(budget);
             }
@@ -411,12 +413,7 @@ mod tests {
     fn iterative_selection_prefers_hot_blocks() {
         let p = program();
         let model = DefaultCostModel::new();
-        let result = select_iterative(
-            &p,
-            Constraints::new(4, 2),
-            &model,
-            SelectionOptions::new(1),
-        );
+        let result = select_iterative(&p, Constraints::new(4, 2), &model, SelectionOptions::new(1));
         assert_eq!(result.len(), 1);
         assert_eq!(result.chosen[0].block_index, 0);
         assert!(result.total_weighted_saving > 0.0);
@@ -444,12 +441,7 @@ mod tests {
             }
         }
         // Savings accumulate monotonically with the number of instructions allowed.
-        let fewer = select_iterative(
-            &p,
-            Constraints::new(4, 2),
-            &model,
-            SelectionOptions::new(1),
-        );
+        let fewer = select_iterative(&p, Constraints::new(4, 2), &model, SelectionOptions::new(1));
         assert!(result.total_weighted_saving >= fewer.total_weighted_saving);
     }
 
@@ -478,7 +470,12 @@ mod tests {
         let p = program();
         let model = DefaultCostModel::new();
         let ninstr = 4;
-        let result = select_optimal(&p, Constraints::new(4, 2), &model, SelectionOptions::new(ninstr));
+        let result = select_optimal(
+            &p,
+            Constraints::new(4, 2),
+            &model,
+            SelectionOptions::new(ninstr),
+        );
         assert!(
             result.identifier_calls <= (ninstr + p.block_count() - 1) as u64,
             "used {} identifier calls",
@@ -491,12 +488,7 @@ mod tests {
         let p = program();
         let model = DefaultCostModel::new();
         let software = SoftwareLatencyModel::new();
-        let result = select_iterative(
-            &p,
-            Constraints::new(4, 2),
-            &model,
-            SelectionOptions::new(8),
-        );
+        let result = select_iterative(&p, Constraints::new(4, 2), &model, SelectionOptions::new(8));
         let report = result.speedup_report(&p, &software);
         assert!(report.speedup > 1.0);
         assert!((report.saved_cycles - result.total_weighted_saving).abs() < 1e-9);
@@ -507,12 +499,8 @@ mod tests {
     fn area_constrained_selection_respects_the_budget() {
         let p = program();
         let model = DefaultCostModel::new();
-        let unconstrained = select_iterative(
-            &p,
-            Constraints::new(4, 2),
-            &model,
-            SelectionOptions::new(8),
-        );
+        let unconstrained =
+            select_iterative(&p, Constraints::new(4, 2), &model, SelectionOptions::new(8));
         let budget = unconstrained.total_area() / 2.0;
         let constrained = select_under_area(
             &p,
@@ -529,19 +517,9 @@ mod tests {
     fn zero_instruction_budget_selects_nothing() {
         let p = program();
         let model = DefaultCostModel::new();
-        let result = select_iterative(
-            &p,
-            Constraints::new(4, 2),
-            &model,
-            SelectionOptions::new(0),
-        );
+        let result = select_iterative(&p, Constraints::new(4, 2), &model, SelectionOptions::new(0));
         assert!(result.is_empty());
-        let result = select_optimal(
-            &p,
-            Constraints::new(4, 2),
-            &model,
-            SelectionOptions::new(0),
-        );
+        let result = select_optimal(&p, Constraints::new(4, 2), &model, SelectionOptions::new(0));
         assert!(result.is_empty());
     }
 }

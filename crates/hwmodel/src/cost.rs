@@ -13,7 +13,11 @@ use crate::latency::SoftwareLatencyModel;
 /// software sum and hardware critical path incrementally. The model is deliberately kept
 /// as a trait so that alternative estimation models (for example the VLIW-oriented model
 /// mentioned as future work in Section 9) can be plugged in without touching the search.
-pub trait CostModel {
+///
+/// `Sync` is a supertrait so that one `&dyn CostModel` can be shared by the parallel
+/// identification driver, which fans the per-block searches out across threads; cost
+/// models are plain lookup tables, so this costs implementors nothing.
+pub trait CostModel: Sync {
     /// Latency, in cycles, of executing `node` as a regular instruction of the base
     /// processor.
     fn software_cycles(&self, node: &Node) -> u32;
@@ -126,7 +130,7 @@ impl CostModel for VliwCostModel {
         // Scale per-node cost down by the issue width, keeping a one-cycle floor; the
         // merit function works on integer-valued software sums, so the rounding is done
         // per node (an optimistic model, as discussed in DESIGN.md).
-        (self.base.software_cycles(node) + self.issue_width - 1) / self.issue_width
+        self.base.software_cycles(node).div_ceil(self.issue_width)
     }
 
     fn hardware_delay(&self, node: &Node) -> f64 {

@@ -61,7 +61,10 @@ impl SpeedupReport {
     /// (which could only happen with an inconsistent cost model).
     #[must_use]
     pub fn from_selection(baseline_cycles: f64, instructions: Vec<SelectedInstruction>) -> Self {
-        let saved: f64 = instructions.iter().map(SelectedInstruction::total_saving).sum();
+        let saved: f64 = instructions
+            .iter()
+            .map(SelectedInstruction::total_saving)
+            .sum();
         // A selection can never remove more cycles than the baseline executes; keep at
         // least one residual cycle so that the reported speed-up stays finite.
         let saved = saved.min((baseline_cycles - 1.0).max(0.0));

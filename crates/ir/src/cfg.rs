@@ -15,7 +15,9 @@ use crate::node::{Node, Operand};
 use crate::opcode::Opcode;
 
 /// A virtual register of the control-flow representation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Reg(pub u32);
 
 impl fmt::Display for Reg {
@@ -25,7 +27,9 @@ impl fmt::Display for Reg {
 }
 
 /// Identifier of a basic block within a [`Cfg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -279,14 +283,13 @@ impl Cfg {
         dfg.set_exec_count(block.exec_count);
         // Current value of each register within the block.
         let mut current: BTreeMap<Reg, Operand> = BTreeMap::new();
-        let read_value = |dfg: &mut Dfg, current: &mut BTreeMap<Reg, Operand>, arg: &RegOrImm| {
-            match arg {
+        let read_value =
+            |dfg: &mut Dfg, current: &mut BTreeMap<Reg, Operand>, arg: &RegOrImm| match arg {
                 RegOrImm::Imm(v) => Operand::Imm(*v),
-                RegOrImm::Reg(r) => *current.entry(*r).or_insert_with(|| {
-                    Operand::Input(dfg.add_input(format!("r{}", r.0)))
-                }),
-            }
-        };
+                RegOrImm::Reg(r) => *current
+                    .entry(*r)
+                    .or_insert_with(|| Operand::Input(dfg.add_input(format!("r{}", r.0)))),
+            };
         for inst in &block.insts {
             let operands: Vec<Operand> = inst
                 .args
@@ -386,7 +389,10 @@ mod tests {
             cfg.upward_exposed_regs(entry),
             [Reg(0), Reg(1)].into_iter().collect()
         );
-        assert_eq!(cfg.defined_regs(entry), [Reg(2), Reg(3)].into_iter().collect());
+        assert_eq!(
+            cfg.defined_regs(entry),
+            [Reg(2), Reg(3)].into_iter().collect()
+        );
         assert!(cfg.live_out_regs(entry).contains(&Reg(3)));
         assert!(!cfg.live_out_regs(entry).contains(&Reg(2)));
         assert_eq!(cfg.predecessors(BlockId(1)), vec![entry]);

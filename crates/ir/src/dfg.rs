@@ -7,7 +7,9 @@ use crate::node::{Node, Operand};
 use crate::opcode::Opcode;
 
 /// Index of an operation node (`V`) within a [`Dfg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -31,7 +33,9 @@ impl fmt::Display for NodeId {
 }
 
 /// Index of a block input variable (an element of `V⁺`) within a [`Dfg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct PortId(u32);
 
 impl PortId {
@@ -210,9 +214,7 @@ impl Dfg {
     /// Returns `true` if the result of `id` is written to a block output variable.
     #[must_use]
     pub fn is_output_source(&self, id: NodeId) -> bool {
-        self.outputs
-            .iter()
-            .any(|o| o.source == Operand::Node(id))
+        self.outputs.iter().any(|o| o.source == Operand::Node(id))
     }
 
     /// Adds a block input variable and returns its identifier.
@@ -449,10 +451,7 @@ mod tests {
         // Manually build a malformed node: Add with one operand.
         let id = g.add_node(Node::new(Opcode::Abs, vec![a.into()]));
         g.nodes[id.index()].operands.clear();
-        assert!(matches!(
-            g.validate(),
-            Err(IrError::ArityMismatch { .. })
-        ));
+        assert!(matches!(g.validate(), Err(IrError::ArityMismatch { .. })));
     }
 
     #[test]

@@ -110,7 +110,8 @@ pub fn to_dot(dfg: &Dfg, options: &DotOptions) -> String {
                     if options.expand_immediates {
                         let imm_name = format!("imm_{}_{}", id.index(), slot);
                         let _ = writeln!(out, "  {imm_name} [shape=plaintext, label=\"{v}\"];");
-                        let _ = writeln!(out, "  {imm_name} -> n{} [label=\"{slot}\"];", id.index());
+                        let _ =
+                            writeln!(out, "  {imm_name} -> n{} [label=\"{slot}\"];", id.index());
                     }
                 }
             }

@@ -110,12 +110,14 @@ impl Evaluator {
     ) -> Result<BlockResult, IrError> {
         let mut input_values = Vec::with_capacity(dfg.input_count());
         for (_, var) in dfg.iter_inputs() {
-            let value = inputs.get(&var.name).copied().ok_or_else(|| {
-                IrError::MissingInputValue {
-                    block: dfg.name().to_string(),
-                    input: var.name.clone(),
-                }
-            })?;
+            let value =
+                inputs
+                    .get(&var.name)
+                    .copied()
+                    .ok_or_else(|| IrError::MissingInputValue {
+                        block: dfg.name().to_string(),
+                        input: var.name.clone(),
+                    })?;
             input_values.push(value);
         }
         let node_values = self.eval_nodes(dfg, &input_values)?;
@@ -148,9 +150,7 @@ impl Evaluator {
                 Opcode::Add => operand(0).wrapping_add(operand(1)),
                 Opcode::Sub => operand(0).wrapping_sub(operand(1)),
                 Opcode::Mul => operand(0).wrapping_mul(operand(1)),
-                Opcode::MulHi => {
-                    ((i64::from(operand(0)) * i64::from(operand(1))) >> 32) as i32
-                }
+                Opcode::MulHi => ((i64::from(operand(0)) * i64::from(operand(1))) >> 32) as i32,
                 Opcode::Mac => operand(0).wrapping_mul(operand(1)).wrapping_add(operand(2)),
                 Opcode::Div => {
                     let d = operand(1);
@@ -181,9 +181,7 @@ impl Evaluator {
                 Opcode::Xor => operand(0) ^ operand(1),
                 Opcode::Not => !operand(0),
                 Opcode::Shl => operand(0).wrapping_shl(operand(1) as u32 & 31),
-                Opcode::Lshr => {
-                    ((operand(0) as u32).wrapping_shr(operand(1) as u32 & 31)) as i32
-                }
+                Opcode::Lshr => ((operand(0) as u32).wrapping_shr(operand(1) as u32 & 31)) as i32,
                 Opcode::Ashr => operand(0).wrapping_shr(operand(1) as u32 & 31),
                 Opcode::Eq => i32::from(operand(0) == operand(1)),
                 Opcode::Ne => i32::from(operand(0) != operand(1)),
@@ -268,7 +266,10 @@ mod tests {
         let mut evaluator = Evaluator::new();
         let inputs: BTreeMap<String, i32> =
             bindings.iter().map(|(k, v)| (k.to_string(), *v)).collect();
-        evaluator.eval_block(dfg, &inputs).expect("evaluation").outputs
+        evaluator
+            .eval_block(dfg, &inputs)
+            .expect("evaluation")
+            .outputs
     }
 
     #[test]

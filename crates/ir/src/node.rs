@@ -11,7 +11,9 @@ use crate::opcode::Opcode;
 /// another operation node (`V`), a basic-block input variable (`V⁺`), or an immediate
 /// constant that is encoded in the instruction word and therefore never consumes a
 /// register-file read port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Operand {
     /// The result of another operation node in the same basic block.
     Node(NodeId),
@@ -171,7 +173,10 @@ mod tests {
                 Operand::Imm(0),
             ],
         );
-        assert_eq!(node.node_operands().collect::<Vec<_>>(), vec![NodeId::new(4)]);
+        assert_eq!(
+            node.node_operands().collect::<Vec<_>>(),
+            vec![NodeId::new(4)]
+        );
         assert_eq!(
             node.input_operands().collect::<Vec<_>>(),
             vec![PortId::new(0)]

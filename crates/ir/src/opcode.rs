@@ -11,7 +11,9 @@ use std::fmt;
 /// Memory accesses ([`Opcode::Load`], [`Opcode::Store`]) are *forbidden* inside
 /// application-specific functional units (the AFU of the paper has no architecturally
 /// visible state and no memory port), which is reported by [`Opcode::is_forbidden_in_afu`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Opcode {
     /// 32-bit integer addition.
     Add,
@@ -203,9 +205,9 @@ impl Opcode {
     pub fn all_primitive() -> &'static [Opcode] {
         use Opcode::*;
         &[
-            Add, Sub, Mul, MulHi, Mac, Div, Rem, Neg, Abs, Min, Max, And, Or, Xor, Not, Shl,
-            Lshr, Ashr, Eq, Ne, Lt, Le, Gt, Ge, Ltu, Geu, Select, SextB, SextH, ZextB, ZextH,
-            TruncB, TruncH, Copy, Const, Load, Store,
+            Add, Sub, Mul, MulHi, Mac, Div, Rem, Neg, Abs, Min, Max, And, Or, Xor, Not, Shl, Lshr,
+            Ashr, Eq, Ne, Lt, Le, Gt, Ge, Ltu, Geu, Select, SextB, SextH, ZextB, ZextH, TruncB,
+            TruncH, Copy, Const, Load, Store,
         ]
     }
 }

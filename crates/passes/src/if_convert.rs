@@ -164,7 +164,9 @@ fn convert_one(cfg: &mut Cfg, stats: &mut IfConvertStats) -> bool {
             single_successor(cfg.block(then_block)),
             single_successor(cfg.block(else_block)),
         ) {
-            (true, true, Some(jt), Some(je)) if jt == je && jt != then_block && jt != else_block => {
+            (true, true, Some(jt), Some(je))
+                if jt == je && jt != then_block && jt != else_block =>
+            {
                 Some(jt)
             }
             _ => None,
@@ -322,8 +324,7 @@ mod tests {
         dfg.validate().expect("valid graph");
         let mut evaluator = Evaluator::new();
         for (a, b, expected) in [(9, 4, 5), (4, 9, 5), (7, 7, 0)] {
-            let inputs: Map<String, i32> =
-                [("r0".to_string(), a), ("r1".to_string(), b)].into();
+            let inputs: Map<String, i32> = [("r0".to_string(), a), ("r1".to_string(), b)].into();
             let out = evaluator.eval_block(&dfg, &inputs).unwrap().outputs;
             assert_eq!(out["r3"], expected, "a={a} b={b}");
         }

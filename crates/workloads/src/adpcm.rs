@@ -12,11 +12,10 @@ use ise_ir::{Dfg, DfgBuilder, Program};
 /// tests can execute the kernels against the real tables through the IR interpreter.
 pub const STEP_SIZE_TABLE: [i32; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// Index-adjustment table of the IMA ADPCM coder (16 entries).
@@ -273,7 +272,10 @@ mod tests {
                 ("outp".to_string(), 0x500),
             ]
             .into();
-            let out = evaluator.eval_block(&g, &inputs).expect("evaluation").outputs;
+            let out = evaluator
+                .eval_block(&g, &inputs)
+                .expect("evaluation")
+                .outputs;
             let expected = reference_decode(delta, state.0, state.1, state.2);
             assert_eq!(out["index"], expected.0, "delta={delta}");
             assert_eq!(out["valpred"], expected.1, "delta={delta}");
@@ -291,7 +293,10 @@ mod tests {
         assert_eq!(g.count_opcode(ise_ir::Opcode::Load), 2);
         assert_eq!(g.count_opcode(ise_ir::Opcode::Store), 1);
         assert_eq!(g.output_count(), 4);
-        assert!(g.node_count() >= 25, "the block is large after if-conversion");
+        assert!(
+            g.node_count() >= 25,
+            "the block is large after if-conversion"
+        );
         assert!(g.dead_nodes().is_empty());
     }
 
@@ -307,7 +312,10 @@ mod tests {
             ("step".to_string(), 7),
         ]
         .into();
-        let out = evaluator.eval_block(&g, &inputs).expect("evaluation").outputs;
+        let out = evaluator
+            .eval_block(&g, &inputs)
+            .expect("evaluation")
+            .outputs;
         // The encoder must quantise a large positive difference to the maximum magnitude.
         assert_eq!(out["delta"] & 0x8, 0, "positive difference has no sign bit");
         assert!(out["delta"] & 0x7 > 0);

@@ -204,7 +204,10 @@ mod tests {
         ]
         .into();
         let out = evaluator.eval_block(&g, &bindings).unwrap().outputs;
-        assert_eq!(out["left"], 0x0f0f, "the right half becomes the new left half");
+        assert_eq!(
+            out["left"], 0x0f0f,
+            "the right half becomes the new left half"
+        );
         assert_ne!(out["right"], 0x1234, "the new right half is mixed");
         assert_eq!(g.count_opcode(ise_ir::Opcode::Load), 2);
     }

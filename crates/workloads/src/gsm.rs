@@ -154,7 +154,11 @@ mod tests {
     fn short_term_filter_matches_reference_arithmetic() {
         let g = short_term_filter_kernel();
         g.validate().expect("valid graph");
-        for (d, u, rp) in [(100, -200, 15000), (32767, 32767, 32767), (-30000, 1, -32768)] {
+        for (d, u, rp) in [
+            (100, -200, 15000),
+            (32767, 32767, 32767),
+            (-30000, 1, -32768),
+        ] {
             let mut evaluator = Evaluator::new();
             let inputs: BTreeMap<String, i32> = [
                 ("d".to_string(), d),
@@ -163,8 +167,16 @@ mod tests {
             ]
             .into();
             let out = evaluator.eval_block(&g, &inputs).unwrap().outputs;
-            assert_eq!(out["di"], gsm_add(d, gsm_mult_r(rp, u)), "d={d} u={u} rp={rp}");
-            assert_eq!(out["ui"], gsm_add(u, gsm_mult_r(rp, d)), "d={d} u={u} rp={rp}");
+            assert_eq!(
+                out["di"],
+                gsm_add(d, gsm_mult_r(rp, u)),
+                "d={d} u={u} rp={rp}"
+            );
+            assert_eq!(
+                out["ui"],
+                gsm_add(u, gsm_mult_r(rp, d)),
+                "d={d} u={u} rp={rp}"
+            );
         }
     }
 

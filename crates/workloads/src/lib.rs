@@ -32,7 +32,7 @@
 pub mod adpcm;
 pub mod crypto;
 pub mod dsp;
-pub mod gsm;
 pub mod g721;
+pub mod gsm;
 pub mod random;
 pub mod suite;

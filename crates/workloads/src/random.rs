@@ -79,7 +79,13 @@ pub fn random_dfg(config: &RandomDfgConfig, seed: u64) -> Dfg {
         Opcode::Lt,
         Opcode::Eq,
     ];
-    let unary_ops = [Opcode::Not, Opcode::Neg, Opcode::Abs, Opcode::SextH, Opcode::ZextB];
+    let unary_ops = [
+        Opcode::Not,
+        Opcode::Neg,
+        Opcode::Abs,
+        Opcode::SextH,
+        Opcode::ZextB,
+    ];
 
     let mut node_values: Vec<Operand> = Vec::new();
     for _ in 0..config.nodes {

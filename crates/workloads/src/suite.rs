@@ -107,7 +107,9 @@ mod tests {
             7
         );
         assert_eq!(
-            evaluator.memory.read(crate::adpcm::STEP_TABLE_BASE as i32 + 88),
+            evaluator
+                .memory
+                .read(crate::adpcm::STEP_TABLE_BASE as i32 + 88),
             32767
         );
     }

@@ -2,9 +2,10 @@
 //!
 //! Run with `cargo run --release --example adpcm_motivation`.
 //!
-//! The example shows how the best instruction found by the exact identification algorithm
-//! changes with the microarchitectural constraints, reproducing the discussion of
-//! Sections 4 and 8:
+//! The example shows how the best instruction found by the exact identification
+//! algorithm changes with the microarchitectural constraints, reproducing the discussion
+//! of Sections 4 and 8. Both the exact algorithm and the MaxMISO baseline are fetched
+//! from the engine registry and driven through the same `Identifier` interface:
 //!
 //! * with 2 read ports / 1 write port the algorithm finds the small approximate
 //!   16×4-bit multiplication (M1 in the figure);
@@ -14,14 +15,17 @@
 //! * MaxMISO with 2 read ports finds nothing useful because M1 is buried inside the
 //!   larger 3-input MaxMISO.
 
-use ise::baselines::{select_greedy, IdentificationAlgorithm, MaxMiso};
-use ise::core::{identify_single_cut, select_iterative, Constraints, SelectionOptions};
+use ise::core::engine::{select_program, DriverOptions};
+use ise::core::Constraints;
 use ise::hw::{DefaultCostModel, SoftwareLatencyModel};
 use ise::workloads::adpcm;
 
 fn main() {
     let block = adpcm::decode_kernel();
     let program = adpcm::decode_program();
+    let registry = ise::full_registry();
+    let exact = registry.create("single-cut").expect("bundled algorithm");
+    let maxmiso = registry.create("maxmiso").expect("bundled algorithm");
     let model = DefaultCostModel::new();
     let software = SoftwareLatencyModel::new();
 
@@ -35,7 +39,7 @@ fn main() {
     println!("== Best single instruction vs. port constraints (exact search) ==");
     for (nin, nout) in [(2, 1), (3, 1), (4, 1), (4, 2), (6, 3)] {
         let constraints = Constraints::new(nin, nout);
-        let outcome = identify_single_cut(&block, constraints, &model);
+        let outcome = exact.identify(&block, &constraints, &model);
         match outcome.best {
             Some(best) => println!(
                 "  {constraints:<18} -> {:>2} ops, {} in / {} out, {:>4.0} cycles saved per sample",
@@ -49,18 +53,18 @@ fn main() {
     }
 
     println!("\n== MaxMISO on the same block ==");
-    let maxmiso = MaxMiso::new();
     for (nin, nout) in [(2, 1), (3, 1), (4, 1)] {
         let constraints = Constraints::new(nin, nout);
-        let candidates = maxmiso.candidates(&block, constraints, &model);
-        let best_nodes = candidates
+        let outcome = maxmiso.identify(&block, &constraints, &model);
+        let best_nodes = outcome
+            .candidates
             .iter()
             .map(|c| c.evaluation.nodes)
             .max()
             .unwrap_or(0);
         println!(
             "  {constraints:<18} -> {} feasible MaxMISOs (largest: {} ops)",
-            candidates.len(),
+            outcome.candidates.len(),
             best_nodes
         );
     }
@@ -68,14 +72,21 @@ fn main() {
     println!("\n== Whole-application selection, up to 16 instructions ==");
     for (nin, nout) in [(2, 1), (4, 2), (8, 4)] {
         let constraints = Constraints::new(nin, nout);
-        let iterative = select_iterative(
+        let iterative = select_program(
             &program,
+            exact.as_ref(),
             constraints,
             &model,
-            SelectionOptions::new(16),
+            DriverOptions::new(16),
         );
         let report = iterative.speedup_report(&program, &software);
-        let greedy = select_greedy(&program, &maxmiso, constraints, &model, 16);
+        let greedy = select_program(
+            &program,
+            maxmiso.as_ref(),
+            constraints,
+            &model,
+            DriverOptions::new(16),
+        );
         let greedy_report = greedy.speedup_report(&program, &software);
         println!(
             "  {constraints:<18} -> Iterative: x{:.2} with {} instructions ({} ops max, area {:.2} MACs); MaxMISO: x{:.2}",

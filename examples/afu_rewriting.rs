@@ -6,23 +6,34 @@
 //! This is the flow a retargetable tool-chain would follow after the identification step
 //! of the paper: each selected cut is extracted into an AFU specification (the datapath
 //! to be synthesised) and the basic block is rewritten to invoke the new instruction.
+//! Selection goes through the engine registry and the parallel program driver.
 
 use std::collections::BTreeMap;
 
 use ise::core::collapse::collapse_into_program;
-use ise::core::{select_iterative, Constraints, SelectionOptions};
+use ise::core::engine::{select_program, DriverOptions};
+use ise::core::Constraints;
 use ise::hw::{DefaultCostModel, SoftwareLatencyModel};
 use ise::ir::interp::Evaluator;
 use ise::workloads::gsm;
 
 fn main() {
     let mut program = gsm::program();
+    let identifier = ise::full_registry()
+        .create("single-cut")
+        .expect("bundled algorithm");
     let model = DefaultCostModel::new();
     let software = SoftwareLatencyModel::new();
     let constraints = Constraints::new(4, 2);
 
     let baseline_cycles = software.program_dynamic_cycles(&program);
-    let selection = select_iterative(&program, constraints, &model, SelectionOptions::new(4));
+    let selection = select_program(
+        &program,
+        identifier.as_ref(),
+        constraints,
+        &model,
+        DriverOptions::new(4),
+    );
     let report = selection.speedup_report(&program, &software);
     println!(
         "gsm: baseline {baseline_cycles} cycles, {} instructions selected, estimated speed-up x{:.2}\n",
@@ -31,8 +42,12 @@ fn main() {
     );
 
     // Reference execution of the short-term filter block before rewriting.
-    let inputs: BTreeMap<String, i32> =
-        [("d".to_string(), 1200), ("u".to_string(), -300), ("rp".to_string(), 9000)].into();
+    let inputs: BTreeMap<String, i32> = [
+        ("d".to_string(), 1200),
+        ("u".to_string(), -300),
+        ("rp".to_string(), 9000),
+    ]
+    .into();
     let before = Evaluator::new()
         .eval_block(program.block(0), &inputs)
         .expect("reference execution")

@@ -4,16 +4,23 @@
 //! Run with `cargo run --release --example compare_algorithms`.
 //!
 //! For every bundled application and a small sweep of register-file port constraints,
-//! the example prints the estimated application speed-up obtained by the paper's
-//! Iterative algorithm and by the two prior-art baselines (Clubbing and MaxMISO), with up
-//! to 16 special instructions each.
+//! the example prints the estimated application speed-up of the paper's exact
+//! single-cut algorithm and of the two prior-art baselines, with up to 16 special
+//! instructions each. Every algorithm is fetched from the engine registry by name and
+//! driven by the same parallel program driver — comparing another registered algorithm
+//! means adding its name to `ALGORITHMS`.
 
-use ise::baselines::{select_greedy, Clubbing, MaxMiso};
-use ise::core::{select_iterative, Constraints, SelectionOptions};
+use ise::core::engine::{select_program, DriverOptions, IdentifierConfig};
+use ise::core::Constraints;
 use ise::hw::{DefaultCostModel, SoftwareLatencyModel};
 use ise::workloads::suite;
 
+/// Registry names of the compared algorithms, in column order.
+const ALGORITHMS: [&str; 3] = ["single-cut", "clubbing", "maxmiso"];
+
 fn main() {
+    let registry = ise::full_registry();
+    let config = IdentifierConfig::default().with_exploration_budget(Some(2_000_000));
     let model = DefaultCostModel::new();
     let software = SoftwareLatencyModel::new();
     let constraints_sweep = [
@@ -22,36 +29,36 @@ fn main() {
         Constraints::new(8, 4),
     ];
 
-    println!(
-        "{:<14} {:>10} {:>12} {:>12} {:>12}",
-        "benchmark", "Nin/Nout", "Iterative", "Clubbing", "MaxMISO"
-    );
+    print!("{:<14} {:>10}", "benchmark", "Nin/Nout");
+    for name in ALGORITHMS {
+        print!(" {name:>12}");
+    }
+    println!();
     for program in suite::mediabench_like() {
         for constraints in constraints_sweep {
-            let iterative = select_iterative(
-                &program,
-                constraints,
-                &model,
-                SelectionOptions::new(16).with_exploration_budget(2_000_000),
-            )
-            .speedup_report(&program, &software)
-            .speedup;
-            let clubbing = select_greedy(&program, &Clubbing::new(), constraints, &model, 16)
-                .speedup_report(&program, &software)
-                .speedup;
-            let maxmiso = select_greedy(&program, &MaxMiso::new(), constraints, &model, 16)
-                .speedup_report(&program, &software)
-                .speedup;
-            println!(
-                "{:<14} {:>7}/{:<2} {:>11.3}x {:>11.3}x {:>11.3}x",
+            print!(
+                "{:<14} {:>7}/{:<2}",
                 program.name(),
                 constraints.max_inputs,
-                constraints.max_outputs,
-                iterative,
-                clubbing,
-                maxmiso
+                constraints.max_outputs
             );
+            for name in ALGORITHMS {
+                let identifier = registry
+                    .create_configured(name, &config)
+                    .expect("registered algorithm");
+                let speedup = select_program(
+                    &program,
+                    identifier.as_ref(),
+                    constraints,
+                    &model,
+                    DriverOptions::new(16),
+                )
+                .speedup_report(&program, &software)
+                .speedup;
+                print!(" {speedup:>11.3}x");
+            }
+            println!();
         }
     }
-    println!("\n(larger is better; the Iterative column is the paper's contribution)");
+    println!("\n(larger is better; the single-cut column is the paper's contribution)");
 }

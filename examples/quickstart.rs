@@ -2,12 +2,12 @@
 //!
 //! Run with `cargo run --example quickstart`.
 //!
-//! The example builds a basic block with the dataflow-graph builder, runs the exact
-//! single-cut identification algorithm of Atasu/Pozzi/Ienne under a few different
-//! register-file port constraints, and prints the chosen instruction, its port usage and
-//! the estimated cycle saving.
+//! The example builds a basic block with the dataflow-graph builder, fetches the exact
+//! single-cut identification algorithm of Atasu/Pozzi/Ienne from the engine registry,
+//! runs it under a few different register-file port constraints, and prints the chosen
+//! instruction, its port usage and the estimated cycle saving.
 
-use ise::core::{identify_single_cut, Constraints};
+use ise::core::Constraints;
 use ise::hw::DefaultCostModel;
 use ise::ir::dot::{to_dot, DotOptions};
 use ise::ir::DfgBuilder;
@@ -31,10 +31,17 @@ fn main() {
 
     println!("Basic block ({} operations):\n{block}", block.node_count());
 
+    let registry = ise::full_registry();
+    println!(
+        "registered identification algorithms: {:?}\n",
+        registry.names()
+    );
+    let identifier = registry.create("single-cut").expect("bundled algorithm");
+
     let model = DefaultCostModel::new();
     for (nin, nout) in [(2, 1), (3, 1), (3, 2), (4, 2)] {
         let constraints = Constraints::new(nin, nout);
-        let outcome = identify_single_cut(&block, constraints, &model);
+        let outcome = identifier.identify(&block, &constraints, &model);
         match outcome.best {
             Some(best) => {
                 println!(
@@ -52,7 +59,7 @@ fn main() {
     }
 
     // Export the graph with the best (4,2) cut highlighted, ready for Graphviz.
-    let outcome = identify_single_cut(&block, Constraints::new(4, 2), &model);
+    let outcome = identifier.identify(&block, &Constraints::new(4, 2), &model);
     if let Some(best) = outcome.best {
         let dot = to_dot(
             &block,

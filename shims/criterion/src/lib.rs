@@ -1,0 +1,161 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access. This shim accepts the subset of the
+//! criterion 0.5 API used by the benches in `crates/bench/benches/` — groups,
+//! `BenchmarkId`, `sample_size`, `bench_with_input`, `Bencher::iter` and the
+//! `criterion_group!`/`criterion_main!` macros — and reports a coarse mean wall-clock
+//! time per iteration. It has no warm-up, outlier rejection or statistics; it exists so
+//! `cargo bench` compiles and produces indicative numbers offline. Replacing the shim
+//! with the real `criterion` (same feature surface) requires no source changes.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher, input);
+        let per_iter = bencher
+            .elapsed
+            .checked_div(bencher.iterations.max(1) as u32)
+            .unwrap_or(Duration::ZERO);
+        println!(
+            "  {}/{}: {:?}/iter over {} iters",
+            self.name, id.label, per_iter, bencher.iterations
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times a closure over the configured number of iterations.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records total elapsed wall-clock time.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a function that runs the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built from groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_the_routine_the_requested_number_of_times() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(5);
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("count", 1), &(), |b, ()| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        group.finish();
+        assert_eq!(calls, 5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this shim implements the small
+//! slice of the rayon API the workspace uses — `par_iter().map(f).collect()` and
+//! `par_iter().for_each(f)` — with *real* parallelism on `std::thread::scope`. Items are
+//! split into contiguous chunks, one per available core, and results are reassembled in
+//! input order, so a parallel map is always observably identical to the sequential one.
+//! Replacing the shim with the real `rayon` requires no source changes.
+
+#![forbid(unsafe_code)]
+
+/// The traits user code is expected to import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Mirrors `rayon::iter::IntoParallelRefIterator`: `&self` to a parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type iterated over.
+    type Item: Sync + 'data;
+
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps every element through `op`, in parallel.
+    pub fn map<R, F>(self, op: F) -> MapIter<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        MapIter {
+            items: self.items,
+            op,
+        }
+    }
+
+    /// Runs `op` on every element, in parallel.
+    pub fn for_each<F>(self, op: F)
+    where
+        F: Fn(&'data T) + Sync,
+    {
+        let _ = parallel_map(self.items, op);
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by `collect`.
+pub struct MapIter<'data, T: Sync, F> {
+    items: &'data [T],
+    op: F,
+}
+
+impl<'data, T, R, F> MapIter<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Collects the mapped values, preserving input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, self.op).into_iter().collect()
+    }
+}
+
+/// Ordered parallel map: contiguous chunks, one worker thread per chunk.
+fn parallel_map<'data, T, R, F>(items: &'data [T], op: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len())
+        .max(1);
+    if threads == 1 {
+        return items.iter().map(op).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let op = &op;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(op).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn for_each_visits_every_element() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let items: Vec<u64> = (1..=100).collect();
+        items.par_iter().for_each(|&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 5050);
+    }
+}

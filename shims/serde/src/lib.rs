@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this shim provides the two trait
+//! names the workspace derives — as empty marker traits — together with derive macros
+//! that emit empty impls. No code in the workspace calls serialisation methods yet; the
+//! derives only declare intent. Replacing this shim with the real `serde` (same package
+//! name, same `derive` feature) requires no source changes elsewhere.
+
+#![forbid(unsafe_code)]
+
+pub use serde_shim_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,55 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This build environment has no access to crates.io, so the real `serde` cannot be
+//! vendored. The workspace only uses `#[derive(serde::Serialize, serde::Deserialize)]`
+//! as forward-looking metadata — nothing serialises yet — so these derives simply emit
+//! empty implementations of the marker traits defined by the sibling `serde` shim.
+//! Swapping the shim for the real crates requires no source changes.
+//!
+//! Limitations (checked at expansion time): the derived type must not have generic
+//! parameters. That covers every type in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct or enum a derive was attached to.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde shim: expected a type name, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    assert!(
+                        p.as_char() != '<',
+                        "serde shim: generic type `{name}` is not supported by the \
+                         offline derive stand-in"
+                    );
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde shim: no struct/enum found in derive input");
+}
+
+/// Emits `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}

@@ -16,8 +16,12 @@
 //!
 //! # Quickstart
 //!
+//! All identification algorithms — the paper's exact searches and the prior-art
+//! baselines — are reachable by name through the engine registry and driven by the
+//! same `rayon`-parallel program driver:
+//!
 //! ```
-//! use ise::core::{select_iterative, Constraints, SelectionOptions};
+//! use ise::core::engine::{select_program, DriverOptions};
 //! use ise::hw::{DefaultCostModel, SoftwareLatencyModel};
 //! use ise::workloads::adpcm;
 //!
@@ -25,11 +29,13 @@
 //! // file offering 4 read ports and 2 write ports.
 //! let program = adpcm::decode_program();
 //! let model = DefaultCostModel::new();
-//! let selection = select_iterative(
+//! let identifier = ise::full_registry().create("single-cut").unwrap();
+//! let selection = select_program(
 //!     &program,
-//!     Constraints::new(4, 2),
+//!     identifier.as_ref(),
+//!     ise::core::Constraints::new(4, 2),
 //!     &model,
-//!     SelectionOptions::new(4),
+//!     DriverOptions::new(4),
 //! );
 //! assert!(!selection.is_empty());
 //! let report = selection.speedup_report(&program, &SoftwareLatencyModel::new());
@@ -41,6 +47,10 @@
 
 /// Baseline identification algorithms (Clubbing, MaxMISO, single-node).
 pub use ise_baselines as baselines;
+/// The registry of all six bundled identification algorithms, addressable by name
+/// (`"single-cut"`, `"multicut"`, `"exhaustive"`, `"clubbing"`, `"maxmiso"`,
+/// `"single-node"`).
+pub use ise_baselines::{full_registry, register_baselines};
 /// Identification and selection algorithms — the paper's contribution.
 pub use ise_core as core;
 /// Cost models: software latency, hardware delay, area, speed-up accounting.

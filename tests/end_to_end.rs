@@ -40,7 +40,13 @@ fn the_motivational_example_behaves_as_described_in_the_paper() {
 
     // MaxMISO with 2 read ports cannot find M1: it is buried inside a larger MaxMISO.
     let program = adpcm::decode_program();
-    let maxmiso = select_greedy(&program, &MaxMiso::new(), Constraints::new(2, 1), &model, 16);
+    let maxmiso = select_greedy(
+        &program,
+        &MaxMiso::new(),
+        Constraints::new(2, 1),
+        &model,
+        16,
+    );
     let iterative = select_iterative(
         &program,
         Constraints::new(2, 1),
@@ -118,7 +124,11 @@ fn exact_algorithms_dominate_both_baselines_on_the_fig11_trio() {
     let model = DefaultCostModel::new();
     let software = SoftwareLatencyModel::new();
     for program in suite::fig11_benchmarks() {
-        for constraints in [Constraints::new(2, 1), Constraints::new(4, 2), Constraints::new(8, 4)] {
+        for constraints in [
+            Constraints::new(2, 1),
+            Constraints::new(4, 2),
+            Constraints::new(8, 4),
+        ] {
             let iterative = select_iterative(
                 &program,
                 constraints,
@@ -213,7 +223,7 @@ fn cleanup_passes_preserve_kernel_semantics() {
     assert!(block.validate().is_ok());
     let _ = (folded, removed);
 
-    let mut run = |dfg: &ise::ir::Dfg| -> BTreeMap<String, i32> {
+    let run = |dfg: &ise::ir::Dfg| -> BTreeMap<String, i32> {
         let mut evaluator = Evaluator::new();
         evaluator
             .memory
@@ -229,7 +239,10 @@ fn cleanup_passes_preserve_kernel_semantics() {
             ("outp".to_string(), 0x700),
         ]
         .into();
-        evaluator.eval_block(dfg, &inputs).expect("execution").outputs
+        evaluator
+            .eval_block(dfg, &inputs)
+            .expect("execution")
+            .outputs
     };
     assert_eq!(run(&reference), run(&block));
 }

@@ -75,12 +75,7 @@ fn optimal_selection_uses_at_most_ninstr_plus_nbb_minus_one_identifier_calls() {
 fn optimal_selection_distributes_cuts_by_marginal_improvement() {
     let p = three_block_program();
     let model = DefaultCostModel::new();
-    let result = select_optimal(
-        &p,
-        Constraints::new(3, 1),
-        &model,
-        SelectionOptions::new(3),
-    );
+    let result = select_optimal(&p, Constraints::new(3, 1), &model, SelectionOptions::new(3));
     // The logic-only block must never receive an instruction; the two MAC-like blocks
     // share the three slots.
     assert!(result.chosen.iter().all(|c| c.block_index != 2));
@@ -98,7 +93,11 @@ fn optimal_never_loses_to_iterative_and_both_report_consistent_speedups() {
     let p = three_block_program();
     let model = DefaultCostModel::new();
     let software = SoftwareLatencyModel::new();
-    for constraints in [Constraints::new(2, 1), Constraints::new(3, 1), Constraints::new(4, 2)] {
+    for constraints in [
+        Constraints::new(2, 1),
+        Constraints::new(3, 1),
+        Constraints::new(4, 2),
+    ] {
         for ninstr in [1usize, 2, 4] {
             let optimal = select_optimal(&p, constraints, &model, SelectionOptions::new(ninstr));
             let iterative =

@@ -1,8 +1,8 @@
 //! Integration test reproducing the behaviour of Figs. 4, 5 and 7 of the paper: the
 //! search tree over the 4-node example graph, with output-port and convexity pruning.
 
-use ise::core::{exhaustive, identify_single_cut, Constraints, CutSet};
 use ise::core::cut;
+use ise::core::{exhaustive, identify_single_cut, Constraints, CutSet};
 use ise::hw::DefaultCostModel;
 use ise::ir::{Dfg, DfgBuilder, NodeId};
 
@@ -50,7 +50,10 @@ fn pruning_skips_part_of_the_sixteen_cut_search_space() {
     assert!(stats.cuts_considered >= stats.feasible_cuts);
     assert_eq!(
         stats.cuts_considered,
-        stats.feasible_cuts + stats.pruned_output + stats.pruned_convexity + stats.pruned_node_budget
+        stats.feasible_cuts
+            + stats.pruned_output
+            + stats.pruned_convexity
+            + stats.pruned_node_budget
     );
     // At least one subtree was eliminated outright (cuts never even considered).
     assert!(total_nonempty_cuts - stats.cuts_considered >= 1);
