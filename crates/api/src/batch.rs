@@ -1,0 +1,107 @@
+//! The batch front-end: fan a slice of requests out across `rayon` workers.
+
+use rayon::prelude::*;
+
+use ise_core::IseError;
+
+use crate::request::{IseRequest, IseResponse};
+use crate::session::Session;
+
+/// Executes many [`IseRequest`]s concurrently with deterministic, ordered results.
+///
+/// Each request is independent — its own program, algorithm and knobs — so the
+/// service fans them out across the `rayon` thread pool and collects the outcomes
+/// *in request order*. Every outcome is byte-identical (once serialised) to what a
+/// sequential [`Session::execute`] of the same request produces: parallelism only
+/// trades wall-clock for cores, never determinism. A failing request yields its
+/// [`IseError`] in place; it never aborts the rest of the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchService {
+    parallel: bool,
+}
+
+impl Default for BatchService {
+    fn default() -> Self {
+        BatchService::new()
+    }
+}
+
+impl BatchService {
+    /// Creates the service with the parallel fan-out enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchService { parallel: true }
+    }
+
+    /// Chooses between the parallel and the sequential fan-out (the results are
+    /// identical either way; sequential exists for debugging and benchmarking).
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Executes every request and returns one outcome per request, in order.
+    #[must_use]
+    pub fn run(&self, requests: &[IseRequest]) -> Vec<Result<IseResponse, IseError>> {
+        if self.parallel && requests.len() > 1 {
+            requests.par_iter().map(Session::execute).collect()
+        } else {
+            requests.iter().map(Session::execute).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Algorithm, ProgramSource};
+
+    fn sample_requests() -> Vec<IseRequest> {
+        let mut requests = Vec::new();
+        for workload in ["adpcmdecode", "gsm"] {
+            for algorithm in [Algorithm::SingleCut, Algorithm::MaxMiso] {
+                requests.push(IseRequest::new(
+                    algorithm,
+                    ProgramSource::Workload(workload.into()),
+                ));
+            }
+        }
+        // One failing request in the middle of the batch.
+        requests.insert(
+            2,
+            IseRequest::named("no-such", ProgramSource::Workload("gsm".into())),
+        );
+        requests
+    }
+
+    #[test]
+    fn batches_are_ordered_and_error_isolating() {
+        let requests = sample_requests();
+        let outcomes = BatchService::new().run(&requests);
+        assert_eq!(outcomes.len(), requests.len());
+        assert!(outcomes[2].is_err(), "the bad request fails in place");
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let response = outcome.as_ref().expect("good requests succeed");
+            assert_eq!(response.program, requests[i].program.name());
+            assert_eq!(response.algorithm, requests[i].algorithm);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_batches_are_byte_identical() {
+        let requests = sample_requests();
+        let parallel = BatchService::new().run(&requests);
+        let sequential = BatchService::new().with_parallel(false).run(&requests);
+        for (p, s) in parallel.iter().zip(&sequential) {
+            match (p, s) {
+                (Ok(p), Ok(s)) => assert_eq!(crate::to_json(p), crate::to_json(s)),
+                (Err(p), Err(s)) => assert_eq!(p, s),
+                other => panic!("parallel/sequential outcome mismatch: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The serialisable job vocabulary: algorithms, program sources, requests and
+//! responses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use ise_core::{Constraints, DriverOptions, IdentifierConfig, IseError, SelectionResult};
+use ise_hw::speedup::SpeedupReport;
+use ise_ir::Program;
+
+/// The bundled identification algorithms, as a closed enum.
+///
+/// The registry remains open (any crate can register more identifiers under new
+/// names); this enum covers the six algorithms shipped with the workspace and
+/// converts to/from their stable registry names, so callers can choose between
+/// compile-time safety ([`crate::SessionBuilder::algorithm`]) and data-driven
+/// dispatch ([`crate::SessionBuilder::algorithm_name`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Algorithm {
+    /// The exact single-cut branch-and-bound search (paper Section 6.1).
+    SingleCut,
+    /// The exact multiple-cut search (paper Section 6.2).
+    MultiCut,
+    /// The brute-force enumeration oracle (tests and small blocks only).
+    Exhaustive,
+    /// The Clubbing baseline (Baleani et al., CODES 2002).
+    Clubbing,
+    /// The MaxMISO baseline (Alippi et al., DATE 1999).
+    MaxMiso,
+    /// The trivial one-node-per-instruction sanity floor.
+    SingleNode,
+}
+
+impl Algorithm {
+    /// All bundled algorithms, in registry order.
+    #[must_use]
+    pub fn all() -> [Algorithm; 6] {
+        [
+            Algorithm::SingleCut,
+            Algorithm::MultiCut,
+            Algorithm::Exhaustive,
+            Algorithm::Clubbing,
+            Algorithm::MaxMiso,
+            Algorithm::SingleNode,
+        ]
+    }
+
+    /// The stable registry name of the algorithm.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::SingleCut => "single-cut",
+            Algorithm::MultiCut => "multicut",
+            Algorithm::Exhaustive => "exhaustive",
+            Algorithm::Clubbing => "clubbing",
+            Algorithm::MaxMiso => "maxmiso",
+            Algorithm::SingleNode => "single-node",
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = IseError;
+
+    /// Parses a registry name, with the registry's lookup rules (case-insensitive,
+    /// `_` and `-` interchangeable).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canonical = ise_core::IdentifierRegistry::canonical_name(s);
+        Algorithm::all()
+            .into_iter()
+            .find(|a| a.name() == canonical)
+            .ok_or_else(|| IseError::UnknownAlgorithm {
+                requested: s.to_string(),
+                available: Algorithm::all().iter().map(|a| a.name().into()).collect(),
+            })
+    }
+}
+
+/// A whole-program transformation applied by a [`crate::Session`] before
+/// identification.
+///
+/// The pipeline operates on the per-block dataflow graphs (if-conversion happens
+/// upstream, when a control-flow function is lowered to a [`Program`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Pass {
+    /// Constant folding on every basic block.
+    ConstFold,
+    /// Dead-code elimination on every basic block.
+    Dce,
+}
+
+/// Where a request's program comes from.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ProgramSource {
+    /// A bundled benchmark, referenced by its suite name (e.g. `"adpcmdecode"`).
+    ///
+    /// Keeps request files small and lets remote callers name workloads they do
+    /// not hold locally.
+    Workload(String),
+    /// A full program carried inline in the request.
+    Inline(Program),
+}
+
+impl ProgramSource {
+    /// Resolves the source into a validated program.
+    ///
+    /// Inline programs are treated as untrusted data and validated before any
+    /// algorithm sees them. Their derived use-lists are already trustworthy:
+    /// graph deserialisation rebuilds them from the operands instead of reading
+    /// them off the wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IseError::InvalidRequest`] for an unknown workload name (the
+    /// message lists the bundled names) and [`IseError::InvalidProgram`] for a
+    /// structurally invalid inline program.
+    pub fn resolve(&self) -> Result<Program, IseError> {
+        match self {
+            ProgramSource::Workload(name) => ise_workloads::suite::by_name(name).ok_or_else(|| {
+                IseError::InvalidRequest(format!(
+                    "unknown workload `{name}`; bundled workloads: {}",
+                    ise_workloads::suite::names().join(", ")
+                ))
+            }),
+            ProgramSource::Inline(program) => {
+                program.validate()?;
+                Ok(program.clone())
+            }
+        }
+    }
+
+    /// The program name this source refers to, without resolving it.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            ProgramSource::Workload(name) => name,
+            ProgramSource::Inline(program) => program.name(),
+        }
+    }
+}
+
+/// One serialisable identification job: program, algorithm and all knobs.
+///
+/// A request is pure data — it can be built in-process, read from a JSON file by
+/// `ise-cli`, or received over a wire — and is executed by
+/// [`Session::execute`](crate::Session::execute) or fanned out with
+/// [`BatchService`](crate::BatchService).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IseRequest {
+    /// Registry name of the identification algorithm.
+    pub algorithm: String,
+    /// The program to optimise.
+    pub program: ProgramSource,
+    /// Microarchitectural constraints (`Nin`, `Nout`, optional budgets).
+    pub constraints: Constraints,
+    /// Algorithm construction parameters (exploration budget, multicut slots, …).
+    pub config: IdentifierConfig,
+    /// Program-driver options (`Ninstr`, parallel fan-out).
+    pub options: DriverOptions,
+    /// Pass pipeline applied before identification, in order.
+    pub passes: Vec<Pass>,
+}
+
+impl IseRequest {
+    /// Creates a request with default constraints, config, options and no passes.
+    #[must_use]
+    pub fn new(algorithm: Algorithm, program: ProgramSource) -> Self {
+        IseRequest {
+            algorithm: algorithm.name().to_string(),
+            program,
+            constraints: Constraints::default(),
+            config: IdentifierConfig::default(),
+            options: DriverOptions::default(),
+            passes: Vec::new(),
+        }
+    }
+
+    /// Creates a request for an algorithm addressed by registry name.
+    #[must_use]
+    pub fn named(algorithm: impl Into<String>, program: ProgramSource) -> Self {
+        IseRequest {
+            algorithm: algorithm.into(),
+            program,
+            constraints: Constraints::default(),
+            config: IdentifierConfig::default(),
+            options: DriverOptions::default(),
+            passes: Vec::new(),
+        }
+    }
+
+    /// Sets the microarchitectural constraints.
+    #[must_use]
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the algorithm construction parameters.
+    #[must_use]
+    pub fn with_config(mut self, config: IdentifierConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the program-driver options.
+    #[must_use]
+    pub fn with_options(mut self, options: DriverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Appends a pass to the pre-identification pipeline.
+    #[must_use]
+    pub fn with_pass(mut self, pass: Pass) -> Self {
+        self.passes.push(pass);
+        self
+    }
+}
+
+/// The result of one identification job.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IseResponse {
+    /// Name of the program that was optimised.
+    pub program: String,
+    /// Registry name of the algorithm that ran.
+    pub algorithm: String,
+    /// The constraints the job ran under.
+    pub constraints: Constraints,
+    /// The selected instructions and the search-effort statistics.
+    pub selection: SelectionResult,
+    /// Whole-application speed-up accounting for the selection.
+    pub report: SpeedupReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_round_trip_through_from_str() {
+        for algorithm in Algorithm::all() {
+            assert_eq!(algorithm.name().parse::<Algorithm>(), Ok(algorithm));
+            assert_eq!(algorithm.to_string(), algorithm.name());
+        }
+        assert_eq!("Single_Cut".parse::<Algorithm>(), Ok(Algorithm::SingleCut));
+        let err = "nope".parse::<Algorithm>().unwrap_err();
+        assert!(err.to_string().contains("single-cut"), "{err}");
+    }
+
+    #[test]
+    fn enum_names_match_the_live_registry() {
+        let registered = crate::algorithm_names();
+        for algorithm in Algorithm::all() {
+            assert!(registered.contains(&algorithm.name()), "{algorithm}");
+        }
+        assert_eq!(registered.len(), Algorithm::all().len());
+    }
+
+    #[test]
+    fn unknown_workloads_list_the_bundled_names() {
+        let err = ProgramSource::Workload("nope".into())
+            .resolve()
+            .unwrap_err();
+        assert!(matches!(&err, IseError::InvalidRequest(m) if m.contains("adpcmdecode")));
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let request = IseRequest::new(Algorithm::MultiCut, ProgramSource::Workload("gsm".into()))
+            .with_constraints(Constraints::new(4, 2).with_max_area(1.5))
+            .with_config(IdentifierConfig::default().with_multicut_slots(3))
+            .with_pass(Pass::ConstFold)
+            .with_pass(Pass::Dce);
+        let text = crate::to_json(&request);
+        let back: IseRequest = crate::from_json(&text).expect("round trip");
+        assert_eq!(back, request);
+        assert_eq!(crate::to_json(&back), text);
+    }
+}

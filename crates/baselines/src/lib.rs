@@ -18,7 +18,7 @@
 //! across the whole application by decreasing dynamic saving, mirroring how the paper
 //! turns per-block candidates into an instruction set.
 //!
-//! They also implement the unified [`Identifier`](ise_core::engine::Identifier) trait of
+//! They also implement the unified [`Identifier`] trait of
 //! the `ise-core` engine, so every baseline is reachable through the
 //! [`IdentifierRegistry`] by name (`"clubbing"`, `"maxmiso"`, `"single-node"`) and can be
 //! driven by the same `rayon`-parallel program driver as the exact algorithms:
@@ -154,6 +154,12 @@ pub fn select_greedy(
     max_instructions: usize,
 ) -> SelectionResult {
     struct Bridge<'a>(&'a dyn IdentificationAlgorithm);
+
+    impl std::fmt::Debug for Bridge<'_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_tuple("Bridge").field(&self.0.name()).finish()
+        }
+    }
 
     impl Identifier for Bridge<'_> {
         fn name(&self) -> &'static str {

@@ -158,7 +158,7 @@ pub fn select(
     let run_registry = |name: &str| -> SelectionResult {
         let identifier: Box<dyn Identifier> = registry
             .create_configured(name, &config.engine_config())
-            .unwrap_or_else(|| panic!("unknown identifier {name:?}"));
+            .unwrap_or_else(|e| panic!("{e}"));
         select_program(
             program,
             identifier.as_ref(),

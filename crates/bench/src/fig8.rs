@@ -1,7 +1,7 @@
 //! Fig. 8 — cuts considered by the identification algorithm versus block size.
 //!
 //! The experiment is driven through the engine registry: any registered
-//! [`Identifier`](ise_core::engine::Identifier) can be measured by name (the paper's
+//! [`Identifier`] can be measured by name (the paper's
 //! figure uses the exact `"single-cut"` search), and the per-block measurements are
 //! fanned out in parallel with `rayon`.
 
@@ -81,7 +81,7 @@ fn identifier_for(config: &Fig8Config) -> Box<dyn Identifier> {
         IdentifierConfig::default().with_exploration_budget(config.exploration_budget);
     full_registry()
         .create_configured(&config.identifier, &engine_config)
-        .unwrap_or_else(|| panic!("unknown identifier {:?}", config.identifier))
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Counts the cuts considered by the exact single-cut search on one block with
@@ -199,7 +199,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown identifier")]
+    #[should_panic(expected = "unknown identification algorithm")]
     fn unknown_identifier_names_are_rejected() {
         let config = Fig8Config {
             identifier: "no-such-algorithm".to_string(),

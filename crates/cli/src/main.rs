@@ -1,0 +1,159 @@
+//! `ise-cli` — the process-boundary entry point of the ISE stack.
+//!
+//! Request files are JSON (see `requests/adpcm.json` in the repository root for a
+//! checked-in example); everything the in-process [`ise_api`] surface accepts is
+//! expressible in a file, and the emitted responses are byte-identical to what
+//! [`ise_api::Session::run`] produces in-process.
+//!
+//! ```text
+//! ise-cli run <request.json>    execute one request, print one response
+//! ise-cli batch <requests.json> execute an array of requests, print an array of
+//!                               outcomes ({"response": …} | {"error": …}), ordered
+//! ise-cli algorithms            list the registered identification algorithms
+//! ```
+//!
+//! Flags: `--pretty` for indented output, `-o FILE` to write the output to a file.
+//! Exit codes: `0` success, `1` usage or file error, `2` at least one request in a
+//! batch (or the single `run` request) failed.
+
+use std::process::ExitCode;
+
+use ise_api::{json, BatchService, IseError, IseRequest, IseResponse, Session};
+
+/// Parsed command-line options.
+struct Options {
+    pretty: bool,
+    output: Option<String>,
+    positional: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: ise-cli <command> [options]\n\
+     \n\
+     commands:\n\
+     \x20 run <request.json>     execute one identification request\n\
+     \x20 batch <requests.json>  execute an array of requests (ordered, parallel)\n\
+     \x20 algorithms             list the registered identification algorithms\n\
+     \n\
+     options:\n\
+     \x20 --pretty               indent the JSON output\n\
+     \x20 -o, --output FILE      write the output to FILE instead of stdout\n"
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        pretty: false,
+        output: None,
+        positional: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--pretty" => options.pretty = true,
+            "-o" | "--output" => {
+                let Some(path) = iter.next() else {
+                    return Err(format!("{arg} requires a file path"));
+                };
+                options.output = Some(path.clone());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => options.positional.push(other.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn read_file(path: &str) -> Result<String, IseError> {
+    std::fs::read_to_string(path).map_err(|e| IseError::Io(format!("cannot read `{path}`: {e}")))
+}
+
+fn emit(options: &Options, payload: &json::Value) -> Result<(), IseError> {
+    let text = if options.pretty {
+        json::to_string_pretty(payload)
+    } else {
+        json::to_string(payload)
+    };
+    match &options.output {
+        Some(path) => std::fs::write(path, text + "\n")
+            .map_err(|e| IseError::Io(format!("cannot write `{path}`: {e}"))),
+        None => {
+            println!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// Wraps one outcome in the `{"response": …} | {"error": …}` envelope.
+fn envelope(outcome: &Result<IseResponse, IseError>) -> json::Value {
+    match outcome {
+        Ok(response) => {
+            json::Value::Object(vec![("response".to_string(), json::to_value(response))])
+        }
+        Err(error) => json::Value::Object(vec![(
+            "error".to_string(),
+            json::Value::Str(error.to_string()),
+        )]),
+    }
+}
+
+fn cmd_run(options: &Options, path: &str) -> Result<bool, IseError> {
+    let request: IseRequest = ise_api::from_json(&read_file(path)?)?;
+    let outcome = Session::execute(&request);
+    let failed = outcome.is_err();
+    emit(options, &envelope(&outcome))?;
+    Ok(failed)
+}
+
+fn cmd_batch(options: &Options, path: &str) -> Result<bool, IseError> {
+    let requests: Vec<IseRequest> = ise_api::from_json(&read_file(path)?)?;
+    let outcomes = BatchService::new().run(&requests);
+    let failed = outcomes.iter().any(Result::is_err);
+    let items: Vec<json::Value> = outcomes.iter().map(envelope).collect();
+    emit(options, &json::Value::Array(items))?;
+    Ok(failed)
+}
+
+fn cmd_algorithms(options: &Options) -> Result<bool, IseError> {
+    let names: Vec<json::Value> = ise_api::algorithm_names()
+        .into_iter()
+        .map(|n| json::Value::Str(n.to_string()))
+        .collect();
+    emit(options, &json::Value::Array(names))?;
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_options(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", usage());
+            return ExitCode::from(1);
+        }
+    };
+    let result = match options.positional.first().map(String::as_str) {
+        Some("run") if options.positional.len() == 2 => cmd_run(&options, &options.positional[1]),
+        Some("batch") if options.positional.len() == 2 => {
+            cmd_batch(&options, &options.positional[1])
+        }
+        Some("algorithms") if options.positional.len() == 1 => cmd_algorithms(&options),
+        Some("help") | None => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("error: bad command line\n\n{}", usage());
+            return ExitCode::from(1);
+        }
+    };
+    match result {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(2),
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end smoke tests for the `ise-cli` binary: run the checked-in request
+//! file through a real child process and check the output against the in-process
+//! API, byte for byte.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use ise_api::{json, IseRequest, Session};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/cli sits two levels below the repository root")
+        .to_path_buf()
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ise-cli"))
+}
+
+#[test]
+fn batch_output_is_byte_identical_to_in_process_sessions() {
+    let requests_path = repo_root().join("requests/adpcm.json");
+    let output = cli()
+        .arg("batch")
+        .arg(&requests_path)
+        .output()
+        .expect("ise-cli runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+
+    let text = std::fs::read_to_string(&requests_path).expect("request file");
+    let requests: Vec<IseRequest> = ise_api::from_json(&text).expect("valid request file");
+    assert!(
+        requests.len() >= 2,
+        "the smoke file exercises several requests"
+    );
+
+    let parsed = json::parse(stdout.trim()).expect("CLI emits valid JSON");
+    let outcomes = parsed.as_array().expect("an array of outcomes");
+    assert_eq!(outcomes.len(), requests.len());
+
+    for (request, outcome) in requests.iter().zip(outcomes) {
+        let response = outcome
+            .get("response")
+            .unwrap_or_else(|| panic!("{}: expected a response", request.algorithm));
+        let in_process = Session::execute(request).expect("in-process run succeeds");
+        // The whole response — and in particular its selection — must be
+        // byte-identical across the process boundary.
+        assert_eq!(
+            json::to_string(response),
+            ise_api::to_json(&in_process),
+            "{}: CLI and in-process responses diverge",
+            request.algorithm
+        );
+        assert_eq!(
+            json::to_string(response.get("selection").expect("selection present")),
+            ise_api::to_json(&in_process.selection),
+        );
+    }
+}
+
+#[test]
+fn algorithms_subcommand_lists_all_six() {
+    let output = cli().arg("algorithms").output().expect("ise-cli runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    for name in ise_api::algorithm_names() {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+}
+
+#[test]
+fn bad_requests_produce_error_envelopes_and_exit_code_2() {
+    let dir = std::env::temp_dir().join("ise-cli-smoke");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bad.json");
+    std::fs::write(
+        &path,
+        r#"[{"algorithm": "no-such", "program": {"Workload": "gsm"},
+            "constraints": {"max_inputs": 4, "max_outputs": 2, "max_area": null, "max_nodes": null},
+            "config": {"exploration_budget": null, "multicut_slots": 2, "exhaustive_node_limit": 20},
+            "options": {"max_instructions": 4, "parallel": true},
+            "passes": []}]"#,
+    )
+    .expect("write request");
+    let output = cli()
+        .arg("batch")
+        .arg(&path)
+        .output()
+        .expect("ise-cli runs");
+    assert_eq!(output.status.code(), Some(2));
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    assert!(stdout.contains("\"error\""), "{stdout}");
+    assert!(stdout.contains("no-such"), "{stdout}");
+
+    let missing = cli()
+        .arg("batch")
+        .arg(dir.join("does-not-exist.json"))
+        .output()
+        .expect("ise-cli runs");
+    assert_eq!(missing.status.code(), Some(1));
+}

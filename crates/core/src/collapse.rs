@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 use ise_ir::{Dfg, Node, NodeId, Opcode, Operand, Program};
 
 use crate::cut::{self, CutSet};
+use crate::error::IseError;
 
 /// The outcome of collapsing one cut.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,17 +85,43 @@ pub fn extract_afu_graph(dfg: &Dfg, cut: &CutSet, name: &str) -> Dfg {
 /// # Panics
 ///
 /// Panics if the cut is empty, non-convex, or contains nodes that are illegal in an AFU.
+/// Use [`try_collapse_cut`] to report those conditions as an error instead.
 #[must_use]
 pub fn collapse_cut(dfg: &Dfg, cut: &CutSet, afu_id: u16, name: &str) -> CollapseResult {
-    assert!(!cut.is_empty(), "cannot collapse an empty cut");
-    assert!(
-        cut::is_convex(dfg, cut),
-        "only convex cuts can be collapsed"
-    );
-    assert!(
-        cut::is_afu_legal(dfg, cut),
-        "cut contains nodes that cannot be implemented in an AFU"
-    );
+    try_collapse_cut(dfg, cut, afu_id, name).expect("cut must be collapsible")
+}
+
+/// Fallible form of [`collapse_cut`].
+///
+/// # Errors
+///
+/// Returns [`IseError::InvalidRequest`] when the cut is empty, non-convex, or contains
+/// nodes (memory operations, other AFUs) that cannot be implemented in an AFU — the
+/// three conditions every cut produced by the bundled identifiers satisfies by
+/// construction, but that a cut taken from an external request may violate.
+pub fn try_collapse_cut(
+    dfg: &Dfg,
+    cut: &CutSet,
+    afu_id: u16,
+    name: &str,
+) -> Result<CollapseResult, IseError> {
+    if cut.is_empty() {
+        return Err(IseError::InvalidRequest(
+            "cannot collapse an empty cut".to_string(),
+        ));
+    }
+    if !cut::is_convex(dfg, cut) {
+        return Err(IseError::InvalidRequest(format!(
+            "cut {cut} of block `{}` is not convex",
+            dfg.name()
+        )));
+    }
+    if !cut::is_afu_legal(dfg, cut) {
+        return Err(IseError::InvalidRequest(format!(
+            "cut {cut} of block `{}` contains nodes that cannot be implemented in an AFU",
+            dfg.name()
+        )));
+    }
 
     let afu_graph = extract_afu_graph(dfg, cut, name);
     let sources = cut::input_sources(dfg, cut);
@@ -174,12 +201,12 @@ pub fn collapse_cut(dfg: &Dfg, cut: &CutSet, afu_id: u16, name: &str) -> Collaps
         rewritten.add_output(output.name.clone(), remap(&value_map, &output.source));
     }
 
-    CollapseResult {
+    Ok(CollapseResult {
         inputs: afu_graph.input_count(),
         outputs: afu_graph.output_count(),
         rewritten,
         afu_graph,
-    }
+    })
 }
 
 /// Collapses a cut of block `block_index` of `program`, registering the AFU

@@ -13,7 +13,7 @@
 //!   outside `S`, otherwise no schedule exists once `S` is collapsed into one instruction.
 //!
 //! These functions recompute their result from scratch; the search algorithm maintains
-//! the same quantities incrementally (see [`crate::search`]) and the property tests check
+//! the same quantities incrementally (see [`SingleCutSearch`](crate::SingleCutSearch)) and the property tests check
 //! that both agree on random graphs and random cuts.
 
 use std::fmt;

@@ -29,13 +29,27 @@ use crate::selection::{ChosenCut, SelectionResult};
 use super::Identifier;
 
 /// Options for the program-level driver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Construction goes through one builder path: start from [`DriverOptions::new`] (or
+/// [`DriverOptions::default`], which places no bound on the instruction count) and
+/// refine with the `with_*`/[`sequential`](DriverOptions::sequential) methods. The
+/// fields stay public for pattern matching and serialisation, but every front-end in
+/// the workspace constructs options through the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DriverOptions {
     /// Maximum number of special instructions to select (`Ninstr`).
     pub max_instructions: usize,
     /// Fan identification out across basic blocks with `rayon`. The result is
     /// byte-identical to the sequential path; this only trades wall-clock for cores.
     pub parallel: bool,
+}
+
+impl Default for DriverOptions {
+    /// Parallel selection with no bound on the instruction count: the driver keeps
+    /// committing instructions until no profitable cut remains.
+    fn default() -> Self {
+        DriverOptions::new(usize::MAX)
+    }
 }
 
 impl DriverOptions {
@@ -48,11 +62,24 @@ impl DriverOptions {
         }
     }
 
+    /// Sets the instruction budget (`Ninstr`).
+    #[must_use]
+    pub fn with_max_instructions(mut self, max_instructions: usize) -> Self {
+        self.max_instructions = max_instructions;
+        self
+    }
+
+    /// Chooses between the `rayon`-parallel and the sequential per-block fan-out.
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
     /// Switches the per-block fan-out to the sequential path.
     #[must_use]
-    pub fn sequential(mut self) -> Self {
-        self.parallel = false;
-        self
+    pub fn sequential(self) -> Self {
+        self.with_parallel(false)
     }
 }
 
@@ -154,23 +181,16 @@ fn select_iteratively(
             stale[block_index] = false;
         }
         // Commit the candidate saving the most dynamic cycles (merit × block frequency);
-        // ties resolve to the highest block index, as in the pre-engine implementation.
-        let best_block = (0..block_count)
-            .filter(|&b| candidate[b].is_some())
-            .max_by(|&a, &b| {
-                let weight = |index: usize| {
-                    candidate[index].as_ref().unwrap().evaluation.merit
-                        * program.block(index).exec_count() as f64
-                };
-                weight(a)
-                    .partial_cmp(&weight(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-        let Some(block_index) = best_block else {
+        // ties resolve to the highest block index, exactly as in `select_iterative`
+        // (the two merges share the helper, so they cannot drift apart).
+        let Some((block_index, weighted)) =
+            crate::selection::best_weighted_block(program, &candidate)
+        else {
             break;
         };
-        let identified = candidate[block_index].take().expect("candidate present");
-        let weighted = identified.evaluation.merit * program.block(block_index).exec_count() as f64;
+        let Some(identified) = candidate[block_index].take() else {
+            break;
+        };
         if weighted <= 0.0 {
             break;
         }

@@ -34,10 +34,12 @@ pub use registry::{IdentifierConfig, IdentifierFactory, IdentifierRegistry};
 
 /// A pluggable per-basic-block identification algorithm.
 ///
-/// Implementors must be `Sync`: the program driver shares one instance across the
-/// threads of its per-block fan-out. All bundled identifiers are stateless apart from
-/// their configuration, so this is free.
-pub trait Identifier: Sync {
+/// Implementors must be `Sync + Send`: the program driver shares one instance across
+/// the threads of its per-block fan-out, and the batch front-end moves boxed
+/// identifiers into worker tasks. All bundled identifiers are stateless apart from
+/// their configuration, so this is free. `Debug` is required so that sessions and
+/// error reports can show which algorithm they hold.
+pub trait Identifier: Sync + Send + std::fmt::Debug {
     /// Stable registry name of the algorithm (lower-case, e.g. `"single-cut"`).
     fn name(&self) -> &'static str;
 

@@ -1,20 +1,21 @@
 //! Name-based lookup of identification algorithms.
 //!
 //! The registry maps stable name strings to factories producing boxed
-//! [`Identifier`](super::Identifier)s, so that benchmarks, examples, tests and future
+//! [`super::Identifier`] implementations, so that benchmarks, examples, tests and future
 //! front-ends (CLI flags, config files, service requests) select an algorithm by data
 //! instead of by hand-written dispatch. [`IdentifierRegistry::core_algorithms`] registers
 //! this crate's three algorithms; `ise_baselines::register_baselines` adds the three
 //! prior-art baselines, and `ise_baselines::full_registry` returns all six.
 
 use super::{Exhaustive, Identifier, MultiCut, SingleCut};
+use crate::error::IseError;
 
 /// Construction parameters shared by all registry factories.
 ///
 /// One config is passed to every factory; each algorithm picks out the fields it
 /// understands and ignores the rest, so a single config can drive a whole comparison
 /// sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct IdentifierConfig {
     /// Per-invocation exploration budget for the exact searches (`None` = unbounded).
     pub exploration_budget: Option<u64>,
@@ -48,6 +49,23 @@ impl IdentifierConfig {
         self.multicut_slots = slots;
         self
     }
+
+    /// Checks that every field is inside the domain the bundled algorithms accept, so
+    /// that factories never panic on request-supplied parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IseError::InvalidRequest`] when `multicut_slots` is outside `1..=255`
+    /// (the limits of the underlying search).
+    pub fn validate(&self) -> Result<(), IseError> {
+        if !(1..=255).contains(&self.multicut_slots) {
+            return Err(IseError::InvalidRequest(format!(
+                "multicut_slots must be in 1..=255, got {}",
+                self.multicut_slots
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// A factory producing one configured identifier.
@@ -78,6 +96,17 @@ fn canonical(name: &str) -> String {
 }
 
 impl IdentifierRegistry {
+    /// The canonical form every lookup is performed in: lower-case with `_`
+    /// folded to `-`.
+    ///
+    /// Exposed so that front-ends matching algorithm names outside the registry
+    /// (e.g. parsing an enum from a request string) follow exactly the same
+    /// rules and can never diverge from registry resolution.
+    #[must_use]
+    pub fn canonical_name(name: &str) -> String {
+        canonical(name)
+    }
+
     /// Creates an empty registry.
     #[must_use]
     pub fn empty() -> Self {
@@ -119,23 +148,39 @@ impl IdentifierRegistry {
     }
 
     /// Instantiates the named algorithm with the default configuration.
-    #[must_use]
-    pub fn create(&self, name: &str) -> Option<Box<dyn Identifier>> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IseError::UnknownAlgorithm`] — whose message lists the registered
+    /// names — when `name` does not resolve.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Identifier>, IseError> {
         self.create_configured(name, &IdentifierConfig::default())
     }
 
     /// Instantiates the named algorithm with an explicit configuration.
-    #[must_use]
+    ///
+    /// The configuration is validated before it reaches any factory, so parameters
+    /// taken from an untrusted request surface as an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IseError::UnknownAlgorithm`] when `name` does not resolve, or
+    /// [`IseError::InvalidRequest`] when the configuration is out of domain.
     pub fn create_configured(
         &self,
         name: &str,
         config: &IdentifierConfig,
-    ) -> Option<Box<dyn Identifier>> {
+    ) -> Result<Box<dyn Identifier>, IseError> {
+        config.validate()?;
         let key = canonical(name);
         self.entries
             .iter()
             .find(|(registered, _)| canonical(registered) == key)
             .map(|(_, factory)| factory(config))
+            .ok_or_else(|| IseError::UnknownAlgorithm {
+                requested: name.to_string(),
+                available: self.names().iter().map(ToString::to_string).collect(),
+            })
     }
 
     /// Returns `true` if `name` resolves to a registered algorithm.
@@ -172,7 +217,17 @@ mod tests {
             let identifier = registry.create(name).expect("registered");
             assert_eq!(identifier.name(), name);
         }
-        assert!(registry.create("no-such-algorithm").is_none());
+        let err = registry.create("no-such-algorithm").unwrap_err();
+        assert!(matches!(
+            &err,
+            crate::IseError::UnknownAlgorithm { requested, available }
+                if requested == "no-such-algorithm" && available.len() == 3
+        ));
+        // The error message is self-diagnosing: it lists every registered name.
+        let message = err.to_string();
+        for name in registry.names() {
+            assert!(message.contains(name), "{message}");
+        }
     }
 
     #[test]
@@ -180,8 +235,18 @@ mod tests {
         let registry = IdentifierRegistry::core_algorithms();
         assert!(registry.contains("Single-Cut"));
         assert!(registry.contains("single_cut"));
-        assert!(registry.create("SINGLE_CUT").is_some());
+        assert!(registry.create("SINGLE_CUT").is_ok());
         assert!(!registry.contains("single cut"));
+    }
+
+    #[test]
+    fn out_of_domain_config_is_an_error_not_a_panic() {
+        let registry = IdentifierRegistry::core_algorithms();
+        for slots in [0usize, 256] {
+            let config = IdentifierConfig::default().with_multicut_slots(slots);
+            let err = registry.create_configured("multicut", &config).unwrap_err();
+            assert!(matches!(err, crate::IseError::InvalidRequest(_)), "{err}");
+        }
     }
 
     #[test]

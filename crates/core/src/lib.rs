@@ -54,6 +54,7 @@ pub mod collapse;
 mod constraints;
 pub mod cut;
 pub mod engine;
+mod error;
 pub mod exhaustive;
 pub mod multicut;
 mod search;
@@ -65,6 +66,7 @@ pub use engine::{
     identify_blocks, select_program, DriverOptions, Identifier, IdentifierConfig,
     IdentifierRegistry,
 };
+pub use error::IseError;
 pub use multicut::{identify_multiple_cuts, MultiCutOutcome, MultiCutSearch};
 pub use search::{identify_single_cut, IdentifiedCut, SearchOutcome, SearchStats, SingleCutSearch};
 pub use selection::{

@@ -130,6 +130,29 @@ impl SelectionOptions {
     }
 }
 
+/// Picks the block whose cached candidate saves the most dynamic cycles (merit ×
+/// block execution count); ties resolve to the highest block index.
+///
+/// Shared by [`select_iterative`] and the engine driver's iterative merge, so the
+/// two strategies — whose results are asserted byte-identical by the test-suite —
+/// can never drift apart.
+pub(crate) fn best_weighted_block(
+    program: &Program,
+    candidate: &[Option<IdentifiedCut>],
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (block_index, identified) in candidate.iter().enumerate() {
+        let Some(identified) = identified.as_ref() else {
+            continue;
+        };
+        let weighted = identified.evaluation.merit * program.block(block_index).exec_count() as f64;
+        if best.is_none_or(|(_, best_weighted)| weighted >= best_weighted) {
+            best = Some((block_index, weighted));
+        }
+    }
+    best
+}
+
 /// Iterative selection (Section 6.3): repeatedly identify the best single cut over all
 /// blocks, commit it, exclude its nodes and continue.
 #[must_use]
@@ -169,21 +192,12 @@ pub fn select_iterative(
             candidate[block_index] = outcome.best;
             stale[block_index] = false;
         }
-        // Pick the block whose candidate saves the most dynamic cycles.
-        let best_block = (0..block_count)
-            .filter(|&b| candidate[b].is_some())
-            .max_by(|&a, &b| {
-                let wa = candidate[a].as_ref().unwrap().evaluation.merit
-                    * program.block(a).exec_count() as f64;
-                let wb = candidate[b].as_ref().unwrap().evaluation.merit
-                    * program.block(b).exec_count() as f64;
-                wa.partial_cmp(&wb).unwrap_or(std::cmp::Ordering::Equal)
-            });
-        let Some(block_index) = best_block else {
+        let Some((block_index, weighted)) = best_weighted_block(program, &candidate) else {
             break;
         };
-        let identified = candidate[block_index].take().expect("candidate present");
-        let weighted = identified.evaluation.merit * program.block(block_index).exec_count() as f64;
+        let Some(identified) = candidate[block_index].take() else {
+            break;
+        };
         if weighted <= 0.0 {
             break;
         }

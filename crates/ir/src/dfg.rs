@@ -85,7 +85,16 @@ pub struct OutputVar {
 ///
 /// The graph also records the basic block's profiled execution count, which the
 /// selection algorithms use to weight per-execution cycle savings (Section 7).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// # Wire format
+///
+/// The serde implementations are hand-written: only the primary data (`name`,
+/// `nodes`, `inputs`, `outputs`, `exec_count`) crosses a process boundary. The
+/// derived use-lists are recomputed on deserialisation, so a graph read from
+/// untrusted JSON can never carry stale or inconsistent consumer data — every
+/// entry point gets the invariant for free instead of having to remember to
+/// rebuild it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dfg {
     name: String,
     nodes: Vec<Node>,
@@ -96,6 +105,46 @@ pub struct Dfg {
     /// input_consumers[p] lists the operation nodes that read input variable p.
     input_consumers: Vec<Vec<NodeId>>,
     exec_count: u64,
+}
+
+impl serde::Serialize for Dfg {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("name".to_string(), serde::Serialize::to_value(&self.name)),
+            ("nodes".to_string(), serde::Serialize::to_value(&self.nodes)),
+            (
+                "inputs".to_string(),
+                serde::Serialize::to_value(&self.inputs),
+            ),
+            (
+                "outputs".to_string(),
+                serde::Serialize::to_value(&self.outputs),
+            ),
+            (
+                "exec_count".to_string(),
+                serde::Serialize::to_value(&self.exec_count),
+            ),
+        ])
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Dfg {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = serde::expect_object(value, "Dfg")?;
+        let mut dfg = Dfg {
+            name: serde::expect_field(fields, "name", "Dfg")?,
+            nodes: serde::expect_field(fields, "nodes", "Dfg")?,
+            inputs: serde::expect_field(fields, "inputs", "Dfg")?,
+            outputs: serde::expect_field(fields, "outputs", "Dfg")?,
+            consumers: Vec::new(),
+            input_consumers: Vec::new(),
+            exec_count: serde::expect_field(fields, "exec_count", "Dfg")?,
+        };
+        // Out-of-range operand references (possible in hostile payloads) are
+        // skipped here and reported precisely by `validate`.
+        dfg.rebuild_uses();
+        Ok(dfg)
+    }
 }
 
 impl Dfg {
@@ -274,7 +323,12 @@ impl Dfg {
         self.rebuild_uses();
     }
 
-    /// Rebuilds the consumer lists after a bulk mutation performed by a pass.
+    /// Rebuilds the consumer lists after a bulk mutation performed by a pass (or
+    /// after deserialisation, which never trusts wire-carried use-lists).
+    ///
+    /// Operands referencing non-existent nodes or inputs — possible only in a
+    /// graph assembled from hostile serialised data — are skipped here; they are
+    /// reported precisely by [`Dfg::validate`].
     pub fn rebuild_uses(&mut self) {
         for list in &mut self.consumers {
             list.clear();
@@ -288,8 +342,16 @@ impl Dfg {
             let id = NodeId::new(i);
             for operand in &node.operands {
                 match *operand {
-                    Operand::Node(n) => self.consumers[n.index()].push(id),
-                    Operand::Input(p) => self.input_consumers[p.index()].push(id),
+                    Operand::Node(n) => {
+                        if let Some(list) = self.consumers.get_mut(n.index()) {
+                            list.push(id);
+                        }
+                    }
+                    Operand::Input(p) => {
+                        if let Some(list) = self.input_consumers.get_mut(p.index()) {
+                            list.push(id);
+                        }
+                    }
                     Operand::Imm(_) => {}
                 }
             }

@@ -79,6 +79,14 @@ pub enum IrError {
         /// Identifier of the missing AFU specification.
         afu: u16,
     },
+    /// The graph contains a dependency cycle, so no topological ordering exists.
+    ///
+    /// Graphs built through [`crate::Dfg::add_node`] are acyclic by construction; this
+    /// is only reachable for graphs assembled from untrusted serialised data.
+    Cyclic {
+        /// Name of the offending basic block.
+        block: String,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -119,6 +127,9 @@ impl fmt::Display for IrError {
             }
             IrError::UnknownAfu { block, afu } => {
                 write!(f, "block `{block}` uses AFU {afu} but no specification was provided")
+            }
+            IrError::Cyclic { block } => {
+                write!(f, "block `{block}` contains a dependency cycle")
             }
         }
     }

@@ -6,7 +6,7 @@
 //! All arithmetic is performed on 32-bit two's-complement values, matching the embedded
 //! processors targeted by the paper.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::dfg::Dfg;
 use crate::error::IrError;
@@ -78,6 +78,10 @@ pub struct Evaluator {
     /// Data memory shared across block evaluations.
     pub memory: Memory,
     afus: Vec<AfuSpec>,
+    /// AFU specifications already structurally validated, so a block that invokes
+    /// the same AFU many times (or is evaluated in a loop) validates each
+    /// specification once instead of once per invocation.
+    validated_afus: HashSet<u16>,
 }
 
 impl Evaluator {
@@ -94,16 +98,33 @@ impl Evaluator {
         Evaluator {
             memory: Memory::new(),
             afus,
+            validated_afus: HashSet::new(),
         }
     }
 
     /// Evaluates one basic block with the given input bindings.
     ///
+    /// The block is structurally validated first, so a malformed graph (bad arity,
+    /// dangling or forward operand references) is reported as an error instead of
+    /// causing an out-of-bounds panic mid-evaluation.
+    ///
     /// # Errors
     ///
-    /// Returns an error if an input variable is unbound, on division by zero, or when an
-    /// AFU node references an unknown specification.
+    /// Returns an error if the graph fails [`Dfg::validate`], if an input variable is
+    /// unbound, on division by zero, or when an AFU node references an unknown
+    /// specification.
     pub fn eval_block(
+        &mut self,
+        dfg: &Dfg,
+        inputs: &BTreeMap<String, i32>,
+    ) -> Result<BlockResult, IrError> {
+        dfg.validate()?;
+        self.eval_block_prevalidated(dfg, inputs)
+    }
+
+    /// [`Evaluator::eval_block`] without the upfront structural validation, for
+    /// graphs this evaluator has already validated (AFU specification re-entry).
+    fn eval_block_prevalidated(
         &mut self,
         dfg: &Dfg,
         inputs: &BTreeMap<String, i32>,
@@ -239,11 +260,15 @@ impl Evaluator {
                 block: caller.name().to_string(),
                 afu: afu_id,
             })?;
+        if !self.validated_afus.contains(&afu_id) {
+            spec.graph.validate()?;
+            self.validated_afus.insert(afu_id);
+        }
         let mut bindings = BTreeMap::new();
         for ((_, var), value) in spec.graph.iter_inputs().zip(operands) {
             bindings.insert(var.name.clone(), *value);
         }
-        let result = self.eval_block(&spec.graph, &bindings)?;
+        let result = self.eval_block_prevalidated(&spec.graph, &bindings)?;
         let output = spec
             .graph
             .iter_outputs()

@@ -8,14 +8,16 @@
 //! ([`producers_first`]), together with validity checks used by the property tests.
 
 use crate::dfg::{Dfg, NodeId};
+use crate::error::IrError;
 
-/// Returns a topological order in which every producer appears before its consumers.
+/// Fallible form of [`producers_first`].
 ///
-/// Because [`Dfg`] is constructed in def-before-use order, the insertion order already
-/// has this property; this function nevertheless recomputes an order with Kahn's
-/// algorithm so that passes that permute nodes can rely on it.
-#[must_use]
-pub fn producers_first(dfg: &Dfg) -> Vec<NodeId> {
+/// # Errors
+///
+/// Returns [`IrError::Cyclic`] if the graph contains a dependency cycle (possible only
+/// for graphs assembled from untrusted serialised data; [`Dfg::add_node`] cannot build
+/// one).
+pub fn try_producers_first(dfg: &Dfg) -> Result<Vec<NodeId>, IrError> {
     let n = dfg.node_count();
     let mut remaining_preds = vec![0usize; n];
     for (id, node) in dfg.iter_nodes() {
@@ -37,12 +39,47 @@ pub fn producers_first(dfg: &Dfg) -> Vec<NodeId> {
             }
         }
     }
-    debug_assert_eq!(order.len(), n, "dataflow graph must be acyclic");
-    order
+    if order.len() != n {
+        return Err(IrError::Cyclic {
+            block: dfg.name().to_string(),
+        });
+    }
+    Ok(order)
+}
+
+/// Returns a topological order in which every producer appears before its consumers.
+///
+/// Because [`Dfg`] is constructed in def-before-use order, the insertion order already
+/// has this property; this function nevertheless recomputes an order with Kahn's
+/// algorithm so that passes that permute nodes can rely on it.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic, which cannot happen for graphs built through
+/// [`Dfg::add_node`]. Callers holding graphs from untrusted serialised data should run
+/// [`Dfg::validate`] first (as the engine drivers do) or use [`try_producers_first`].
+#[must_use]
+pub fn producers_first(dfg: &Dfg) -> Vec<NodeId> {
+    try_producers_first(dfg).expect("dataflow graph must be acyclic")
+}
+
+/// Fallible form of [`consumers_first`].
+///
+/// # Errors
+///
+/// Returns [`IrError::Cyclic`] if the graph contains a dependency cycle.
+pub fn try_consumers_first(dfg: &Dfg) -> Result<Vec<NodeId>, IrError> {
+    let mut order = try_producers_first(dfg)?;
+    order.reverse();
+    Ok(order)
 }
 
 /// Returns the ordering used by the single-cut search: every node appears *after* all of
 /// its consumers (the ordering of Fig. 4 in the paper).
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic; see [`producers_first`].
 #[must_use]
 pub fn consumers_first(dfg: &Dfg) -> Vec<NodeId> {
     let mut order = producers_first(dfg);

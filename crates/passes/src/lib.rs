@@ -7,7 +7,7 @@
 //! extensions can be found. This crate provides that pass plus the usual clean-up and
 //! block-enlarging transformations used around it:
 //!
-//! * [`if_convert`] — merge `if/then/else` diamonds and `if/then` triangles of a
+//! * [`if_convert`](if_convert()) — merge `if/then/else` diamonds and `if/then` triangles of a
 //!   control-flow graph into straight-line code with [`ise_ir::Opcode::Select`] nodes;
 //! * [`dce`] — dead-code elimination on dataflow graphs;
 //! * [`const_fold`] — constant folding on dataflow graphs;

@@ -23,7 +23,7 @@ use ise::workloads::adpcm;
 fn main() {
     let block = adpcm::decode_kernel();
     let program = adpcm::decode_program();
-    let registry = ise::full_registry();
+    let registry = ise::baselines::full_registry();
     let exact = registry.create("single-cut").expect("bundled algorithm");
     let maxmiso = registry.create("maxmiso").expect("bundled algorithm");
     let model = DefaultCostModel::new();

@@ -19,7 +19,7 @@ use ise::workloads::gsm;
 
 fn main() {
     let mut program = gsm::program();
-    let identifier = ise::full_registry()
+    let identifier = ise::baselines::full_registry()
         .create("single-cut")
         .expect("bundled algorithm");
     let model = DefaultCostModel::new();

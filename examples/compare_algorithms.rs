@@ -19,7 +19,7 @@ use ise::workloads::suite;
 const ALGORITHMS: [&str; 3] = ["single-cut", "clubbing", "maxmiso"];
 
 fn main() {
-    let registry = ise::full_registry();
+    let registry = ise::baselines::full_registry();
     let config = IdentifierConfig::default().with_exploration_budget(Some(2_000_000));
     let model = DefaultCostModel::new();
     let software = SoftwareLatencyModel::new();

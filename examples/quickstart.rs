@@ -2,19 +2,22 @@
 //!
 //! Run with `cargo run --example quickstart`.
 //!
-//! The example builds a basic block with the dataflow-graph builder, fetches the exact
-//! single-cut identification algorithm of Atasu/Pozzi/Ienne from the engine registry,
-//! runs it under a few different register-file port constraints, and prints the chosen
-//! instruction, its port usage and the estimated cycle saving.
+//! The example builds a one-block program with the dataflow-graph builder, configures
+//! an identification [`Session`](ise::Session) for the paper's exact single-cut
+//! algorithm, runs it under a few different register-file port constraints, and prints
+//! the chosen instruction, its port usage and the estimated speed-up. Every step is
+//! fallible — a typo'd algorithm name or malformed program comes back as an
+//! [`ise::IseError`] value, never a panic.
 
 use ise::core::Constraints;
-use ise::hw::DefaultCostModel;
 use ise::ir::dot::{to_dot, DotOptions};
-use ise::ir::DfgBuilder;
+use ise::ir::{DfgBuilder, Program};
+use ise::{Algorithm, IseError, SessionBuilder};
 
-fn main() {
+fn main() -> Result<(), IseError> {
     // out = saturate16(acc + x * y), plus an overflow flag.
     let mut b = DfgBuilder::new("saturating_mac");
+    b.exec_count(1000);
     let x = b.input("x");
     let y = b.input("y");
     let acc = b.input("acc");
@@ -30,43 +33,62 @@ fn main() {
     let block = b.finish();
 
     println!("Basic block ({} operations):\n{block}", block.node_count());
-
-    let registry = ise::full_registry();
     println!(
         "registered identification algorithms: {:?}\n",
-        registry.names()
+        ise::api::algorithm_names()
     );
-    let identifier = registry.create("single-cut").expect("bundled algorithm");
 
-    let model = DefaultCostModel::new();
+    let mut program = Program::new("quickstart");
+    program.add_block(block);
+
     for (nin, nout) in [(2, 1), (3, 1), (3, 2), (4, 2)] {
-        let constraints = Constraints::new(nin, nout);
-        let outcome = identifier.identify(&block, &constraints, &model);
-        match outcome.best {
-            Some(best) => {
+        let session = SessionBuilder::new()
+            .algorithm(Algorithm::SingleCut)
+            .constraints(Constraints::new(nin, nout))
+            .max_instructions(1)
+            .build()?;
+        let response = session.run(&program)?;
+        match response.selection.chosen.first() {
+            Some(chosen) => {
                 println!(
-                    "{constraints}: instruction with {} ops, {} inputs, {} outputs, \
-                     saves {:.0} cycles/execution ({} cuts considered)",
-                    best.evaluation.nodes,
-                    best.evaluation.inputs,
-                    best.evaluation.outputs,
-                    best.evaluation.merit,
-                    outcome.stats.cuts_considered,
+                    "{}: instruction with {} ops, {} inputs, {} outputs, \
+                     saves {:.0} cycles/execution (speed-up {:.2}x, {} cuts considered)",
+                    response.constraints,
+                    chosen.identified.evaluation.nodes,
+                    chosen.identified.evaluation.inputs,
+                    chosen.identified.evaluation.outputs,
+                    chosen.identified.evaluation.merit,
+                    response.report.speedup,
+                    response.selection.cuts_considered,
                 );
             }
-            None => println!("{constraints}: no profitable instruction found"),
+            None => println!("{}: no profitable instruction found", response.constraints),
         }
     }
 
     // Export the graph with the best (4,2) cut highlighted, ready for Graphviz.
-    let outcome = identifier.identify(&block, &Constraints::new(4, 2), &model);
-    if let Some(best) = outcome.best {
+    let session = SessionBuilder::new()
+        .constraints(Constraints::new(4, 2))
+        .max_instructions(1)
+        .build()?;
+    let response = session.run(&program)?;
+    if let Some(chosen) = response.selection.chosen.first() {
         let dot = to_dot(
-            &block,
+            program.block(chosen.block_index),
             &DotOptions::new()
                 .title("saturating MAC — best cut under Nin=4, Nout=2")
-                .highlight(best.cut.iter()),
+                .highlight(chosen.identified.cut.iter()),
         );
         println!("\nGraphviz rendering of the selected instruction:\n{dot}");
     }
+
+    // The same job as data: serialise the response and read it back.
+    let wire = ise::api::to_json(&response);
+    let back: ise::IseResponse = ise::api::from_json(&wire)?;
+    assert_eq!(ise::api::to_json(&back), wire);
+    println!(
+        "response JSON is {} bytes and round-trips byte-identically",
+        wire.len()
+    );
+    Ok(())
 }

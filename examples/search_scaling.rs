@@ -16,7 +16,7 @@ use ise::workloads::random::{random_dfg, RandomDfgConfig};
 use ise::workloads::suite;
 
 fn main() {
-    let identifier = ise::full_registry()
+    let identifier = ise::baselines::full_registry()
         .create_configured(
             "single-cut",
             &IdentifierConfig::default().with_exploration_budget(Some(5_000_000)),

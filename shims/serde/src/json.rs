@@ -1,0 +1,473 @@
+//! JSON text format over the [`crate::Value`] tree.
+//!
+//! The printer is deterministic: objects keep insertion order, integers print in
+//! decimal, and floats use Rust's shortest round-trip formatting, so serialising
+//! the same data twice yields byte-identical text. The parser is a conventional
+//! recursive-descent JSON parser with a depth limit and full string-escape
+//! handling (including `\uXXXX` surrogate pairs).
+
+use crate::{DeserializeOwned, Error, Serialize, Value};
+
+/// Maximum nesting depth accepted by the parser.
+const MAX_DEPTH: usize = 128;
+
+/// Serialises any [`Serialize`] type into its value tree.
+#[must_use]
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs any [`DeserializeOwned`] type from a value tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the tree does not match the target type's shape.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Serialises a value as compact JSON text.
+#[must_use]
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_value());
+    out
+}
+
+/// Serialises a value as human-readable, two-space-indented JSON text.
+#[must_use]
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_value(), 0);
+    out
+}
+
+/// Parses JSON text and reconstructs a typed value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the text is not valid JSON or does not match the
+/// target type's shape.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    T::from_value(&parse(text)?)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax error, with a byte offset.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn write_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(v) => out.push_str(&v.to_string()),
+        Value::Uint(v) => out.push_str(&v.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                write_compact(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` is Rust's shortest representation that parses back to the same
+        // f64 bit pattern, and is valid JSON for all finite values.
+        out.push_str(&format!("{f:?}"));
+    } else {
+        // Non-finite floats are not representable in JSON; `Serialize for f64`
+        // maps them to strings before printing, so this arm is only reachable
+        // through a hand-built `Value::Float`.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error::custom(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("maximum nesting depth exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') if self.consume_literal("null") => Ok(Value::Null),
+            Some(b't') if self.consume_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.consume_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect_byte(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect_byte(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            match c {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    out.push(self.parse_escape()?);
+                }
+                c if c < 0x20 => return Err(self.error("unescaped control character")),
+                _ => {
+                    // Copy one UTF-8 scalar; the input is a &str, so boundaries exist.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0b1100_0000 == 0b1000_0000) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.error("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<char, Error> {
+        let Some(c) = self.peek() else {
+            return Err(self.error("unterminated escape"));
+        };
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{08}',
+            b'f' => '\u{0c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let unit = self.parse_hex4()?;
+                if (0xD800..0xDC00).contains(&unit) {
+                    // High surrogate: must be followed by `\uXXXX` low surrogate.
+                    if !self.consume_literal("\\u") {
+                        return Err(self.error("unpaired surrogate"));
+                    }
+                    let low = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(self.error("invalid low surrogate"));
+                    }
+                    let combined = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                    char::from_u32(combined).ok_or_else(|| self.error("invalid code point"))?
+                } else if (0xDC00..0xE000).contains(&unit) {
+                    return Err(self.error("unpaired surrogate"));
+                } else {
+                    char::from_u32(unit).ok_or_else(|| self.error("invalid code point"))?
+                }
+            }
+            _ => return Err(self.error("invalid escape character")),
+        })
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut value = 0u32;
+        for _ in 0..4 {
+            let Some(c) = self.peek() else {
+                return Err(self.error("truncated \\u escape"));
+            };
+            let digit = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid hex digit in \\u escape"))?;
+            value = value * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if digits.is_empty() {
+                    return Err(self.error("invalid number"));
+                }
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Value::Int(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Uint(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-17", "18446744073709551615"] {
+            let v = parse(text).unwrap();
+            assert_eq!(to_string(&v), text, "{text}");
+        }
+        assert_eq!(parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(to_string(&Value::Float(1.5)), "1.5");
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+    }
+
+    #[test]
+    fn structures_round_trip_compactly() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":"x"}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(to_string(&v), text);
+    }
+
+    #[test]
+    fn pretty_printing_is_reparsable() {
+        let v = parse(r#"{"a":[1,2],"b":{},"c":[]}"#).unwrap();
+        let pretty = to_string_pretty(&v);
+        assert_eq!(parse(&pretty).unwrap(), v);
+        assert!(pretty.contains("\n  \"a\": [\n"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Value::Str("a\"b\\c\nd\te\u{1}\u{1F600}".to_string());
+        let text = to_string(&original);
+        assert_eq!(parse(&text).unwrap(), original);
+        // Surrogate-pair escapes parse to the astral code point; lone ones error.
+        let pair = "\"\\ud83d\\ude00\"";
+        assert_eq!(parse(pair).unwrap(), Value::Str("\u{1F600}".to_string()));
+        assert!(parse("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        assert!(parse("[1,").unwrap_err().to_string().contains("byte"));
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("1 2").unwrap_err().to_string().contains("trailing"));
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn floats_print_shortest_round_trip() {
+        let v = Value::Float(0.1 + 0.2);
+        let text = to_string(&v);
+        assert_eq!(parse(&text).unwrap(), v);
+        assert_eq!(to_string(&Value::Float(3.0)), "3.0");
+    }
+}

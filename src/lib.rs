@@ -2,55 +2,62 @@
 //!
 //! A faithful, self-contained reproduction of *Atasu, Pozzi and Ienne, "Automatic
 //! Application-Specific Instruction-Set Extensions under Microarchitectural Constraints"*
-//! (DAC 2003 / International Journal of Parallel Programming 31(6), 2003).
+//! (DAC 2003 / International Journal of Parallel Programming 31(6), 2003), grown into a
+//! service-shaped stack.
 //!
-//! This facade crate re-exports the workspace crates under a single name:
+//! The public surface is the **job API** of the [`api`] layer: configure a [`Session`]
+//! once, run it against any number of programs, and get back fallible, serialisable
+//! responses. Everything a session does can also be expressed as data — an
+//! [`IseRequest`] — executed from a JSON file by the `ise-cli` binary or fanned out in
+//! parallel by the [`BatchService`].
+//!
+//! The underlying layers remain available for direct use:
 //!
 //! * [`ir`] — dataflow/control-flow IR, builder, interpreter, Graphviz export;
 //! * [`passes`] — if-conversion, dead-code elimination, constant folding, unrolling;
 //! * [`hw`] — software latency, hardware delay and area models, merit functions;
-//! * [`core`] — cut identification (single and multiple) and instruction selection
-//!   (optimal and iterative), plus cut collapsing into AFU instructions;
+//! * [`core`] — cut identification/selection, the engine registry and program driver,
+//!   and the [`IseError`] hierarchy;
 //! * [`baselines`] — the Clubbing and MaxMISO comparison algorithms;
 //! * [`workloads`] — MediaBench-like kernels and random graph generation.
 //!
 //! # Quickstart
 //!
-//! All identification algorithms — the paper's exact searches and the prior-art
-//! baselines — are reachable by name through the engine registry and driven by the
-//! same `rayon`-parallel program driver:
-//!
 //! ```
-//! use ise::core::engine::{select_program, DriverOptions};
-//! use ise::hw::{DefaultCostModel, SoftwareLatencyModel};
+//! use ise::{Algorithm, SessionBuilder};
+//! use ise::core::Constraints;
 //! use ise::workloads::adpcm;
 //!
 //! // Identify up to four special instructions for the ADPCM decoder with a register
 //! // file offering 4 read ports and 2 write ports.
-//! let program = adpcm::decode_program();
-//! let model = DefaultCostModel::new();
-//! let identifier = ise::full_registry().create("single-cut").unwrap();
-//! let selection = select_program(
-//!     &program,
-//!     identifier.as_ref(),
-//!     ise::core::Constraints::new(4, 2),
-//!     &model,
-//!     DriverOptions::new(4),
-//! );
-//! assert!(!selection.is_empty());
-//! let report = selection.speedup_report(&program, &SoftwareLatencyModel::new());
-//! assert!(report.speedup > 1.0);
+//! let session = SessionBuilder::new()
+//!     .algorithm(Algorithm::SingleCut)
+//!     .constraints(Constraints::new(4, 2))
+//!     .max_instructions(4)
+//!     .build()?;
+//! let response = session.run(&adpcm::decode_program())?;
+//! assert!(!response.selection.is_empty());
+//! assert!(response.report.speedup > 1.0);
+//!
+//! // Every payload crosses a process boundary as JSON, deterministically.
+//! let wire = ise::api::to_json(&response);
+//! assert_eq!(ise::api::to_json::<ise::IseResponse>(
+//!     &ise::api::from_json(&wire)?), wire);
+//! # Ok::<(), ise::IseError>(())
 //! ```
+//!
+//! Algorithms can equally be addressed by registry name
+//! (`.algorithm_name("maxmiso")`), and an unknown name degrades into an
+//! [`IseError::UnknownAlgorithm`] that lists the registered algorithms — nothing in
+//! the request path panics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// The typed job API: sessions, requests, batches, JSON serialisation.
+pub use ise_api as api;
 /// Baseline identification algorithms (Clubbing, MaxMISO, single-node).
 pub use ise_baselines as baselines;
-/// The registry of all six bundled identification algorithms, addressable by name
-/// (`"single-cut"`, `"multicut"`, `"exhaustive"`, `"clubbing"`, `"maxmiso"`,
-/// `"single-node"`).
-pub use ise_baselines::{full_registry, register_baselines};
 /// Identification and selection algorithms — the paper's contribution.
 pub use ise_core as core;
 /// Cost models: software latency, hardware delay, area, speed-up accounting.
@@ -61,3 +68,81 @@ pub use ise_ir as ir;
 pub use ise_passes as passes;
 /// Benchmark kernels and random graph generators.
 pub use ise_workloads as workloads;
+
+pub use ise_api::{
+    Algorithm, BatchService, IseError, IseRequest, IseResponse, Pass, ProgramSource, Session,
+    SessionBuilder,
+};
+
+/// The registry of all six bundled identification algorithms, addressable by name
+/// (`"single-cut"`, `"multicut"`, `"exhaustive"`, `"clubbing"`, `"maxmiso"`,
+/// `"single-node"`).
+#[deprecated(
+    since = "0.2.0",
+    note = "configure a session with `ise::SessionBuilder` (or use \
+            `ise::baselines::full_registry()` for direct engine access)"
+)]
+#[must_use]
+pub fn full_registry() -> ise_core::engine::IdentifierRegistry {
+    ise_baselines::full_registry()
+}
+
+/// Registers the three baseline algorithms in an existing registry.
+#[deprecated(
+    since = "0.2.0",
+    note = "configure a session with `ise::SessionBuilder` (or use \
+            `ise::baselines::register_baselines` for direct engine access)"
+)]
+pub fn register_baselines(registry: &mut ise_core::engine::IdentifierRegistry) {
+    ise_baselines::register_baselines(registry);
+}
+
+/// Selects up to `options.max_instructions` instructions across `program` using
+/// `identifier`, with the per-block identification fanned out in parallel.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session with `ise::SessionBuilder` and call `Session::run`, \
+            which adds validation, pass pipelines and serialisable responses (or \
+            use `ise::core::engine::select_program` for direct engine access)"
+)]
+#[must_use]
+pub fn select_program(
+    program: &ise_ir::Program,
+    identifier: &dyn ise_core::engine::Identifier,
+    constraints: ise_core::Constraints,
+    model: &dyn ise_hw::CostModel,
+    options: ise_core::DriverOptions,
+) -> ise_core::SelectionResult {
+    ise_core::engine::select_program(program, identifier, constraints, model, options)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_new_stack() {
+        use ise_core::engine::DriverOptions;
+        use ise_hw::DefaultCostModel;
+
+        let registry = crate::full_registry();
+        assert_eq!(registry.names().len(), 6);
+        let identifier = registry.create("single-cut").expect("bundled algorithm");
+        let program = ise_workloads::adpcm::decode_program();
+        let model = DefaultCostModel::new();
+        let legacy = crate::select_program(
+            &program,
+            identifier.as_ref(),
+            ise_core::Constraints::new(4, 2),
+            &model,
+            DriverOptions::new(4),
+        );
+
+        let session = crate::SessionBuilder::new()
+            .constraints(ise_core::Constraints::new(4, 2))
+            .max_instructions(4)
+            .build()
+            .expect("valid configuration");
+        let response = session.run(&program).expect("valid program");
+        assert_eq!(response.selection, legacy);
+    }
+}

@@ -19,18 +19,18 @@ const ALL_SIX: [&str; 6] = [
 
 #[test]
 fn all_six_algorithms_are_reachable_by_name() {
-    let registry = ise::full_registry();
+    let registry = ise::baselines::full_registry();
     for name in ALL_SIX {
         let identifier = registry
             .create(name)
-            .unwrap_or_else(|| panic!("{name} must be registered"));
+            .unwrap_or_else(|e| panic!("{name} must be registered: {e}"));
         assert_eq!(identifier.name(), name);
     }
 }
 
 #[test]
 fn parallel_driver_is_byte_identical_to_sequential_on_adpcm_and_gsm() {
-    let registry = ise::full_registry();
+    let registry = ise::baselines::full_registry();
     let model = DefaultCostModel::new();
     // A modest budget keeps the exact algorithms fast on the big adpcm blocks; the
     // multicut slots stay at the default. The exhaustive oracle skips oversized blocks
@@ -68,7 +68,7 @@ fn parallel_driver_is_byte_identical_to_sequential_on_adpcm_and_gsm() {
 
 #[test]
 fn engine_single_cut_driver_reproduces_the_legacy_iterative_selection() {
-    let registry = ise::full_registry();
+    let registry = ise::baselines::full_registry();
     let model = DefaultCostModel::new();
     let identifier = registry.create("single-cut").expect("registered");
     for program in [adpcm::decode_program(), gsm::program()] {
@@ -88,7 +88,7 @@ fn engine_single_cut_driver_reproduces_the_legacy_iterative_selection() {
 
 #[test]
 fn every_registered_algorithm_yields_a_valid_selection_on_gsm() {
-    let registry = ise::full_registry();
+    let registry = ise::baselines::full_registry();
     let model = DefaultCostModel::new();
     let software = SoftwareLatencyModel::new();
     let program = gsm::program();

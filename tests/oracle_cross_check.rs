@@ -10,7 +10,7 @@ use ise::workloads::random::{random_dfg, RandomDfgConfig};
 
 #[test]
 fn single_cut_matches_the_exhaustive_oracle_on_random_graphs() {
-    let registry = ise::full_registry();
+    let registry = ise::baselines::full_registry();
     let fast = registry.create("single-cut").expect("registered");
     let oracle = registry.create("exhaustive").expect("registered");
     let model = DefaultCostModel::new();
@@ -53,7 +53,7 @@ fn single_cut_matches_the_exhaustive_oracle_on_random_graphs() {
 
 #[test]
 fn oracle_node_limit_is_configurable_through_the_registry() {
-    let registry = ise::full_registry();
+    let registry = ise::baselines::full_registry();
     let model = DefaultCostModel::new();
     let dfg = random_dfg(&RandomDfgConfig::with_nodes(18), 42);
     let constraints = Constraints::new(4, 2);
