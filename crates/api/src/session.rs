@@ -122,6 +122,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables intra-block subtree parallelism: the top `levels` levels of each
+    /// block's decision tree fan out as parallel tasks (deterministic; results are
+    /// byte-identical to the sequential search). See
+    /// [`DriverOptions::intra_block_levels`] for when this pays off.
+    #[must_use]
+    pub fn intra_block_levels(mut self, levels: usize) -> Self {
+        self.options.intra_block_levels = levels;
+        self
+    }
+
     /// Appends one pass to the pre-identification pipeline.
     #[must_use]
     pub fn pass(mut self, pass: Pass) -> Self {

@@ -9,6 +9,10 @@
 //!   *Iterative*, *Clubbing* and *MaxMISO* for a sweep of `(Nin, Nout)` constraints and up
 //!   to 16 special instructions on the MediaBench-like trio (Fig. 11), together with the
 //!   per-benchmark area report quoted in Section 8;
+//! * [`scaling`] — the intra-block scaling experiment: sequential versus
+//!   subtree-parallel exact search on wide single blocks, emitting the machine-readable
+//!   `BENCH_search.json` (graph size, cuts considered, cuts/sec, wall-clock, thread
+//!   count) and gating CI on sequential/parallel identity;
 //! * [`report`] — CSV and Markdown rendering of the experiment rows.
 //!
 //! The binaries `fig8`, `fig11` and `sweep` print the tables and write CSV files; the
@@ -22,6 +26,7 @@
 pub mod fig11;
 pub mod fig8;
 pub mod report;
+pub mod scaling;
 
 /// Default exploration budget (cuts considered per identifier invocation) applied to the
 /// exact algorithms when they are driven over the largest blocks; the paper similarly

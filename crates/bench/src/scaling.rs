@@ -1,0 +1,281 @@
+//! Intra-block scaling experiment: wall-clock of the exact search, sequential versus
+//! subtree-parallel, on wide single blocks.
+//!
+//! The paper's Fig. 8 axis — one large basic block — is exactly the case the program
+//! driver's per-block fan-out cannot parallelise, and the case the
+//! [`SearchKernel`](ise_core::kernel::SearchKernel)'s subtree decomposition exists for.
+//! This experiment measures it: for a sweep of wide synthetic blocks it runs the
+//! single-cut search once sequentially and once with the top decision-tree levels
+//! fanned out, checks the two outcomes are **identical** (cuts, statistics and all),
+//! and reports wall-clock, throughput (cuts considered per second) and the thread
+//! count. The rows serialise to the machine-readable `BENCH_search.json`, giving the
+//! repository a perf trajectory that CI can track; the `scaling` binary fails loudly if
+//! the sequential and parallel outputs ever diverge.
+
+use std::time::Instant;
+
+use ise_core::engine::Identifier;
+use ise_core::{Constraints, SearchOutcome};
+use ise_hw::DefaultCostModel;
+use ise_workloads::random;
+
+/// Configuration of the scaling experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingConfig {
+    /// Node counts of the wide synthetic blocks measured.
+    pub block_sizes: Vec<usize>,
+    /// Seed of the block generator.
+    pub seed: u64,
+    /// Output-port constraint (`Nin` stays unbounded, as in Fig. 8).
+    pub max_outputs: usize,
+    /// Decision-tree levels fanned out in the parallel runs.
+    pub split_levels: usize,
+    /// Timed repetitions per block; the reported wall-clock is the best of them.
+    /// Sequential and parallel runs alternate, so warm-up bias cannot be credited to
+    /// whichever variant happens to run second.
+    pub repeats: usize,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            block_sizes: vec![32, 36, 40],
+            seed: 0x5CA11,
+            max_outputs: 2,
+            split_levels: 5,
+            repeats: 3,
+        }
+    }
+}
+
+impl ScalingConfig {
+    /// A reduced configuration for CI smoke runs: smaller blocks, shallower split.
+    #[must_use]
+    pub fn quick() -> Self {
+        ScalingConfig {
+            block_sizes: vec![20, 26],
+            split_levels: 4,
+            repeats: 2,
+            ..ScalingConfig::default()
+        }
+    }
+}
+
+/// One measured block of the scaling experiment.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ScalingRow {
+    /// Name of the measured block.
+    pub block: String,
+    /// Number of operation nodes (the graph size axis).
+    pub nodes: usize,
+    /// Worker threads available to the parallel run.
+    pub threads: usize,
+    /// Decision-tree levels fanned out in the parallel run.
+    pub split_levels: usize,
+    /// Cuts considered by the search (identical in both runs by construction).
+    pub cuts_considered: u64,
+    /// Best wall-clock of the sequential search over the repetitions, milliseconds.
+    pub sequential_ms: f64,
+    /// Best wall-clock of the subtree-parallel search over the repetitions,
+    /// milliseconds.
+    pub parallel_ms: f64,
+    /// Throughput of the sequential search, cuts considered per second.
+    pub sequential_cuts_per_sec: f64,
+    /// Throughput of the parallel search, cuts considered per second.
+    pub parallel_cuts_per_sec: f64,
+    /// Sequential over parallel wall-clock.
+    pub speedup: f64,
+    /// Whether the two outcomes (best cut **and** statistics) were identical.
+    pub identical: bool,
+}
+
+/// The full experiment result, as serialised into `BENCH_search.json`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ScalingReport {
+    /// Worker threads the parallel runs could use.
+    pub threads: usize,
+    /// Per-block measurements of the single-cut search.
+    pub rows: Vec<ScalingRow>,
+    /// Whether multicut and the exhaustive oracle also matched their sequential runs
+    /// on the cross-client check blocks.
+    pub cross_client_identical: bool,
+    /// Conjunction of every per-row and cross-client identity check.
+    pub all_identical: bool,
+}
+
+fn timed_identify(
+    identifier: &dyn Identifier,
+    dfg: &ise_ir::Dfg,
+    constraints: &Constraints,
+    model: &DefaultCostModel,
+    split_levels: usize,
+) -> (SearchOutcome, f64) {
+    let start = Instant::now();
+    let outcome = identifier.identify_split(dfg, None, constraints, model, split_levels);
+    (outcome, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+fn cuts_per_sec(cuts: u64, millis: f64) -> f64 {
+    if millis <= 0.0 {
+        0.0
+    } else {
+        cuts as f64 * 1_000.0 / millis
+    }
+}
+
+/// Runs the experiment: one wide block per configured size, single-cut search measured
+/// sequentially and subtree-parallel, plus a cross-client identity check driving
+/// multicut and the exhaustive oracle through the same kernel split.
+#[must_use]
+pub fn run(config: &ScalingConfig) -> ScalingReport {
+    let model = DefaultCostModel::new();
+    let constraints = Constraints::new(usize::MAX >> 1, config.max_outputs);
+    let single_cut = ise_core::engine::SingleCut::new();
+
+    let mut rows = Vec::new();
+    for (index, &nodes) in config.block_sizes.iter().enumerate() {
+        let dfg = random::wide_dfg(nodes, config.seed + index as u64);
+        // Alternate sequential/parallel measurements and keep the best of each, so
+        // first-run warm-up (allocator, caches) is not credited to either variant.
+        let mut sequential_ms = f64::INFINITY;
+        let mut parallel_ms = f64::INFINITY;
+        let mut sequential = None;
+        let mut parallel = None;
+        for _ in 0..config.repeats.max(1) {
+            let (outcome, ms) = timed_identify(&single_cut, &dfg, &constraints, &model, 0);
+            sequential_ms = sequential_ms.min(ms);
+            sequential = Some(outcome);
+            let (outcome, ms) =
+                timed_identify(&single_cut, &dfg, &constraints, &model, config.split_levels);
+            parallel_ms = parallel_ms.min(ms);
+            parallel = Some(outcome);
+        }
+        let (sequential, parallel) = (
+            sequential.expect("repeats >= 1"),
+            parallel.expect("repeats >= 1"),
+        );
+        let identical = sequential == parallel;
+        let cuts = sequential.stats.cuts_considered;
+        rows.push(ScalingRow {
+            block: dfg.name().to_string(),
+            nodes: dfg.node_count(),
+            threads: rayon::current_num_threads(),
+            split_levels: config.split_levels,
+            cuts_considered: cuts,
+            sequential_ms,
+            parallel_ms,
+            sequential_cuts_per_sec: cuts_per_sec(cuts, sequential_ms),
+            parallel_cuts_per_sec: cuts_per_sec(parallel.stats.cuts_considered, parallel_ms),
+            speedup: if parallel_ms > 0.0 {
+                sequential_ms / parallel_ms
+            } else {
+                0.0
+            },
+            identical,
+        });
+    }
+
+    let cross_client_identical = cross_client_check(config, &model);
+    let all_identical = cross_client_identical && rows.iter().all(|r| r.identical);
+    ScalingReport {
+        threads: rayon::current_num_threads(),
+        rows,
+        cross_client_identical,
+        all_identical,
+    }
+}
+
+/// Drives the other two kernel clients — multicut and the exhaustive oracle — through
+/// the same split on small wide blocks and checks the parallel outcome (cuts and
+/// statistics) equals the sequential one.
+fn cross_client_check(config: &ScalingConfig, model: &DefaultCostModel) -> bool {
+    let constraints = Constraints::new(4, 2);
+    let multicut = ise_core::engine::MultiCut::new(2);
+    let oracle = ise_core::engine::Exhaustive::new();
+    let mut identical = true;
+    for (identifier, nodes) in [(&multicut as &dyn Identifier, 12usize), (&oracle, 12)] {
+        let dfg = random::wide_dfg(nodes, config.seed ^ 0xC7055);
+        let sequential = identifier.identify_split(&dfg, None, &constraints, model, 0);
+        let parallel =
+            identifier.identify_split(&dfg, None, &constraints, model, config.split_levels);
+        identical &= sequential == parallel;
+    }
+    identical
+}
+
+/// Renders the report as the `BENCH_search.json` payload.
+#[must_use]
+pub fn to_json(report: &ScalingReport) -> String {
+    serde::json::to_string_pretty(report)
+}
+
+/// Renders the rows as a Markdown table.
+#[must_use]
+pub fn markdown(report: &ScalingReport) -> String {
+    let mut out = String::from(
+        "| block | nodes | cuts | seq ms | par ms | speedup | cuts/s (par) | identical |\n\
+         |---|---:|---:|---:|---:|---:|---:|---|\n",
+    );
+    for r in &report.rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1} | {:.1} | {:.2}x | {:.0} | {} |\n",
+            r.block,
+            r.nodes,
+            r.cuts_considered,
+            r.sequential_ms,
+            r.parallel_ms,
+            r.speedup,
+            r.parallel_cuts_per_sec,
+            r.identical
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny configuration so the debug-mode test stays fast.
+    fn tiny() -> ScalingConfig {
+        ScalingConfig {
+            block_sizes: vec![12, 14],
+            split_levels: 3,
+            ..ScalingConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_outputs_are_identical() {
+        let report = run(&tiny());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.all_identical, "{report:?}");
+        assert!(report.cross_client_identical);
+        for row in &report.rows {
+            assert!(row.identical, "{row:?}");
+            assert!(row.cuts_considered > 0);
+            assert!(row.sequential_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn json_payload_carries_the_required_fields() {
+        let report = run(&tiny());
+        let json = to_json(&report);
+        for field in [
+            "\"nodes\"",
+            "\"threads\"",
+            "\"cuts_considered\"",
+            "\"sequential_ms\"",
+            "\"parallel_ms\"",
+            "\"sequential_cuts_per_sec\"",
+            "\"parallel_cuts_per_sec\"",
+            "\"speedup\"",
+            "\"all_identical\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        let md = markdown(&report);
+        assert!(md.lines().count() >= 4);
+    }
+}

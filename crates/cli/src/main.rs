@@ -12,7 +12,11 @@
 //! ise-cli algorithms            list the registered identification algorithms
 //! ```
 //!
-//! Flags: `--pretty` for indented output, `-o FILE` to write the output to a file.
+//! Flags: `--pretty` for indented output, `-o FILE` to write the output to a file,
+//! `--threads N` to run `run`/`batch` inside a scoped `rayon` pool of `N` workers
+//! (results are byte-identical for every thread count — the flag only trades
+//! wall-clock for cores, across requests, across basic blocks, and inside a block
+//! when a request sets `options.intra_block_levels`).
 //! Exit codes: `0` success, `1` usage or file error, `2` at least one request in a
 //! batch (or the single `run` request) failed.
 
@@ -24,6 +28,7 @@ use ise_api::{json, BatchService, IseError, IseRequest, IseResponse, Session};
 struct Options {
     pretty: bool,
     output: Option<String>,
+    threads: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -37,13 +42,16 @@ fn usage() -> &'static str {
      \n\
      options:\n\
      \x20 --pretty               indent the JSON output\n\
-     \x20 -o, --output FILE      write the output to FILE instead of stdout\n"
+     \x20 -o, --output FILE      write the output to FILE instead of stdout\n\
+     \x20 --threads N            size of the rayon worker pool for run/batch\n\
+     \x20                        (N >= 1; output is identical for every N)\n"
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         pretty: false,
         output: None,
+        threads: None,
         positional: Vec::new(),
     };
     let mut iter = args.iter();
@@ -55,6 +63,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err(format!("{arg} requires a file path"));
                 };
                 options.output = Some(path.clone());
+            }
+            "--threads" => {
+                let Some(count) = iter.next() else {
+                    return Err(format!("{arg} requires a thread count"));
+                };
+                let parsed: usize = count
+                    .parse()
+                    .map_err(|_| format!("--threads expects a number, got `{count}`"))?;
+                if parsed == 0 {
+                    return Err("--threads requires at least one thread".to_string());
+                }
+                options.threads = Some(parsed);
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
@@ -133,17 +153,39 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let result = match options.positional.first().map(String::as_str) {
-        Some("run") if options.positional.len() == 2 => cmd_run(&options, &options.positional[1]),
+    let command = || match options.positional.first().map(String::as_str) {
+        Some("run") if options.positional.len() == 2 => {
+            Some(cmd_run(&options, &options.positional[1]))
+        }
         Some("batch") if options.positional.len() == 2 => {
-            cmd_batch(&options, &options.positional[1])
+            Some(cmd_batch(&options, &options.positional[1]))
         }
-        Some("algorithms") if options.positional.len() == 1 => cmd_algorithms(&options),
-        Some("help") | None => {
-            println!("{}", usage());
-            return ExitCode::SUCCESS;
-        }
-        _ => {
+        Some("algorithms") if options.positional.len() == 1 => Some(cmd_algorithms(&options)),
+        _ => None,
+    };
+    // `--threads` builds a scoped pool governing every rayon fan-out under this
+    // command — batch requests, per-block identification, intra-block subtrees. (With
+    // the offline shim each individual fan-out is capped at N threads rather than all
+    // of them sharing one N-worker pool; the output is identical either way.)
+    let outcome = match options.threads {
+        Some(threads) => match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+            Ok(pool) => pool.install(command),
+            Err(error) => {
+                eprintln!("error: cannot build a {threads}-thread pool: {error}");
+                return ExitCode::from(1);
+            }
+        },
+        None => command(),
+    };
+    let result = match outcome {
+        Some(result) => result,
+        None => {
+            if matches!(options.positional.first().map(String::as_str), Some("help"))
+                || options.positional.is_empty()
+            {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
             eprintln!("error: bad command line\n\n{}", usage());
             return ExitCode::from(1);
         }

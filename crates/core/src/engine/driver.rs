@@ -35,13 +35,61 @@ use super::Identifier;
 /// refine with the `with_*`/[`sequential`](DriverOptions::sequential) methods. The
 /// fields stay public for pattern matching and serialisation, but every front-end in
 /// the workspace constructs options through the builder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+///
+/// # Two-level parallelism
+///
+/// The driver exposes two independent, composable parallelism axes; both are
+/// deterministic (byte-identical to the fully sequential run, whatever the thread
+/// count), so they are purely wall-clock knobs:
+///
+/// * **across blocks** ([`parallel`](Self::parallel)) — every basic block's search is
+///   an independent `rayon` task. This is the cheap, always-worthwhile level: it has no
+///   snapshot overhead and scales as long as the program has more (comparably sized)
+///   blocks than cores. It is on by default.
+/// * **inside a block** ([`intra_block_levels`](Self::intra_block_levels)) — the top
+///   `k` levels of a block's branch-and-bound decision tree are split into up to
+///   `arity^k` independent subtree tasks (see [`crate::kernel::SearchKernel`]). This is
+///   the only level that helps when the work is concentrated in one large block — the
+///   paper's Fig. 8 worst case, where block fan-out leaves all but one core idle. It
+///   costs one state snapshot per subtree, so it only pays off when a block's search is
+///   much more expensive than `O(nodes)` — as a rule of thumb, blocks of ≳30 nodes
+///   under loose port constraints. `3`–`6` levels saturate typical core counts; `0`
+///   (the default) disables the level. Exact searches running under an exploration
+///   budget ignore the knob (a global cut budget is inherently sequential), as do the
+///   linear-time baselines (no decision tree to split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct DriverOptions {
     /// Maximum number of special instructions to select (`Ninstr`).
     pub max_instructions: usize,
     /// Fan identification out across basic blocks with `rayon`. The result is
     /// byte-identical to the sequential path; this only trades wall-clock for cores.
     pub parallel: bool,
+    /// Number of top decision-tree levels split into parallel subtree tasks *inside*
+    /// each block (`0` = sequential within a block). Byte-identical to the sequential
+    /// path; see the type-level documentation for when this level pays off.
+    pub intra_block_levels: usize,
+}
+
+/// Hand-rolled (not derived) so that `intra_block_levels` is *optional* on the wire:
+/// request files written before the field existed keep deserialising, defaulting to the
+/// sequential-within-a-block behaviour they were written against.
+impl<'de> serde::Deserialize<'de> for DriverOptions {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = serde::expect_object(value, "DriverOptions")?;
+        let intra_block_levels = match fields.iter().find(|(key, _)| key == "intra_block_levels") {
+            Some((_, field)) => serde::Deserialize::from_value(field).map_err(|e| {
+                serde::Error::custom(format!(
+                    "field `intra_block_levels` of `DriverOptions`: {e}"
+                ))
+            })?,
+            None => 0,
+        };
+        Ok(DriverOptions {
+            max_instructions: serde::expect_field(fields, "max_instructions", "DriverOptions")?,
+            parallel: serde::expect_field(fields, "parallel", "DriverOptions")?,
+            intra_block_levels,
+        })
+    }
 }
 
 impl Default for DriverOptions {
@@ -59,6 +107,7 @@ impl DriverOptions {
         DriverOptions {
             max_instructions,
             parallel: true,
+            intra_block_levels: 0,
         }
     }
 
@@ -76,6 +125,14 @@ impl DriverOptions {
         self
     }
 
+    /// Sets the number of top decision-tree levels split into parallel subtree tasks
+    /// inside each block (see the type-level documentation).
+    #[must_use]
+    pub fn with_intra_block_levels(mut self, levels: usize) -> Self {
+        self.intra_block_levels = levels;
+        self
+    }
+
     /// Switches the per-block fan-out to the sequential path.
     #[must_use]
     pub fn sequential(self) -> Self {
@@ -84,8 +141,10 @@ impl DriverOptions {
 }
 
 /// Runs `identifier` once on each listed block (`(block_index, exclusions)` pairs) and
-/// returns the outcomes in the same order. With `parallel` set the per-block runs are
-/// fanned out with `rayon`; the returned order is unaffected.
+/// returns the outcomes in the same order. With `options.parallel` set the per-block
+/// runs are fanned out with `rayon`, and `options.intra_block_levels` additionally
+/// splits each block's own decision tree; the returned outcomes are unaffected by
+/// either knob.
 #[must_use]
 pub fn identify_blocks(
     program: &Program,
@@ -93,12 +152,18 @@ pub fn identify_blocks(
     work: &[(usize, Option<&CutSet>)],
     constraints: Constraints,
     model: &dyn CostModel,
-    parallel: bool,
+    options: DriverOptions,
 ) -> Vec<SearchOutcome> {
     let run = |&(block_index, excluded): &(usize, Option<&CutSet>)| {
-        identifier.identify_excluding(program.block(block_index), excluded, &constraints, model)
+        identifier.identify_split(
+            program.block(block_index),
+            excluded,
+            &constraints,
+            model,
+            options.intra_block_levels,
+        )
     };
-    if parallel && work.len() > 1 {
+    if options.parallel && work.len() > 1 {
         work.par_iter().map(run).collect()
     } else {
         work.iter().map(run).collect()
@@ -113,11 +178,11 @@ pub fn identify_program(
     identifier: &dyn Identifier,
     constraints: Constraints,
     model: &dyn CostModel,
-    parallel: bool,
+    options: DriverOptions,
 ) -> Vec<SearchOutcome> {
     let work: Vec<(usize, Option<&CutSet>)> =
         (0..program.block_count()).map(|b| (b, None)).collect();
-    identify_blocks(program, identifier, &work, constraints, model, parallel)
+    identify_blocks(program, identifier, &work, constraints, model, options)
 }
 
 /// Selects up to `options.max_instructions` instructions across the whole program using
@@ -166,14 +231,7 @@ fn select_iteratively(
             .iter()
             .map(|&b| (b, Some(&excluded[b])))
             .collect();
-        let outcomes = identify_blocks(
-            program,
-            identifier,
-            &work,
-            constraints,
-            model,
-            options.parallel,
-        );
+        let outcomes = identify_blocks(program, identifier, &work, constraints, model, options);
         for (&block_index, outcome) in stale_blocks.iter().zip(outcomes) {
             result.identifier_calls += 1;
             result.cuts_considered += outcome.stats.cuts_considered;
@@ -213,7 +271,7 @@ fn select_one_shot(
     model: &dyn CostModel,
     options: DriverOptions,
 ) -> SelectionResult {
-    let outcomes = identify_program(program, identifier, constraints, model, options.parallel);
+    let outcomes = identify_program(program, identifier, constraints, model, options);
     let mut result = SelectionResult {
         chosen: Vec::new(),
         total_weighted_saving: 0.0,
@@ -368,12 +426,38 @@ mod tests {
     fn identify_program_returns_one_outcome_per_block() {
         let p = toy_program();
         let model = DefaultCostModel::new();
-        let outcomes =
-            identify_program(&p, &SingleCut::new(), Constraints::new(4, 2), &model, true);
+        let outcomes = identify_program(
+            &p,
+            &SingleCut::new(),
+            Constraints::new(4, 2),
+            &model,
+            DriverOptions::default(),
+        );
         assert_eq!(outcomes.len(), p.block_count());
         // The hot MAC block has a profitable cut; the cold logic block does not.
         assert!(outcomes[0].best.is_some());
         assert!(outcomes[2].best.is_none());
+    }
+
+    #[test]
+    fn options_deserialise_from_the_pre_split_wire_format() {
+        // Request files written before `intra_block_levels` existed must keep parsing,
+        // defaulting to the sequential-within-a-block behaviour.
+        let old = r#"{"max_instructions": 4, "parallel": true}"#;
+        let options: DriverOptions = serde::json::from_str(old).expect("old wire format");
+        assert_eq!(options, DriverOptions::new(4));
+
+        let new = r#"{"max_instructions": 4, "parallel": true, "intra_block_levels": 3}"#;
+        let options: DriverOptions = serde::json::from_str(new).expect("current wire format");
+        assert_eq!(options, DriverOptions::new(4).with_intra_block_levels(3));
+        // The current format round-trips byte-identically.
+        assert_eq!(
+            serde::json::to_string(&options),
+            new.replace(": ", ":").replace(", ", ",")
+        );
+
+        let bad = r#"{"max_instructions": 4, "parallel": true, "intra_block_levels": -1}"#;
+        assert!(serde::json::from_str::<DriverOptions>(bad).is_err());
     }
 
     #[test]

@@ -25,7 +25,6 @@ use ise_ir::Dfg;
 
 use crate::constraints::Constraints;
 use crate::cut::CutSet;
-use crate::exhaustive::best_cut_exhaustive_excluding;
 use crate::multicut::MultiCutSearch;
 use crate::search::{SearchOutcome, SearchStats, SingleCutSearch};
 
@@ -64,6 +63,25 @@ pub trait Identifier: Sync + Send + std::fmt::Debug {
         constraints: &Constraints,
         model: &dyn CostModel,
     ) -> SearchOutcome;
+
+    /// [`identify_excluding`](Self::identify_excluding) with an intra-block parallelism
+    /// hint: split the top `split_levels` levels of the algorithm's decision tree into
+    /// parallel subtree tasks (see [`crate::kernel::SearchKernel`]).
+    ///
+    /// Implementations must stay byte-identical to the sequential path — the hint only
+    /// trades wall-clock for cores. The default ignores the hint, which is correct for
+    /// algorithms without a decision tree to split (the linear-time baselines).
+    fn identify_split(
+        &self,
+        dfg: &Dfg,
+        excluded: Option<&CutSet>,
+        constraints: &Constraints,
+        model: &dyn CostModel,
+        split_levels: usize,
+    ) -> SearchOutcome {
+        let _ = split_levels;
+        self.identify_excluding(dfg, excluded, constraints, model)
+    }
 
     /// Whether re-running the algorithm with a grown exclusion set can discover cuts
     /// that were not in the first outcome's candidate list.
@@ -111,7 +129,19 @@ impl Identifier for SingleCut {
         constraints: &Constraints,
         model: &dyn CostModel,
     ) -> SearchOutcome {
-        let mut search = SingleCutSearch::new(dfg, *constraints, model);
+        self.identify_split(dfg, excluded, constraints, model, 0)
+    }
+
+    fn identify_split(
+        &self,
+        dfg: &Dfg,
+        excluded: Option<&CutSet>,
+        constraints: &Constraints,
+        model: &dyn CostModel,
+        split_levels: usize,
+    ) -> SearchOutcome {
+        let mut search =
+            SingleCutSearch::new(dfg, *constraints, model).with_subtree_parallelism(split_levels);
         if let Some(excluded) = excluded {
             search = search.with_excluded(excluded);
         }
@@ -176,7 +206,19 @@ impl Identifier for MultiCut {
         constraints: &Constraints,
         model: &dyn CostModel,
     ) -> SearchOutcome {
-        let mut search = MultiCutSearch::new(dfg, *constraints, model, self.slots);
+        self.identify_split(dfg, excluded, constraints, model, 0)
+    }
+
+    fn identify_split(
+        &self,
+        dfg: &Dfg,
+        excluded: Option<&CutSet>,
+        constraints: &Constraints,
+        model: &dyn CostModel,
+        split_levels: usize,
+    ) -> SearchOutcome {
+        let mut search = MultiCutSearch::new(dfg, *constraints, model, self.slots)
+            .with_subtree_parallelism(split_levels);
         if let Some(excluded) = excluded {
             search = search.with_excluded(excluded);
         }
@@ -233,6 +275,17 @@ impl Identifier for Exhaustive {
         constraints: &Constraints,
         model: &dyn CostModel,
     ) -> SearchOutcome {
+        self.identify_split(dfg, excluded, constraints, model, 0)
+    }
+
+    fn identify_split(
+        &self,
+        dfg: &Dfg,
+        excluded: Option<&CutSet>,
+        constraints: &Constraints,
+        model: &dyn CostModel,
+        split_levels: usize,
+    ) -> SearchOutcome {
         // Re-clamp here: `node_limit` is a public field, so it can be set above the
         // oracle's hard 24-node maximum without going through `with_node_limit`, and an
         // oversized block must be skipped rather than reach the panicking assert.
@@ -243,7 +296,13 @@ impl Identifier for Exhaustive {
             };
             return SearchOutcome::from_best(None, stats);
         }
-        let outcome = best_cut_exhaustive_excluding(dfg, excluded, *constraints, model);
+        let outcome = crate::exhaustive::best_cut_exhaustive_split(
+            dfg,
+            excluded,
+            *constraints,
+            model,
+            split_levels,
+        );
         let stats = SearchStats {
             cuts_considered: outcome.stats.cuts_enumerated,
             feasible_cuts: outcome.stats.feasible_cuts,

@@ -4,13 +4,20 @@
 //! the reference (non-incremental) implementations of [`crate::cut`]. It exists purely as
 //! a correctness oracle for the pruned branch-and-bound search and for the property-based
 //! tests; it is exponential with no pruning and must only be used on small graphs.
+//!
+//! The enumeration is driven by the same [`SearchKernel`] as
+//! the exact searches — a binary decision tree over the plain node-index order, with a
+//! policy that never prunes — so the oracle benefits from the kernel's subtree
+//! parallelism while staying independent of the *incremental* bookkeeping it checks:
+//! every enumerated cut is still evaluated from scratch with the reference functions.
 
 use ise_hw::CostModel;
 use ise_ir::{Dfg, NodeId};
 
 use crate::constraints::Constraints;
 use crate::cut::{self, CutSet};
-use crate::search::IdentifiedCut;
+use crate::kernel::{Incumbent, SearchKernel, SearchPolicy};
+use crate::search::{IdentifiedCut, SearchStats};
 
 /// Statistics of an exhaustive enumeration.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,38 +66,120 @@ pub fn best_cut_exhaustive_excluding(
     constraints: Constraints,
     model: &dyn CostModel,
 ) -> ExhaustiveOutcome {
+    best_cut_exhaustive_split(dfg, excluded, constraints, model, 0)
+}
+
+/// The oracle's policy over the shared kernel: a binary tree over the plain node-index
+/// order, with no pruning — every branch is taken, so every non-empty subset is
+/// enumerated exactly once (at the decision that adds its highest-index node). Each
+/// enumerated cut is checked and scored from scratch with the reference implementations
+/// of [`crate::cut`].
+struct ExhaustivePolicy<'a> {
+    dfg: &'a Dfg,
+    model: &'a dyn CostModel,
+    constraints: Constraints,
+    excluded: Option<&'a CutSet>,
+}
+
+impl SearchPolicy for ExhaustivePolicy<'_> {
+    type Payload = IdentifiedCut;
+    /// The members chosen so far, in index order.
+    type State = Vec<NodeId>;
+
+    fn depth(&self) -> usize {
+        self.dfg.node_count()
+    }
+
+    fn max_arity(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    fn choice_count(&self, _state: &Vec<NodeId>, _level: usize) -> usize {
+        2
+    }
+
+    fn apply(
+        &self,
+        state: &mut Vec<NodeId>,
+        level: usize,
+        choice: usize,
+        stats: &mut SearchStats,
+        incumbent: &mut Incumbent<IdentifiedCut>,
+    ) -> bool {
+        if choice == 1 {
+            return true; // leave the node out: nothing to track
+        }
+        state.push(NodeId::new(level));
+        stats.cuts_considered += 1;
+        let cut = CutSet::from_nodes(self.dfg, state.iter().copied());
+        if self.excluded.is_some_and(|banned| cut.intersects(banned)) {
+            return true;
+        }
+        if !cut::is_afu_legal(self.dfg, &cut) {
+            return true;
+        }
+        let evaluation = cut::evaluate(self.dfg, &cut, self.model);
+        if !evaluation.convex
+            || !self
+                .constraints
+                .ports_ok(evaluation.inputs, evaluation.outputs)
+            || !self
+                .constraints
+                .budget_ok(evaluation.area, evaluation.nodes)
+        {
+            return true;
+        }
+        stats.feasible_cuts += 1;
+        incumbent.offer(evaluation.merit, || IdentifiedCut { cut, evaluation });
+        true
+    }
+
+    fn undo(&self, state: &mut Vec<NodeId>, _level: usize, choice: usize) {
+        if choice == 0 {
+            state.pop();
+        }
+    }
+}
+
+/// [`best_cut_exhaustive_excluding`] with the kernel's subtree parallelism: the top
+/// `split_levels` decision levels fan out as independent tasks. The outcome is
+/// byte-identical to the sequential enumeration.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 24 nodes (see [`best_cut_exhaustive`]).
+#[must_use]
+pub fn best_cut_exhaustive_split(
+    dfg: &Dfg,
+    excluded: Option<&CutSet>,
+    constraints: Constraints,
+    model: &dyn CostModel,
+    split_levels: usize,
+) -> ExhaustiveOutcome {
     let n = dfg.node_count();
     assert!(
         n <= 24,
         "exhaustive enumeration is a test oracle; {n} nodes is too large"
     );
-    let mut stats = ExhaustiveStats::default();
-    let mut best: Option<IdentifiedCut> = None;
-    for mask in 1u64..(1u64 << n) {
-        stats.cuts_enumerated += 1;
-        let cut = CutSet::from_nodes(
-            dfg,
-            (0..n).filter(|i| mask & (1 << i) != 0).map(NodeId::new),
-        );
-        if excluded.is_some_and(|banned| cut.intersects(banned)) {
-            continue;
-        }
-        if !cut::is_afu_legal(dfg, &cut) {
-            continue;
-        }
-        let evaluation = cut::evaluate(dfg, &cut, model);
-        if !evaluation.convex
-            || !constraints.ports_ok(evaluation.inputs, evaluation.outputs)
-            || !constraints.budget_ok(evaluation.area, evaluation.nodes)
-        {
-            continue;
-        }
-        stats.feasible_cuts += 1;
-        if evaluation.merit > best.as_ref().map_or(0.0, |b| b.evaluation.merit) {
-            best = Some(IdentifiedCut { cut, evaluation });
-        }
+    let policy = ExhaustivePolicy {
+        dfg,
+        model,
+        constraints,
+        excluded,
+    };
+    let kernel = SearchKernel::sequential().with_split_levels(split_levels);
+    let (best, stats) = kernel.run(&policy);
+    ExhaustiveOutcome {
+        best,
+        stats: ExhaustiveStats {
+            cuts_enumerated: stats.cuts_considered,
+            feasible_cuts: stats.feasible_cuts,
+        },
     }
-    ExhaustiveOutcome { best, stats }
 }
 
 /// Enumerates every cut of `dfg` and counts how many satisfy all constraints.

@@ -1,0 +1,993 @@
+//! The shared branch-and-bound search kernel.
+//!
+//! The paper's central data structure — the pruned binary search tree over a
+//! reverse-topological ordering of one basic block (Section 6.1) — used to be
+//! reimplemented three times: by the single-cut search, by the `(M+1)`-ary multiple-cut
+//! generalisation and by the exhaustive oracle. This module factors the tree walk out
+//! into one explicit-stack kernel with pluggable decision hooks, so each algorithm is a
+//! thin [`SearchPolicy`] over the same machinery:
+//!
+//! * [`BlockContext`] — the immutable per-block data every search precomputes once: the
+//!   consumers-before-producers ordering, deduplicated operand sources, per-node cost
+//!   model evaluations and the blocked-node mask;
+//! * [`IncrementalCutState`] — the snapshot-and-restorable incremental bookkeeping for
+//!   *one* cut under construction (`IN(S)`, `OUT(S)`, convexity reachability, software
+//!   cost, hardware critical path, area), updated in `O(fan-in + fan-out)` per decision
+//!   and undone through an internal LIFO journal;
+//! * [`SearchPolicy`] — the per-algorithm hooks: how many branches a decision level has,
+//!   how to apply/undo one branch, and when to offer a candidate to the incumbent;
+//! * [`Incumbent`] — the incumbent solution plus the ascending log of its improvements,
+//!   which makes deterministic subtree merging possible (see below);
+//! * [`SearchKernel`] — the driver: a sequential explicit-stack depth-first walk, or a
+//!   two-phase parallel walk that splits the decision tree at its top `split_levels`
+//!   levels into independent subtree tasks, fans them out with `rayon`, and merges
+//!   incumbents and [`SearchStats`] in subtree-index order.
+//!
+//! # Determinism of the parallel walk
+//!
+//! The incumbent never influences pruning (the tree is cut by the *constraints*, not by
+//! a bound on the objective), so the set of visited tree nodes — and therefore every
+//! counter in [`SearchStats`] except `best_updates` — is identical however the tree is
+//! partitioned. `best_updates` and the identity of the returned cut *do* depend on visit
+//! order: a sequential search only improves its incumbent when a candidate beats the
+//! best seen anywhere so far. To reproduce that exactly, each subtree records the
+//! ascending merit sequence of its local improvements; the merge replays those sequences
+//! in subtree-index (= depth-first) order against the running global best. The result —
+//! incumbent, `best_updates` and all — is byte-identical to the sequential walk, for any
+//! thread count.
+//!
+//! An [exploration budget](SearchKernel::exploration_budget) is a *global* cap on the
+//! cuts considered and is inherently sequential; when one is set the kernel always runs
+//! the sequential walk, whatever `split_levels` says.
+
+use ise_hw::{cut_merit, CostModel};
+use ise_ir::{topo, Dfg, NodeId, Operand};
+use rayon::prelude::*;
+
+use crate::constraints::Constraints;
+use crate::cut::{CutEvaluation, CutSet};
+use crate::search::{IdentifiedCut, SearchStats};
+
+/// Upper bound on the number of subtree tasks one parallel search may create.
+///
+/// The split depth is clamped so that `arity ^ split_levels` never exceeds this; the
+/// decomposition stays deterministic (it depends only on the clamped depth, never on the
+/// thread count) and the snapshot memory stays bounded.
+const MAX_SUBTREE_TASKS: u64 = 4096;
+
+/// Deduplicated external value source of a node, precomputed for the incremental
+/// `IN(S)` bookkeeping.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    /// The result of another operation node (by node index).
+    Node(usize),
+    /// A block input variable (by input index).
+    Input(usize),
+}
+
+/// Immutable per-block search context shared by every policy.
+///
+/// Holds the search ordering and all per-node precomputations so that constructing a
+/// policy is cheap and the hot loop touches only dense arrays.
+pub struct BlockContext<'a> {
+    /// The basic block under search.
+    pub dfg: &'a Dfg,
+    /// The cost model scoring candidate cuts.
+    pub model: &'a dyn CostModel,
+    /// The microarchitectural constraints pruning the tree.
+    pub constraints: Constraints,
+    /// Search order: every node appears after all of its consumers.
+    order: Vec<NodeId>,
+    /// Deduplicated operand sources per node.
+    sources: Vec<Vec<Source>>,
+    /// Nodes that may never enter a cut (memory operations, collapsed AFU nodes, nodes
+    /// excluded by the caller).
+    blocked: Vec<bool>,
+    is_output_source: Vec<bool>,
+    software_cost: Vec<u32>,
+    hardware_delay: Vec<f64>,
+    area_cost: Vec<f64>,
+}
+
+impl<'a> BlockContext<'a> {
+    /// Precomputes the search context for one block.
+    #[must_use]
+    pub fn new(dfg: &'a Dfg, constraints: Constraints, model: &'a dyn CostModel) -> Self {
+        let n = dfg.node_count();
+        let mut sources = Vec::with_capacity(n);
+        let mut blocked = Vec::with_capacity(n);
+        let mut is_output_source = Vec::with_capacity(n);
+        let mut software_cost = Vec::with_capacity(n);
+        let mut hardware_delay = Vec::with_capacity(n);
+        let mut area_cost = Vec::with_capacity(n);
+        for (id, node) in dfg.iter_nodes() {
+            let mut node_sources: Vec<Source> = Vec::new();
+            for operand in &node.operands {
+                let source = match *operand {
+                    Operand::Node(m) => Source::Node(m.index()),
+                    Operand::Input(p) => Source::Input(p.index()),
+                    Operand::Imm(_) => continue,
+                };
+                let duplicate = node_sources.iter().any(|s| match (s, &source) {
+                    (Source::Node(a), Source::Node(b)) => a == b,
+                    (Source::Input(a), Source::Input(b)) => a == b,
+                    _ => false,
+                });
+                if !duplicate {
+                    node_sources.push(source);
+                }
+            }
+            sources.push(node_sources);
+            blocked.push(node.is_forbidden_in_afu());
+            is_output_source.push(dfg.is_output_source(id));
+            software_cost.push(model.software_cycles(node));
+            hardware_delay.push(model.hardware_delay(node));
+            area_cost.push(model.hardware_area(node));
+        }
+        BlockContext {
+            dfg,
+            model,
+            constraints,
+            order: topo::consumers_first(dfg),
+            sources,
+            blocked,
+            is_output_source,
+            software_cost,
+            hardware_delay,
+            area_cost,
+        }
+    }
+
+    /// Additionally forbids the given nodes from entering any cut.
+    pub fn block_nodes(&mut self, excluded: &CutSet) {
+        for id in excluded.iter() {
+            if id.index() < self.blocked.len() {
+                self.blocked[id.index()] = true;
+            }
+        }
+    }
+
+    /// Number of decision levels (= operation nodes of the block).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The node decided at `level` of the search tree.
+    #[must_use]
+    pub fn node_at(&self, level: usize) -> NodeId {
+        self.order[level]
+    }
+
+    /// Returns `true` if `node` may never enter a cut.
+    #[must_use]
+    pub fn is_blocked(&self, node: NodeId) -> bool {
+        self.blocked[node.index()]
+    }
+}
+
+/// One reversible mutation of an [`IncrementalCutState`], kept on its LIFO journal.
+#[derive(Debug, Clone)]
+enum UndoEntry {
+    /// `add` was applied to `node`; the scalar accumulators held these values before.
+    Added {
+        node: NodeId,
+        inputs: usize,
+        outputs: usize,
+        software: u64,
+        critical_path: f64,
+        area: f64,
+    },
+    /// `mark_outside` was applied to `node`; its reachability flag held `reached`.
+    MarkedOutside { node: NodeId, reached: bool },
+}
+
+/// Result of probing whether a node can join a cut, before mutating anything.
+#[derive(Debug, Clone, Copy)]
+pub struct AddProbe {
+    /// `OUT(S ∪ {node})` — the output-port count after the addition.
+    pub outputs: usize,
+    /// Whether the grown cut remains convex.
+    pub convex: bool,
+}
+
+/// Snapshot-and-restorable incremental bookkeeping for one cut under construction.
+///
+/// Maintains `IN(S)`, `OUT(S)`, the convexity reachability frontier, and the software /
+/// critical-path / area accumulators exactly as Section 6.1 of the paper prescribes,
+/// in `O(fan-in + fan-out)` per decision. Every mutation pushes an entry onto an
+/// internal journal, so a search can unwind decisions in LIFO order with
+/// [`undo_last`](Self::undo_last) — and because the whole state is `Clone`, a parallel
+/// search can snapshot it at any tree node and hand the copy to a subtree task.
+#[derive(Debug, Clone)]
+pub struct IncrementalCutState {
+    /// Membership of the cut.
+    in_cut: Vec<bool>,
+    /// For nodes decided as outside: does a downstream path reach the current cut?
+    reaches_cut: Vec<bool>,
+    /// For nodes in the cut: longest downstream delay path within the cut, including
+    /// the node's own delay. Entries of nodes outside the cut are stale and never read.
+    longest_path: Vec<f64>,
+    /// Number of cut members currently consuming each (outside) node.
+    node_external_uses: Vec<u32>,
+    /// Number of cut members currently reading each block input variable.
+    input_uses: Vec<u32>,
+    /// Members of the cut, in insertion order.
+    members: Vec<NodeId>,
+    inputs: usize,
+    outputs: usize,
+    software: u64,
+    critical_path: f64,
+    area: f64,
+    journal: Vec<UndoEntry>,
+}
+
+impl IncrementalCutState {
+    /// Fresh (empty-cut) state for a block.
+    #[must_use]
+    pub fn new(ctx: &BlockContext<'_>) -> Self {
+        let n = ctx.dfg.node_count();
+        IncrementalCutState {
+            in_cut: vec![false; n],
+            reaches_cut: vec![false; n],
+            longest_path: vec![0.0; n],
+            node_external_uses: vec![0; n],
+            input_uses: vec![0; ctx.dfg.input_count()],
+            members: Vec::new(),
+            inputs: 0,
+            outputs: 0,
+            software: 0,
+            critical_path: 0.0,
+            area: 0.0,
+            journal: Vec::new(),
+        }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the cut has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// `IN(S)` of the current cut.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// `OUT(S)` of the current cut.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Accumulated software cycles of the members.
+    #[must_use]
+    pub fn software(&self) -> u64 {
+        self.software
+    }
+
+    /// Critical-path delay of the cut's datapath.
+    #[must_use]
+    pub fn critical_path(&self) -> f64 {
+        self.critical_path
+    }
+
+    /// Accumulated normalised datapath area.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Merit `M(S)` of the current cut.
+    #[must_use]
+    pub fn merit(&self) -> f64 {
+        cut_merit(self.software, self.critical_path)
+    }
+
+    /// Returns `true` if `node` is a member of the cut.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.in_cut[node.index()]
+    }
+
+    /// Checks the output-port count and convexity of the cut grown by `node`, without
+    /// mutating anything.
+    #[must_use]
+    pub fn probe_add(&self, ctx: &BlockContext<'_>, node: NodeId) -> AddProbe {
+        let index = node.index();
+        let consumers = ctx.dfg.consumers(node);
+        let has_external_consumer =
+            ctx.is_output_source[index] || consumers.iter().any(|c| !self.in_cut[c.index()]);
+        let convex = !consumers
+            .iter()
+            .any(|c| !self.in_cut[c.index()] && self.reaches_cut[c.index()]);
+        AddProbe {
+            outputs: self.outputs + usize::from(has_external_consumer),
+            convex,
+        }
+    }
+
+    /// The shared 1-branch attempt used by every pruning policy: counts the cut,
+    /// probes it, applies the paper's pruning rules in their canonical order
+    /// (output ports → convexity → node budget), and on success adds `node`.
+    ///
+    /// Returns `false` — with the matching `pruned_*` counter bumped and the state
+    /// untouched — when the branch (and its whole subtree) is eliminated. Living here
+    /// once, this block cannot drift apart between the single-cut and multiple-cut
+    /// policies, whose per-cut counting and pruning are required to be identical.
+    pub fn try_add(
+        &mut self,
+        ctx: &BlockContext<'_>,
+        node: NodeId,
+        stats: &mut SearchStats,
+    ) -> bool {
+        stats.cuts_considered += 1;
+        let probe = self.probe_add(ctx, node);
+        let within_node_budget = ctx
+            .constraints
+            .max_nodes
+            .is_none_or(|limit| self.len() < limit);
+        if probe.outputs > ctx.constraints.max_outputs {
+            stats.pruned_output += 1;
+            return false;
+        }
+        if !probe.convex {
+            stats.pruned_convexity += 1;
+            return false;
+        }
+        if !within_node_budget {
+            stats.pruned_node_budget += 1;
+            return false;
+        }
+        stats.feasible_cuts += 1;
+        self.add(ctx, node, probe.outputs);
+        true
+    }
+
+    /// Adds `node` to the cut, maintaining every quantity incrementally.
+    ///
+    /// `new_outputs` is the output count probed by [`probe_add`](Self::probe_add); it is
+    /// passed back in so the fan-out scan is not repeated.
+    pub fn add(&mut self, ctx: &BlockContext<'_>, node: NodeId, new_outputs: usize) {
+        let index = node.index();
+        self.journal.push(UndoEntry::Added {
+            node,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            software: self.software,
+            critical_path: self.critical_path,
+            area: self.area,
+        });
+        // Incremental IN(S): `node` stops being an external source, and its own external
+        // sources start counting (once each).
+        if self.node_external_uses[index] > 0 {
+            self.inputs -= 1;
+        }
+        for source in &ctx.sources[index] {
+            match *source {
+                Source::Node(m) => {
+                    self.node_external_uses[m] += 1;
+                    if self.node_external_uses[m] == 1 {
+                        self.inputs += 1;
+                    }
+                }
+                Source::Input(p) => {
+                    self.input_uses[p] += 1;
+                    if self.input_uses[p] == 1 {
+                        self.inputs += 1;
+                    }
+                }
+            }
+        }
+        // Incremental critical path: consumers inside the cut are already final.
+        let downstream = ctx
+            .dfg
+            .consumers(node)
+            .iter()
+            .filter(|c| self.in_cut[c.index()])
+            .map(|c| self.longest_path[c.index()])
+            .fold(0.0f64, f64::max);
+        let path_through_node = downstream + ctx.hardware_delay[index];
+        self.longest_path[index] = path_through_node;
+        self.critical_path = self.critical_path.max(path_through_node);
+        self.software += u64::from(ctx.software_cost[index]);
+        self.area += ctx.area_cost[index];
+        self.outputs = new_outputs;
+        self.in_cut[index] = true;
+        self.members.push(node);
+    }
+
+    /// Records the decision to keep `node` outside the cut: updates the convexity
+    /// reachability frontier (does a downstream path from `node` reach the cut?).
+    pub fn mark_outside(&mut self, ctx: &BlockContext<'_>, node: NodeId) {
+        let index = node.index();
+        let reaches = ctx
+            .dfg
+            .consumers(node)
+            .iter()
+            .any(|c| self.in_cut[c.index()] || self.reaches_cut[c.index()]);
+        self.journal.push(UndoEntry::MarkedOutside {
+            node,
+            reached: self.reaches_cut[index],
+        });
+        self.reaches_cut[index] = reaches;
+    }
+
+    /// Reverses the most recent [`add`](Self::add) or
+    /// [`mark_outside`](Self::mark_outside).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal is empty (an undo without a matching mutation is a policy
+    /// bug, not a recoverable condition).
+    pub fn undo_last(&mut self, ctx: &BlockContext<'_>) {
+        match self.journal.pop().expect("undo without a prior mutation") {
+            UndoEntry::Added {
+                node,
+                inputs,
+                outputs,
+                software,
+                critical_path,
+                area,
+            } => {
+                let index = node.index();
+                self.members.pop();
+                self.in_cut[index] = false;
+                for source in &ctx.sources[index] {
+                    match *source {
+                        Source::Node(m) => self.node_external_uses[m] -= 1,
+                        Source::Input(p) => self.input_uses[p] -= 1,
+                    }
+                }
+                self.inputs = inputs;
+                self.outputs = outputs;
+                self.software = software;
+                self.critical_path = critical_path;
+                self.area = area;
+            }
+            UndoEntry::MarkedOutside { node, reached } => {
+                self.reaches_cut[node.index()] = reached;
+            }
+        }
+    }
+
+    /// Packages the current cut and its incrementally maintained evaluation.
+    #[must_use]
+    pub fn identified(&self, ctx: &BlockContext<'_>) -> IdentifiedCut {
+        IdentifiedCut {
+            cut: CutSet::from_nodes(ctx.dfg, self.members.iter().copied()),
+            evaluation: CutEvaluation {
+                nodes: self.members.len(),
+                inputs: self.inputs,
+                outputs: self.outputs,
+                convex: true,
+                software_cycles: self.software,
+                hardware_critical_path: self.critical_path,
+                hardware_cycles: ctx.model.cycles_for_delay(self.critical_path),
+                area: self.area,
+                merit: self.merit(),
+            },
+        }
+    }
+}
+
+/// The incumbent solution of one (sub)tree walk, plus the ascending score log of its
+/// improvements.
+///
+/// The log is what makes parallel subtree results mergeable without losing the
+/// sequential semantics: replaying a later subtree's improvements against the running
+/// global best reproduces exactly the updates the sequential walk would have made (see
+/// the module documentation).
+#[derive(Debug, Clone)]
+pub struct Incumbent<T> {
+    score: f64,
+    improvements: Vec<f64>,
+    payload: Option<T>,
+}
+
+impl<T> Default for Incumbent<T> {
+    fn default() -> Self {
+        Incumbent {
+            score: 0.0,
+            improvements: Vec::new(),
+            payload: None,
+        }
+    }
+}
+
+impl<T> Incumbent<T> {
+    /// An empty incumbent with score zero (candidates must strictly beat it).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The best score offered so far (zero when none).
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Offers a candidate; the payload is only built when `score` strictly improves on
+    /// the incumbent.
+    pub fn offer(&mut self, score: f64, make: impl FnOnce() -> T) {
+        if score > self.score {
+            self.score = score;
+            self.improvements.push(score);
+            self.payload = Some(make());
+        }
+    }
+
+    /// Number of times the incumbent improved.
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.improvements.len() as u64
+    }
+
+    /// The best payload, consuming the incumbent.
+    #[must_use]
+    pub fn into_payload(self) -> Option<T> {
+        self.payload
+    }
+
+    /// Replays `later` — the incumbent of a subtree that the sequential walk would have
+    /// visited *after* everything absorbed so far — against this incumbent.
+    ///
+    /// Within one subtree the improvement log is strictly ascending, so the
+    /// sequentially surviving improvements are exactly the suffix strictly above the
+    /// current global score, and the subtree's final payload is the payload of the last
+    /// survivor. This operation is associative, which is what lets the kernel fold
+    /// segments and subtree results left-to-right in subtree-index order.
+    pub fn absorb(&mut self, later: Incumbent<T>) {
+        let first_surviving = later.improvements.partition_point(|&m| m <= self.score);
+        if first_surviving < later.improvements.len() {
+            self.improvements
+                .extend_from_slice(&later.improvements[first_surviving..]);
+            self.score = later.score;
+            self.payload = later.payload;
+        }
+    }
+}
+
+/// The per-algorithm hooks of the shared kernel.
+///
+/// A policy describes one decision tree: `depth()` levels, up to
+/// [`choice_count`](Self::choice_count) branches per level (tried in increasing index
+/// order), and an [`apply`](Self::apply)/[`undo`](Self::undo) pair that mutates the
+/// reusable search state. Returning `false` from `apply` eliminates the whole subtree
+/// below that branch — the paper's subtree-elimination pruning.
+pub trait SearchPolicy: Sync {
+    /// The incumbent payload (e.g. one [`IdentifiedCut`], or a tuple of cuts).
+    type Payload: Clone + Send;
+    /// The snapshot-and-restorable search state.
+    type State: Clone + Send + Sync;
+
+    /// Number of decision levels.
+    fn depth(&self) -> usize;
+
+    /// The maximal branching factor of any level (used to bound the parallel split).
+    fn max_arity(&self) -> usize;
+
+    /// Fresh state for the root of the tree.
+    fn initial_state(&self) -> Self::State;
+
+    /// Number of branches available at `level` in `state`. Must be identical every time
+    /// the walk returns to the same tree node with the same state.
+    fn choice_count(&self, state: &Self::State, level: usize) -> usize;
+
+    /// Tries to apply branch `choice` at `level`.
+    ///
+    /// On success the policy must leave exactly one reversible mutation per involved
+    /// cut state, may update `stats`, may offer a candidate to `incumbent`, and returns
+    /// `true` so the kernel descends. Returning `false` means the branch (and its whole
+    /// subtree) is pruned and **no** state mutation may remain.
+    fn apply(
+        &self,
+        state: &mut Self::State,
+        level: usize,
+        choice: usize,
+        stats: &mut SearchStats,
+        incumbent: &mut Incumbent<Self::Payload>,
+    ) -> bool;
+
+    /// Reverses a successful [`apply`](Self::apply) of `choice` at `level`.
+    fn undo(&self, state: &mut Self::State, level: usize, choice: usize);
+}
+
+/// One explicit-stack frame of the kernel's depth-first walk: the decision level, the
+/// next branch to try, and the branch currently applied (awaiting its undo), if any.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    level: usize,
+    next_choice: usize,
+    applied: Option<usize>,
+}
+
+impl Frame {
+    fn enter(level: usize) -> Self {
+        Frame {
+            level,
+            next_choice: 0,
+            applied: None,
+        }
+    }
+}
+
+/// One ordered merge unit of the parallel walk: either incumbent/stats accumulated
+/// inline while enumerating tree-top prefixes, or the result of subtree task `n`.
+enum MergeUnit<T> {
+    Inline(Incumbent<T>, SearchStats),
+    Task(usize),
+}
+
+/// The shared branch-and-bound driver. See the module documentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchKernel {
+    /// Number of top decision-tree levels split into independent parallel subtree
+    /// tasks; `0` runs the classic sequential walk.
+    pub split_levels: usize,
+    /// Optional global cap on [`SearchStats::cuts_considered`], after which the walk
+    /// stops and reports its incumbent. Forces the sequential walk.
+    pub exploration_budget: Option<u64>,
+}
+
+impl SearchKernel {
+    /// A sequential kernel with no budget.
+    #[must_use]
+    pub fn sequential() -> Self {
+        SearchKernel::default()
+    }
+
+    /// Sets the number of top levels fanned out as parallel subtree tasks.
+    #[must_use]
+    pub fn with_split_levels(mut self, levels: usize) -> Self {
+        self.split_levels = levels;
+        self
+    }
+
+    /// Sets (or clears) the exploration budget.
+    #[must_use]
+    pub fn with_exploration_budget(mut self, budget: Option<u64>) -> Self {
+        self.exploration_budget = budget;
+        self
+    }
+
+    /// Runs the policy's search tree to completion and returns the best payload plus
+    /// the search statistics. Parallel and sequential walks return identical results.
+    #[must_use]
+    pub fn run<P: SearchPolicy>(&self, policy: &P) -> (Option<P::Payload>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let mut incumbent = Incumbent::empty();
+        let split = self.effective_split(policy);
+        if split == 0 {
+            let mut state = policy.initial_state();
+            walk(
+                policy,
+                &mut state,
+                0,
+                self.exploration_budget,
+                &mut stats,
+                &mut incumbent,
+            );
+        } else {
+            self.run_split(policy, split, &mut stats, &mut incumbent);
+        }
+        stats.best_updates = incumbent.updates();
+        (incumbent.into_payload(), stats)
+    }
+
+    /// The split depth actually used: clamped below the tree depth, disabled entirely
+    /// under an exploration budget, and bounded so the task count stays reasonable.
+    fn effective_split<P: SearchPolicy>(&self, policy: &P) -> usize {
+        if self.exploration_budget.is_some() {
+            return 0;
+        }
+        let depth = policy.depth();
+        let mut split = self.split_levels.min(depth.saturating_sub(1));
+        let arity = policy.max_arity().max(2) as u64;
+        while split > 0
+            && arity
+                .checked_pow(split as u32)
+                .is_none_or(|tasks| tasks > MAX_SUBTREE_TASKS)
+        {
+            split -= 1;
+        }
+        split
+    }
+
+    /// The two-phase parallel walk: enumerate tree-top prefixes sequentially (recording
+    /// inline evaluations and state snapshots in depth-first order), solve the subtrees
+    /// in parallel, and fold everything back together in subtree-index order.
+    fn run_split<P: SearchPolicy>(
+        &self,
+        policy: &P,
+        split: usize,
+        stats: &mut SearchStats,
+        incumbent: &mut Incumbent<P::Payload>,
+    ) {
+        let mut units: Vec<MergeUnit<P::Payload>> = Vec::new();
+        let mut tasks: Vec<P::State> = Vec::new();
+        let mut segment_incumbent = Incumbent::empty();
+        let mut segment_stats = SearchStats::default();
+
+        // Enumerate the tree-top prefixes with the same walk as everything else, the
+        // frontier stopping at `split`: each surviving prefix closes the inline segment
+        // accumulated since the previous snapshot and hands its subtree to a task.
+        let mut state = policy.initial_state();
+        walk_range(
+            policy,
+            &mut state,
+            0,
+            split,
+            None,
+            &mut segment_stats,
+            &mut segment_incumbent,
+            |state, stats, incumbent| {
+                units.push(MergeUnit::Inline(
+                    std::mem::take(incumbent),
+                    std::mem::take(stats),
+                ));
+                units.push(MergeUnit::Task(tasks.len()));
+                tasks.push(state.clone());
+            },
+        );
+        units.push(MergeUnit::Inline(segment_incumbent, segment_stats));
+
+        let mut results: Vec<Option<(Incumbent<P::Payload>, SearchStats)>> = tasks
+            .par_iter()
+            .map(|snapshot| {
+                let mut state = snapshot.clone();
+                let mut stats = SearchStats::default();
+                let mut incumbent = Incumbent::empty();
+                walk(policy, &mut state, split, None, &mut stats, &mut incumbent);
+                Some((incumbent, stats))
+            })
+            .collect();
+
+        for unit in units {
+            let (unit_incumbent, unit_stats) = match unit {
+                MergeUnit::Inline(incumbent, stats) => (incumbent, stats),
+                MergeUnit::Task(index) => results[index].take().expect("each task used once"),
+            };
+            incumbent.absorb(unit_incumbent);
+            merge_stats(stats, &unit_stats);
+        }
+    }
+}
+
+/// Sums the effort counters of `other` into `stats` (everything except `best_updates`,
+/// which the kernel recomputes from the merged incumbent).
+fn merge_stats(stats: &mut SearchStats, other: &SearchStats) {
+    stats.cuts_considered += other.cuts_considered;
+    stats.feasible_cuts += other.feasible_cuts;
+    stats.pruned_output += other.pruned_output;
+    stats.pruned_convexity += other.pruned_convexity;
+    stats.pruned_node_budget += other.pruned_node_budget;
+    stats.budget_exhausted |= other.budget_exhausted;
+}
+
+fn budget_left(stats: &SearchStats, budget: Option<u64>) -> bool {
+    budget.is_none_or(|limit| stats.cuts_considered < limit)
+}
+
+/// The sequential explicit-stack depth-first walk from `start_level` to the leaves.
+///
+/// Replicates the recursion of the original per-algorithm searches exactly: the budget
+/// is checked once on entering a level (covering all of its branches), candidates are
+/// evaluated inside `apply` — i.e. before descending — and branches are tried in
+/// increasing choice order.
+fn walk<P: SearchPolicy>(
+    policy: &P,
+    state: &mut P::State,
+    start_level: usize,
+    budget: Option<u64>,
+    stats: &mut SearchStats,
+    incumbent: &mut Incumbent<P::Payload>,
+) {
+    walk_range(
+        policy,
+        state,
+        start_level,
+        policy.depth(),
+        budget,
+        stats,
+        incumbent,
+        |_, _, _| {},
+    );
+}
+
+/// The one explicit-stack depth-first walk every kernel mode runs on: descends from
+/// `start_level` down to (but never into) `frontier`, calling `on_frontier` for each
+/// successfully applied choice whose child level *is* the frontier. The full sequential
+/// walk is `frontier == depth` with a no-op frontier hook; the parallel prefix
+/// enumeration is `frontier == split` with a snapshot hook. Keeping a single loop is
+/// what guarantees the two modes can never diverge in traversal order.
+#[allow(clippy::too_many_arguments)]
+fn walk_range<P: SearchPolicy>(
+    policy: &P,
+    state: &mut P::State,
+    start_level: usize,
+    frontier: usize,
+    budget: Option<u64>,
+    stats: &mut SearchStats,
+    incumbent: &mut Incumbent<P::Payload>,
+    mut on_frontier: impl FnMut(&mut P::State, &mut SearchStats, &mut Incumbent<P::Payload>),
+) {
+    if start_level >= frontier {
+        return;
+    }
+    if !budget_left(stats, budget) {
+        stats.budget_exhausted = true;
+        return;
+    }
+    let mut stack = vec![Frame::enter(start_level)];
+    while let Some(&Frame { level, .. }) = stack.last() {
+        let top = stack.len() - 1;
+        if let Some(choice) = stack[top].applied.take() {
+            policy.undo(state, level, choice);
+        }
+        if stack[top].next_choice >= policy.choice_count(state, level) {
+            stack.pop();
+            continue;
+        }
+        let choice = stack[top].next_choice;
+        stack[top].next_choice += 1;
+        if !policy.apply(state, level, choice, stats, incumbent) {
+            continue;
+        }
+        stack[top].applied = Some(choice);
+        if level + 1 == frontier {
+            on_frontier(state, stats, incumbent);
+            continue;
+        }
+        if !budget_left(stats, budget) {
+            stats.budget_exhausted = true;
+            continue;
+        }
+        stack.push(Frame::enter(level + 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_hw::DefaultCostModel;
+    use ise_ir::DfgBuilder;
+
+    fn fig4() -> Dfg {
+        let mut b = DfgBuilder::new("fig4");
+        let x = b.input("x");
+        let y = b.input("y");
+        let mul = b.mul(x, y);
+        let shr = b.lshr(mul, b.imm(2));
+        let add1 = b.add(mul, y);
+        let add0 = b.add(shr, add1);
+        b.output("out", add0);
+        b.finish()
+    }
+
+    /// The incremental state agrees with the reference implementations of `crate::cut`
+    /// after every add along a growing cut, and the journal restores it exactly.
+    #[test]
+    fn incremental_state_matches_reference_and_undoes_exactly() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let ctx = BlockContext::new(&g, Constraints::new(8, 4), &model);
+        let mut state = IncrementalCutState::new(&ctx);
+        for level in 0..ctx.depth() {
+            let node = ctx.node_at(level);
+            let probe = state.probe_add(&ctx, node);
+            state.add(&ctx, node, probe.outputs);
+            let cut = CutSet::from_nodes(&g, state.members.iter().copied());
+            let reference = crate::cut::evaluate(&g, &cut, &model);
+            assert_eq!(state.inputs(), reference.inputs, "level {level}");
+            assert_eq!(state.outputs(), reference.outputs, "level {level}");
+            assert_eq!(state.software(), reference.software_cycles);
+            assert!((state.critical_path() - reference.hardware_critical_path).abs() < 1e-9);
+            assert!((state.merit() - reference.merit).abs() < 1e-9);
+        }
+        // Unwind completely; the state must return to empty.
+        for _ in 0..ctx.depth() {
+            state.undo_last(&ctx);
+        }
+        assert!(state.is_empty());
+        assert_eq!(state.inputs(), 0);
+        assert_eq!(state.outputs(), 0);
+        assert_eq!(state.software(), 0);
+        assert!(state.journal.is_empty());
+        assert!(state.in_cut.iter().all(|&b| !b));
+        assert!(state.node_external_uses.iter().all(|&u| u == 0));
+    }
+
+    /// `mark_outside` tracks the reference convexity check: after marking a node
+    /// outside, probing a producer whose path runs through it reports non-convexity.
+    #[test]
+    fn probe_detects_nonconvexity_through_marked_nodes() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let ctx = BlockContext::new(&g, Constraints::new(8, 4), &model);
+        // Search order is consumers-first: level 0 = final add, then shr/add1, then mul.
+        let mut state = IncrementalCutState::new(&ctx);
+        let final_add = ctx.node_at(0);
+        let probe = state.probe_add(&ctx, final_add);
+        state.add(&ctx, final_add, probe.outputs);
+        // Leave both intermediate nodes out: paths from mul now leave the cut.
+        state.mark_outside(&ctx, ctx.node_at(1));
+        state.mark_outside(&ctx, ctx.node_at(2));
+        let mul = ctx.node_at(3);
+        assert!(!state.probe_add(&ctx, mul).convex);
+        // Undo one mark: the other still breaks convexity.
+        state.undo_last(&ctx);
+        assert!(!state.probe_add(&ctx, mul).convex);
+    }
+
+    /// The replay merge reproduces the sequential update log: improvements of a later
+    /// subtree only survive when they beat the running best.
+    #[test]
+    fn incumbent_absorb_replays_sequential_semantics() {
+        let mut first: Incumbent<&'static str> = Incumbent::empty();
+        first.offer(3.0, || "a3");
+        first.offer(5.0, || "a5");
+
+        let mut second: Incumbent<&'static str> = Incumbent::empty();
+        second.offer(4.0, || "b4");
+        second.offer(5.0, || "b5");
+        second.offer(7.0, || "b7");
+
+        let mut third: Incumbent<&'static str> = Incumbent::empty();
+        third.offer(6.0, || "c6");
+
+        let mut merged = Incumbent::empty();
+        merged.absorb(first);
+        merged.absorb(second);
+        merged.absorb(third);
+        // Sequentially: 3, 5 (first), then 7 (second; 4 and the tied 5 lose), then
+        // nothing from the third.
+        assert_eq!(merged.improvements, vec![3.0, 5.0, 7.0]);
+        assert_eq!(merged.score(), 7.0);
+        assert_eq!(merged.updates(), 3);
+        assert_eq!(merged.into_payload(), Some("b7"));
+    }
+
+    #[test]
+    fn split_depth_is_clamped_by_arity_and_tree_depth() {
+        struct Dummy;
+        impl SearchPolicy for Dummy {
+            type Payload = ();
+            type State = ();
+            fn depth(&self) -> usize {
+                5
+            }
+            fn max_arity(&self) -> usize {
+                4
+            }
+            fn initial_state(&self) -> Self::State {}
+            fn choice_count(&self, (): &Self::State, _level: usize) -> usize {
+                0
+            }
+            fn apply(
+                &self,
+                (): &mut Self::State,
+                _level: usize,
+                _choice: usize,
+                _stats: &mut SearchStats,
+                _incumbent: &mut Incumbent<Self::Payload>,
+            ) -> bool {
+                false
+            }
+            fn undo(&self, (): &mut Self::State, _level: usize, _choice: usize) {}
+        }
+        let kernel = SearchKernel::sequential().with_split_levels(64);
+        // 4^k <= 4096 limits k to 6; the 5-level tree limits it further to 4.
+        assert_eq!(kernel.effective_split(&Dummy), 4);
+        let budgeted = kernel.with_exploration_budget(Some(10));
+        assert_eq!(budgeted.effective_split(&Dummy), 0);
+    }
+}

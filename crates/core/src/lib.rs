@@ -8,9 +8,15 @@
 //!   implementations of `IN(S)`, `OUT(S)` and convexity;
 //! * [`Constraints`] — the microarchitectural constraints `Nin`/`Nout` (plus optional
 //!   area and size budgets);
+//! * [`kernel`] — the shared branch-and-bound [`SearchKernel`](kernel::SearchKernel):
+//!   one explicit-stack walk of the pruned decision tree, with the incremental
+//!   bookkeeping factored into a snapshot-and-restorable
+//!   [`IncrementalCutState`](kernel::IncrementalCutState) and optional deterministic
+//!   intra-block subtree parallelism;
 //! * [`SingleCutSearch`] — the exact single-cut identification algorithm of Section 6.1
-//!   with incremental constraint checking and subtree pruning;
-//! * [`MultiCutSearch`] — the multiple-cut generalisation of Section 6.2;
+//!   with incremental constraint checking and subtree pruning, as a kernel policy;
+//! * [`MultiCutSearch`] — the multiple-cut generalisation of Section 6.2, as a kernel
+//!   policy;
 //! * [`selection`] — the optimal (Section 6.2) and iterative (Section 6.3) selection
 //!   strategies across all basic blocks, plus an area-budgeted variant;
 //! * [`collapse`] — rewriting blocks so that selected cuts become
@@ -56,6 +62,7 @@ pub mod cut;
 pub mod engine;
 mod error;
 pub mod exhaustive;
+pub mod kernel;
 pub mod multicut;
 mod search;
 pub mod selection;

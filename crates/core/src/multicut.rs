@@ -10,12 +10,18 @@
 //! The search is exponential in `M·|V|` and is only practical for moderate blocks; the
 //! optimal selection algorithm (Section 6.2 of the paper, [`crate::selection`]) invokes it
 //! with growing `M`, and the iterative heuristic (Section 6.3) avoids it altogether.
+//!
+//! The tree walk is the shared [`SearchKernel`]; this module
+//! supplies the `(M+1)`-ary *policy*, in which each of the `M` cuts under construction is
+//! its own [`IncrementalCutState`] — the same per-cut bookkeeping the single-cut search
+//! uses, instantiated `M` times.
 
-use ise_hw::{cut_merit, CostModel};
-use ise_ir::{topo, Dfg, NodeId, Operand};
+use ise_hw::CostModel;
+use ise_ir::Dfg;
 
 use crate::constraints::Constraints;
-use crate::cut::{CutEvaluation, CutSet};
+use crate::cut::CutSet;
+use crate::kernel::{BlockContext, IncrementalCutState, Incumbent, SearchKernel, SearchPolicy};
 use crate::search::{IdentifiedCut, SearchStats};
 
 /// Result of a multiple-cut identification run.
@@ -30,52 +36,141 @@ pub struct MultiCutOutcome {
     pub stats: SearchStats,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct CutAccum {
-    inputs: usize,
-    outputs: usize,
-    software: u64,
-    critical_path: f64,
-    area: f64,
-    nodes: usize,
+/// The state of the multiple-cut policy: one [`IncrementalCutState`] per cut slot.
+///
+/// A node belongs to at most one cut, and with respect to every *other* cut it is just
+/// an outside node — so assigning it updates one slot's membership and every other
+/// slot's convexity frontier, through exactly the two mutations the single-cut policy
+/// uses.
+#[derive(Debug, Clone)]
+struct MultiCutState {
+    cuts: Vec<IncrementalCutState>,
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Source {
-    Node(usize),
-    Input(usize),
-}
-
-/// The exact multiple-cut identification algorithm.
-pub struct MultiCutSearch<'a> {
-    dfg: &'a Dfg,
-    model: &'a dyn CostModel,
-    constraints: Constraints,
+/// The `(M+1)`-ary multiple-cut policy over the shared kernel.
+///
+/// Choices `0..assignable` assign the node to that cut slot (with symmetry breaking: a
+/// node may start slot `k` only when slots `0..k` are in use); the last choice leaves
+/// the node in software.
+struct MultiCutPolicy<'a> {
+    ctx: &'a BlockContext<'a>,
     num_cuts: usize,
-    blocked: Vec<bool>,
-    order: Vec<NodeId>,
-    sources: Vec<Vec<Source>>,
-    is_output_source: Vec<bool>,
-    software_cost: Vec<u32>,
-    hardware_delay: Vec<f64>,
-    area_cost: Vec<f64>,
-    exploration_budget: Option<u64>,
+}
 
-    /// Cut assignment per node: 0 = software, 1..=M = cut index.
-    assignment: Vec<u8>,
-    /// Per cut, per decided node: does a downstream path reach that cut?
-    reaches: Vec<Vec<bool>>,
-    /// Longest in-cut downstream path per node (a node belongs to at most one cut).
-    longest_path: Vec<f64>,
-    /// Per cut: number of members consuming each external node.
-    node_external_uses: Vec<Vec<u32>>,
-    /// Per cut: number of members reading each block input.
-    input_uses: Vec<Vec<u32>>,
-    /// Per cut: members in insertion order.
-    cut_stacks: Vec<Vec<NodeId>>,
-    stats: SearchStats,
-    best: Vec<IdentifiedCut>,
-    best_total: f64,
+impl MultiCutPolicy<'_> {
+    /// Number of cut slots the node at the current state may be assigned to.
+    fn assignable(&self, state: &MultiCutState) -> usize {
+        let used = state.cuts.iter().take_while(|cut| !cut.is_empty()).count();
+        (used + 1).min(self.num_cuts)
+    }
+
+    /// Offers the current assignment to the incumbent: every non-empty cut must satisfy
+    /// the input-port and budget constraints, and the objective is the summed merit.
+    fn consider_candidate(
+        &self,
+        state: &MultiCutState,
+        incumbent: &mut Incumbent<Vec<IdentifiedCut>>,
+    ) {
+        let mut total = 0.0;
+        for cut in &state.cuts {
+            if cut.is_empty() {
+                continue;
+            }
+            if cut.inputs() > self.ctx.constraints.max_inputs
+                || !self.ctx.constraints.budget_ok(cut.area(), cut.len())
+            {
+                return;
+            }
+            total += cut.merit();
+        }
+        incumbent.offer(total, || {
+            state
+                .cuts
+                .iter()
+                .filter(|cut| !cut.is_empty())
+                .map(|cut| cut.identified(self.ctx))
+                .filter(|c| c.evaluation.merit > 0.0)
+                .collect()
+        });
+    }
+}
+
+impl SearchPolicy for MultiCutPolicy<'_> {
+    type Payload = Vec<IdentifiedCut>;
+    type State = MultiCutState;
+
+    fn depth(&self) -> usize {
+        self.ctx.depth()
+    }
+
+    fn max_arity(&self) -> usize {
+        self.num_cuts + 1
+    }
+
+    fn initial_state(&self) -> MultiCutState {
+        MultiCutState {
+            cuts: vec![IncrementalCutState::new(self.ctx); self.num_cuts],
+        }
+    }
+
+    fn choice_count(&self, state: &MultiCutState, level: usize) -> usize {
+        if self.ctx.is_blocked(self.ctx.node_at(level)) {
+            1 // software only
+        } else {
+            self.assignable(state) + 1
+        }
+    }
+
+    fn apply(
+        &self,
+        state: &mut MultiCutState,
+        level: usize,
+        choice: usize,
+        stats: &mut SearchStats,
+        incumbent: &mut Incumbent<Vec<IdentifiedCut>>,
+    ) -> bool {
+        let ctx = self.ctx;
+        let node = ctx.node_at(level);
+        let blocked = ctx.is_blocked(node);
+        let software_choice = if blocked { 0 } else { self.assignable(state) };
+        if choice == software_choice {
+            // Software branch: the node is outside every cut; update each frontier.
+            for cut in &mut state.cuts {
+                cut.mark_outside(ctx, node);
+            }
+            return true;
+        }
+        // Assign the node to cut slot `choice` (shared probe/prune/count logic).
+        if !state.cuts[choice].try_add(ctx, node, stats) {
+            return false;
+        }
+        // The node is *outside* every other cut, so record whether it forwards a path
+        // towards them — exactly as the software branch does. Without this, cut `k`
+        // could later absorb a producer whose path to the rest of `k` runs through this
+        // node of cut `j`, leaving `k` non-convex (and the pair unschedulable).
+        for (slot, cut) in state.cuts.iter_mut().enumerate() {
+            if slot != choice {
+                cut.mark_outside(ctx, node);
+            }
+        }
+        self.consider_candidate(state, incumbent);
+        true
+    }
+
+    fn undo(&self, state: &mut MultiCutState, _level: usize, _choice: usize) {
+        // Both branch kinds leave exactly one journal entry per cut slot.
+        for cut in state.cuts.iter_mut().rev() {
+            cut.undo_last(self.ctx);
+        }
+    }
+}
+
+/// The exact multiple-cut identification algorithm, as a configured front over the
+/// shared [`SearchKernel`].
+pub struct MultiCutSearch<'a> {
+    ctx: BlockContext<'a>,
+    num_cuts: usize,
+    kernel: SearchKernel,
 }
 
 impl<'a> MultiCutSearch<'a> {
@@ -96,88 +191,46 @@ impl<'a> MultiCutSearch<'a> {
             num_cuts <= 255,
             "more than 255 simultaneous cuts is not supported"
         );
-        let n = dfg.node_count();
-        let mut sources = Vec::with_capacity(n);
-        let mut blocked = Vec::with_capacity(n);
-        let mut is_output_source = Vec::with_capacity(n);
-        let mut software_cost = Vec::with_capacity(n);
-        let mut hardware_delay = Vec::with_capacity(n);
-        let mut area_cost = Vec::with_capacity(n);
-        for (id, node) in dfg.iter_nodes() {
-            let mut node_sources: Vec<Source> = Vec::new();
-            for operand in &node.operands {
-                let source = match *operand {
-                    Operand::Node(m) => Source::Node(m.index()),
-                    Operand::Input(p) => Source::Input(p.index()),
-                    Operand::Imm(_) => continue,
-                };
-                let duplicate = node_sources.iter().any(|s| match (s, &source) {
-                    (Source::Node(a), Source::Node(b)) => a == b,
-                    (Source::Input(a), Source::Input(b)) => a == b,
-                    _ => false,
-                });
-                if !duplicate {
-                    node_sources.push(source);
-                }
-            }
-            sources.push(node_sources);
-            blocked.push(node.is_forbidden_in_afu());
-            is_output_source.push(dfg.is_output_source(id));
-            software_cost.push(model.software_cycles(node));
-            hardware_delay.push(model.hardware_delay(node));
-            area_cost.push(model.hardware_area(node));
-        }
         MultiCutSearch {
-            dfg,
-            model,
-            constraints,
+            ctx: BlockContext::new(dfg, constraints, model),
             num_cuts,
-            blocked,
-            order: topo::consumers_first(dfg),
-            sources,
-            is_output_source,
-            software_cost,
-            hardware_delay,
-            area_cost,
-            exploration_budget: None,
-            assignment: vec![0; n],
-            reaches: vec![vec![false; n]; num_cuts],
-            longest_path: vec![0.0; n],
-            node_external_uses: vec![vec![0; n]; num_cuts],
-            input_uses: vec![vec![0; dfg.input_count()]; num_cuts],
-            cut_stacks: vec![Vec::new(); num_cuts],
-            stats: SearchStats::default(),
-            best: Vec::new(),
-            best_total: 0.0,
+            kernel: SearchKernel::sequential(),
         }
     }
 
     /// Additionally forbids the given nodes from entering any cut.
     #[must_use]
     pub fn with_excluded(mut self, excluded: &CutSet) -> Self {
-        for id in excluded.iter() {
-            if id.index() < self.blocked.len() {
-                self.blocked[id.index()] = true;
-            }
-        }
+        self.ctx.block_nodes(excluded);
         self
     }
 
     /// Limits the number of assignments considered before giving up on optimality.
+    ///
+    /// A budget is a global sequential cap, so it disables subtree parallelism.
     #[must_use]
     pub fn with_exploration_budget(mut self, budget: u64) -> Self {
-        self.exploration_budget = Some(budget);
+        self.kernel.exploration_budget = Some(budget);
+        self
+    }
+
+    /// Splits the top `levels` decision-tree levels into parallel subtree tasks; the
+    /// outcome stays byte-identical to the sequential search.
+    #[must_use]
+    pub fn with_subtree_parallelism(mut self, levels: usize) -> Self {
+        self.kernel.split_levels = levels;
         self
     }
 
     /// Runs the search.
     #[must_use]
-    pub fn run(mut self) -> MultiCutOutcome {
-        if self.dfg.node_count() > 0 {
-            let accums = vec![CutAccum::default(); self.num_cuts];
-            self.explore(0, &accums);
-        }
-        let mut cuts = self.best;
+    pub fn run(self) -> MultiCutOutcome {
+        let policy = MultiCutPolicy {
+            ctx: &self.ctx,
+            num_cuts: self.num_cuts,
+        };
+        let (best, stats) = self.kernel.run(&policy);
+        let mut cuts = best.unwrap_or_default();
         cuts.sort_by(|a, b| {
             b.evaluation
                 .merit
@@ -188,199 +241,7 @@ impl<'a> MultiCutSearch<'a> {
         MultiCutOutcome {
             cuts,
             total_merit,
-            stats: self.stats,
-        }
-    }
-
-    fn budget_left(&self) -> bool {
-        self.exploration_budget
-            .is_none_or(|budget| self.stats.cuts_considered < budget)
-    }
-
-    fn explore(&mut self, level: usize, accums: &[CutAccum]) {
-        if level == self.order.len() {
-            return;
-        }
-        if !self.budget_left() {
-            self.stats.budget_exhausted = true;
-            return;
-        }
-        let node = self.order[level];
-        let index = node.index();
-
-        if !self.blocked[index] {
-            // Symmetry breaking: a node may start cut k only if cuts 1..k-1 are in use.
-            let used_cuts = self
-                .cut_stacks
-                .iter()
-                .take_while(|stack| !stack.is_empty())
-                .count();
-            let reachable_cuts = (used_cuts + 1).min(self.num_cuts);
-            for cut_index in 0..reachable_cuts {
-                self.try_assign(level, node, cut_index, accums);
-            }
-        }
-
-        // Software branch: update reachability towards every cut.
-        let mut saved = Vec::with_capacity(self.num_cuts);
-        for cut_index in 0..self.num_cuts {
-            let reaches = self.dfg.consumers(node).iter().any(|c| {
-                self.assignment[c.index()] == (cut_index + 1) as u8
-                    || self.reaches[cut_index][c.index()]
-            });
-            saved.push(self.reaches[cut_index][index]);
-            self.reaches[cut_index][index] = reaches;
-        }
-        self.explore(level + 1, accums);
-        for (cut_index, &value) in saved.iter().enumerate() {
-            self.reaches[cut_index][index] = value;
-        }
-    }
-
-    fn try_assign(&mut self, level: usize, node: NodeId, cut_index: usize, accums: &[CutAccum]) {
-        let index = node.index();
-        let tag = (cut_index + 1) as u8;
-        self.stats.cuts_considered += 1;
-
-        let consumers = self.dfg.consumers(node);
-        let has_external_consumer = self.is_output_source[index]
-            || consumers.iter().any(|c| self.assignment[c.index()] != tag);
-        let new_out = accums[cut_index].outputs + usize::from(has_external_consumer);
-        let convex = !consumers
-            .iter()
-            .any(|c| self.assignment[c.index()] != tag && self.reaches[cut_index][c.index()]);
-        let within_node_budget = self
-            .constraints
-            .max_nodes
-            .is_none_or(|limit| accums[cut_index].nodes < limit);
-
-        if new_out > self.constraints.max_outputs {
-            self.stats.pruned_output += 1;
-            return;
-        }
-        if !convex {
-            self.stats.pruned_convexity += 1;
-            return;
-        }
-        if !within_node_budget {
-            self.stats.pruned_node_budget += 1;
-            return;
-        }
-        self.stats.feasible_cuts += 1;
-
-        // Incremental IN(S_k).
-        let mut new_in = accums[cut_index].inputs;
-        if self.node_external_uses[cut_index][index] > 0 {
-            new_in -= 1;
-        }
-        for source in &self.sources[index] {
-            match *source {
-                Source::Node(m) => {
-                    self.node_external_uses[cut_index][m] += 1;
-                    if self.node_external_uses[cut_index][m] == 1 {
-                        new_in += 1;
-                    }
-                }
-                Source::Input(p) => {
-                    self.input_uses[cut_index][p] += 1;
-                    if self.input_uses[cut_index][p] == 1 {
-                        new_in += 1;
-                    }
-                }
-            }
-        }
-        let downstream = consumers
-            .iter()
-            .filter(|c| self.assignment[c.index()] == tag)
-            .map(|c| self.longest_path[c.index()])
-            .fold(0.0f64, f64::max);
-        let path_through_node = downstream + self.hardware_delay[index];
-        self.longest_path[index] = path_through_node;
-
-        let mut new_accums = accums.to_vec();
-        let accum = &mut new_accums[cut_index];
-        accum.inputs = new_in;
-        accum.outputs = new_out;
-        accum.software += u64::from(self.software_cost[index]);
-        accum.critical_path = accum.critical_path.max(path_through_node);
-        accum.area += self.area_cost[index];
-        accum.nodes += 1;
-
-        self.assignment[index] = tag;
-        self.cut_stacks[cut_index].push(node);
-
-        // The node is *outside* every other cut, so record whether it forwards a path
-        // towards them — exactly as the software branch does. Without this, cut `k`
-        // could later absorb a producer whose path to the rest of `k` runs through this
-        // node of cut `j`, leaving `k` non-convex (and the pair unschedulable).
-        let mut saved_reaches = Vec::with_capacity(self.num_cuts);
-        for other in 0..self.num_cuts {
-            saved_reaches.push(self.reaches[other][index]);
-            if other != cut_index {
-                let other_tag = (other + 1) as u8;
-                self.reaches[other][index] = consumers.iter().any(|c| {
-                    self.assignment[c.index()] == other_tag || self.reaches[other][c.index()]
-                });
-            }
-        }
-
-        self.consider_candidate(&new_accums);
-        self.explore(level + 1, &new_accums);
-
-        // Undo.
-        for (other, &value) in saved_reaches.iter().enumerate() {
-            self.reaches[other][index] = value;
-        }
-        self.cut_stacks[cut_index].pop();
-        self.assignment[index] = 0;
-        for source in &self.sources[index] {
-            match *source {
-                Source::Node(m) => self.node_external_uses[cut_index][m] -= 1,
-                Source::Input(p) => self.input_uses[cut_index][p] -= 1,
-            }
-        }
-    }
-
-    fn consider_candidate(&mut self, accums: &[CutAccum]) {
-        // Every non-empty cut must satisfy the input-port and budget constraints.
-        let mut total = 0.0;
-        for accum in accums {
-            if accum.nodes == 0 {
-                continue;
-            }
-            if accum.inputs > self.constraints.max_inputs
-                || !self.constraints.budget_ok(accum.area, accum.nodes)
-            {
-                return;
-            }
-            total += cut_merit(accum.software, accum.critical_path);
-        }
-        if total > self.best_total {
-            self.best_total = total;
-            self.stats.best_updates += 1;
-            self.best = accums
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| a.nodes > 0)
-                .map(|(k, accum)| {
-                    let merit = cut_merit(accum.software, accum.critical_path);
-                    IdentifiedCut {
-                        cut: CutSet::from_nodes(self.dfg, self.cut_stacks[k].iter().copied()),
-                        evaluation: CutEvaluation {
-                            nodes: accum.nodes,
-                            inputs: accum.inputs,
-                            outputs: accum.outputs,
-                            convex: true,
-                            software_cycles: accum.software,
-                            hardware_critical_path: accum.critical_path,
-                            hardware_cycles: self.model.cycles_for_delay(accum.critical_path),
-                            area: accum.area,
-                            merit,
-                        },
-                    }
-                })
-                .filter(|c| c.evaluation.merit > 0.0)
-                .collect();
+            stats,
         }
     }
 }

@@ -1,9 +1,9 @@
 //! Single-cut identification: the exact branch-and-bound search of Section 6.1.
 //!
-//! The algorithm explores the `2^|V|` possible cuts of a basic block with a recursive
-//! binary search tree built over a topological ordering in which every node appears
-//! *after* its consumers. At each tree node it checks the register-file output-port
-//! constraint and the convexity constraint; when either fails, the whole subtree can be
+//! The algorithm explores the `2^|V|` possible cuts of a basic block with a binary
+//! search tree built over a topological ordering in which every node appears *after*
+//! its consumers. At each tree node it checks the register-file output-port constraint
+//! and the convexity constraint; when either fails, the whole subtree can be
 //! eliminated, because nodes added later in the ordering are always (transitive)
 //! producers of the already-decided nodes and can therefore neither remove an external
 //! consumer nor re-establish convexity. The input-port constraint cannot be used for
@@ -12,14 +12,19 @@
 //!
 //! All bookkeeping — `IN(S)`, `OUT(S)`, convexity reachability, software cost, hardware
 //! critical path and area — is maintained incrementally in `O(fan-in + fan-out)` per
-//! step, giving the `O(1)`-per-step behaviour (for bounded-degree graphs) claimed in the
-//! paper.
+//! step by a [`IncrementalCutState`], giving the `O(1)`-per-step behaviour (for
+//! bounded-degree graphs) claimed in the paper. The tree walk itself lives in the shared
+//! [`SearchKernel`](crate::kernel::SearchKernel): this module only supplies the
+//! single-cut *policy* — a binary tree (include the node / leave it in software) with
+//! the paper's pruning rules — and the same kernel also drives the multiple-cut search
+//! and the exhaustive oracle, sequentially or with intra-block subtree parallelism.
 
-use ise_hw::{cut_merit, CostModel};
-use ise_ir::{topo, Dfg, NodeId, Operand};
+use ise_hw::CostModel;
+use ise_ir::Dfg;
 
 use crate::constraints::Constraints;
 use crate::cut::{CutEvaluation, CutSet};
+use crate::kernel::{BlockContext, IncrementalCutState, Incumbent, SearchKernel, SearchPolicy};
 
 /// Counters describing one run of the identification algorithm.
 ///
@@ -115,49 +120,77 @@ impl SearchOutcome {
     }
 }
 
-/// Deduplicated external value source of a node, precomputed for the incremental
-/// `IN(S)` bookkeeping.
-#[derive(Debug, Clone, Copy)]
-enum Source {
-    Node(usize),
-    Input(usize),
+/// The single-cut policy over the shared kernel: a binary decision per node.
+///
+/// Choice `0` tries to add the node to the cut (the 1-branch of Fig. 6, with the
+/// output-port / convexity / node-budget pruning); choice `1` leaves it in software and
+/// updates the convexity reachability frontier.
+struct SingleCutPolicy<'a> {
+    ctx: &'a BlockContext<'a>,
 }
 
-/// The exact single-cut identification algorithm (Fig. 6 of the paper).
-pub struct SingleCutSearch<'a> {
-    dfg: &'a Dfg,
-    model: &'a dyn CostModel,
-    constraints: Constraints,
-    /// Nodes that may never enter a cut: memory operations, collapsed AFU nodes, and any
-    /// node excluded by the caller (e.g. nodes already claimed by a previous selection).
-    blocked: Vec<bool>,
-    /// Search order: consumers before producers.
-    order: Vec<NodeId>,
-    /// Deduplicated operand sources per node.
-    sources: Vec<Vec<Source>>,
-    is_output_source: Vec<bool>,
-    software_cost: Vec<u32>,
-    hardware_delay: Vec<f64>,
-    area_cost: Vec<f64>,
-    /// Optional limit on the number of cuts considered before giving up on optimality.
-    exploration_budget: Option<u64>,
+impl SearchPolicy for SingleCutPolicy<'_> {
+    type Payload = IdentifiedCut;
+    type State = IncrementalCutState;
 
-    // --- mutable search state ---
-    in_cut: Vec<bool>,
-    /// For nodes decided as excluded: does a downstream path reach the current cut?
-    reaches_cut: Vec<bool>,
-    /// For nodes in the cut: longest downstream delay path within the cut, including the
-    /// node's own delay.
-    longest_path: Vec<f64>,
-    /// Number of cut nodes currently consuming each (outside) node.
-    node_external_uses: Vec<u32>,
-    /// Number of cut nodes currently reading each block input variable.
-    input_uses: Vec<u32>,
-    /// Nodes of the current cut, in insertion order.
-    cut_stack: Vec<NodeId>,
-    stats: SearchStats,
-    best: Option<IdentifiedCut>,
-    best_merit: f64,
+    fn depth(&self) -> usize {
+        self.ctx.depth()
+    }
+
+    fn max_arity(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self) -> IncrementalCutState {
+        IncrementalCutState::new(self.ctx)
+    }
+
+    fn choice_count(&self, _state: &IncrementalCutState, _level: usize) -> usize {
+        2
+    }
+
+    fn apply(
+        &self,
+        state: &mut IncrementalCutState,
+        level: usize,
+        choice: usize,
+        stats: &mut SearchStats,
+        incumbent: &mut Incumbent<IdentifiedCut>,
+    ) -> bool {
+        let ctx = self.ctx;
+        let node = ctx.node_at(level);
+        if choice == 1 {
+            // 0-branch: leave `node` out of the cut.
+            state.mark_outside(ctx, node);
+            return true;
+        }
+        // 1-branch: try adding `node` to the cut (shared probe/prune/count logic).
+        if ctx.is_blocked(node) {
+            return false;
+        }
+        if !state.try_add(ctx, node, stats) {
+            return false;
+        }
+        // The input-port constraint cannot prune (adding a producer may reduce IN(S)),
+        // so it is only checked when the candidate is evaluated.
+        if state.inputs() <= ctx.constraints.max_inputs
+            && ctx.constraints.budget_ok(state.area(), state.len())
+        {
+            incumbent.offer(state.merit(), || state.identified(ctx));
+        }
+        true
+    }
+
+    fn undo(&self, state: &mut IncrementalCutState, _level: usize, _choice: usize) {
+        state.undo_last(self.ctx);
+    }
+}
+
+/// The exact single-cut identification algorithm (Fig. 6 of the paper), as a
+/// configured front over the shared [`SearchKernel`].
+pub struct SingleCutSearch<'a> {
+    ctx: BlockContext<'a>,
+    kernel: SearchKernel,
 }
 
 impl<'a> SingleCutSearch<'a> {
@@ -165,58 +198,9 @@ impl<'a> SingleCutSearch<'a> {
     /// function.
     #[must_use]
     pub fn new(dfg: &'a Dfg, constraints: Constraints, model: &'a dyn CostModel) -> Self {
-        let n = dfg.node_count();
-        let mut sources = Vec::with_capacity(n);
-        let mut blocked = Vec::with_capacity(n);
-        let mut is_output_source = Vec::with_capacity(n);
-        let mut software_cost = Vec::with_capacity(n);
-        let mut hardware_delay = Vec::with_capacity(n);
-        let mut area_cost = Vec::with_capacity(n);
-        for (id, node) in dfg.iter_nodes() {
-            let mut node_sources: Vec<Source> = Vec::new();
-            for operand in &node.operands {
-                let source = match *operand {
-                    Operand::Node(m) => Source::Node(m.index()),
-                    Operand::Input(p) => Source::Input(p.index()),
-                    Operand::Imm(_) => continue,
-                };
-                let duplicate = node_sources.iter().any(|s| match (s, &source) {
-                    (Source::Node(a), Source::Node(b)) => a == b,
-                    (Source::Input(a), Source::Input(b)) => a == b,
-                    _ => false,
-                });
-                if !duplicate {
-                    node_sources.push(source);
-                }
-            }
-            sources.push(node_sources);
-            blocked.push(node.is_forbidden_in_afu());
-            is_output_source.push(dfg.is_output_source(id));
-            software_cost.push(model.software_cycles(node));
-            hardware_delay.push(model.hardware_delay(node));
-            area_cost.push(model.hardware_area(node));
-        }
         SingleCutSearch {
-            dfg,
-            model,
-            constraints,
-            blocked,
-            order: topo::consumers_first(dfg),
-            sources,
-            is_output_source,
-            software_cost,
-            hardware_delay,
-            area_cost,
-            exploration_budget: None,
-            in_cut: vec![false; n],
-            reaches_cut: vec![false; n],
-            longest_path: vec![0.0; n],
-            node_external_uses: vec![0; n],
-            input_uses: vec![0; dfg.input_count()],
-            cut_stack: Vec::new(),
-            stats: SearchStats::default(),
-            best: None,
-            best_merit: 0.0,
+            ctx: BlockContext::new(dfg, constraints, model),
+            kernel: SearchKernel::sequential(),
         }
     }
 
@@ -226,172 +210,37 @@ impl<'a> SingleCutSearch<'a> {
     /// absorbed by previously chosen instructions.
     #[must_use]
     pub fn with_excluded(mut self, excluded: &CutSet) -> Self {
-        for id in excluded.iter() {
-            if id.index() < self.blocked.len() {
-                self.blocked[id.index()] = true;
-            }
-        }
+        self.ctx.block_nodes(excluded);
         self
     }
 
     /// Limits the number of cuts considered; when the budget is exhausted the incumbent
     /// best cut is returned and [`SearchStats::budget_exhausted`] is set.
+    ///
+    /// A budget is a global sequential cap, so it disables subtree parallelism.
     #[must_use]
     pub fn with_exploration_budget(mut self, budget: u64) -> Self {
-        self.exploration_budget = Some(budget);
+        self.kernel.exploration_budget = Some(budget);
+        self
+    }
+
+    /// Splits the top `levels` decision-tree levels into parallel subtree tasks.
+    ///
+    /// The outcome — cuts and [`SearchStats`] alike — is byte-identical to the
+    /// sequential search; only wall-clock time changes. `0` (the default) keeps the
+    /// search sequential.
+    #[must_use]
+    pub fn with_subtree_parallelism(mut self, levels: usize) -> Self {
+        self.kernel.split_levels = levels;
         self
     }
 
     /// Runs the search and returns the best cut found together with statistics.
     #[must_use]
-    pub fn run(mut self) -> SearchOutcome {
-        if self.dfg.node_count() > 0 {
-            self.explore(0, 0, 0, 0, 0.0, 0.0);
-        }
-        SearchOutcome::from_best(self.best, self.stats)
-    }
-
-    fn budget_left(&self) -> bool {
-        self.exploration_budget
-            .is_none_or(|budget| self.stats.cuts_considered < budget)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn explore(
-        &mut self,
-        level: usize,
-        in_count: usize,
-        out_count: usize,
-        software: u64,
-        critical_path: f64,
-        area: f64,
-    ) {
-        if level == self.order.len() {
-            return;
-        }
-        if !self.budget_left() {
-            self.stats.budget_exhausted = true;
-            return;
-        }
-        let node = self.order[level];
-        let index = node.index();
-
-        // ----- 1-branch: try adding `node` to the cut -------------------------------
-        if !self.blocked[index] {
-            self.stats.cuts_considered += 1;
-            let consumers = self.dfg.consumers(node);
-            let has_external_consumer =
-                self.is_output_source[index] || consumers.iter().any(|c| !self.in_cut[c.index()]);
-            let new_out = out_count + usize::from(has_external_consumer);
-            let convex = !consumers
-                .iter()
-                .any(|c| !self.in_cut[c.index()] && self.reaches_cut[c.index()]);
-            let within_node_budget = self
-                .constraints
-                .max_nodes
-                .is_none_or(|limit| self.cut_stack.len() < limit);
-
-            if new_out > self.constraints.max_outputs {
-                self.stats.pruned_output += 1;
-            } else if !convex {
-                self.stats.pruned_convexity += 1;
-            } else if !within_node_budget {
-                self.stats.pruned_node_budget += 1;
-            } else {
-                self.stats.feasible_cuts += 1;
-                // Incremental IN(S) update: `node` stops being an external source, and
-                // its own external sources start counting (once each).
-                let mut new_in = in_count;
-                if self.node_external_uses[index] > 0 {
-                    new_in -= 1;
-                }
-                for source in &self.sources[index] {
-                    match *source {
-                        Source::Node(m) => {
-                            self.node_external_uses[m] += 1;
-                            if self.node_external_uses[m] == 1 {
-                                new_in += 1;
-                            }
-                        }
-                        Source::Input(p) => {
-                            self.input_uses[p] += 1;
-                            if self.input_uses[p] == 1 {
-                                new_in += 1;
-                            }
-                        }
-                    }
-                }
-                // Incremental critical path: consumers inside the cut are already final.
-                let downstream = self
-                    .dfg
-                    .consumers(node)
-                    .iter()
-                    .filter(|c| self.in_cut[c.index()])
-                    .map(|c| self.longest_path[c.index()])
-                    .fold(0.0f64, f64::max);
-                let path_through_node = downstream + self.hardware_delay[index];
-                self.longest_path[index] = path_through_node;
-                let new_cp = critical_path.max(path_through_node);
-                let new_sw = software + u64::from(self.software_cost[index]);
-                let new_area = area + self.area_cost[index];
-
-                self.in_cut[index] = true;
-                self.cut_stack.push(node);
-
-                let merit = cut_merit(new_sw, new_cp);
-                if merit > self.best_merit
-                    && new_in <= self.constraints.max_inputs
-                    && self.constraints.budget_ok(new_area, self.cut_stack.len())
-                {
-                    self.best_merit = merit;
-                    self.stats.best_updates += 1;
-                    self.best = Some(IdentifiedCut {
-                        cut: CutSet::from_nodes(self.dfg, self.cut_stack.iter().copied()),
-                        evaluation: CutEvaluation {
-                            nodes: self.cut_stack.len(),
-                            inputs: new_in,
-                            outputs: new_out,
-                            convex: true,
-                            software_cycles: new_sw,
-                            hardware_critical_path: new_cp,
-                            hardware_cycles: self.model.cycles_for_delay(new_cp),
-                            area: new_area,
-                            merit,
-                        },
-                    });
-                }
-
-                self.explore(level + 1, new_in, new_out, new_sw, new_cp, new_area);
-
-                // Undo.
-                self.cut_stack.pop();
-                self.in_cut[index] = false;
-                for source in &self.sources[index] {
-                    match *source {
-                        Source::Node(m) => self.node_external_uses[m] -= 1,
-                        Source::Input(p) => self.input_uses[p] -= 1,
-                    }
-                }
-            }
-        }
-
-        // ----- 0-branch: leave `node` out of the cut ---------------------------------
-        let reaches = self
-            .dfg
-            .consumers(node)
-            .iter()
-            .any(|c| self.in_cut[c.index()] || self.reaches_cut[c.index()]);
-        let saved = self.reaches_cut[index];
-        self.reaches_cut[index] = reaches;
-        self.explore(
-            level + 1,
-            in_count,
-            out_count,
-            software,
-            critical_path,
-            area,
-        );
-        self.reaches_cut[index] = saved;
+    pub fn run(self) -> SearchOutcome {
+        let policy = SingleCutPolicy { ctx: &self.ctx };
+        let (best, stats) = self.kernel.run(&policy);
+        SearchOutcome::from_best(best, stats)
     }
 }
 

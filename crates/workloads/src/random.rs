@@ -7,7 +7,7 @@
 //! scaling experiment can sweep the full range, and so that the property-based tests can
 //! exercise the algorithms on thousands of structurally diverse graphs.
 
-use ise_ir::{Dfg, DfgBuilder, Opcode, Operand};
+use ise_ir::{Dfg, DfgBuilder, Opcode, Operand, Program};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -161,6 +161,56 @@ pub fn size_sweep(sizes: &[usize], seed: u64) -> Vec<Dfg> {
         .enumerate()
         .map(|(i, &nodes)| random_dfg(&RandomDfgConfig::with_nodes(nodes), seed + i as u64))
         .collect()
+}
+
+/// Configuration of a *wide* synthetic block: operands are drawn uniformly from **all**
+/// previously produced values (unbounded locality), many block inputs and outputs, and
+/// almost no memory operations. The result is a shallow, bushy DAG in which large
+/// convex cuts abound — the worst case for the search-tree size at a given node count,
+/// and therefore the scenario where intra-block subtree parallelism matters.
+#[must_use]
+pub fn wide_config(nodes: usize) -> RandomDfgConfig {
+    RandomDfgConfig {
+        nodes,
+        inputs: 8,
+        outputs: 4,
+        memory_fraction: 0.02,
+        multiply_fraction: 0.2,
+        locality: usize::MAX,
+    }
+}
+
+/// Generates one wide, shallow random block of `nodes` operations (see
+/// [`wide_config`]).
+#[must_use]
+pub fn wide_dfg(nodes: usize, seed: u64) -> Dfg {
+    random_dfg(&wide_config(nodes), seed)
+}
+
+/// The `"widedag"` synthetic workload: a program with *few, large* basic blocks.
+///
+/// The bundled MediaBench-like kernels have many smallish blocks, so the driver's
+/// per-block fan-out alone keeps every core busy on them. This workload is the opposite
+/// shape — the Fig. 8 scaling axis — where block-level parallelism is useless and only
+/// intra-block subtree parallelism (`DriverOptions::intra_block_levels` in `ise-core`)
+/// can use more than one core per block.
+#[must_use]
+pub fn wide_dag_program(blocks: usize, nodes_per_block: usize, seed: u64) -> Program {
+    let mut program = Program::new("widedag");
+    for block_index in 0..blocks.max(1) {
+        let mut dfg = wide_dfg(nodes_per_block, seed + 7919 * block_index as u64);
+        // Hot blocks: high execution counts make the selection non-trivial.
+        dfg.set_exec_count(10_000 / (1 + block_index as u64));
+        program.add_block(dfg);
+    }
+    program
+}
+
+/// The default `"widedag"` instance bundled in the suite registry: two 48-node wide
+/// blocks, deterministic seed.
+#[must_use]
+pub fn wide_dag_default() -> Program {
+    wide_dag_program(2, 48, 0x81DA6)
 }
 
 #[cfg(test)]

@@ -29,17 +29,33 @@ pub fn mediabench_like() -> Vec<Program> {
     ]
 }
 
-/// Looks up a bundled application by name (e.g. `"adpcmdecode"`, `"gsm"`, `"g721"`).
+/// The bundled synthetic workloads: deterministic stress shapes that complement the
+/// kernel-derived programs. Currently the `"widedag"` program — few, large, wide basic
+/// blocks, the shape on which block-level parallelism cannot help and intra-block
+/// subtree parallelism is the only scaling axis.
+///
+/// Kept out of [`mediabench_like`] so the paper-figure experiments keep sweeping
+/// exactly the kernel-derived suite.
 #[must_use]
-pub fn by_name(name: &str) -> Option<Program> {
-    mediabench_like().into_iter().find(|p| p.name() == name)
+pub fn synthetic() -> Vec<Program> {
+    vec![crate::random::wide_dag_default()]
 }
 
-/// Names of all bundled applications.
+/// Looks up a bundled application by name (e.g. `"adpcmdecode"`, `"gsm"`, `"widedag"`).
+#[must_use]
+pub fn by_name(name: &str) -> Option<Program> {
+    mediabench_like()
+        .into_iter()
+        .chain(synthetic())
+        .find(|p| p.name() == name)
+}
+
+/// Names of all bundled applications (kernel-derived plus synthetic).
 #[must_use]
 pub fn names() -> Vec<String> {
     mediabench_like()
         .iter()
+        .chain(synthetic().iter())
         .map(|p| p.name().to_string())
         .collect()
 }
@@ -90,6 +106,25 @@ mod tests {
         deduped.dedup();
         assert_eq!(deduped.len(), names.len());
         assert!(by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn widedag_is_bundled_valid_and_wide() {
+        let program = by_name("widedag").expect("synthetic workload resolves");
+        program.validate().expect("widedag is structurally valid");
+        assert!(names().contains(&"widedag".to_string()));
+        // Few, large blocks: the shape block-level fan-out cannot parallelise.
+        assert!(program.block_count() <= 4);
+        for block in program.blocks() {
+            assert!(block.node_count() >= 32, "widedag blocks are large");
+        }
+        // The synthetic program does not leak into the paper-figure suite.
+        assert!(mediabench_like().iter().all(|p| p.name() != "widedag"));
+        // Deterministic: two instantiations are identical.
+        assert_eq!(
+            crate::random::wide_dag_default(),
+            crate::random::wide_dag_default()
+        );
     }
 
     #[test]

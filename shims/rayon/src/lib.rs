@@ -1,17 +1,135 @@
 //! Offline stand-in for `rayon`.
 //!
 //! The build environment has no crates.io access, so this shim implements the small
-//! slice of the rayon API the workspace uses — `par_iter().map(f).collect()` and
-//! `par_iter().for_each(f)` — with *real* parallelism on `std::thread::scope`. Items are
-//! split into contiguous chunks, one per available core, and results are reassembled in
-//! input order, so a parallel map is always observably identical to the sequential one.
+//! slice of the rayon API the workspace uses — `par_iter().map(f).collect()`,
+//! `par_iter().for_each(f)` and a minimal `ThreadPoolBuilder`/`ThreadPool` — with *real*
+//! parallelism on `std::thread::scope`. Work is handed out dynamically (an atomic
+//! next-item cursor, so imbalanced items — e.g. branch-and-bound subtrees of very
+//! different sizes — keep every worker busy), and results are reassembled in input
+//! order, so a parallel map is always observably identical to the sequential one.
 //! Replacing the shim with the real `rayon` requires no source changes.
 
 #![forbid(unsafe_code)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 /// The traits user code is expected to import, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+}
+
+/// Thread-count override installed by [`ThreadPoolBuilder::build_global`] or a
+/// [`ThreadPool::install`] scope; `0` means "use all available cores".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads a parallel operation started now would use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let configured = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]; the shim's builder cannot actually
+/// fail, so this exists only for API compatibility with the real `rayon`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirrors `rayon::ThreadPoolBuilder` for the `num_threads` + `build`/`build_global`
+/// subset.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder using all available cores.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads (`0` = all available cores).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds a scoped pool whose thread count applies inside
+    /// [`ThreadPool::install`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors the real `rayon` signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+
+    /// Installs the thread count process-wide, like `rayon`'s global pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors the real `rayon` signature.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        THREAD_OVERRIDE.store(self.num_threads, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// A configured pool. The shim spawns scoped threads per operation instead of keeping
+/// workers alive, so the pool only carries the thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing every parallel operation
+    /// started inside it (including nested ones), restoring the previous configuration
+    /// afterwards — also on panic.
+    ///
+    /// Shim caveat versus real `rayon`: there is no shared worker pool. Each parallel
+    /// operation spawns up to `num_threads` short-lived scoped threads of its own, so
+    /// *nested* fan-outs (requests × blocks × subtrees) can briefly hold more than
+    /// `num_threads` OS threads in total. Results are unaffected; only scheduling
+    /// granularity differs. The override is process-global, so concurrent `install`
+    /// scopes from different pools are not isolated from each other.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.store(self.0, Ordering::SeqCst);
+            }
+        }
+        let _restore = Restore(THREAD_OVERRIDE.swap(self.num_threads, Ordering::SeqCst));
+        op()
+    }
+
+    /// The configured thread count (all available cores when built with `0`).
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
 }
 
 /// Mirrors `rayon::iter::IntoParallelRefIterator`: `&self` to a parallel iterator.
@@ -84,31 +202,47 @@ where
     }
 }
 
-/// Ordered parallel map: contiguous chunks, one worker thread per chunk.
+/// Ordered parallel map with dynamic scheduling: workers pull the next unclaimed item
+/// from a shared atomic cursor, so wildly different per-item costs still keep all
+/// threads busy; the results are reassembled by index afterwards.
 fn parallel_map<'data, T, R, F>(items: &'data [T], op: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&'data T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len())
-        .max(1);
+    let threads = current_num_threads().min(items.len()).max(1);
     if threads == 1 {
         return items.iter().map(op).collect();
     }
-    let chunk_len = items.len().div_ceil(threads);
+    let next = AtomicUsize::new(0);
     let op = &op;
+    let next = &next;
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
-            .map(|chunk| scope.spawn(move || chunk.iter().map(op).collect::<Vec<R>>()))
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        produced.push((index, op(&items[index])));
+                    }
+                    produced
+                })
+            })
             .collect();
-        handles
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        for handle in handles {
+            for (index, value) in handle.join().expect("worker thread panicked") {
+                slots[index] = Some(value);
+            }
+        }
+        slots
             .into_iter()
-            .flat_map(|handle| handle.join().expect("worker thread panicked"))
+            .map(|slot| slot.expect("every index is claimed by exactly one worker"))
             .collect()
     })
 }
@@ -116,6 +250,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -143,5 +278,38 @@ mod tests {
             total.fetch_add(x, Ordering::Relaxed);
         });
         assert_eq!(total.into_inner(), 5050);
+    }
+
+    #[test]
+    fn imbalanced_items_still_come_back_in_order() {
+        // Items with wildly different costs: the dynamic cursor hands them out one by
+        // one, and the reassembly restores input order regardless of finish order.
+        let items: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = items
+            .par_iter()
+            .map(|&x| {
+                if x % 7 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                x * x
+            })
+            .collect();
+        assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn installed_pools_scope_the_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 2);
+        let (inside, result) = pool.install(|| {
+            let inside = current_num_threads();
+            let items: Vec<u32> = (0..10).collect();
+            let mapped: Vec<u32> = items.par_iter().map(|&x| x + 1).collect();
+            (inside, mapped)
+        });
+        assert_eq!(inside, 2);
+        assert_eq!(result, (1..=10).collect::<Vec<u32>>());
+        // The override is restored after the install scope.
+        assert_ne!(THREAD_OVERRIDE.load(Ordering::SeqCst), 2);
     }
 }
