@@ -4,7 +4,7 @@ use rayon::prelude::*;
 
 use ise_core::IseError;
 
-use crate::request::{IseRequest, IseResponse};
+use crate::request::{IseRequest, IseResponse, SweepRequest, SweepResponse};
 use crate::session::Session;
 
 /// Executes many [`IseRequest`]s concurrently with deterministic, ordered results.
@@ -48,6 +48,25 @@ impl BatchService {
             requests.par_iter().map(Session::execute).collect()
         } else {
             requests.iter().map(Session::execute).collect()
+        }
+    }
+
+    /// Executes every sweep request and returns one outcome per request, in order.
+    ///
+    /// Each sweep is answered from its own memoised cut pool (see
+    /// [`Session::sweep`]); the per-request responses are byte-identical to
+    /// sequential [`Session::execute_sweep`] runs, and the accompanying
+    /// [`SweepStats`](ise_core::SweepStats) report the enumeration work each pool
+    /// saved.
+    #[must_use]
+    pub fn run_sweeps(
+        &self,
+        requests: &[SweepRequest],
+    ) -> Vec<Result<(SweepResponse, ise_core::SweepStats), IseError>> {
+        if self.parallel && requests.len() > 1 {
+            requests.par_iter().map(Session::execute_sweep).collect()
+        } else {
+            requests.iter().map(Session::execute_sweep).collect()
         }
     }
 }

@@ -49,8 +49,11 @@ mod request;
 mod session;
 
 pub use batch::BatchService;
-pub use ise_core::IseError;
-pub use request::{Algorithm, IseRequest, IseResponse, Pass, ProgramSource};
+pub use ise_core::{IseError, SweepStats};
+pub use request::{
+    Algorithm, IseRequest, IseResponse, Pass, ProgramSource, SweepPairOutcome, SweepRequest,
+    SweepResponse,
+};
 pub use session::{Session, SessionBuilder};
 
 use serde::{DeserializeOwned, Serialize};

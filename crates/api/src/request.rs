@@ -223,6 +223,66 @@ impl IseRequest {
     }
 }
 
+/// One serialisable *sweep* job: a base request plus the `(Nin, Nout)` pairs to
+/// answer it under.
+///
+/// The base request's own `constraints` field is ignored — the sweep list is the
+/// authoritative set of pairs. Executed by
+/// [`Session::sweep`](crate::Session::sweep) /
+/// [`Session::execute_sweep`](crate::Session::execute_sweep), which answer every
+/// pair from a memoised [cut pool](ise_core::pool) when
+/// [`DriverOptions::cut_pool`] is on (the default) and per-pair directly
+/// otherwise; the response is byte-identical either way.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepRequest {
+    /// The job description: program, algorithm and all knobs except the pair list.
+    pub request: IseRequest,
+    /// The constraint pairs to answer, in response order.
+    pub sweep: Vec<Constraints>,
+}
+
+impl SweepRequest {
+    /// Creates a sweep over the given pairs.
+    #[must_use]
+    pub fn new(request: IseRequest, sweep: Vec<Constraints>) -> Self {
+        SweepRequest { request, sweep }
+    }
+
+    /// Creates a sweep over the paper's published Fig. 11 pairs.
+    #[must_use]
+    pub fn paper_sweep(request: IseRequest) -> Self {
+        SweepRequest::new(request, Constraints::paper_sweep())
+    }
+}
+
+/// The result of one pair of a sweep: exactly the selection and report a single-pair
+/// [`Session::run`](crate::Session::run) under these constraints would produce.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepPairOutcome {
+    /// The constraint pair this outcome was computed under.
+    pub constraints: Constraints,
+    /// The selected instructions and the (direct-search-identical) effort accounting.
+    pub selection: SelectionResult,
+    /// Whole-application speed-up accounting for the selection.
+    pub report: SpeedupReport,
+}
+
+/// The result of one sweep job: one [`SweepPairOutcome`] per requested pair, in
+/// request order.
+///
+/// Deliberately free of any pool/memoisation metadata, so the payload is
+/// byte-identical between the pool-backed and the direct execution mode (the planner's
+/// [`SweepStats`](ise_core::SweepStats) are reported out of band).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepResponse {
+    /// Name of the program that was optimised.
+    pub program: String,
+    /// Registry name of the algorithm that ran.
+    pub algorithm: String,
+    /// One outcome per requested constraint pair, in request order.
+    pub pairs: Vec<SweepPairOutcome>,
+}
+
 /// The result of one identification job.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct IseResponse {

@@ -4,11 +4,13 @@ use std::sync::Arc;
 
 use ise_baselines::full_registry;
 use ise_core::engine::{select_program, Identifier};
-use ise_core::{Constraints, DriverOptions, IdentifierConfig, IseError};
+use ise_core::{Constraints, DriverOptions, IdentifierConfig, IseError, SweepStats};
 use ise_hw::{CostModel, DefaultCostModel, SoftwareLatencyModel};
 use ise_ir::Program;
 
-use crate::request::{Algorithm, IseRequest, IseResponse, Pass};
+use crate::request::{
+    Algorithm, IseRequest, IseResponse, Pass, SweepPairOutcome, SweepRequest, SweepResponse,
+};
 
 /// Builder for a [`Session`].
 ///
@@ -187,6 +189,7 @@ impl SessionBuilder {
             algorithm: identifier.name().to_string(),
             identifier,
             constraints: self.constraints,
+            config: self.config,
             options: self.options,
             passes: self.passes,
             cost_model: self.cost_model,
@@ -204,6 +207,7 @@ pub struct Session {
     algorithm: String,
     identifier: Box<dyn Identifier>,
     constraints: Constraints,
+    config: IdentifierConfig,
     options: DriverOptions,
     passes: Vec<Pass>,
     cost_model: Arc<dyn CostModel + Send + Sync>,
@@ -282,6 +286,88 @@ impl Session {
         let session = SessionBuilder::from_request(request).build()?;
         let program = request.program.resolve()?;
         session.run(&program)
+    }
+
+    /// Runs the session against one program under a whole sweep of constraint
+    /// pairs, answering from a memoised [cut pool](ise_core::pool) where the
+    /// session's options allow it ([`DriverOptions::cut_pool`], on by default, and
+    /// the `"single-cut"` algorithm) and per-pair directly otherwise.
+    ///
+    /// Every [`SweepPairOutcome`] is **byte-identical** (once serialised) to what
+    /// [`run`](Self::run) would produce for a session with that single pair — the
+    /// pool only removes redundant enumeration work, never changes results. The
+    /// second return value reports how much work was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IseError::InvalidProgram`] when the program fails structural
+    /// validation and [`IseError::InvalidRequest`] when `pairs` is empty or a pair
+    /// is out of domain.
+    pub fn sweep(
+        &self,
+        program: &Program,
+        pairs: &[Constraints],
+    ) -> Result<(SweepResponse, SweepStats), IseError> {
+        if pairs.is_empty() {
+            return Err(IseError::InvalidRequest(
+                "a sweep needs at least one constraint pair".to_string(),
+            ));
+        }
+        if let Some(bad) = pairs
+            .iter()
+            .find(|p| p.max_inputs == 0 || p.max_outputs == 0)
+        {
+            return Err(IseError::InvalidRequest(format!(
+                "sweep pairs must allow at least one read and one write port, got {bad}"
+            )));
+        }
+        program.validate()?;
+        let transformed;
+        let prepared: &Program = if self.passes.is_empty() {
+            program
+        } else {
+            transformed = self.apply_passes(program)?;
+            &transformed
+        };
+        let (selections, stats) = ise_core::sweep_program(
+            prepared,
+            self.identifier.as_ref(),
+            self.config.exploration_budget,
+            pairs,
+            self.cost_model.as_ref(),
+            self.options,
+        );
+        let outcomes = pairs
+            .iter()
+            .zip(selections)
+            .map(|(&constraints, selection)| {
+                let report = selection.speedup_report(prepared, &self.software_model);
+                SweepPairOutcome {
+                    constraints,
+                    selection,
+                    report,
+                }
+            })
+            .collect();
+        Ok((
+            SweepResponse {
+                program: prepared.name().to_string(),
+                algorithm: self.algorithm.clone(),
+                pairs: outcomes,
+            },
+            stats,
+        ))
+    }
+
+    /// Executes one self-contained sweep request end-to-end (see [`sweep`](Self::sweep)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates every validation error the base request or the pair list can carry.
+    pub fn execute_sweep(request: &SweepRequest) -> Result<(SweepResponse, SweepStats), IseError> {
+        let session = SessionBuilder::from_request(&request.request).build()?;
+        let program = request.request.program.resolve()?;
+        session.sweep(&program, &request.sweep)
     }
 
     /// Applies the pass pipeline to a private copy of `program`.
@@ -385,6 +471,60 @@ mod tests {
         let response = session.run(&p).expect("valid program");
         assert_eq!(p, before, "caller's program must not be mutated");
         assert!(response.report.speedup >= 1.0);
+    }
+
+    #[test]
+    fn sweep_pairs_match_single_pair_sessions_byte_for_byte() {
+        let program = mac_program();
+        let pairs = vec![
+            Constraints::new(2, 1),
+            Constraints::new(4, 2),
+            Constraints::new(8, 4),
+        ];
+        let session = SessionBuilder::new()
+            .algorithm(Algorithm::SingleCut)
+            .max_instructions(4)
+            .build()
+            .expect("valid configuration");
+        let (sweep, stats) = session.sweep(&program, &pairs).expect("valid sweep");
+        assert_eq!(sweep.pairs.len(), pairs.len());
+        assert_eq!(sweep.algorithm, "single-cut");
+        for (pair, outcome) in pairs.iter().zip(&sweep.pairs) {
+            let single = SessionBuilder::new()
+                .algorithm(Algorithm::SingleCut)
+                .constraints(*pair)
+                .max_instructions(4)
+                .build()
+                .expect("valid configuration")
+                .run(&program)
+                .expect("valid program");
+            assert_eq!(
+                crate::to_json(&outcome.selection),
+                crate::to_json(&single.selection),
+                "{pair}"
+            );
+            assert_eq!(
+                crate::to_json(&outcome.report),
+                crate::to_json(&single.report)
+            );
+        }
+        // One block, three pairs: the pool must have saved enumerations.
+        assert!(stats.physical_identifier_calls() < stats.logical_identifier_calls);
+    }
+
+    #[test]
+    fn sweep_rejects_empty_and_out_of_domain_pair_lists() {
+        let session = SessionBuilder::new().build().expect("valid configuration");
+        let err = session.sweep(&mac_program(), &[]).unwrap_err();
+        assert!(matches!(err, IseError::InvalidRequest(_)), "{err}");
+        let bad = Constraints {
+            max_inputs: 0,
+            max_outputs: 1,
+            max_area: None,
+            max_nodes: None,
+        };
+        let err = session.sweep(&mac_program(), &[bad]).unwrap_err();
+        assert!(matches!(err, IseError::InvalidRequest(_)), "{err}");
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! and MaxMISO on the MediaBench-like trio for a sweep of port constraints, with up to 16
 //! special instructions. All algorithms are driven through the engine registry.
 //!
-//! Usage: `cargo run --release -p ise-bench --bin fig11 [--quick] [output-dir]`
+//! Usage: `cargo run --release -p ise-bench --bin fig11 [--quick] [--direct] [output-dir]`
 //!
 //! `--quick` runs the reduced smoke configuration (two constraint pairs, the GSM and
-//! G.721 benchmarks only).
+//! G.721 benchmarks only). The sweep is answered from a memoised cut pool by default;
+//! `--direct` forces the reference per-pair searches (the rows — and the CSV — are
+//! byte-identical in both modes, which `sweep_gate` asserts in CI).
 
 use std::fs;
 use std::path::PathBuf;
@@ -16,21 +18,29 @@ use ise_workloads::suite;
 
 fn main() {
     let mut quick = false;
+    let mut direct = false;
     let mut output_dir = PathBuf::from("results");
     for arg in std::env::args().skip(1) {
         if arg == "--quick" {
             quick = true;
+        } else if arg == "--direct" {
+            direct = true;
         } else if arg.starts_with('-') {
-            eprintln!("error: unknown flag {arg:?}\nusage: fig11 [--quick] [output-dir]");
+            eprintln!(
+                "error: unknown flag {arg:?}\nusage: fig11 [--quick] [--direct] [output-dir]"
+            );
             std::process::exit(2);
         } else {
             output_dir = PathBuf::from(arg);
         }
     }
-    let config = if quick {
-        Fig11Config::quick()
-    } else {
-        Fig11Config::default()
+    let config = Fig11Config {
+        direct,
+        ..if quick {
+            Fig11Config::quick()
+        } else {
+            Fig11Config::default()
+        }
     };
     let benchmarks: Vec<_> = if quick {
         suite::fig11_benchmarks()

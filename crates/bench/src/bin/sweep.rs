@@ -5,7 +5,10 @@
 //! The applications are fanned out with `rayon`; the per-block driver inside each
 //! application run is kept sequential so the machine is not oversubscribed.
 //!
-//! Usage: `cargo run --release -p ise-bench --bin sweep [output-dir]`
+//! Usage: `cargo run --release -p ise-bench --bin sweep [--direct] [output-dir]`
+//!
+//! The per-application sweeps are answered from memoised cut pools by default;
+//! `--direct` forces the reference per-pair searches (byte-identical CSVs either way).
 
 use std::fs;
 use std::path::PathBuf;
@@ -17,9 +20,18 @@ use ise_workloads::suite;
 use rayon::prelude::*;
 
 fn main() {
-    let output_dir = std::env::args()
-        .nth(1)
-        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    let mut direct = false;
+    let mut output_dir = PathBuf::from("results");
+    for arg in std::env::args().skip(1) {
+        if arg == "--direct" {
+            direct = true;
+        } else if arg.starts_with('-') {
+            eprintln!("error: unknown flag {arg:?}\nusage: sweep [--direct] [output-dir]");
+            std::process::exit(2);
+        } else {
+            output_dir = PathBuf::from(arg);
+        }
+    }
     let config = Fig11Config {
         constraints: vec![
             Constraints::new(2, 1),
@@ -32,6 +44,7 @@ fn main() {
         ],
         max_instructions: 16,
         parallel: false,
+        direct,
         ..Fig11Config::default()
     };
     let benchmarks = suite::mediabench_like();

@@ -1,0 +1,58 @@
+//! The sweep determinism gate: asserts that the pool-backed Fig. 11 sweep is
+//! byte-identical to the direct per-pair searches while performing strictly fewer
+//! search-tree enumerations, and writes the machine-readable `BENCH_sweep.json`.
+//!
+//! Usage: `cargo run --release -p ise-bench --bin sweep_gate [--quick] [output-dir]`
+//!
+//! Exit codes: `0` identical and fewer invocations, `3` the two modes diverged (or the
+//! pool failed to save work) — CI runs this like the `scaling` sequential/parallel gate.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ise_bench::sweep_bench::{self, SweepBenchConfig};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut output_dir = PathBuf::from("results");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg.starts_with('-') {
+            eprintln!("error: unknown flag {arg:?}\nusage: sweep_gate [--quick] [output-dir]");
+            return ExitCode::from(2);
+        } else {
+            output_dir = PathBuf::from(arg);
+        }
+    }
+    let config = if quick {
+        SweepBenchConfig::quick()
+    } else {
+        SweepBenchConfig::default()
+    };
+    let report = sweep_bench::run(&config);
+
+    println!("# Sweep gate — pool-backed vs direct Fig. 11 sweep");
+    println!();
+    print!("{}", sweep_bench::markdown(&report));
+
+    if let Err(error) = fs::create_dir_all(&output_dir) {
+        eprintln!("warning: cannot create {}: {error}", output_dir.display());
+    }
+    let path = output_dir.join("BENCH_sweep.json");
+    match fs::write(&path, sweep_bench::to_json(&report) + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("warning: cannot write {}: {error}", path.display()),
+    }
+
+    if !report.identical {
+        eprintln!("error: pool-backed sweep diverged from the direct per-pair runs");
+        return ExitCode::from(3);
+    }
+    if !report.fewer_invocations {
+        eprintln!("error: the cut pool performed no fewer enumerations than direct mode");
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,7 @@
 use ise_baselines::full_registry;
 use ise_core::engine::{select_program, DriverOptions, Identifier, IdentifierConfig};
 use ise_core::{select_optimal, Constraints, SelectionOptions, SelectionResult};
+use ise_core::{SweepPlanner, SweepStats};
 use ise_hw::{DefaultCostModel, SoftwareLatencyModel};
 use ise_ir::Program;
 
@@ -107,6 +108,10 @@ pub struct Fig11Config {
     /// Fan the per-block identification out across threads. The rows are identical
     /// either way; this only trades wall-clock for cores.
     pub parallel: bool,
+    /// Force the reference per-pair searches instead of the memoised cut-pool sweep.
+    /// The rows are **byte-identical** either way (`sweep_gate` asserts it in CI);
+    /// direct mode exists as the trusted baseline and for effort comparisons.
+    pub direct: bool,
 }
 
 impl Default for Fig11Config {
@@ -117,6 +122,7 @@ impl Default for Fig11Config {
             exploration_budget: Some(crate::DEFAULT_EXPLORATION_BUDGET),
             optimal_block_limit: Some(24),
             parallel: true,
+            direct: false,
         }
     }
 }
@@ -189,16 +195,14 @@ pub fn select(
     }
 }
 
-/// Runs one algorithm on one benchmark under one constraint pair and returns its row.
-#[must_use]
-pub fn evaluate(
+/// Builds the figure row for one computed selection.
+fn row(
     program: &Program,
     algorithm: Algorithm,
     constraints: Constraints,
-    config: &Fig11Config,
+    selection: &SelectionResult,
 ) -> Fig11Row {
     let software = SoftwareLatencyModel::new();
-    let selection = select(program, algorithm, constraints, config);
     let report = selection.speedup_report(program, &software);
     Fig11Row {
         benchmark: program.name().to_string(),
@@ -218,6 +222,58 @@ pub fn evaluate(
     }
 }
 
+/// Runs one algorithm on one benchmark under one constraint pair and returns its row.
+#[must_use]
+pub fn evaluate(
+    program: &Program,
+    algorithm: Algorithm,
+    constraints: Constraints,
+    config: &Fig11Config,
+) -> Fig11Row {
+    let selection = select(program, algorithm, constraints, config);
+    row(program, algorithm, constraints, &selection)
+}
+
+/// Runs one algorithm's whole constraint sweep on one benchmark through a shared
+/// [`SweepPlanner`], so that every `(block, exclusion-state)` is enumerated once under
+/// the loosest constraints and every pair is answered from the memoised pool.
+///
+/// The results are byte-identical to per-pair [`select`] calls; only the enumeration
+/// work differs (the planner's [`SweepStats`] report the saving).
+fn sweep_select(
+    program: &Program,
+    planner: &mut SweepPlanner<'_>,
+    algorithm: Algorithm,
+    config: &Fig11Config,
+) -> Vec<SelectionResult> {
+    let registry = full_registry();
+    match algorithm {
+        Algorithm::Iterative => planner.run_single_cut(&config.constraints),
+        Algorithm::Optimal => {
+            let too_large = config
+                .optimal_block_limit
+                .is_some_and(|limit| program.blocks().iter().any(|b| b.node_count() > limit));
+            if too_large {
+                // The paper's fallback for its largest blocks: the iterative
+                // heuristic, reported under the Optimal label. Sharing the planner
+                // also shares the single-cut pools the Iterative series filled.
+                planner.run_single_cut(&config.constraints)
+            } else {
+                planner.run_optimal(&config.constraints)
+            }
+        }
+        other => {
+            let name = other
+                .identifier_name()
+                .expect("only Optimal has no identifier name");
+            let identifier: Box<dyn Identifier> = registry
+                .create_configured(name, &config.engine_config())
+                .unwrap_or_else(|e| panic!("{e}"));
+            planner.run_direct(identifier.as_ref(), &config.constraints)
+        }
+    }
+}
+
 /// Runs the full comparison over a set of benchmarks.
 #[must_use]
 pub fn run(benchmarks: &[Program], config: &Fig11Config) -> Vec<Fig11Row> {
@@ -231,15 +287,66 @@ pub fn run_algorithms(
     algorithms: &[Algorithm],
     config: &Fig11Config,
 ) -> Vec<Fig11Row> {
+    run_algorithms_with_stats(benchmarks, algorithms, config).0
+}
+
+/// [`run_algorithms`], additionally returning the aggregated effort accounting
+/// (logical versus physical identifier invocations) across the whole comparison.
+///
+/// In direct mode every logical call is performed physically; in pool mode (the
+/// default) the physical count is strictly smaller on any multi-pair sweep. The row
+/// payload is byte-identical in both modes.
+#[must_use]
+pub fn run_algorithms_with_stats(
+    benchmarks: &[Program],
+    algorithms: &[Algorithm],
+    config: &Fig11Config,
+) -> (Vec<Fig11Row>, SweepStats) {
+    let model = DefaultCostModel::new();
+    let mut driver_options = DriverOptions::new(config.max_instructions);
+    if !config.parallel {
+        driver_options = driver_options.sequential();
+    }
     let mut rows = Vec::new();
+    let mut stats = SweepStats::default();
     for program in benchmarks {
-        for &constraints in &config.constraints {
-            for &algorithm in algorithms {
-                rows.push(evaluate(program, algorithm, constraints, config));
+        // One planner per benchmark: the Iterative series and the Optimal fallback
+        // share whatever single-cut pools they have in common.
+        let mut planner = SweepPlanner::new(program, &model, driver_options, &config.constraints)
+            .with_exploration_budget(config.exploration_budget);
+        let selections: Vec<Vec<SelectionResult>> = algorithms
+            .iter()
+            .map(|&algorithm| {
+                if config.direct {
+                    let per_pair: Vec<SelectionResult> = config
+                        .constraints
+                        .iter()
+                        .map(|&constraints| select(program, algorithm, constraints, config))
+                        .collect();
+                    let calls: u64 = per_pair.iter().map(|s| s.identifier_calls).sum();
+                    stats.logical_identifier_calls += calls;
+                    stats.direct_calls += calls;
+                    per_pair
+                } else {
+                    sweep_select(program, &mut planner, algorithm, config)
+                }
+            })
+            .collect();
+        if !config.direct {
+            stats.merge(&planner.stats());
+        }
+        for (pair_index, &constraints) in config.constraints.iter().enumerate() {
+            for (algorithm_index, &algorithm) in algorithms.iter().enumerate() {
+                rows.push(row(
+                    program,
+                    algorithm,
+                    constraints,
+                    &selections[algorithm_index][pair_index],
+                ));
             }
         }
     }
-    rows
+    (rows, stats)
 }
 
 /// Qualitative checks corresponding to the observations of Section 8 of the paper.
@@ -369,6 +476,33 @@ mod tests {
             let b = evaluate(&program, algorithm, Constraints::new(4, 2), &sequential);
             assert_eq!(a, b, "{}", algorithm.name());
         }
+    }
+
+    #[test]
+    fn pool_backed_rows_are_byte_identical_to_direct_rows() {
+        let pooled_config = Fig11Config::quick();
+        let direct_config = Fig11Config {
+            direct: true,
+            ..Fig11Config::quick()
+        };
+        let programs = vec![gsm::program(), g721::program()];
+        let (pooled, pooled_stats) =
+            run_algorithms_with_stats(&programs, &Algorithm::all(), &pooled_config);
+        let (direct, direct_stats) =
+            run_algorithms_with_stats(&programs, &Algorithm::all(), &direct_config);
+        assert_eq!(pooled, direct);
+        assert_eq!(
+            serde::json::to_string(&pooled),
+            serde::json::to_string(&direct)
+        );
+        // Identical logical accounting, strictly fewer physical enumerations.
+        assert_eq!(
+            pooled_stats.logical_identifier_calls,
+            direct_stats.logical_identifier_calls
+        );
+        assert!(
+            pooled_stats.physical_identifier_calls() < direct_stats.physical_identifier_calls()
+        );
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   subtree-parallel exact search on wide single blocks, emitting the machine-readable
 //!   `BENCH_search.json` (graph size, cuts considered, cuts/sec, wall-clock, thread
 //!   count) and gating CI on sequential/parallel identity;
+//! * [`sweep_bench`] — the sweep determinism gate: the Fig. 11 comparison run
+//!   pool-backed and direct, asserted byte-identical, with the logical-vs-physical
+//!   identifier-call accounting emitted as `BENCH_sweep.json`;
 //! * [`report`] — CSV and Markdown rendering of the experiment rows.
 //!
 //! The binaries `fig8`, `fig11` and `sweep` print the tables and write CSV files; the
@@ -27,6 +30,7 @@ pub mod fig11;
 pub mod fig8;
 pub mod report;
 pub mod scaling;
+pub mod sweep_bench;
 
 /// Default exploration budget (cuts considered per identifier invocation) applied to the
 /// exact algorithms when they are driven over the largest blocks; the paper similarly

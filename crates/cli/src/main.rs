@@ -9,26 +9,35 @@
 //! ise-cli run <request.json>    execute one request, print one response
 //! ise-cli batch <requests.json> execute an array of requests, print an array of
 //!                               outcomes ({"response": …} | {"error": …}), ordered
+//! ise-cli sweep <sweep.json>    execute one sweep request (a base request plus a
+//!                               list of (Nin, Nout) pairs), print one response
 //! ise-cli algorithms            list the registered identification algorithms
 //! ```
 //!
 //! Flags: `--pretty` for indented output, `-o FILE` to write the output to a file,
-//! `--threads N` to run `run`/`batch` inside a scoped `rayon` pool of `N` workers
-//! (results are byte-identical for every thread count — the flag only trades
+//! `--threads N` to run `run`/`batch`/`sweep` inside a scoped `rayon` pool of `N`
+//! workers (results are byte-identical for every thread count — the flag only trades
 //! wall-clock for cores, across requests, across basic blocks, and inside a block
 //! when a request sets `options.intra_block_levels`).
+//!
+//! `sweep` answers covered pairs from a memoised cut pool by default; `--direct`
+//! forces the reference per-pair searches (the emitted response is byte-identical in
+//! both modes) and `--stats` prints the planner's effort accounting — logical versus
+//! physical identifier invocations — to stderr.
 //! Exit codes: `0` success, `1` usage or file error, `2` at least one request in a
-//! batch (or the single `run` request) failed.
+//! batch (or the single `run`/`sweep` request) failed.
 
 use std::process::ExitCode;
 
-use ise_api::{json, BatchService, IseError, IseRequest, IseResponse, Session};
+use ise_api::{json, BatchService, IseError, IseRequest, Session};
 
 /// Parsed command-line options.
 struct Options {
     pretty: bool,
     output: Option<String>,
     threads: Option<usize>,
+    direct: bool,
+    stats: bool,
     positional: Vec<String>,
 }
 
@@ -38,13 +47,19 @@ fn usage() -> &'static str {
      commands:\n\
      \x20 run <request.json>     execute one identification request\n\
      \x20 batch <requests.json>  execute an array of requests (ordered, parallel)\n\
+     \x20 sweep <sweep.json>     execute one sweep request (one result per (Nin, Nout)\n\
+     \x20                        pair, answered from a memoised cut pool)\n\
      \x20 algorithms             list the registered identification algorithms\n\
      \n\
      options:\n\
      \x20 --pretty               indent the JSON output\n\
      \x20 -o, --output FILE      write the output to FILE instead of stdout\n\
-     \x20 --threads N            size of the rayon worker pool for run/batch\n\
-     \x20                        (N >= 1; output is identical for every N)\n"
+     \x20 --threads N            size of the rayon worker pool for run/batch/sweep\n\
+     \x20                        (N >= 1; output is identical for every N)\n\
+     \x20 --direct               sweep only: force the reference per-pair searches\n\
+     \x20                        (the response is byte-identical to the pool mode)\n\
+     \x20 --stats                sweep only: print the planner's effort accounting\n\
+     \x20                        (logical vs physical identifier calls) to stderr\n"
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -52,12 +67,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         pretty: false,
         output: None,
         threads: None,
+        direct: false,
+        stats: false,
         positional: Vec::new(),
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--pretty" => options.pretty = true,
+            "--direct" => options.direct = true,
+            "--stats" => options.stats = true,
             "-o" | "--output" => {
                 let Some(path) = iter.next() else {
                     return Err(format!("{arg} requires a file path"));
@@ -106,7 +125,7 @@ fn emit(options: &Options, payload: &json::Value) -> Result<(), IseError> {
 }
 
 /// Wraps one outcome in the `{"response": …} | {"error": …}` envelope.
-fn envelope(outcome: &Result<IseResponse, IseError>) -> json::Value {
+fn envelope<T: serde::Serialize>(outcome: &Result<T, IseError>) -> json::Value {
     match outcome {
         Ok(response) => {
             json::Value::Object(vec![("response".to_string(), json::to_value(response))])
@@ -123,6 +142,37 @@ fn cmd_run(options: &Options, path: &str) -> Result<bool, IseError> {
     let outcome = Session::execute(&request);
     let failed = outcome.is_err();
     emit(options, &envelope(&outcome))?;
+    Ok(failed)
+}
+
+fn cmd_sweep(options: &Options, path: &str) -> Result<bool, IseError> {
+    let mut request: ise_api::SweepRequest = ise_api::from_json(&read_file(path)?)?;
+    if options.direct {
+        request.request.options.cut_pool = false;
+    }
+    let outcome = Session::execute_sweep(&request);
+    let failed = outcome.is_err();
+    let response = match outcome {
+        Ok((response, stats)) => {
+            if options.stats {
+                eprintln!(
+                    "sweep: {} logical identifier calls answered by {} enumerations \
+                     ({} pool fills + {} direct calls, {} pool answers, {} exhausted fills)",
+                    stats.logical_identifier_calls,
+                    stats.physical_identifier_calls(),
+                    stats.pool_fills,
+                    stats.direct_calls,
+                    stats.pool_answers,
+                    stats.exhausted_fills,
+                );
+            }
+            Ok(response)
+        }
+        Err(error) => Err(error),
+    };
+    // The emitted envelope carries only the (mode-independent) response; the planner
+    // statistics go to stderr so pool and --direct outputs stay byte-identical.
+    emit(options, &envelope(&response))?;
     Ok(failed)
 }
 
@@ -153,12 +203,24 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    if (options.direct || options.stats)
+        && options.positional.first().map(String::as_str) != Some("sweep")
+    {
+        eprintln!(
+            "error: --direct and --stats apply only to the sweep command\n\n{}",
+            usage()
+        );
+        return ExitCode::from(1);
+    }
     let command = || match options.positional.first().map(String::as_str) {
         Some("run") if options.positional.len() == 2 => {
             Some(cmd_run(&options, &options.positional[1]))
         }
         Some("batch") if options.positional.len() == 2 => {
             Some(cmd_batch(&options, &options.positional[1]))
+        }
+        Some("sweep") if options.positional.len() == 2 => {
+            Some(cmd_sweep(&options, &options.positional[1]))
         }
         Some("algorithms") if options.positional.len() == 1 => Some(cmd_algorithms(&options)),
         _ => None,

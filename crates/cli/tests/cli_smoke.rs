@@ -66,6 +66,61 @@ fn batch_output_is_byte_identical_to_in_process_sessions() {
 }
 
 #[test]
+fn sweep_output_is_byte_identical_in_pool_and_direct_mode_and_to_in_process_runs() {
+    let request_path = repo_root().join("requests/sweep_gsm.json");
+    let pooled = cli()
+        .arg("sweep")
+        .arg(&request_path)
+        .output()
+        .expect("ise-cli runs");
+    assert!(
+        pooled.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&pooled.stderr)
+    );
+    let direct = cli()
+        .arg("sweep")
+        .arg(&request_path)
+        .arg("--direct")
+        .arg("--stats")
+        .output()
+        .expect("ise-cli runs");
+    assert!(direct.status.success());
+    // The emitted envelope is byte-identical between the memoised and the reference
+    // mode; only the --stats line on stderr differs.
+    assert_eq!(pooled.stdout, direct.stdout);
+    assert!(String::from_utf8_lossy(&direct.stderr).contains("identifier calls"));
+
+    // And byte-identical to the in-process execution of the same file.
+    let text = std::fs::read_to_string(&request_path).expect("request file");
+    let request: ise_api::SweepRequest = ise_api::from_json(&text).expect("valid sweep file");
+    let (response, stats) = Session::execute_sweep(&request).expect("in-process sweep");
+    let stdout = String::from_utf8(pooled.stdout).expect("utf-8 output");
+    let parsed = json::parse(stdout.trim()).expect("CLI emits valid JSON");
+    assert_eq!(
+        json::to_string(parsed.get("response").expect("a response envelope")),
+        ise_api::to_json(&response),
+    );
+    // The pool must have saved enumeration work on a 7-pair sweep.
+    assert!(stats.physical_identifier_calls() < stats.logical_identifier_calls);
+}
+
+#[test]
+fn sweep_only_flags_are_rejected_on_other_commands() {
+    let requests_path = repo_root().join("requests/adpcm.json");
+    for flag in ["--direct", "--stats"] {
+        let output = cli()
+            .arg("batch")
+            .arg(&requests_path)
+            .arg(flag)
+            .output()
+            .expect("ise-cli runs");
+        assert_eq!(output.status.code(), Some(1), "{flag} must be rejected");
+        assert!(String::from_utf8_lossy(&output.stderr).contains("sweep command"));
+    }
+}
+
+#[test]
 fn algorithms_subcommand_lists_all_six() {
     let output = cli().arg("algorithms").output().expect("ise-cli runs");
     assert!(output.status.success());

@@ -31,6 +31,14 @@ pub struct CollapseResult {
     pub inputs: usize,
     /// Number of values produced by the new instruction.
     pub outputs: usize,
+    /// Where each original node ended up: `node_map[i]` is the id of node `i`'s copy
+    /// in the rewritten block, or `None` for the collapsed nodes themselves (their
+    /// externally visible results live on the new AFU nodes instead).
+    ///
+    /// This is what lets a caller collapse *several disjoint cuts of the same block*
+    /// in sequence — each collapse renumbers the survivors, and the map re-anchors the
+    /// remaining cuts (see [`collapse_selection`]).
+    pub node_map: Vec<Option<NodeId>>,
 }
 
 /// Extracts `cut` from `dfg` into an AFU specification graph.
@@ -201,12 +209,91 @@ pub fn try_collapse_cut(
         rewritten.add_output(output.name.clone(), remap(&value_map, &output.source));
     }
 
+    let node_map = (0..dfg.node_count())
+        .map(|index| {
+            let id = NodeId::new(index);
+            if cut.contains(id) {
+                None
+            } else {
+                match value_map.get(&Operand::Node(id)) {
+                    Some(Operand::Node(new_id)) => Some(*new_id),
+                    _ => None,
+                }
+            }
+        })
+        .collect();
+
     Ok(CollapseResult {
         inputs: afu_graph.input_count(),
         outputs: afu_graph.output_count(),
         rewritten,
         afu_graph,
+        node_map,
     })
+}
+
+/// Collapses *every* cut of a selection into `program`, in the order the selection
+/// committed them, registering one AFU per chosen instruction. Returns the AFU ids, in
+/// `selection.chosen` order.
+///
+/// Cuts chosen from the same block are disjoint but were identified against the
+/// *original* block numbering; after the first collapse of a block the surviving nodes
+/// are renumbered, so each subsequent cut is re-anchored through the accumulated
+/// [`CollapseResult::node_map`]s before it is collapsed.
+///
+/// # Errors
+///
+/// Returns [`IseError::InvalidRequest`] when a cut is empty, non-convex, AFU-illegal, or
+/// refers to a node that a previously collapsed cut of the same block absorbed —
+/// conditions no selection produced by the bundled drivers exhibits, but that a
+/// selection deserialised from an external request may.
+pub fn collapse_selection(
+    program: &mut Program,
+    selection: &crate::SelectionResult,
+) -> Result<Vec<u16>, IseError> {
+    // Identity maps (original node index -> current id) per block, grown lazily.
+    let mut maps: BTreeMap<usize, Vec<Option<NodeId>>> = BTreeMap::new();
+    let mut afu_ids = Vec::with_capacity(selection.chosen.len());
+    for (step, chosen) in selection.chosen.iter().enumerate() {
+        let block_index = chosen.block_index;
+        if block_index >= program.block_count() {
+            return Err(IseError::InvalidRequest(format!(
+                "cut of step {step} names block {block_index}, but the program has only {} blocks",
+                program.block_count()
+            )));
+        }
+        let block = program.block(block_index);
+        let map = maps.entry(block_index).or_insert_with(|| {
+            (0..block.node_count())
+                .map(|i| Some(NodeId::new(i)))
+                .collect()
+        });
+        let remapped: Option<Vec<NodeId>> = chosen
+            .identified
+            .cut
+            .iter()
+            .map(|id| map.get(id.index()).copied().flatten())
+            .collect();
+        let Some(nodes) = remapped else {
+            return Err(IseError::InvalidRequest(format!(
+                "cut of step {step} overlaps a previously collapsed cut of block {block_index}"
+            )));
+        };
+        let cut = CutSet::from_nodes(block, nodes);
+        let afu_id = u16::try_from(program.afus().len()).map_err(|_| {
+            IseError::InvalidRequest("more than 65535 AFUs in one program".to_string())
+        })?;
+        let name = format!("ise{afu_id}");
+        let result = try_collapse_cut(block, &cut, afu_id, &name)?;
+        for entry in map.iter_mut() {
+            *entry = entry.and_then(|current| result.node_map[current.index()]);
+        }
+        let registered = program.add_afu(&name, result.afu_graph);
+        debug_assert_eq!(registered, afu_id);
+        program.blocks_mut()[block_index] = result.rewritten;
+        afu_ids.push(afu_id);
+    }
+    Ok(afu_ids)
 }
 
 /// Collapses a cut of block `block_index` of `program`, registering the AFU
@@ -339,6 +426,38 @@ mod tests {
             .block(0)
             .iter_nodes()
             .any(|(_, n)| matches!(n.opcode, Opcode::Afu { id: 0, .. })));
+    }
+
+    #[test]
+    fn collapse_selection_rejects_out_of_range_blocks_and_overlaps() {
+        let mut program = Program::new("app");
+        program.add_block(saturating_mac());
+        let cut = CutSet::from_nodes(program.block(0), [NodeId::new(0), NodeId::new(1)]);
+        let chosen = |block_index: usize| crate::ChosenCut {
+            block_index,
+            identified: crate::IdentifiedCut {
+                cut: cut.clone(),
+                evaluation: cut::evaluate(program.block(0), &cut, &ise_hw::DefaultCostModel::new()),
+            },
+        };
+        let selection = |chosen: Vec<crate::ChosenCut>| crate::SelectionResult {
+            chosen,
+            total_weighted_saving: 0.0,
+            identifier_calls: 0,
+            cuts_considered: 0,
+        };
+        // A block index beyond the program must error, not panic.
+        let err = collapse_selection(&mut program.clone(), &selection(vec![chosen(7)]))
+            .expect_err("out-of-range block");
+        assert!(err.to_string().contains("block 7"), "{err}");
+        // The same cut twice overlaps itself after the first collapse.
+        let err = collapse_selection(&mut program.clone(), &selection(vec![chosen(0), chosen(0)]))
+            .expect_err("overlapping cuts");
+        assert!(err.to_string().contains("overlaps"), "{err}");
+        // The valid single-cut selection still collapses.
+        let mut ok = program.clone();
+        let ids = collapse_selection(&mut ok, &selection(vec![chosen(0)])).expect("valid");
+        assert_eq!(ids, vec![0]);
     }
 
     #[test]

@@ -68,26 +68,42 @@ pub struct DriverOptions {
     /// each block (`0` = sequential within a block). Byte-identical to the sequential
     /// path; see the type-level documentation for when this level pays off.
     pub intra_block_levels: usize,
+    /// Allow sweep front-ends (the [`SweepPlanner`](super::sweep::SweepPlanner),
+    /// `Session::sweep`, the `fig11`/`sweep` benchmarks) to answer covered constraint
+    /// pairs from a memoised [cut pool](crate::pool) instead of re-running the
+    /// exponential identification per pair. Pool-backed answers are byte-identical to
+    /// the direct per-pair searches — including the `identifier_calls` and
+    /// `cuts_considered` accounting — so this knob only trades enumeration work for
+    /// memory. It has no effect on single-pair runs. On by default; switch off to force
+    /// the reference per-pair path (the CLI and benchmarks expose this as `--direct`).
+    pub cut_pool: bool,
 }
 
-/// Hand-rolled (not derived) so that `intra_block_levels` is *optional* on the wire:
-/// request files written before the field existed keep deserialising, defaulting to the
-/// sequential-within-a-block behaviour they were written against.
+/// Hand-rolled (not derived) so that `intra_block_levels` and `cut_pool` are *optional*
+/// on the wire: request files written before either field existed keep deserialising,
+/// defaulting to the behaviour they were written against (sequential within a block,
+/// pool-backed sweeps — the pool default changes no single-pair result).
 impl<'de> serde::Deserialize<'de> for DriverOptions {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn optional<T: serde::DeserializeOwned>(
+            fields: &[(String, serde::Value)],
+            name: &str,
+            fallback: serde::Value,
+        ) -> Result<T, serde::Error> {
+            let value = fields
+                .iter()
+                .find(|(key, _)| key == name)
+                .map_or(&fallback, |(_, field)| field);
+            serde::Deserialize::from_value(value).map_err(|e| {
+                serde::Error::custom(format!("field `{name}` of `DriverOptions`: {e}"))
+            })
+        }
         let fields = serde::expect_object(value, "DriverOptions")?;
-        let intra_block_levels = match fields.iter().find(|(key, _)| key == "intra_block_levels") {
-            Some((_, field)) => serde::Deserialize::from_value(field).map_err(|e| {
-                serde::Error::custom(format!(
-                    "field `intra_block_levels` of `DriverOptions`: {e}"
-                ))
-            })?,
-            None => 0,
-        };
         Ok(DriverOptions {
             max_instructions: serde::expect_field(fields, "max_instructions", "DriverOptions")?,
             parallel: serde::expect_field(fields, "parallel", "DriverOptions")?,
-            intra_block_levels,
+            intra_block_levels: optional(fields, "intra_block_levels", serde::Value::Uint(0))?,
+            cut_pool: optional(fields, "cut_pool", serde::Value::Bool(true))?,
         })
     }
 }
@@ -108,6 +124,7 @@ impl DriverOptions {
             max_instructions,
             parallel: true,
             intra_block_levels: 0,
+            cut_pool: true,
         }
     }
 
@@ -130,6 +147,14 @@ impl DriverOptions {
     #[must_use]
     pub fn with_intra_block_levels(mut self, levels: usize) -> Self {
         self.intra_block_levels = levels;
+        self
+    }
+
+    /// Enables or disables the memoised cut pool for sweep front-ends (see the field
+    /// documentation; single-pair runs are unaffected either way).
+    #[must_use]
+    pub fn with_cut_pool(mut self, cut_pool: bool) -> Self {
+        self.cut_pool = cut_pool;
         self
     }
 
@@ -206,13 +231,28 @@ pub fn select_program(
     }
 }
 
-/// Iterative strategy: re-identify blocks whose exclusion set changed, commit the best.
-fn select_iteratively(
+/// One per-block answer of a refresh round of the iterative strategy: what the
+/// strategy consumes from an identifier invocation (or from a pool answer standing in
+/// for one — see [`super::sweep`]).
+pub(crate) struct BlockAnswer {
+    /// The best candidate cut of the block under the current exclusions.
+    pub best: Option<IdentifiedCut>,
+    /// `cuts_considered` of the (actual or reconstructed) invocation.
+    pub cuts_considered: u64,
+}
+
+/// The iterative strategy loop, generic over how a round's stale blocks are refreshed.
+///
+/// `refresh` receives the `(block_index, exclusions)` pairs whose exclusion set changed
+/// and returns one [`BlockAnswer`] per pair, in order. Every caller — the direct driver
+/// below and the pool-backed [`super::sweep::SweepPlanner`] — shares this loop, so the
+/// commit order, tie-breaks and `identifier_calls` accounting cannot drift between the
+/// direct and the memoised path (the differential test-suite asserts they are
+/// byte-identical).
+pub(crate) fn select_iteratively_core(
     program: &Program,
-    identifier: &dyn Identifier,
-    constraints: Constraints,
-    model: &dyn CostModel,
-    options: DriverOptions,
+    max_instructions: usize,
+    mut refresh: impl FnMut(&[(usize, &CutSet)]) -> Vec<BlockAnswer>,
 ) -> SelectionResult {
     let block_count = program.block_count();
     let mut excluded: Vec<CutSet> = program.blocks().iter().map(CutSet::for_dfg).collect();
@@ -225,17 +265,14 @@ fn select_iteratively(
         cuts_considered: 0,
     };
 
-    while result.chosen.len() < options.max_instructions {
+    while result.chosen.len() < max_instructions {
         let stale_blocks: Vec<usize> = (0..block_count).filter(|&b| stale[b]).collect();
-        let work: Vec<(usize, Option<&CutSet>)> = stale_blocks
-            .iter()
-            .map(|&b| (b, Some(&excluded[b])))
-            .collect();
-        let outcomes = identify_blocks(program, identifier, &work, constraints, model, options);
-        for (&block_index, outcome) in stale_blocks.iter().zip(outcomes) {
+        let work: Vec<(usize, &CutSet)> = stale_blocks.iter().map(|&b| (b, &excluded[b])).collect();
+        let answers = refresh(&work);
+        for (&block_index, answer) in stale_blocks.iter().zip(answers) {
             result.identifier_calls += 1;
-            result.cuts_considered += outcome.stats.cuts_considered;
-            candidate[block_index] = outcome.best;
+            result.cuts_considered += answer.cuts_considered;
+            candidate[block_index] = answer.best;
             stale[block_index] = false;
         }
         // Commit the candidate saving the most dynamic cycles (merit × block frequency);
@@ -261,6 +298,27 @@ fn select_iteratively(
         });
     }
     result
+}
+
+/// Iterative strategy: re-identify blocks whose exclusion set changed, commit the best.
+fn select_iteratively(
+    program: &Program,
+    identifier: &dyn Identifier,
+    constraints: Constraints,
+    model: &dyn CostModel,
+    options: DriverOptions,
+) -> SelectionResult {
+    select_iteratively_core(program, options.max_instructions, |work| {
+        let work: Vec<(usize, Option<&CutSet>)> =
+            work.iter().map(|&(b, excl)| (b, Some(excl))).collect();
+        identify_blocks(program, identifier, &work, constraints, model, options)
+            .into_iter()
+            .map(|outcome| BlockAnswer {
+                best: outcome.best,
+                cuts_considered: outcome.stats.cuts_considered,
+            })
+            .collect()
+    })
 }
 
 /// One-shot strategy: pool all per-block candidates, commit greedily by dynamic saving.
@@ -447,9 +505,20 @@ mod tests {
         let options: DriverOptions = serde::json::from_str(old).expect("old wire format");
         assert_eq!(options, DriverOptions::new(4));
 
-        let new = r#"{"max_instructions": 4, "parallel": true, "intra_block_levels": 3}"#;
-        let options: DriverOptions = serde::json::from_str(new).expect("current wire format");
+        // The PR 3 wire format (no `cut_pool`) keeps parsing, defaulting to the
+        // pool-backed sweep behaviour (which changes no single-pair result).
+        let pr3 = r#"{"max_instructions": 4, "parallel": true, "intra_block_levels": 3}"#;
+        let options: DriverOptions = serde::json::from_str(pr3).expect("PR 3 wire format");
         assert_eq!(options, DriverOptions::new(4).with_intra_block_levels(3));
+
+        let new = r#"{"max_instructions": 4, "parallel": true, "intra_block_levels": 3, "cut_pool": false}"#;
+        let options: DriverOptions = serde::json::from_str(new).expect("current wire format");
+        assert_eq!(
+            options,
+            DriverOptions::new(4)
+                .with_intra_block_levels(3)
+                .with_cut_pool(false)
+        );
         // The current format round-trips byte-identically.
         assert_eq!(
             serde::json::to_string(&options),
@@ -457,6 +526,8 @@ mod tests {
         );
 
         let bad = r#"{"max_instructions": 4, "parallel": true, "intra_block_levels": -1}"#;
+        assert!(serde::json::from_str::<DriverOptions>(bad).is_err());
+        let bad = r#"{"max_instructions": 4, "parallel": true, "cut_pool": 3}"#;
         assert!(serde::json::from_str::<DriverOptions>(bad).is_err());
     }
 

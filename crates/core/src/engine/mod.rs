@@ -19,6 +19,7 @@
 
 pub mod driver;
 pub mod registry;
+pub mod sweep;
 
 use ise_hw::CostModel;
 use ise_ir::Dfg;
@@ -30,6 +31,7 @@ use crate::search::{SearchOutcome, SearchStats, SingleCutSearch};
 
 pub use driver::{identify_blocks, select_program, DriverOptions};
 pub use registry::{IdentifierConfig, IdentifierFactory, IdentifierRegistry};
+pub use sweep::{sweep_program, SweepPlanner, SweepStats};
 
 /// A pluggable per-basic-block identification algorithm.
 ///

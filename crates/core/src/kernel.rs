@@ -328,8 +328,22 @@ impl IncrementalCutState {
         node: NodeId,
         stats: &mut SearchStats,
     ) -> bool {
-        stats.cuts_considered += 1;
         let probe = self.probe_add(ctx, node);
+        self.try_add_probed(ctx, node, probe, stats)
+    }
+
+    /// The counting-and-pruning half of [`try_add`](Self::try_add), for callers that
+    /// already hold the [`AddProbe`] (the pool-fill policy probes first so it can record
+    /// the attempt before classifying it). The probe **must** come from
+    /// [`probe_add`](Self::probe_add) on the current state.
+    pub fn try_add_probed(
+        &mut self,
+        ctx: &BlockContext<'_>,
+        node: NodeId,
+        probe: AddProbe,
+        stats: &mut SearchStats,
+    ) -> bool {
+        stats.cuts_considered += 1;
         let within_node_budget = ctx
             .constraints
             .max_nodes

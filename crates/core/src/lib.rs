@@ -64,14 +64,15 @@ mod error;
 pub mod exhaustive;
 pub mod kernel;
 pub mod multicut;
+pub mod pool;
 mod search;
 pub mod selection;
 
 pub use constraints::Constraints;
 pub use cut::{CutEvaluation, CutSet};
 pub use engine::{
-    identify_blocks, select_program, DriverOptions, Identifier, IdentifierConfig,
-    IdentifierRegistry,
+    identify_blocks, select_program, sweep_program, DriverOptions, Identifier, IdentifierConfig,
+    IdentifierRegistry, SweepPlanner, SweepStats,
 };
 pub use error::IseError;
 pub use multicut::{identify_multiple_cuts, MultiCutOutcome, MultiCutSearch};

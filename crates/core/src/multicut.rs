@@ -36,6 +36,32 @@ pub struct MultiCutOutcome {
     pub stats: SearchStats,
 }
 
+impl MultiCutOutcome {
+    /// Assembles the outcome from a raw incumbent payload: sorts the tuple by
+    /// decreasing merit (stable, so ties keep their enumeration order) and sums the
+    /// merits *in sorted order*.
+    ///
+    /// Shared by [`MultiCutSearch::run`] and the pool-backed sweep answers
+    /// ([`crate::pool`]), which are required to be byte-identical — building the
+    /// outcome in one place means the two paths cannot drift apart.
+    #[must_use]
+    pub fn from_payload(payload: Option<Vec<IdentifiedCut>>, stats: SearchStats) -> Self {
+        let mut cuts = payload.unwrap_or_default();
+        cuts.sort_by(|a, b| {
+            b.evaluation
+                .merit
+                .partial_cmp(&a.evaluation.merit)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let total_merit = cuts.iter().map(|c| c.evaluation.merit).sum();
+        MultiCutOutcome {
+            cuts,
+            total_merit,
+            stats,
+        }
+    }
+}
+
 /// The state of the multiple-cut policy: one [`IncrementalCutState`] per cut slot.
 ///
 /// A node belongs to at most one cut, and with respect to every *other* cut it is just
@@ -230,19 +256,7 @@ impl<'a> MultiCutSearch<'a> {
             num_cuts: self.num_cuts,
         };
         let (best, stats) = self.kernel.run(&policy);
-        let mut cuts = best.unwrap_or_default();
-        cuts.sort_by(|a, b| {
-            b.evaluation
-                .merit
-                .partial_cmp(&a.evaluation.merit)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let total_merit = cuts.iter().map(|c| c.evaluation.merit).sum();
-        MultiCutOutcome {
-            cuts,
-            total_merit,
-            stats,
-        }
+        MultiCutOutcome::from_payload(best, stats)
     }
 }
 

@@ -1,0 +1,903 @@
+//! CutPool: enumerate once, answer every `(Nin, Nout)` constraint pair.
+//!
+//! The paper's Fig. 11 experiment sweeps the port constraints and re-runs the
+//! exponential identification for every pair, yet the searches are nested: any cut
+//! feasible under `(2, 1)` is feasible under every looser pair, and the branch-and-bound
+//! tree walked under tight constraints is exactly a pruned subtree of the walk under
+//! loose ones. This module exploits that monotonicity with a memoised *cut pool*:
+//!
+//! * [`fill_single_cut`] / [`fill_multicut`] run the exact search **once** under the
+//!   loosest constraints of a sweep, with a recording [`SearchPolicy`] (`PoolFill`) that
+//!   keeps every non-dominated candidate instead of a single incumbent;
+//! * [`FilledPool`] / [`FilledTuplePool`] answer any *covered* query pair — same area
+//!   and node budgets, ports no looser than the fill — with the **byte-identical**
+//!   result a direct search under that pair would return, including the
+//!   `cuts_considered` accounting, without walking the tree again.
+//!
+//! # Why the answers are exact
+//!
+//! Three facts make the reconstruction exact rather than approximate:
+//!
+//! 1. **`OUT(S)` is monotone along the search order.** Nodes are decided
+//!    consumers-first, so a node added later can never be a consumer of an earlier
+//!    member: growing a cut never removes a write port. Hence a cut is reachable in the
+//!    walk under `Nout = q` exactly when its own output count is `≤ q`, and a pruned
+//!    1-branch is attempted under `q` exactly when the largest output count applied on
+//!    its tree path is `≤ q`.
+//! 2. **The incumbent is order-determined.** A search returns the depth-first-earliest
+//!    cut of maximal merit among the qualifying candidates. Keeping, per `(IN, OUT)`
+//!    signature, the earliest maximal-merit candidate — and dropping any candidate that
+//!    is port-dominated by an earlier one of no lesser merit — preserves the exact
+//!    answer of *every* covered query ([`ParetoStore`]).
+//! 3. **The effort counters are histogram-reconstructible.** Every 1-branch attempt of
+//!    the loose walk is recorded as `(prefix max OUT, probed OUT, convex, node-budget)`;
+//!    a query aggregates the attempts its own walk would have made and classifies them
+//!    in the canonical pruning order (output → convexity → node budget), reproducing
+//!    [`SearchStats`] exactly — except `best_updates`, which would require the full
+//!    offer log and is reported as zero by pool answers (see [`AttemptHistogram`]).
+//!
+//! Exploration budgets truncate the walk by *visit order* and therefore cannot be
+//! reconstructed from a differently-constrained enumeration: a fill that exhausts its
+//! budget is reported as [`FillOutcome::Exhausted`] and the caller must fall back to
+//! direct per-pair searches. A fill that completes strictly *within* the budget is
+//! valid for every covered query, because the tighter walks consider no more cuts than
+//! the fill did and so never hit the budget either.
+
+use std::sync::Mutex;
+
+use ise_hw::CostModel;
+use ise_ir::Dfg;
+
+use crate::constraints::Constraints;
+use crate::cut::CutSet;
+use crate::kernel::{BlockContext, IncrementalCutState, Incumbent, SearchKernel, SearchPolicy};
+use crate::search::{IdentifiedCut, SearchStats};
+
+/// One candidate kept by a [`ParetoStore`]: the payload plus its query signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolEntry<P> {
+    /// `IN` of the candidate (for tuples: the maximum over the member cuts).
+    pub inputs: usize,
+    /// `OUT` of the candidate (for tuples: the maximum over the member cuts).
+    pub outputs: usize,
+    /// The candidate's objective (merit, or summed merit for tuples).
+    pub score: f64,
+    /// Depth-first enumeration index, used to break score ties the way the
+    /// sequential incumbent does (first visitor wins).
+    pub seq: u64,
+    /// The recorded candidate.
+    pub payload: P,
+}
+
+/// The Pareto-pruned candidate store of one pool fill.
+///
+/// An entry is kept only while no earlier-or-better entry dominates it on
+/// `(inputs, outputs, score)`; conversely a new entry evicts every stored entry it
+/// strictly beats. The store therefore holds at most one entry per `(IN, OUT)`
+/// signature and answers a query by a linear scan in enumeration order.
+#[derive(Debug, Clone)]
+pub struct ParetoStore<P> {
+    entries: Vec<PoolEntry<P>>,
+    offered: u64,
+}
+
+impl<P> Default for ParetoStore<P> {
+    fn default() -> Self {
+        ParetoStore {
+            entries: Vec::new(),
+            offered: 0,
+        }
+    }
+}
+
+impl<P> ParetoStore<P> {
+    /// Offers a candidate; `make` is only invoked when the candidate survives the
+    /// domination check (so payloads are built lazily).
+    ///
+    /// Candidates with non-positive score are discarded outright: the incumbent of a
+    /// direct search starts at score zero and only strictly greater offers win, so such
+    /// a candidate can never be any query's answer.
+    pub fn offer(&mut self, inputs: usize, outputs: usize, score: f64, make: impl FnOnce() -> P) {
+        let seq = self.offered;
+        self.offered += 1;
+        if score <= 0.0 {
+            return;
+        }
+        // An earlier entry with no wider ports and no lesser score makes this candidate
+        // unreachable as an answer: any query admitting it admits the earlier entry,
+        // which either scores higher or — on an exact tie — was visited first.
+        if self
+            .entries
+            .iter()
+            .any(|e| e.inputs <= inputs && e.outputs <= outputs && e.score >= score)
+        {
+            return;
+        }
+        // Conversely, evict entries this candidate strictly beats on every axis.
+        self.entries
+            .retain(|e| !(inputs <= e.inputs && outputs <= e.outputs && score > e.score));
+        self.entries.push(PoolEntry {
+            inputs,
+            outputs,
+            score,
+            seq,
+            payload: make(),
+        });
+    }
+
+    /// The answer a direct search under `(max_inputs, max_outputs)` would return: the
+    /// earliest-enumerated candidate of maximal score among those within the ports.
+    #[must_use]
+    pub fn answer(&self, max_inputs: usize, max_outputs: usize) -> Option<&PoolEntry<P>> {
+        let mut best: Option<&PoolEntry<P>> = None;
+        for entry in &self.entries {
+            if entry.inputs > max_inputs || entry.outputs > max_outputs {
+                continue;
+            }
+            // Ties go to the smallest enumeration index — exactly the sequential
+            // incumbent rule (a later equal-score candidate never replaces the first).
+            if best.is_none_or(|b| {
+                entry.score > b.score || (entry.score == b.score && entry.seq < b.seq)
+            }) {
+                best = Some(entry);
+            }
+        }
+        best
+    }
+
+    /// Number of stored (non-dominated) candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no candidate survived.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Histogram of every 1-branch attempt of a pool fill, sufficient to reconstruct the
+/// [`SearchStats`] of a direct search under any covered output-port constraint.
+///
+/// Each attempt is keyed by the largest `OUT` applied on its tree path (`prefix`), the
+/// probed `OUT` of the attempt itself, and its convexity / node-budget flags. A walk
+/// under `Nout = q` makes exactly the attempts with `prefix ≤ q` and classifies each in
+/// the canonical order: output ports first, then convexity, then the node budget.
+///
+/// `best_updates` is *not* reconstructible from a histogram (it depends on the full
+/// offer order) and is reported as zero by [`reconstruct`](Self::reconstruct); pool
+/// consumers only aggregate `cuts_considered`, which is exact.
+#[derive(Debug, Clone)]
+pub struct AttemptHistogram {
+    fill_outputs: usize,
+    counts: Vec<u64>,
+}
+
+impl AttemptHistogram {
+    fn new(fill_outputs: usize) -> Self {
+        AttemptHistogram {
+            fill_outputs,
+            counts: vec![0; (fill_outputs + 1) * (fill_outputs + 2) * 4],
+        }
+    }
+
+    fn index(&self, prefix: usize, probed: usize, convex: bool, within_budget: bool) -> usize {
+        ((prefix * (self.fill_outputs + 2) + probed) * 2 + usize::from(convex)) * 2
+            + usize::from(within_budget)
+    }
+
+    fn record(&mut self, prefix: usize, probed: usize, convex: bool, within_budget: bool) {
+        let index = self.index(prefix, probed, convex, within_budget);
+        self.counts[index] += 1;
+    }
+
+    /// Reconstructs the statistics of a direct search under `Nout = max_outputs`.
+    #[must_use]
+    pub fn reconstruct(&self, max_outputs: usize) -> SearchStats {
+        let mut stats = SearchStats::default();
+        let query = max_outputs.min(self.fill_outputs);
+        for prefix in 0..=query {
+            for probed in 0..=self.fill_outputs + 1 {
+                for convex in [false, true] {
+                    for within_budget in [false, true] {
+                        let n = self.counts[self.index(prefix, probed, convex, within_budget)];
+                        if n == 0 {
+                            continue;
+                        }
+                        stats.cuts_considered += n;
+                        if probed > max_outputs {
+                            stats.pruned_output += n;
+                        } else if !convex {
+                            stats.pruned_convexity += n;
+                        } else if !within_budget {
+                            stats.pruned_node_budget += n;
+                        } else {
+                            stats.feasible_cuts += n;
+                        }
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Shared recording state of one pool fill (candidates plus the attempt histogram).
+#[derive(Debug)]
+struct FillRecorder<P> {
+    store: ParetoStore<P>,
+    histogram: AttemptHistogram,
+}
+
+/// A completed single-cut pool fill for one basic block and one exclusion set.
+#[derive(Debug, Clone)]
+pub struct FilledPool {
+    /// The constraints the enumeration ran under.
+    pub fill: Constraints,
+    /// The non-dominated candidate cuts.
+    pub store: ParetoStore<IdentifiedCut>,
+    /// The attempt histogram for effort reconstruction.
+    pub histogram: AttemptHistogram,
+    /// Cuts considered by the fill enumeration itself (the physical cost of the fill).
+    pub fill_cuts_considered: u64,
+}
+
+/// A completed multiple-cut pool fill (per block and per simultaneous-cut count `M`).
+#[derive(Debug, Clone)]
+pub struct FilledTuplePool {
+    /// The constraints the enumeration ran under.
+    pub fill: Constraints,
+    /// The non-dominated candidate tuples.
+    pub store: ParetoStore<Vec<IdentifiedCut>>,
+    /// The attempt histogram for effort reconstruction.
+    pub histogram: AttemptHistogram,
+    /// Assignments considered by the fill enumeration itself.
+    pub fill_cuts_considered: u64,
+}
+
+/// Result of attempting a pool fill.
+#[derive(Debug, Clone)]
+pub enum FillOutcome<T> {
+    /// The enumeration completed; the pool answers every covered query exactly.
+    Complete(T),
+    /// The enumeration hit its exploration budget; callers must fall back to direct
+    /// per-pair searches (a truncated walk is visit-order-dependent and cannot be
+    /// reconstructed under different constraints).
+    Exhausted {
+        /// Cuts considered before the budget stopped the fill.
+        fill_cuts_considered: u64,
+    },
+}
+
+/// Returns `true` when a pool filled under `fill` can answer queries under `query`:
+/// ports no looser than the fill, and byte-identical area / node budgets (both budgets
+/// participate in pruning or candidate qualification and must match exactly).
+#[must_use]
+pub fn covers(fill: &Constraints, query: &Constraints) -> bool {
+    query.max_inputs <= fill.max_inputs
+        && query.max_outputs <= fill.max_outputs
+        && query.max_area == fill.max_area
+        && query.max_nodes == fill.max_nodes
+}
+
+/// Answer of one pool query, standing in for a direct search's outcome.
+#[derive(Debug, Clone)]
+pub struct PoolAnswer<P> {
+    /// The payload the direct search would have returned.
+    pub best: Option<P>,
+    /// The reconstructed statistics (`best_updates` is reported as zero; see
+    /// [`AttemptHistogram`]).
+    pub stats: SearchStats,
+}
+
+impl FilledPool {
+    /// Answers a covered query pair with the byte-identical result of a direct
+    /// [`SingleCutSearch`](crate::SingleCutSearch) under `query`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` is not covered by the fill constraints (callers check
+    /// [`covers`] and fall back to a direct search instead).
+    #[must_use]
+    pub fn answer(&self, query: &Constraints) -> PoolAnswer<IdentifiedCut> {
+        assert!(covers(&self.fill, query), "query not covered by the fill");
+        let best = self
+            .store
+            .answer(query.max_inputs, query.max_outputs)
+            .map(|entry| entry.payload.clone());
+        PoolAnswer {
+            best,
+            stats: self.histogram.reconstruct(query.max_outputs),
+        }
+    }
+}
+
+impl FilledTuplePool {
+    /// Answers a covered query pair with the byte-identical cut tuple a direct
+    /// [`MultiCutSearch`](crate::MultiCutSearch) under `query` would return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` is not covered by the fill constraints.
+    #[must_use]
+    pub fn answer(&self, query: &Constraints) -> PoolAnswer<Vec<IdentifiedCut>> {
+        assert!(covers(&self.fill, query), "query not covered by the fill");
+        let best = self
+            .store
+            .answer(query.max_inputs, query.max_outputs)
+            .map(|entry| entry.payload.clone());
+        PoolAnswer {
+            best,
+            stats: self.histogram.reconstruct(query.max_outputs),
+        }
+    }
+}
+
+/// Search state of the recording policies: the cut bookkeeping plus the running
+/// maximum of the output counts applied on the current tree path (one stack entry per
+/// applied decision, so undo is uniform).
+#[derive(Debug, Clone)]
+struct FillState<C> {
+    cuts: C,
+    prefix_out: Vec<usize>,
+}
+
+impl<C> FillState<C> {
+    fn new(cuts: C) -> Self {
+        FillState {
+            cuts,
+            prefix_out: vec![0],
+        }
+    }
+
+    fn prefix(&self) -> usize {
+        *self.prefix_out.last().expect("prefix stack never empties")
+    }
+}
+
+/// The recording single-cut policy: the same decisions, pruning and counting as the
+/// incumbent-driven policy in `crate::search`, but every attempt goes into the
+/// histogram and every qualifying candidate into the Pareto store.
+struct SingleCutFillPolicy<'a> {
+    ctx: &'a BlockContext<'a>,
+    recorder: Mutex<FillRecorder<IdentifiedCut>>,
+}
+
+impl SearchPolicy for SingleCutFillPolicy<'_> {
+    type Payload = ();
+    type State = FillState<IncrementalCutState>;
+
+    fn depth(&self) -> usize {
+        self.ctx.depth()
+    }
+
+    fn max_arity(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self) -> Self::State {
+        FillState::new(IncrementalCutState::new(self.ctx))
+    }
+
+    fn choice_count(&self, _state: &Self::State, _level: usize) -> usize {
+        2
+    }
+
+    fn apply(
+        &self,
+        state: &mut Self::State,
+        level: usize,
+        choice: usize,
+        stats: &mut SearchStats,
+        _incumbent: &mut Incumbent<()>,
+    ) -> bool {
+        let ctx = self.ctx;
+        let node = ctx.node_at(level);
+        if choice == 1 {
+            state.cuts.mark_outside(ctx, node);
+            let prefix = state.prefix();
+            state.prefix_out.push(prefix);
+            return true;
+        }
+        if ctx.is_blocked(node) {
+            return false;
+        }
+        let prefix = state.prefix();
+        let probe = state.cuts.probe_add(ctx, node);
+        let within_budget = ctx
+            .constraints
+            .max_nodes
+            .is_none_or(|limit| state.cuts.len() < limit);
+        let mut recorder = self.recorder.lock().expect("fill runs sequentially");
+        recorder
+            .histogram
+            .record(prefix, probe.outputs, probe.convex, within_budget);
+        if !state.cuts.try_add_probed(ctx, node, probe, stats) {
+            return false;
+        }
+        // Candidate qualification mirrors the single-cut offer: the input-port check
+        // and the area / node budgets apply only here, never as pruning.
+        if state.cuts.inputs() <= ctx.constraints.max_inputs
+            && ctx
+                .constraints
+                .budget_ok(state.cuts.area(), state.cuts.len())
+        {
+            recorder.store.offer(
+                state.cuts.inputs(),
+                state.cuts.outputs(),
+                state.cuts.merit(),
+                || state.cuts.identified(ctx),
+            );
+        }
+        drop(recorder);
+        state.prefix_out.push(prefix.max(probe.outputs));
+        true
+    }
+
+    fn undo(&self, state: &mut Self::State, _level: usize, _choice: usize) {
+        state.prefix_out.pop();
+        state.cuts.undo_last(self.ctx);
+    }
+}
+
+/// The recording `(M+1)`-ary policy mirroring `crate::multicut`: every assignment
+/// attempt is histogrammed, every qualifying tuple offered to the store with the
+/// signature `(max IN, max OUT, summed merit)` over its non-empty member cuts.
+struct MultiCutFillPolicy<'a> {
+    ctx: &'a BlockContext<'a>,
+    num_cuts: usize,
+    recorder: Mutex<FillRecorder<Vec<IdentifiedCut>>>,
+}
+
+impl MultiCutFillPolicy<'_> {
+    /// Number of cut slots the current node may be assigned to (symmetry breaking:
+    /// slot `k` opens only once slots `0..k` are in use) — identical to the
+    /// incumbent-driven policy.
+    fn assignable(&self, state: &FillState<Vec<IncrementalCutState>>) -> usize {
+        let used = state.cuts.iter().take_while(|cut| !cut.is_empty()).count();
+        (used + 1).min(self.num_cuts)
+    }
+
+    /// Offers the current assignment: every non-empty cut must satisfy the input-port
+    /// and budget constraints of the *fill*; tighter query ports are applied at answer
+    /// time through the recorded signature.
+    fn consider_candidate(
+        &self,
+        state: &FillState<Vec<IncrementalCutState>>,
+        recorder: &mut FillRecorder<Vec<IdentifiedCut>>,
+    ) {
+        let mut total = 0.0;
+        let mut max_in = 0;
+        let mut max_out = 0;
+        for cut in &state.cuts {
+            if cut.is_empty() {
+                continue;
+            }
+            if cut.inputs() > self.ctx.constraints.max_inputs
+                || !self.ctx.constraints.budget_ok(cut.area(), cut.len())
+            {
+                return;
+            }
+            total += cut.merit();
+            max_in = max_in.max(cut.inputs());
+            max_out = max_out.max(cut.outputs());
+        }
+        recorder.store.offer(max_in, max_out, total, || {
+            state
+                .cuts
+                .iter()
+                .filter(|cut| !cut.is_empty())
+                .map(|cut| cut.identified(self.ctx))
+                .filter(|c| c.evaluation.merit > 0.0)
+                .collect()
+        });
+    }
+}
+
+impl SearchPolicy for MultiCutFillPolicy<'_> {
+    type Payload = ();
+    type State = FillState<Vec<IncrementalCutState>>;
+
+    fn depth(&self) -> usize {
+        self.ctx.depth()
+    }
+
+    fn max_arity(&self) -> usize {
+        self.num_cuts + 1
+    }
+
+    fn initial_state(&self) -> Self::State {
+        FillState::new(vec![IncrementalCutState::new(self.ctx); self.num_cuts])
+    }
+
+    fn choice_count(&self, state: &Self::State, level: usize) -> usize {
+        if self.ctx.is_blocked(self.ctx.node_at(level)) {
+            1
+        } else {
+            self.assignable(state) + 1
+        }
+    }
+
+    fn apply(
+        &self,
+        state: &mut Self::State,
+        level: usize,
+        choice: usize,
+        stats: &mut SearchStats,
+        _incumbent: &mut Incumbent<()>,
+    ) -> bool {
+        let ctx = self.ctx;
+        let node = ctx.node_at(level);
+        let blocked = ctx.is_blocked(node);
+        let software_choice = if blocked { 0 } else { self.assignable(state) };
+        let prefix = state.prefix();
+        if choice == software_choice {
+            for cut in &mut state.cuts {
+                cut.mark_outside(ctx, node);
+            }
+            state.prefix_out.push(prefix);
+            return true;
+        }
+        let probe = state.cuts[choice].probe_add(ctx, node);
+        let within_budget = ctx
+            .constraints
+            .max_nodes
+            .is_none_or(|limit| state.cuts[choice].len() < limit);
+        let mut recorder = self.recorder.lock().expect("fill runs sequentially");
+        recorder
+            .histogram
+            .record(prefix, probe.outputs, probe.convex, within_budget);
+        if !state.cuts[choice].try_add_probed(ctx, node, probe, stats) {
+            return false;
+        }
+        for (slot, cut) in state.cuts.iter_mut().enumerate() {
+            if slot != choice {
+                cut.mark_outside(ctx, node);
+            }
+        }
+        self.consider_candidate(state, &mut recorder);
+        drop(recorder);
+        state.prefix_out.push(prefix.max(probe.outputs));
+        true
+    }
+
+    fn undo(&self, state: &mut Self::State, _level: usize, _choice: usize) {
+        state.prefix_out.pop();
+        for cut in state.cuts.iter_mut().rev() {
+            cut.undo_last(self.ctx);
+        }
+    }
+}
+
+/// Returns `true` when a fill that ran under `budget` completed strictly within it, so
+/// that every covered (hence no-larger) query walk is guaranteed untruncated too.
+fn fill_complete(stats: &SearchStats, budget: Option<u64>) -> bool {
+    !stats.budget_exhausted && budget.is_none_or(|limit| stats.cuts_considered < limit)
+}
+
+/// Enumerates every candidate cut of `dfg` under the (loose) `fill` constraints and
+/// returns the memoisable pool, honouring `excluded` exactly as a direct search would.
+///
+/// The fill always runs sequentially: recording is visit-order-sensitive, and a fill is
+/// performed once per sweep whereas its answers are served many times.
+#[must_use]
+pub fn fill_single_cut(
+    dfg: &Dfg,
+    excluded: Option<&CutSet>,
+    fill: Constraints,
+    model: &dyn CostModel,
+    budget: Option<u64>,
+) -> FillOutcome<FilledPool> {
+    let mut ctx = BlockContext::new(dfg, fill, model);
+    if let Some(excluded) = excluded {
+        ctx.block_nodes(excluded);
+    }
+    let policy = SingleCutFillPolicy {
+        ctx: &ctx,
+        recorder: Mutex::new(FillRecorder {
+            store: ParetoStore::default(),
+            histogram: AttemptHistogram::new(fill.max_outputs),
+        }),
+    };
+    let kernel = SearchKernel::sequential().with_exploration_budget(budget);
+    let (_, stats) = kernel.run(&policy);
+    let recorder = policy
+        .recorder
+        .into_inner()
+        .expect("fill mutex is never poisoned");
+    if !fill_complete(&stats, budget) {
+        return FillOutcome::Exhausted {
+            fill_cuts_considered: stats.cuts_considered,
+        };
+    }
+    FillOutcome::Complete(FilledPool {
+        fill,
+        store: recorder.store,
+        histogram: recorder.histogram,
+        fill_cuts_considered: stats.cuts_considered,
+    })
+}
+
+/// Enumerates every candidate `num_cuts`-tuple of `dfg` under the (loose) `fill`
+/// constraints and returns the memoisable tuple pool.
+#[must_use]
+pub fn fill_multicut(
+    dfg: &Dfg,
+    excluded: Option<&CutSet>,
+    fill: Constraints,
+    model: &dyn CostModel,
+    num_cuts: usize,
+    budget: Option<u64>,
+) -> FillOutcome<FilledTuplePool> {
+    let mut ctx = BlockContext::new(dfg, fill, model);
+    if let Some(excluded) = excluded {
+        ctx.block_nodes(excluded);
+    }
+    let policy = MultiCutFillPolicy {
+        ctx: &ctx,
+        num_cuts,
+        recorder: Mutex::new(FillRecorder {
+            store: ParetoStore::default(),
+            histogram: AttemptHistogram::new(fill.max_outputs),
+        }),
+    };
+    let kernel = SearchKernel::sequential().with_exploration_budget(budget);
+    let (_, stats) = kernel.run(&policy);
+    let recorder = policy
+        .recorder
+        .into_inner()
+        .expect("fill mutex is never poisoned");
+    if !fill_complete(&stats, budget) {
+        return FillOutcome::Exhausted {
+            fill_cuts_considered: stats.cuts_considered,
+        };
+    }
+    FillOutcome::Complete(FilledTuplePool {
+        fill,
+        store: recorder.store,
+        histogram: recorder.histogram,
+        fill_cuts_considered: stats.cuts_considered,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multicut::MultiCutSearch;
+    use crate::search::SingleCutSearch;
+    use ise_hw::DefaultCostModel;
+    use ise_ir::DfgBuilder;
+
+    fn fig4() -> Dfg {
+        let mut b = DfgBuilder::new("fig4");
+        let x = b.input("x");
+        let y = b.input("y");
+        let mul = b.mul(x, y);
+        let shr = b.lshr(mul, b.imm(2));
+        let add1 = b.add(mul, y);
+        let add0 = b.add(shr, add1);
+        b.output("out", add0);
+        b.finish()
+    }
+
+    fn expect_complete<T>(outcome: FillOutcome<T>) -> T {
+        match outcome {
+            FillOutcome::Complete(pool) => pool,
+            FillOutcome::Exhausted { .. } => panic!("fill unexpectedly exhausted"),
+        }
+    }
+
+    /// The pool answer equals the direct search — cut identity *and* every reconstructed
+    /// counter — for all paper pairs covered by an `(8, 4)` fill, on the Fig. 4 block
+    /// and on seeded random DAGs.
+    #[test]
+    fn pool_answers_match_direct_single_cut_searches() {
+        let model = DefaultCostModel::new();
+        let fill = Constraints::new(8, 4);
+        let mut graphs = vec![fig4()];
+        for seed in 0..12u64 {
+            graphs.push(ise_ir_random(seed));
+        }
+        for dfg in &graphs {
+            let pool = expect_complete(fill_single_cut(dfg, None, fill, &model, None));
+            for query in Constraints::paper_sweep() {
+                assert!(covers(&fill, &query));
+                let direct = SingleCutSearch::new(dfg, query, &model).run();
+                let answer = pool.answer(&query);
+                assert_eq!(answer.best, direct.best, "{} under {query}", dfg.name());
+                let stats = answer.stats;
+                assert_eq!(stats.cuts_considered, direct.stats.cuts_considered);
+                assert_eq!(stats.feasible_cuts, direct.stats.feasible_cuts);
+                assert_eq!(stats.pruned_output, direct.stats.pruned_output);
+                assert_eq!(stats.pruned_convexity, direct.stats.pruned_convexity);
+                assert_eq!(stats.pruned_node_budget, direct.stats.pruned_node_budget);
+                assert!(!stats.budget_exhausted);
+            }
+        }
+    }
+
+    /// A deterministic little random DAG without depending on `ise-workloads`
+    /// (which would be a dependency cycle).
+    fn ise_ir_random(seed: u64) -> Dfg {
+        let mut b = DfgBuilder::new(format!("rand{seed}"));
+        let mut values = vec![b.input("a"), b.input("c"), b.input("d")];
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..12 {
+            let lhs = values[(next() as usize) % values.len()];
+            let rhs = values[(next() as usize) % values.len()];
+            let v = match next() % 4 {
+                0 => b.mul(lhs, rhs),
+                1 => b.add(lhs, rhs),
+                2 => b.xor(lhs, rhs),
+                _ => b.sub(lhs, rhs),
+            };
+            values.push(v);
+            if i % 5 == 4 {
+                b.output(format!("o{i}"), v);
+            }
+        }
+        let last = *values.last().expect("at least one value");
+        b.output("out", last);
+        b.finish()
+    }
+
+    /// Exclusions are honoured exactly as a direct `with_excluded` search.
+    #[test]
+    fn pool_honours_exclusions() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let fill = Constraints::new(8, 4);
+        let query = Constraints::new(4, 2);
+        let full = SingleCutSearch::new(&g, query, &model).run();
+        let excluded = full.best.expect("profitable cut").cut;
+        let pool = expect_complete(fill_single_cut(&g, Some(&excluded), fill, &model, None));
+        let direct = SingleCutSearch::new(&g, query, &model)
+            .with_excluded(&excluded)
+            .run();
+        let answer = pool.answer(&query);
+        assert_eq!(answer.best, direct.best);
+        assert_eq!(answer.stats.cuts_considered, direct.stats.cuts_considered);
+    }
+
+    /// Multicut tuple answers equal the direct `(M+1)`-ary search.
+    #[test]
+    fn tuple_pool_answers_match_direct_multicut_searches() {
+        let model = DefaultCostModel::new();
+        let fill = Constraints::new(8, 4);
+        for seed in 0..8u64 {
+            let dfg = ise_ir_random(seed);
+            for m in [1usize, 2, 3] {
+                let pool = expect_complete(fill_multicut(&dfg, None, fill, &model, m, None));
+                for query in [
+                    Constraints::new(2, 1),
+                    Constraints::new(4, 2),
+                    Constraints::new(8, 4),
+                ] {
+                    let direct = MultiCutSearch::new(&dfg, query, &model, m).run();
+                    let answer = pool.answer(&query);
+                    let direct_payload = if direct.cuts.is_empty() {
+                        None
+                    } else {
+                        Some(direct.cuts.clone())
+                    };
+                    // The store keeps the *unsorted* payload; sort like the search does.
+                    let answered = answer.best.map(|mut cuts| {
+                        cuts.sort_by(|a, b| {
+                            b.evaluation
+                                .merit
+                                .partial_cmp(&a.evaluation.merit)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        cuts
+                    });
+                    assert_eq!(answered, direct_payload, "seed {seed}, M={m}, {query}");
+                    assert_eq!(
+                        answer.stats.cuts_considered, direct.stats.cuts_considered,
+                        "seed {seed}, M={m}, {query}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A fill that hits its exploration budget reports `Exhausted` instead of serving
+    /// wrong answers; a fill that completes within the budget stays valid.
+    #[test]
+    fn budget_exhausted_fills_are_rejected() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let fill = Constraints::new(8, 4);
+        match fill_single_cut(&g, None, fill, &model, Some(2)) {
+            FillOutcome::Exhausted {
+                fill_cuts_considered,
+            } => assert!(fill_cuts_considered >= 2),
+            FillOutcome::Complete(_) => panic!("a 2-cut budget must exhaust on fig4"),
+        }
+        let generous = expect_complete(fill_single_cut(&g, None, fill, &model, Some(1_000)));
+        let unbudgeted = expect_complete(fill_single_cut(&g, None, fill, &model, None));
+        assert_eq!(
+            generous.fill_cuts_considered,
+            unbudgeted.fill_cuts_considered
+        );
+    }
+
+    /// The Pareto store keeps at most one entry per `(IN, OUT)` signature and breaks
+    /// score ties in favour of the earliest candidate.
+    #[test]
+    fn pareto_store_prunes_and_tie_breaks() {
+        let mut store: ParetoStore<&'static str> = ParetoStore::default();
+        store.offer(2, 1, 3.0, || "first");
+        store.offer(2, 1, 3.0, || "tied-later"); // dropped: same signature, tie
+        store.offer(3, 2, 2.0, || "dominated"); // dropped: wider ports, lower score
+        store.offer(2, 1, 5.0, || "better"); // evicts "first"
+        store.offer(1, 1, 1.0, || "narrow"); // kept: narrower ports
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.answer(2, 1).map(|e| e.payload), Some("better"));
+        assert_eq!(store.answer(1, 1).map(|e| e.payload), Some("narrow"));
+        assert_eq!(store.answer(0, 1), None);
+        store.offer(1, 1, -1.0, || "non-positive"); // never an answer
+        assert_eq!(store.len(), 2);
+    }
+
+    /// Covered pairs require equal budgets and no-looser ports.
+    #[test]
+    fn coverage_rules() {
+        let fill = Constraints::new(8, 4);
+        assert!(covers(&fill, &Constraints::new(2, 1)));
+        assert!(covers(&fill, &Constraints::new(8, 4)));
+        assert!(!covers(&fill, &Constraints::new(9, 4)));
+        assert!(!covers(&fill, &Constraints::new(8, 5)));
+        assert!(!covers(&fill, &Constraints::new(2, 1).with_max_nodes(4)));
+        assert!(!covers(&fill, &Constraints::new(2, 1).with_max_area(1.0)));
+        let budgeted_fill = Constraints::new(8, 4).with_max_nodes(6);
+        assert!(covers(
+            &budgeted_fill,
+            &Constraints::new(4, 2).with_max_nodes(6)
+        ));
+    }
+
+    /// Empty and single-node blocks degrade gracefully.
+    #[test]
+    fn degenerate_blocks() {
+        let model = DefaultCostModel::new();
+        let empty = Dfg::new("empty");
+        let pool = expect_complete(fill_single_cut(
+            &empty,
+            None,
+            Constraints::new(8, 4),
+            &model,
+            None,
+        ));
+        let answer = pool.answer(&Constraints::new(2, 1));
+        assert!(answer.best.is_none());
+        assert_eq!(answer.stats.cuts_considered, 0);
+
+        let mut b = DfgBuilder::new("one");
+        let x = b.input("x");
+        let y = b.input("y");
+        let v = b.mul(x, y);
+        b.output("o", v);
+        let single = b.finish();
+        let pool = expect_complete(fill_single_cut(
+            &single,
+            None,
+            Constraints::new(8, 4),
+            &model,
+            None,
+        ));
+        for query in [Constraints::new(2, 1), Constraints::new(8, 4)] {
+            let direct = SingleCutSearch::new(&single, query, &model).run();
+            let answer = pool.answer(&query);
+            assert_eq!(answer.best, direct.best);
+            assert_eq!(answer.stats.cuts_considered, direct.stats.cuts_considered);
+        }
+    }
+}

@@ -221,6 +221,37 @@ pub fn select_optimal(
     model: &dyn CostModel,
     options: SelectionOptions,
 ) -> SelectionResult {
+    select_optimal_core(
+        program,
+        options.max_instructions,
+        |result, block_index, m| {
+            let dfg = program.block(block_index);
+            let mut search = MultiCutSearch::new(dfg, constraints, model, m);
+            if let Some(budget) = options.exploration_budget {
+                search = search.with_exploration_budget(budget);
+            }
+            let outcome = search.run();
+            result.identifier_calls += 1;
+            result.cuts_considered += outcome.stats.cuts_considered;
+            let weight = dfg.exec_count() as f64;
+            (outcome.total_merit * weight, outcome.cuts)
+        },
+    )
+}
+
+/// The optimal strategy loop, generic over how one `(block, M)` multiple-cut
+/// identification is performed.
+///
+/// `run_identifier` must account its own `identifier_calls`/`cuts_considered` on the
+/// passed result and return the weighted total merit plus the identified tuple. The
+/// direct [`select_optimal`] and the pool-backed sweep planner
+/// (`ise_core::engine::sweep`) share this loop, so the growth order and tie-breaks
+/// cannot drift between the two paths.
+pub(crate) fn select_optimal_core(
+    program: &Program,
+    max_instructions: usize,
+    mut run_identifier: impl FnMut(&mut SelectionResult, usize, usize) -> (f64, Vec<IdentifiedCut>),
+) -> SelectionResult {
     let block_count = program.block_count();
     let mut result = SelectionResult {
         chosen: Vec::new(),
@@ -228,7 +259,7 @@ pub fn select_optimal(
         identifier_calls: 0,
         cuts_considered: 0,
     };
-    if block_count == 0 || options.max_instructions == 0 {
+    if block_count == 0 || max_instructions == 0 {
         return result;
     }
 
@@ -237,19 +268,6 @@ pub fn select_optimal(
     let mut best_cuts: Vec<Vec<Vec<IdentifiedCut>>> = vec![vec![Vec::new()]; block_count];
     let mut committed: Vec<usize> = vec![0; block_count];
 
-    let run_identifier = |result: &mut SelectionResult, block_index: usize, m: usize| {
-        let dfg = program.block(block_index);
-        let mut search = MultiCutSearch::new(dfg, constraints, model, m);
-        if let Some(budget) = options.exploration_budget {
-            search = search.with_exploration_budget(budget);
-        }
-        let outcome = search.run();
-        result.identifier_calls += 1;
-        result.cuts_considered += outcome.stats.cuts_considered;
-        let weight = dfg.exec_count() as f64;
-        (outcome.total_merit * weight, outcome.cuts)
-    };
-
     // Initial improvements: one cut per block.
     for block_index in 0..block_count {
         let (total, cuts) = run_identifier(&mut result, block_index, 1);
@@ -257,7 +275,7 @@ pub fn select_optimal(
         best_cuts[block_index].push(cuts);
     }
 
-    while result.chosen.len() < options.max_instructions {
+    while result.chosen.len() < max_instructions {
         // The improvement of adding the (committed+1)-th cut to each block.
         let best_block = (0..block_count).max_by(|&a, &b| {
             let ia = best_total[a][committed[a] + 1] - best_total[a][committed[a]];
@@ -282,7 +300,7 @@ pub fn select_optimal(
                 .unwrap_or_else(|| best_cuts[block_index][committed[block_index]][0].clone()),
         });
 
-        if result.chosen.len() >= options.max_instructions {
+        if result.chosen.len() >= max_instructions {
             break;
         }
         // Refresh the improvement of the chosen block by solving it with one more cut.

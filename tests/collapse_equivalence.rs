@@ -1,0 +1,141 @@
+//! Semantic equivalence of cut collapsing: for every instruction a selection chooses,
+//! rewriting the program so the cut becomes one AFU instruction must not change what
+//! the program computes. The IR interpreter is the judge, on seeded inputs, across the
+//! bundled kernel families (ADPCM, GSM, G.721, crypto, DSP).
+
+use std::collections::BTreeMap;
+
+use ise_core::collapse::collapse_selection;
+use ise_core::engine::SingleCut;
+use ise_core::{select_program, Constraints, DriverOptions};
+use ise_hw::DefaultCostModel;
+use ise_ir::interp::Evaluator;
+use ise_ir::Program;
+use ise_workloads::{adpcm, crypto, dsp, g721, gsm, suite};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The evaluated programs: one representative per bundled kernel family.
+fn programs() -> Vec<Program> {
+    vec![
+        adpcm::decode_program(),
+        gsm::program(),
+        g721::program(),
+        crypto::crc_program(),
+        crypto::des_program(),
+        dsp::epic_program(),
+    ]
+}
+
+/// Seeded input bindings for one block: every block input gets a deterministic,
+/// moderately sized value (small enough that multiplies stay far from overflow
+/// surprises mattering — wrapping semantics are identical either way anyway).
+fn seeded_bindings(block: &ise_ir::Dfg, seed: u64) -> BTreeMap<String, i32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    block
+        .iter_inputs()
+        .map(|(_, input)| (input.name.clone(), rng.gen_range(-512..512)))
+        .collect()
+}
+
+/// Evaluates one block with the bundled lookup tables preloaded and the program's AFU
+/// library registered; returns the block outputs and the final data memory.
+fn eval(
+    program: &Program,
+    block_index: usize,
+    bindings: &BTreeMap<String, i32>,
+) -> (BTreeMap<String, i32>, ise_ir::interp::Memory) {
+    let mut evaluator = Evaluator::with_afus(program.afus().to_vec());
+    evaluator.memory = suite::evaluator_with_tables().memory;
+    let result = evaluator
+        .eval_block(program.block(block_index), bindings)
+        .unwrap_or_else(|e| panic!("{} block {block_index}: {e}", program.name()));
+    (result.outputs, evaluator.memory)
+}
+
+/// Selects instructions for `program` with the exact single-cut search.
+fn selection_for(program: &Program) -> ise_core::SelectionResult {
+    let model = DefaultCostModel::new();
+    let identifier = SingleCut::new().with_exploration_budget(Some(50_000));
+    select_program(
+        program,
+        &identifier,
+        Constraints::new(4, 2),
+        &model,
+        DriverOptions::new(8),
+    )
+}
+
+/// Collapsing the whole selection — several disjoint cuts per block, re-anchored
+/// through the collapse node maps — preserves every block's input/output behaviour and
+/// memory effects on seeded inputs.
+#[test]
+fn collapsed_selection_is_interp_equivalent() {
+    for program in programs() {
+        let selection = selection_for(&program);
+        assert!(
+            !selection.is_empty(),
+            "{}: the exact search finds instructions on every bundled kernel",
+            program.name()
+        );
+        let mut collapsed = program.clone();
+        let afu_ids =
+            collapse_selection(&mut collapsed, &selection).expect("bundled selections collapse");
+        assert_eq!(afu_ids.len(), selection.len());
+        assert_eq!(collapsed.afus().len(), selection.len());
+        collapsed
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: rewritten program invalid: {e}", program.name()));
+
+        for block_index in 0..program.block_count() {
+            for trial in 0..3u64 {
+                let seed = trial * 7919 + block_index as u64;
+                let bindings = seeded_bindings(program.block(block_index), seed);
+                let (expected_out, expected_mem) = eval(&program, block_index, &bindings);
+                let (actual_out, actual_mem) = eval(&collapsed, block_index, &bindings);
+                assert_eq!(
+                    expected_out,
+                    actual_out,
+                    "{} block {block_index}, trial {trial}: outputs diverged",
+                    program.name()
+                );
+                assert_eq!(
+                    expected_mem,
+                    actual_mem,
+                    "{} block {block_index}, trial {trial}: memory effects diverged",
+                    program.name()
+                );
+            }
+        }
+    }
+}
+
+/// Every chosen cut also collapses correctly *in isolation* (a fresh program copy per
+/// cut), pinning blame to a single cut should the combined test ever fail.
+#[test]
+fn each_chosen_cut_is_individually_interp_equivalent() {
+    for program in programs() {
+        let selection = selection_for(&program);
+        for (step, chosen) in selection.chosen.iter().enumerate() {
+            let mut collapsed = program.clone();
+            let single = ise_core::SelectionResult {
+                chosen: vec![chosen.clone()],
+                total_weighted_saving: 0.0,
+                identifier_calls: 0,
+                cuts_considered: 0,
+            };
+            collapse_selection(&mut collapsed, &single).expect("a chosen cut collapses");
+            let block_index = chosen.block_index;
+            let bindings = seeded_bindings(program.block(block_index), step as u64);
+            let (expected_out, expected_mem) = eval(&program, block_index, &bindings);
+            let (actual_out, actual_mem) = eval(&collapsed, block_index, &bindings);
+            assert_eq!(
+                expected_out,
+                actual_out,
+                "{} step {step}: outputs diverged",
+                program.name()
+            );
+            assert_eq!(expected_mem, actual_mem);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden-file regression corpus: byte-for-byte comparison of checked-in experiment
+//! artefacts, so any drift in the search, the selection, the pool or the serialisation
+//! layer is caught at once.
+//!
+//! * `results/golden/fig11_quick.csv` — the CSV the `fig11 --quick` binary writes
+//!   (pool-backed, the default mode);
+//! * `results/golden/sweep_cli.json` — the envelope `ise-cli sweep requests/sweep_gsm.json`
+//!   prints (proven byte-identical to the in-process API by `crates/cli/tests/cli_smoke.rs`).
+//!
+//! Regeneration: when a change *intentionally* alters the artefacts, run
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_corpus
+//! ```
+//!
+//! and commit the rewritten files together with the change that explains them.
+
+use std::path::PathBuf;
+
+use ise_api::{json, Session, SweepRequest};
+use ise_bench::fig11::{self, Fig11Config};
+use ise_bench::report;
+use ise_workloads::suite;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Compares `actual` against the checked-in golden file, or rewrites the file when
+/// `UPDATE_GOLDEN=1` is set.
+fn assert_golden(relative: &str, actual: &str) {
+    let path = repo_root().join(relative);
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("golden files live in a directory"))
+            .expect("create golden directory");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {relative}: {e}\n\
+             (regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_corpus`)"
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{relative} drifted from the computed artefact \
+         (regenerate with `UPDATE_GOLDEN=1 cargo test --test golden_corpus` if intended)"
+    );
+}
+
+/// The `fig11 --quick` CSV, computed exactly as the binary computes it (pool-backed
+/// default mode, adpcmdecode excluded from the quick run).
+#[test]
+fn fig11_quick_csv_matches_golden() {
+    let config = Fig11Config::quick();
+    let benchmarks: Vec<_> = suite::fig11_benchmarks()
+        .into_iter()
+        .filter(|p| p.name() != "adpcmdecode")
+        .collect();
+    let rows = fig11::run(&benchmarks, &config);
+    assert_golden("results/golden/fig11_quick.csv", &report::fig11_csv(&rows));
+}
+
+/// The `ise-cli sweep requests/sweep_gsm.json` envelope, computed in-process.
+#[test]
+fn sweep_cli_json_matches_golden() {
+    let text = std::fs::read_to_string(repo_root().join("requests/sweep_gsm.json"))
+        .expect("checked-in sweep request");
+    let request: SweepRequest = ise_api::from_json(&text).expect("valid sweep request");
+    let (response, _) = Session::execute_sweep(&request).expect("sweep executes");
+    let envelope = json::Value::Object(vec![("response".to_string(), json::to_value(&response))]);
+    let payload = format!("{}\n", json::to_string(&envelope));
+    assert_golden("results/golden/sweep_cli.json", &payload);
+}
