@@ -1,21 +1,29 @@
 //! Intra-block scaling experiment: wall-clock of the exact search, sequential versus
-//! subtree-parallel, on wide single blocks.
+//! subtree-parallel, on wide single blocks — against the retained pre-bitset baseline.
 //!
 //! The paper's Fig. 8 axis — one large basic block — is exactly the case the program
 //! driver's per-block fan-out cannot parallelise, and the case the
 //! [`SearchKernel`](ise_core::kernel::SearchKernel)'s subtree decomposition exists for.
-//! This experiment measures it: for a sweep of wide synthetic blocks it runs the
-//! single-cut search once sequentially and once with the top decision-tree levels
-//! fanned out, checks the two outcomes are **identical** (cuts, statistics and all),
-//! and reports wall-clock, throughput (cuts considered per second) and the thread
-//! count. The rows serialise to the machine-readable `BENCH_search.json`, giving the
-//! repository a perf trajectory that CI can track; the `scaling` binary fails loudly if
-//! the sequential and parallel outputs ever diverge.
+//! This experiment measures it: for a sweep of wide synthetic blocks (including the
+//! `widedag` shape of the program-level benches) each repetition alternates four runs —
+//! the retained `Vec<bool>` reference search (the "before" of the bitset repack), the
+//! bitset search sequentially, the bitset search with the top decision-tree levels
+//! fanned out, and the sequential opt-in incumbent-bound search. It checks that all of
+//! them return the **same selection** (the parallel twin must match the sequential one
+//! on cuts *and* statistics; the reference and incumbent variants on the selected cut),
+//! and reports best-of-N wall-clock, raw throughput (cuts considered per second),
+//! *equivalent* throughput (the reference walk's cut count over each variant's
+//! wall-clock — the honest apples-to-apples rate when a variant prunes the tree
+//! smaller), and the machine-readable `pruning_breakdown` so future changes can track
+//! bound effectiveness. The rows serialise to `BENCH_search.json`; the `scaling` binary
+//! fails loudly if any equality gate breaks.
 
 use std::time::Instant;
 
 use ise_core::engine::Identifier;
-use ise_core::{Constraints, SearchOutcome};
+use ise_core::{
+    identify_single_cut_reference, Constraints, SearchOutcome, SearchStats, SingleCutSearch,
+};
 use ise_hw::DefaultCostModel;
 use ise_workloads::random;
 
@@ -31,9 +39,12 @@ pub struct ScalingConfig {
     /// Decision-tree levels fanned out in the parallel runs.
     pub split_levels: usize,
     /// Timed repetitions per block; the reported wall-clock is the best of them.
-    /// Sequential and parallel runs alternate, so warm-up bias cannot be credited to
-    /// whichever variant happens to run second.
+    /// All variants alternate within each repetition, so warm-up bias cannot be
+    /// credited to whichever variant happens to run later.
     pub repeats: usize,
+    /// Node count of the dedicated `widedag` row (the single-block version of the
+    /// program-level `widedag` workload shape).
+    pub widedag_nodes: usize,
 }
 
 impl Default for ScalingConfig {
@@ -44,6 +55,7 @@ impl Default for ScalingConfig {
             max_outputs: 2,
             split_levels: 5,
             repeats: 3,
+            widedag_nodes: 48,
         }
     }
 }
@@ -56,7 +68,40 @@ impl ScalingConfig {
             block_sizes: vec![20, 26],
             split_levels: 4,
             repeats: 2,
+            widedag_nodes: 22,
             ..ScalingConfig::default()
+        }
+    }
+}
+
+/// Machine-readable classification of every 1-branch attempt of the sequential bitset
+/// search, plus the software-branch subtree prunes — tracked so future changes can
+/// measure frontier-bound effectiveness from `BENCH_search.json` alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct PruningBreakdown {
+    /// Attempts that passed every check and grew the cut.
+    pub feasible: u64,
+    /// Attempts pruned by the output-port constraint.
+    pub pruned_output: u64,
+    /// Attempts pruned by the convexity check.
+    pub pruned_convexity: u64,
+    /// Attempts pruned by the node budget.
+    pub pruned_node_budget: u64,
+    /// Attempts pruned by the frontier bound (and the incumbent-mode input floor).
+    pub pruned_bound: u64,
+    /// Software-branch subtrees skipped by the bound before any cut was attempted.
+    pub bound_subtree_prunes: u64,
+}
+
+impl PruningBreakdown {
+    fn from_stats(stats: &SearchStats) -> Self {
+        PruningBreakdown {
+            feasible: stats.feasible_cuts,
+            pruned_output: stats.pruned_output,
+            pruned_convexity: stats.pruned_convexity,
+            pruned_node_budget: stats.pruned_node_budget,
+            pruned_bound: stats.pruned_bound,
+            bound_subtree_prunes: stats.bound_subtree_prunes,
         }
     }
 }
@@ -72,21 +117,54 @@ pub struct ScalingRow {
     pub threads: usize,
     /// Decision-tree levels fanned out in the parallel run.
     pub split_levels: usize,
-    /// Cuts considered by the search (identical in both runs by construction).
+    /// Cuts considered by the bitset search (identical in the sequential and parallel
+    /// runs by construction).
     pub cuts_considered: u64,
-    /// Best wall-clock of the sequential search over the repetitions, milliseconds.
+    /// Cuts considered by the retained pre-bitset reference search (no frontier
+    /// bound) — the denominator of the equivalent-throughput figures.
+    pub reference_cuts_considered: u64,
+    /// Best wall-clock of the reference search over the repetitions, milliseconds.
+    pub reference_ms: f64,
+    /// Best wall-clock of the sequential bitset search over the repetitions,
+    /// milliseconds.
     pub sequential_ms: f64,
-    /// Best wall-clock of the subtree-parallel search over the repetitions,
+    /// Best wall-clock of the subtree-parallel bitset search over the repetitions,
     /// milliseconds.
     pub parallel_ms: f64,
-    /// Throughput of the sequential search, cuts considered per second.
+    /// Best wall-clock of the sequential incumbent-bound search, milliseconds.
+    pub incumbent_ms: f64,
+    /// Cuts considered by the incumbent-bound search (order-dependent, typically far
+    /// fewer than the default walk).
+    pub incumbent_cuts_considered: u64,
+    /// Throughput of the reference search, cuts considered per second.
+    pub reference_cuts_per_sec: f64,
+    /// Throughput of the sequential bitset search, cuts considered per second.
     pub sequential_cuts_per_sec: f64,
-    /// Throughput of the parallel search, cuts considered per second.
+    /// Throughput of the parallel bitset search, cuts considered per second.
     pub parallel_cuts_per_sec: f64,
+    /// *Equivalent* throughput of the sequential bitset search: the reference walk's
+    /// cut count over the bitset wall-clock (apples-to-apples even when the bound
+    /// shrinks the tree).
+    pub equivalent_cuts_per_sec: f64,
+    /// Equivalent throughput of the incumbent-bound search (reference cut count over
+    /// incumbent wall-clock).
+    pub incumbent_equivalent_cuts_per_sec: f64,
+    /// Reference over sequential-bitset wall-clock.
+    pub speedup_vs_reference: f64,
+    /// Reference over incumbent-bound wall-clock.
+    pub incumbent_speedup_vs_reference: f64,
+    /// Attempts pruned by the frontier bound in the default (static-threshold) walk.
+    pub bound_pruned: u64,
+    /// Classification of every attempt of the sequential bitset walk.
+    pub pruning_breakdown: PruningBreakdown,
     /// Sequential over parallel wall-clock.
     pub speedup: f64,
-    /// Whether the two outcomes (best cut **and** statistics) were identical.
+    /// Whether the sequential and parallel bitset outcomes (best cut **and**
+    /// statistics) were identical.
     pub identical: bool,
+    /// Whether the reference and incumbent-bound searches selected the same cut as the
+    /// bitset search.
+    pub matches_reference: bool,
 }
 
 /// The full experiment result, as serialised into `BENCH_search.json`.
@@ -123,60 +201,117 @@ fn cuts_per_sec(cuts: u64, millis: f64) -> f64 {
     }
 }
 
-/// Runs the experiment: one wide block per configured size, single-cut search measured
-/// sequentially and subtree-parallel, plus a cross-client identity check driving
-/// multicut and the exhaustive oracle through the same kernel split.
+fn ratio(numerator: f64, denominator: f64) -> f64 {
+    if denominator > 0.0 {
+        numerator / denominator
+    } else {
+        0.0
+    }
+}
+
+/// Measures one block: the reference baseline, the sequential and parallel bitset
+/// searches, and the incumbent-bound search, alternating within each repetition and
+/// keeping the best wall-clock of each so first-run warm-up (allocator, caches) is not
+/// credited to any one variant.
+fn measure_block(
+    dfg: &ise_ir::Dfg,
+    row_name: &str,
+    constraints: Constraints,
+    model: &DefaultCostModel,
+    config: &ScalingConfig,
+) -> ScalingRow {
+    let single_cut = ise_core::engine::SingleCut::new();
+    let mut reference_ms = f64::INFINITY;
+    let mut sequential_ms = f64::INFINITY;
+    let mut parallel_ms = f64::INFINITY;
+    let mut incumbent_ms = f64::INFINITY;
+    let mut reference = None;
+    let mut sequential = None;
+    let mut parallel = None;
+    let mut incumbent = None;
+    for _ in 0..config.repeats.max(1) {
+        let start = Instant::now();
+        let outcome = identify_single_cut_reference(dfg, constraints, model);
+        reference_ms = reference_ms.min(start.elapsed().as_secs_f64() * 1_000.0);
+        reference = Some(outcome);
+        let (outcome, ms) = timed_identify(&single_cut, dfg, &constraints, model, 0);
+        sequential_ms = sequential_ms.min(ms);
+        sequential = Some(outcome);
+        let (outcome, ms) =
+            timed_identify(&single_cut, dfg, &constraints, model, config.split_levels);
+        parallel_ms = parallel_ms.min(ms);
+        parallel = Some(outcome);
+        let start = Instant::now();
+        let outcome = SingleCutSearch::new(dfg, constraints, model)
+            .with_incumbent_bound()
+            .run();
+        incumbent_ms = incumbent_ms.min(start.elapsed().as_secs_f64() * 1_000.0);
+        incumbent = Some(outcome);
+    }
+    let reference = reference.expect("repeats >= 1");
+    let sequential = sequential.expect("repeats >= 1");
+    let parallel = parallel.expect("repeats >= 1");
+    let incumbent = incumbent.expect("repeats >= 1");
+    let identical = sequential == parallel;
+    let matches_reference = sequential.best == reference.best && incumbent.best == sequential.best;
+    let cuts = sequential.stats.cuts_considered;
+    let reference_cuts = reference.stats.cuts_considered;
+    ScalingRow {
+        block: row_name.to_string(),
+        nodes: dfg.node_count(),
+        threads: rayon::current_num_threads(),
+        split_levels: config.split_levels,
+        cuts_considered: cuts,
+        reference_cuts_considered: reference_cuts,
+        reference_ms,
+        sequential_ms,
+        parallel_ms,
+        incumbent_ms,
+        incumbent_cuts_considered: incumbent.stats.cuts_considered,
+        reference_cuts_per_sec: cuts_per_sec(reference_cuts, reference_ms),
+        sequential_cuts_per_sec: cuts_per_sec(cuts, sequential_ms),
+        parallel_cuts_per_sec: cuts_per_sec(parallel.stats.cuts_considered, parallel_ms),
+        equivalent_cuts_per_sec: cuts_per_sec(reference_cuts, sequential_ms),
+        incumbent_equivalent_cuts_per_sec: cuts_per_sec(reference_cuts, incumbent_ms),
+        speedup_vs_reference: ratio(reference_ms, sequential_ms),
+        incumbent_speedup_vs_reference: ratio(reference_ms, incumbent_ms),
+        bound_pruned: sequential.stats.pruned_bound,
+        pruning_breakdown: PruningBreakdown::from_stats(&sequential.stats),
+        speedup: ratio(sequential_ms, parallel_ms),
+        identical,
+        matches_reference,
+    }
+}
+
+/// Runs the experiment: one wide block per configured size plus the dedicated
+/// `widedag` row, each measured against the reference baseline (see `measure_block`),
+/// plus a cross-client identity check driving multicut and the exhaustive oracle
+/// through the same kernel split.
 #[must_use]
 pub fn run(config: &ScalingConfig) -> ScalingReport {
     let model = DefaultCostModel::new();
     let constraints = Constraints::new(usize::MAX >> 1, config.max_outputs);
-    let single_cut = ise_core::engine::SingleCut::new();
 
     let mut rows = Vec::new();
     for (index, &nodes) in config.block_sizes.iter().enumerate() {
         let dfg = random::wide_dfg(nodes, config.seed + index as u64);
-        // Alternate sequential/parallel measurements and keep the best of each, so
-        // first-run warm-up (allocator, caches) is not credited to either variant.
-        let mut sequential_ms = f64::INFINITY;
-        let mut parallel_ms = f64::INFINITY;
-        let mut sequential = None;
-        let mut parallel = None;
-        for _ in 0..config.repeats.max(1) {
-            let (outcome, ms) = timed_identify(&single_cut, &dfg, &constraints, &model, 0);
-            sequential_ms = sequential_ms.min(ms);
-            sequential = Some(outcome);
-            let (outcome, ms) =
-                timed_identify(&single_cut, &dfg, &constraints, &model, config.split_levels);
-            parallel_ms = parallel_ms.min(ms);
-            parallel = Some(outcome);
-        }
-        let (sequential, parallel) = (
-            sequential.expect("repeats >= 1"),
-            parallel.expect("repeats >= 1"),
-        );
-        let identical = sequential == parallel;
-        let cuts = sequential.stats.cuts_considered;
-        rows.push(ScalingRow {
-            block: dfg.name().to_string(),
-            nodes: dfg.node_count(),
-            threads: rayon::current_num_threads(),
-            split_levels: config.split_levels,
-            cuts_considered: cuts,
-            sequential_ms,
-            parallel_ms,
-            sequential_cuts_per_sec: cuts_per_sec(cuts, sequential_ms),
-            parallel_cuts_per_sec: cuts_per_sec(parallel.stats.cuts_considered, parallel_ms),
-            speedup: if parallel_ms > 0.0 {
-                sequential_ms / parallel_ms
-            } else {
-                0.0
-            },
-            identical,
-        });
+        let name = dfg.name().to_string();
+        rows.push(measure_block(&dfg, &name, constraints, &model, config));
     }
+    // The single-block version of the program-level `widedag` workload (same generator
+    // and seed offset as `wide_dag_program`'s first block).
+    let widedag = random::wide_dfg(config.widedag_nodes, 0x81DA6);
+    rows.push(measure_block(
+        &widedag,
+        "widedag",
+        constraints,
+        &model,
+        config,
+    ));
 
     let cross_client_identical = cross_client_check(config, &model);
-    let all_identical = cross_client_identical && rows.iter().all(|r| r.identical);
+    let all_identical =
+        cross_client_identical && rows.iter().all(|r| r.identical && r.matches_reference);
     ScalingReport {
         threads: rayon::current_num_threads(),
         rows,
@@ -213,20 +348,25 @@ pub fn to_json(report: &ScalingReport) -> String {
 #[must_use]
 pub fn markdown(report: &ScalingReport) -> String {
     let mut out = String::from(
-        "| block | nodes | cuts | seq ms | par ms | speedup | cuts/s (par) | identical |\n\
-         |---|---:|---:|---:|---:|---:|---:|---|\n",
+        "| block | nodes | cuts | ref ms | seq ms | par ms | inc ms | vs ref | inc vs ref \
+         | bound pruned | speedup | ok |\n\
+         |---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|\n",
     );
     for r in &report.rows {
         out.push_str(&format!(
-            "| {} | {} | {} | {:.1} | {:.1} | {:.2}x | {:.0} | {} |\n",
+            "| {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.2}x | {:.2}x | {} | {:.2}x | {} |\n",
             r.block,
             r.nodes,
             r.cuts_considered,
+            r.reference_ms,
             r.sequential_ms,
             r.parallel_ms,
+            r.incumbent_ms,
+            r.speedup_vs_reference,
+            r.incumbent_speedup_vs_reference,
+            r.bound_pruned,
             r.speedup,
-            r.parallel_cuts_per_sec,
-            r.identical
+            r.identical && r.matches_reference
         ));
     }
     out
@@ -241,6 +381,7 @@ mod tests {
         ScalingConfig {
             block_sizes: vec![12, 14],
             split_levels: 3,
+            widedag_nodes: 12,
             ..ScalingConfig::default()
         }
     }
@@ -248,13 +389,30 @@ mod tests {
     #[test]
     fn parallel_and_sequential_outputs_are_identical() {
         let report = run(&tiny());
-        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows.len(), 3); // the configured sizes plus the widedag row
         assert!(report.all_identical, "{report:?}");
         assert!(report.cross_client_identical);
+        assert_eq!(
+            report.rows.last().map(|r| r.block.as_str()),
+            Some("widedag")
+        );
         for row in &report.rows {
             assert!(row.identical, "{row:?}");
+            assert!(row.matches_reference, "{row:?}");
             assert!(row.cuts_considered > 0);
+            assert!(row.reference_cuts_considered >= row.cuts_considered);
             assert!(row.sequential_ms >= 0.0);
+            // The breakdown partitions the attempts of the sequential bitset walk.
+            let b = &row.pruning_breakdown;
+            assert_eq!(
+                row.cuts_considered,
+                b.feasible
+                    + b.pruned_output
+                    + b.pruned_convexity
+                    + b.pruned_node_budget
+                    + b.pruned_bound
+            );
+            assert_eq!(row.bound_pruned, b.pruned_bound);
         }
     }
 
@@ -266,16 +424,26 @@ mod tests {
             "\"nodes\"",
             "\"threads\"",
             "\"cuts_considered\"",
+            "\"reference_cuts_considered\"",
+            "\"reference_ms\"",
             "\"sequential_ms\"",
             "\"parallel_ms\"",
+            "\"incumbent_ms\"",
             "\"sequential_cuts_per_sec\"",
             "\"parallel_cuts_per_sec\"",
+            "\"equivalent_cuts_per_sec\"",
+            "\"incumbent_equivalent_cuts_per_sec\"",
+            "\"speedup_vs_reference\"",
+            "\"bound_pruned\"",
+            "\"pruning_breakdown\"",
+            "\"matches_reference\"",
             "\"speedup\"",
             "\"all_identical\"",
+            "\"widedag\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
         let md = markdown(&report);
-        assert!(md.lines().count() >= 4);
+        assert!(md.lines().count() >= 5);
     }
 }

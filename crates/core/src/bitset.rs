@@ -1,0 +1,261 @@
+//! Fixed-capacity `u64`-word bitsets for the hot search state.
+//!
+//! The branch-and-bound kernel packs every per-node boolean of its incremental
+//! bookkeeping — cut membership, the convexity reach frontier, per-node
+//! consumer/ancestor/descendant masks and the `IN(S)` source unions — into dense
+//! [`BitSet`]s, so that the per-decision feasibility checks become a handful of
+//! AND-with-mask word operations and the port counts become popcounts
+//! ([`count`](BitSet::count), [`count_and_not`](BitSet::count_and_not)) instead of
+//! per-edge bookkeeping.
+//!
+//! A [`BitSet`] is deliberately *fixed-capacity*: it is sized once for the block under
+//! search and never grows, so two sets of the same capacity always have the same word
+//! count and the word-wise operations need no bounds juggling. (The serialisable
+//! [`CutSet`](crate::cut::CutSet) remains the growable, wire-format-stable set used in
+//! results; `BitSet` is the in-memory working representation of the kernel.)
+
+/// A fixed-capacity set of `usize` indices packed into `u64` words.
+///
+/// All binary operations ([`intersects`](Self::intersects),
+/// [`union_with`](Self::union_with), …) expect the operands to have been created with
+/// the same capacity; in debug builds this is asserted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set able to hold indices `0..capacity`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Number of `u64` words backing the set.
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if no bit is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if `index` is in the set.
+    #[must_use]
+    pub fn get(&self, index: usize) -> bool {
+        self.words[index / 64] & (1 << (index % 64)) != 0
+    }
+
+    /// Inserts `index`.
+    pub fn set(&mut self, index: usize) {
+        self.words[index / 64] |= 1 << (index % 64);
+    }
+
+    /// Removes `index`.
+    pub fn clear(&mut self, index: usize) {
+        self.words[index / 64] &= !(1 << (index % 64));
+    }
+
+    /// Removes every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits (one `popcnt` per word).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `|self ∩ other|` without materialising the intersection.
+    #[must_use]
+    pub fn count_and(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self \ other|` — the popcount of `self AND NOT other`. This is how the kernel
+    /// counts `IN(S)`: set bits of the source union not covered by the cut.
+    #[must_use]
+    pub fn count_and_not(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self ∪ other|` without materialising the union.
+    #[must_use]
+    pub fn count_or(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns `true` if the two sets share at least one bit (a short-circuiting
+    /// AND-with-mask test).
+    #[must_use]
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if `self` holds a bit that `other` does not (a short-circuiting
+    /// AND-NOT-with-mask test — e.g. "does this node have a consumer outside the cut").
+    #[must_use]
+    pub fn intersects_complement(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & !b != 0)
+    }
+
+    /// Adds every bit of `other` to `self`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Adds every bit of `other`, journalling each overwritten word as
+    /// `(word_index, previous_value)` into `spill` and returning the number of entries
+    /// pushed. Popping the entries in reverse order through
+    /// [`restore_word`](Self::restore_word) undoes the union exactly — this is the
+    /// `O(n/64)` journalled union the incremental `IN(S)` bookkeeping is built on.
+    pub fn union_with_spill(&mut self, other: &BitSet, spill: &mut Vec<(u32, u64)>) -> u32 {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        let mut spilled = 0;
+        for (index, (a, b)) in self.words.iter_mut().zip(&other.words).enumerate() {
+            let merged = *a | b;
+            if merged != *a {
+                spill.push((index as u32, *a));
+                *a = merged;
+                spilled += 1;
+            }
+        }
+        spilled
+    }
+
+    /// Restores one word previously journalled by
+    /// [`union_with_spill`](Self::union_with_spill).
+    pub fn restore_word(&mut self, index: u32, value: u64) {
+        self.words[index as usize] = value;
+    }
+
+    /// Iterates the set bits in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            std::iter::successors((bits != 0).then_some(bits), |b| {
+                let rest = b & (b - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |b| w * 64 + b.trailing_zeros() as usize)
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a set sized exactly for the largest one.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let capacity = indices.iter().map(|&i| i + 1).max().unwrap_or(0);
+        let mut set = BitSet::with_capacity(capacity);
+        for index in indices {
+            set.set(index);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_and_counts() {
+        let mut s = BitSet::with_capacity(130);
+        assert!(s.is_empty());
+        assert_eq!(s.word_count(), 3);
+        for i in [0, 63, 64, 129] {
+            s.set(i);
+            assert!(s.get(i));
+        }
+        assert_eq!(s.count(), 4);
+        s.clear(64);
+        assert!(!s.get(64));
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 129]);
+        s.clear_all();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn masked_counts_and_intersections() {
+        let a: BitSet = [1usize, 5, 64, 70].into_iter().collect();
+        let mut b = BitSet::with_capacity(71);
+        b.set(5);
+        b.set(70);
+        b.set(2);
+        assert!(a.intersects(&b));
+        assert_eq!(a.count_and(&b), 2);
+        assert_eq!(a.count_and_not(&b), 2); // 1 and 64
+        assert_eq!(a.count_or(&b), 5);
+        assert!(a.intersects_complement(&b)); // 1 ∈ a \ b
+        assert!(b.intersects_complement(&a)); // 2 ∈ b \ a
+        let sub: BitSet = {
+            let mut s = BitSet::with_capacity(71);
+            s.set(5);
+            s
+        };
+        assert!(!sub.intersects_complement(&a));
+    }
+
+    #[test]
+    fn union_with_spill_round_trips() {
+        let mut base = BitSet::with_capacity(200);
+        base.set(3);
+        base.set(150);
+        let before = base.clone();
+        let mut add = BitSet::with_capacity(200);
+        add.set(3); // already present: word unchanged only if no other bit in word changes
+        add.set(7);
+        add.set(199);
+        let mut spill = Vec::new();
+        let spilled = base.union_with_spill(&add, &mut spill);
+        assert_eq!(spilled as usize, spill.len());
+        assert!(base.get(7) && base.get(199) && base.get(3) && base.get(150));
+        // A second union with the same mask changes nothing and spills nothing.
+        let again = base.union_with_spill(&add, &mut spill);
+        assert_eq!(again, 0);
+        for (index, value) in spill.drain(..).rev() {
+            base.restore_word(index, value);
+        }
+        assert_eq!(base, before);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_the_largest_index() {
+        let s: BitSet = [9usize, 2].into_iter().collect();
+        assert_eq!(s.word_count(), 1);
+        assert!(s.get(9) && s.get(2) && !s.get(3));
+        let empty: BitSet = std::iter::empty::<usize>().collect();
+        assert!(empty.is_empty());
+        assert_eq!(empty.word_count(), 0);
+    }
+}

@@ -9,11 +9,13 @@
 //!
 //! * [`BlockContext`] — the immutable per-block data every search precomputes once: the
 //!   consumers-before-producers ordering, deduplicated operand sources, per-node cost
-//!   model evaluations and the blocked-node mask;
+//!   model evaluations, the blocked-node mask, and the word-packed per-node masks
+//!   (consumers, ancestors, descendants, operand sources) plus the remaining
+//!   software-cycle mass per level that drive the bitset state and the frontier bound;
 //! * [`IncrementalCutState`] — the snapshot-and-restorable incremental bookkeeping for
 //!   *one* cut under construction (`IN(S)`, `OUT(S)`, convexity reachability, software
-//!   cost, hardware critical path, area), updated in `O(fan-in + fan-out)` per decision
-//!   and undone through an internal LIFO journal;
+//!   cost, hardware critical path, area), packed into [`BitSet`]s so each decision is a
+//!   handful of AND-with-mask word operations, undone through an internal LIFO journal;
 //! * [`SearchPolicy`] — the per-algorithm hooks: how many branches a decision level has,
 //!   how to apply/undo one branch, and when to offer a candidate to the incumbent;
 //! * [`Incumbent`] — the incumbent solution plus the ascending log of its improvements,
@@ -23,27 +25,72 @@
 //!   levels into independent subtree tasks, fans them out with `rayon`, and merges
 //!   incumbents and [`SearchStats`] in subtree-index order.
 //!
+//! The [`mod@reference`] submodule retains the original `Vec<bool>`-based state
+//! ([`ReferenceCutState`](reference::ReferenceCutState)) as an executable specification:
+//! the property suite pits the bitset state against it decision by decision, and the
+//! scaling bench uses it as the "before" baseline.
+//!
+//! # The word-packed state
+//!
+//! Per decided node the state keeps two bits — cut membership and the convexity reach
+//! flag — plus the running union of the members' operand-source masks. The per-node
+//! feasibility checks then collapse to mask tests against [`BlockContext`]
+//! precomputations:
+//!
+//! * *external consumer* (for `OUT(S)`): `consumers(v) ⊄ cut`, one AND-NOT-with-mask
+//!   scan;
+//! * *convexity probe*: `consumers(v) ∩ reach ≠ ∅`, one AND-with-mask scan — `reach`
+//!   holds exactly the decided-outside nodes with a downstream path into the cut;
+//! * *reach maintenance* (on deciding a node outside): `descendants(v) ∩ cut ≠ ∅`.
+//!   Nodes are decided consumers-first, so every descendant of `v` is decided before
+//!   `v` and later cut growth only adds ancestors — the flag, once computed, stays
+//!   correct without propagation;
+//! * *`IN(S)`*: popcount of `(source-node union) AND NOT cut` plus popcount of the
+//!   block-input union, both maintained by journalled word-wise unions.
+//!
+//! # The frontier bound
+//!
+//! [`BoundCheck`] carries an optimistic upper bound on the merit reachable in the
+//! subtree below a decision: the merit the cut would reach if every not-yet-decided,
+//! non-blocked node (the *remaining frontier*, whose software-cycle mass is precomputed
+//! per level) joined it for free — software mass is additive while the hardware
+//! critical path can only grow, so `cut_merit(software + mass, critical_path)` can only
+//! overestimate. When even that bound cannot beat the incumbent threshold the subtree
+//! is pruned: at a 1-branch this is counted as [`SearchStats::pruned_bound`] (a new
+//! category inside the `cuts_considered` identity), at a software branch as
+//! [`SearchStats::bound_subtree_prunes`] (no cut is attempted, so `cuts_considered` is
+//! not bumped). The default threshold is zero — an incumbent starts at score zero and
+//! only strictly positive offers win, so a subtree whose bound is `≤ 0` contains no
+//! answer. A zero threshold depends only on the tree path (never on the visit order),
+//! which keeps the parallel walk byte-identical and pool fills reconstructable;
+//! policies that opt into the sharper incumbent-score threshold must declare
+//! [`SearchPolicy::requires_sequential`].
+//!
 //! # Determinism of the parallel walk
 //!
-//! The incumbent never influences pruning (the tree is cut by the *constraints*, not by
-//! a bound on the objective), so the set of visited tree nodes — and therefore every
-//! counter in [`SearchStats`] except `best_updates` — is identical however the tree is
-//! partitioned. `best_updates` and the identity of the returned cut *do* depend on visit
-//! order: a sequential search only improves its incumbent when a candidate beats the
-//! best seen anywhere so far. To reproduce that exactly, each subtree records the
-//! ascending merit sequence of its local improvements; the merge replays those sequences
-//! in subtree-index (= depth-first) order against the running global best. The result —
-//! incumbent, `best_updates` and all — is byte-identical to the sequential walk, for any
-//! thread count.
+//! The incumbent never influences pruning (the tree is cut by the *constraints* and the
+//! path-determined zero-threshold bound, not by the evolving objective), so the set of
+//! visited tree nodes — and therefore every counter in [`SearchStats`] except
+//! `best_updates` — is identical however the tree is partitioned. `best_updates` and
+//! the identity of the returned cut *do* depend on visit order: a sequential search
+//! only improves its incumbent when a candidate beats the best seen anywhere so far. To
+//! reproduce that exactly, each subtree records the ascending merit sequence of its
+//! local improvements; the merge replays those sequences in subtree-index (=
+//! depth-first) order against the running global best. The result — incumbent,
+//! `best_updates` and all — is byte-identical to the sequential walk, for any thread
+//! count.
 //!
 //! An [exploration budget](SearchKernel::exploration_budget) is a *global* cap on the
 //! cuts considered and is inherently sequential; when one is set the kernel always runs
 //! the sequential walk, whatever `split_levels` says.
 
-use ise_hw::{cut_merit, CostModel};
+pub mod reference;
+
+use ise_hw::{cut_merit, CostModel, HardwareDelayModel};
 use ise_ir::{topo, Dfg, NodeId, Operand};
 use rayon::prelude::*;
 
+use crate::bitset::BitSet;
 use crate::constraints::Constraints;
 use crate::cut::{CutEvaluation, CutSet};
 use crate::search::{IdentifiedCut, SearchStats};
@@ -68,7 +115,10 @@ enum Source {
 /// Immutable per-block search context shared by every policy.
 ///
 /// Holds the search ordering and all per-node precomputations so that constructing a
-/// policy is cheap and the hot loop touches only dense arrays.
+/// policy is cheap and the hot loop touches only dense arrays and `u64`-word masks.
+/// The mask precomputation costs `O(n²/64)` words of memory and time; see the README's
+/// SearchKernel section for when that pays off (in short: always, for any block the
+/// exponential search itself can afford).
 pub struct BlockContext<'a> {
     /// The basic block under search.
     pub dfg: &'a Dfg,
@@ -87,6 +137,19 @@ pub struct BlockContext<'a> {
     software_cost: Vec<u32>,
     hardware_delay: Vec<f64>,
     area_cost: Vec<f64>,
+    /// Per node: its direct consumer nodes, as a node mask.
+    consumers_mask: Vec<BitSet>,
+    /// Per node: its strict descendants (transitive consumers), as a node mask.
+    descendants: Vec<BitSet>,
+    /// Per node: its strict ancestors (transitive producers), as a node mask.
+    ancestors: Vec<BitSet>,
+    /// Per node: its deduplicated node sources, as a node mask.
+    node_src_mask: Vec<BitSet>,
+    /// Per node: its deduplicated block-input sources, as an input mask.
+    input_src_mask: Vec<BitSet>,
+    /// `suffix_mass[ℓ]` = total software cycles of the non-blocked nodes decided at
+    /// levels `ℓ..` — the most the remaining frontier can still add to any cut.
+    suffix_mass: Vec<u64>,
 }
 
 impl<'a> BlockContext<'a> {
@@ -94,12 +157,15 @@ impl<'a> BlockContext<'a> {
     #[must_use]
     pub fn new(dfg: &'a Dfg, constraints: Constraints, model: &'a dyn CostModel) -> Self {
         let n = dfg.node_count();
+        let inputs = dfg.input_count();
         let mut sources = Vec::with_capacity(n);
         let mut blocked = Vec::with_capacity(n);
         let mut is_output_source = Vec::with_capacity(n);
         let mut software_cost = Vec::with_capacity(n);
         let mut hardware_delay = Vec::with_capacity(n);
         let mut area_cost = Vec::with_capacity(n);
+        let mut node_src_mask = Vec::with_capacity(n);
+        let mut input_src_mask = Vec::with_capacity(n);
         for (id, node) in dfg.iter_nodes() {
             let mut node_sources: Vec<Source> = Vec::new();
             for operand in &node.operands {
@@ -117,6 +183,16 @@ impl<'a> BlockContext<'a> {
                     node_sources.push(source);
                 }
             }
+            let mut nodes_mask = BitSet::with_capacity(n);
+            let mut inputs_mask = BitSet::with_capacity(inputs);
+            for source in &node_sources {
+                match *source {
+                    Source::Node(m) => nodes_mask.set(m),
+                    Source::Input(p) => inputs_mask.set(p),
+                }
+            }
+            node_src_mask.push(nodes_mask);
+            input_src_mask.push(inputs_mask);
             sources.push(node_sources);
             blocked.push(node.is_forbidden_in_afu());
             is_output_source.push(dfg.is_output_source(id));
@@ -124,18 +200,54 @@ impl<'a> BlockContext<'a> {
             hardware_delay.push(model.hardware_delay(node));
             area_cost.push(model.hardware_area(node));
         }
-        BlockContext {
+        let order = topo::consumers_first(dfg);
+        // Consumers-first: when a node is reached, all of its consumers (hence all of
+        // its descendants) already carry their final masks.
+        let mut consumers_mask = vec![BitSet::with_capacity(n); n];
+        let mut descendants = vec![BitSet::with_capacity(n); n];
+        for &id in &order {
+            let index = id.index();
+            let mut desc = BitSet::with_capacity(n);
+            for c in dfg.consumers(id) {
+                consumers_mask[index].set(c.index());
+                desc.set(c.index());
+                desc.union_with(&descendants[c.index()]);
+            }
+            descendants[index] = desc;
+        }
+        // Producers-first (the reversed order) gives the dual ancestor masks.
+        let mut ancestors = vec![BitSet::with_capacity(n); n];
+        for &id in order.iter().rev() {
+            let index = id.index();
+            let mut anc = BitSet::with_capacity(n);
+            for source in &sources[index] {
+                if let Source::Node(m) = *source {
+                    anc.set(m);
+                    anc.union_with(&ancestors[m]);
+                }
+            }
+            ancestors[index] = anc;
+        }
+        let mut ctx = BlockContext {
             dfg,
             model,
             constraints,
-            order: topo::consumers_first(dfg),
+            order,
             sources,
             blocked,
             is_output_source,
             software_cost,
             hardware_delay,
             area_cost,
-        }
+            consumers_mask,
+            descendants,
+            ancestors,
+            node_src_mask,
+            input_src_mask,
+            suffix_mass: Vec::new(),
+        };
+        ctx.recompute_suffix_mass();
+        ctx
     }
 
     /// Additionally forbids the given nodes from entering any cut.
@@ -145,6 +257,23 @@ impl<'a> BlockContext<'a> {
                 self.blocked[id.index()] = true;
             }
         }
+        // Blocked nodes can never contribute software mass to a cut.
+        self.recompute_suffix_mass();
+    }
+
+    fn recompute_suffix_mass(&mut self) {
+        let depth = self.order.len();
+        let mut mass = vec![0u64; depth + 1];
+        for level in (0..depth).rev() {
+            let index = self.order[level].index();
+            let cost = if self.blocked[index] {
+                0
+            } else {
+                u64::from(self.software_cost[index])
+            };
+            mass[level] = mass[level + 1] + cost;
+        }
+        self.suffix_mass = mass;
     }
 
     /// Number of decision levels (= operation nodes of the block).
@@ -164,21 +293,51 @@ impl<'a> BlockContext<'a> {
     pub fn is_blocked(&self, node: NodeId) -> bool {
         self.blocked[node.index()]
     }
+
+    /// Software cycles the cost model assigns to `node`.
+    #[must_use]
+    pub fn node_software_cost(&self, node: NodeId) -> u32 {
+        self.software_cost[node.index()]
+    }
+
+    /// Total software cycles of the non-blocked nodes still undecided at levels
+    /// `level..` — the frontier mass feeding the optimistic bound.
+    #[must_use]
+    pub fn remaining_mass(&self, level: usize) -> u64 {
+        self.suffix_mass[level.min(self.suffix_mass.len() - 1)]
+    }
+
+    /// The strict descendants (transitive consumers) of `node`, as a node mask.
+    #[must_use]
+    pub fn descendants_of(&self, node: NodeId) -> &BitSet {
+        &self.descendants[node.index()]
+    }
+
+    /// The strict ancestors (transitive producers) of `node`, as a node mask. Dual to
+    /// [`descendants_of`](Self::descendants_of): `u ∈ ancestors(v)` iff
+    /// `v ∈ descendants(u)`.
+    #[must_use]
+    pub fn ancestors_of(&self, node: NodeId) -> &BitSet {
+        &self.ancestors[node.index()]
+    }
 }
 
 /// One reversible mutation of an [`IncrementalCutState`], kept on its LIFO journal.
 #[derive(Debug, Clone)]
 enum UndoEntry {
-    /// `add` was applied to `node`; the scalar accumulators held these values before.
+    /// `add` was applied to `node`; the scalar accumulators held these values before,
+    /// and the source unions journalled this many words on the spill stack.
     Added {
         node: NodeId,
-        inputs: usize,
         outputs: usize,
         software: u64,
         critical_path: f64,
+        hardware_cycles: u32,
         area: f64,
+        spilled_nodes: u32,
+        spilled_inputs: u32,
     },
-    /// `mark_outside` was applied to `node`; its reachability flag held `reached`.
+    /// `mark_outside` was applied to `node`; its reach bit held `reached`.
     MarkedOutside { node: NodeId, reached: bool },
 }
 
@@ -191,35 +350,95 @@ pub struct AddProbe {
     pub convex: bool,
 }
 
+/// The frontier-aware bound evaluated by [`IncrementalCutState::try_add_probed`] after
+/// the paper's structural checks (output ports → convexity → node budget).
+///
+/// `optimistic` is an upper bound on the objective reachable anywhere in the subtree
+/// below the attempt; when it cannot *strictly* beat `threshold`, the subtree is pruned
+/// and counted as [`SearchStats::pruned_bound`]. With the default zero threshold the
+/// bound depends only on the tree path, so the pruned tree is identical for any subtree
+/// partition (the determinism gates rely on this). The incumbent-score threshold is
+/// sharper but visit-order-dependent, hence sequential-only; it may also carry
+/// `input_floor`, the input-port constraint applied to the *monotone* part of `IN(S)`
+/// (block-input sources can never be covered by later producers, so their count only
+/// grows down the subtree — unlike full `IN(S)`, which the paper shows is unusable for
+/// pruning).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundCheck {
+    /// Upper bound on the objective reachable in the subtree below the attempt.
+    pub optimistic: f64,
+    /// The score the subtree must strictly beat to be worth exploring.
+    pub threshold: f64,
+    /// `Nin`, when the monotone block-input floor may prune (incumbent mode only).
+    pub input_floor: Option<usize>,
+}
+
+impl BoundCheck {
+    /// A check that never prunes (used by callers that must enumerate exhaustively).
+    #[must_use]
+    pub fn disabled() -> Self {
+        BoundCheck {
+            optimistic: f64::INFINITY,
+            threshold: 0.0,
+            input_floor: None,
+        }
+    }
+
+    /// The zero-threshold frontier bound with its outcome already decided in the
+    /// integer domain (see [`IncrementalCutState::frontier_dead_with`]). Avoids
+    /// re-deriving the floating-point optimistic merit on the hot path: the default
+    /// bound almost never fires, so its evaluation cost must stay near zero.
+    #[must_use]
+    pub fn frontier(dead: bool) -> Self {
+        BoundCheck {
+            optimistic: if dead { 0.0 } else { f64::INFINITY },
+            threshold: 0.0,
+            input_floor: None,
+        }
+    }
+}
+
 /// Snapshot-and-restorable incremental bookkeeping for one cut under construction.
 ///
 /// Maintains `IN(S)`, `OUT(S)`, the convexity reachability frontier, and the software /
 /// critical-path / area accumulators exactly as Section 6.1 of the paper prescribes,
-/// in `O(fan-in + fan-out)` per decision. Every mutation pushes an entry onto an
-/// internal journal, so a search can unwind decisions in LIFO order with
-/// [`undo_last`](Self::undo_last) — and because the whole state is `Clone`, a parallel
-/// search can snapshot it at any tree node and hand the copy to a subtree task.
+/// with the per-node booleans packed into [`BitSet`]s (see the module docs for the mask
+/// identities). Every mutation pushes an entry onto an internal journal, so a search
+/// can unwind decisions in LIFO order with [`undo_last`](Self::undo_last) — and because
+/// the whole state is `Clone`, a parallel search can snapshot it at any tree node and
+/// hand the copy to a subtree task.
+///
+/// The mask identities assume the walk discipline every kernel policy follows: nodes
+/// are decided (added via `try_add*` or marked outside) in the consumers-first order of
+/// the [`BlockContext`] and undone in LIFO order. [`reference::ReferenceCutState`]
+/// implements the same API without masks and is the executable specification the
+/// property suite checks this type against.
 #[derive(Debug, Clone)]
 pub struct IncrementalCutState {
     /// Membership of the cut.
-    in_cut: Vec<bool>,
-    /// For nodes decided as outside: does a downstream path reach the current cut?
-    reaches_cut: Vec<bool>,
+    cut: BitSet,
+    /// Decided-outside nodes with a downstream path into the cut.
+    reach: BitSet,
     /// For nodes in the cut: longest downstream delay path within the cut, including
-    /// the node's own delay. Entries of nodes outside the cut are stale and never read.
+    /// the node's own delay. Entries of nodes outside the cut are kept at `0.0`
+    /// (restored on undo, and debug-asserted on add).
     longest_path: Vec<f64>,
-    /// Number of cut members currently consuming each (outside) node.
-    node_external_uses: Vec<u32>,
-    /// Number of cut members currently reading each block input variable.
-    input_uses: Vec<u32>,
+    /// Union of the members' node sources (members included once covered).
+    src_nodes: BitSet,
+    /// Union of the members' block-input sources.
+    src_inputs: BitSet,
     /// Members of the cut, in insertion order.
     members: Vec<NodeId>,
-    inputs: usize,
     outputs: usize,
     software: u64,
     critical_path: f64,
+    /// `cycles_for_delay(critical_path)`, maintained incrementally so the merit and the
+    /// zero-threshold frontier bound never re-derive the ceiling on the hot path.
+    hardware_cycles: u32,
     area: f64,
     journal: Vec<UndoEntry>,
+    /// Word journal of the source-union mutations, shared by both source sets.
+    spill: Vec<(u32, u64)>,
 }
 
 impl IncrementalCutState {
@@ -228,18 +447,19 @@ impl IncrementalCutState {
     pub fn new(ctx: &BlockContext<'_>) -> Self {
         let n = ctx.dfg.node_count();
         IncrementalCutState {
-            in_cut: vec![false; n],
-            reaches_cut: vec![false; n],
+            cut: BitSet::with_capacity(n),
+            reach: BitSet::with_capacity(n),
             longest_path: vec![0.0; n],
-            node_external_uses: vec![0; n],
-            input_uses: vec![0; ctx.dfg.input_count()],
+            src_nodes: BitSet::with_capacity(n),
+            src_inputs: BitSet::with_capacity(ctx.dfg.input_count()),
             members: Vec::new(),
-            inputs: 0,
             outputs: 0,
             software: 0,
             critical_path: 0.0,
+            hardware_cycles: 0,
             area: 0.0,
             journal: Vec::new(),
+            spill: Vec::new(),
         }
     }
 
@@ -255,10 +475,11 @@ impl IncrementalCutState {
         self.members.is_empty()
     }
 
-    /// `IN(S)` of the current cut.
+    /// `IN(S)` of the current cut: popcount of the uncovered node sources plus the
+    /// block-input sources.
     #[must_use]
     pub fn inputs(&self) -> usize {
-        self.inputs
+        self.src_nodes.count_and_not(&self.cut) + self.src_inputs.count()
     }
 
     /// `OUT(S)` of the current cut.
@@ -286,28 +507,79 @@ impl IncrementalCutState {
     }
 
     /// Merit `M(S)` of the current cut.
+    ///
+    /// Bit-identical to [`cut_merit`] on the accumulated quantities: `hardware_cycles`
+    /// caches `cycles_for_delay(critical_path)` exactly (both are maintained in the
+    /// same journalled add/undo), and `u32 → f64` is lossless.
     #[must_use]
     pub fn merit(&self) -> f64 {
-        cut_merit(self.software, self.critical_path)
+        debug_assert_eq!(
+            self.hardware_cycles,
+            HardwareDelayModel::cycles_for_delay(self.critical_path)
+        );
+        self.software as f64 - f64::from(self.hardware_cycles)
     }
 
     /// Returns `true` if `node` is a member of the cut.
     #[must_use]
     pub fn contains(&self, node: NodeId) -> bool {
-        self.in_cut[node.index()]
+        self.cut.get(node.index())
+    }
+
+    /// Upper bound on the merit reachable in the subtree below adding the node at
+    /// `level`: the whole remaining frontier (this node included) joins the cut for
+    /// free, while the critical path keeps its current value — software mass is
+    /// additive and the critical path can only grow, so this only overestimates.
+    #[must_use]
+    pub fn optimistic_with(&self, ctx: &BlockContext<'_>, level: usize) -> f64 {
+        let node = ctx.node_at(level);
+        cut_merit(
+            self.software + u64::from(ctx.node_software_cost(node)) + ctx.remaining_mass(level + 1),
+            self.critical_path,
+        )
+    }
+
+    /// Upper bound on the merit reachable in the subtree below leaving the node at
+    /// `level` in software (the node's own cycles are excluded from the frontier mass).
+    #[must_use]
+    pub fn optimistic_without(&self, ctx: &BlockContext<'_>, level: usize) -> f64 {
+        cut_merit(
+            self.software + ctx.remaining_mass(level + 1),
+            self.critical_path,
+        )
+    }
+
+    /// `optimistic_with(ctx, level) <= 0`, decided entirely in the integer domain.
+    ///
+    /// Exact: the optimistic merit is `S as f64 − C as f64` with `S` the software mass
+    /// (far below 2⁵³) and `C` the cached hardware cycles, and comparing two losslessly
+    /// converted integers as `f64` orders them identically to the integers themselves.
+    /// This is the hot-path form of the default (zero-threshold) frontier bound — no
+    /// ceiling, no conversions, two adds and a compare.
+    #[must_use]
+    pub fn frontier_dead_with(&self, ctx: &BlockContext<'_>, level: usize) -> bool {
+        let node = ctx.node_at(level);
+        self.software + u64::from(ctx.node_software_cost(node)) + ctx.remaining_mass(level + 1)
+            <= u64::from(self.hardware_cycles)
+    }
+
+    /// `optimistic_without(ctx, level) <= 0`, decided entirely in the integer domain
+    /// (see [`frontier_dead_with`](Self::frontier_dead_with) for the exactness
+    /// argument).
+    #[must_use]
+    pub fn frontier_dead_without(&self, ctx: &BlockContext<'_>, level: usize) -> bool {
+        self.software + ctx.remaining_mass(level + 1) <= u64::from(self.hardware_cycles)
     }
 
     /// Checks the output-port count and convexity of the cut grown by `node`, without
-    /// mutating anything.
+    /// mutating anything: two AND-with-mask scans against the precomputed masks.
     #[must_use]
     pub fn probe_add(&self, ctx: &BlockContext<'_>, node: NodeId) -> AddProbe {
         let index = node.index();
-        let consumers = ctx.dfg.consumers(node);
+        let consumers = &ctx.consumers_mask[index];
         let has_external_consumer =
-            ctx.is_output_source[index] || consumers.iter().any(|c| !self.in_cut[c.index()]);
-        let convex = !consumers
-            .iter()
-            .any(|c| !self.in_cut[c.index()] && self.reaches_cut[c.index()]);
+            ctx.is_output_source[index] || consumers.intersects_complement(&self.cut);
+        let convex = !consumers.intersects(&self.reach);
         AddProbe {
             outputs: self.outputs + usize::from(has_external_consumer),
             convex,
@@ -316,7 +588,8 @@ impl IncrementalCutState {
 
     /// The shared 1-branch attempt used by every pruning policy: counts the cut,
     /// probes it, applies the paper's pruning rules in their canonical order
-    /// (output ports → convexity → node budget), and on success adds `node`.
+    /// (output ports → convexity → node budget → frontier bound), and on success adds
+    /// `node`.
     ///
     /// Returns `false` — with the matching `pruned_*` counter bumped and the state
     /// untouched — when the branch (and its whole subtree) is eliminated. Living here
@@ -326,10 +599,11 @@ impl IncrementalCutState {
         &mut self,
         ctx: &BlockContext<'_>,
         node: NodeId,
+        bound: BoundCheck,
         stats: &mut SearchStats,
     ) -> bool {
         let probe = self.probe_add(ctx, node);
-        self.try_add_probed(ctx, node, probe, stats)
+        self.try_add_probed(ctx, node, probe, bound, stats)
     }
 
     /// The counting-and-pruning half of [`try_add`](Self::try_add), for callers that
@@ -341,6 +615,7 @@ impl IncrementalCutState {
         ctx: &BlockContext<'_>,
         node: NodeId,
         probe: AddProbe,
+        bound: BoundCheck,
         stats: &mut SearchStats,
     ) -> bool {
         stats.cuts_considered += 1;
@@ -360,6 +635,17 @@ impl IncrementalCutState {
             stats.pruned_node_budget += 1;
             return false;
         }
+        if bound.optimistic <= bound.threshold {
+            stats.pruned_bound += 1;
+            return false;
+        }
+        if let Some(limit) = bound.input_floor {
+            // Monotone floor on IN(S): block-input sources are never covered later.
+            if self.src_inputs.count_or(&ctx.input_src_mask[node.index()]) > limit {
+                stats.pruned_bound += 1;
+                return false;
+            }
+        }
         stats.feasible_cuts += 1;
         self.add(ctx, node, probe.outputs);
         true
@@ -371,67 +657,64 @@ impl IncrementalCutState {
     /// passed back in so the fan-out scan is not repeated.
     pub fn add(&mut self, ctx: &BlockContext<'_>, node: NodeId, new_outputs: usize) {
         let index = node.index();
+        // Incremental IN(S): union the node's source masks, journalling overwritten
+        // words; covered sources are subtracted by popcount against the cut mask.
+        let spilled_nodes = self
+            .src_nodes
+            .union_with_spill(&ctx.node_src_mask[index], &mut self.spill);
+        let spilled_inputs = self
+            .src_inputs
+            .union_with_spill(&ctx.input_src_mask[index], &mut self.spill);
         self.journal.push(UndoEntry::Added {
             node,
-            inputs: self.inputs,
             outputs: self.outputs,
             software: self.software,
             critical_path: self.critical_path,
+            hardware_cycles: self.hardware_cycles,
             area: self.area,
+            spilled_nodes,
+            spilled_inputs,
         });
-        // Incremental IN(S): `node` stops being an external source, and its own external
-        // sources start counting (once each).
-        if self.node_external_uses[index] > 0 {
-            self.inputs -= 1;
-        }
-        for source in &ctx.sources[index] {
-            match *source {
-                Source::Node(m) => {
-                    self.node_external_uses[m] += 1;
-                    if self.node_external_uses[m] == 1 {
-                        self.inputs += 1;
-                    }
-                }
-                Source::Input(p) => {
-                    self.input_uses[p] += 1;
-                    if self.input_uses[p] == 1 {
-                        self.inputs += 1;
-                    }
-                }
-            }
-        }
         // Incremental critical path: consumers inside the cut are already final.
         let downstream = ctx
             .dfg
             .consumers(node)
             .iter()
-            .filter(|c| self.in_cut[c.index()])
+            .filter(|c| self.cut.get(c.index()))
             .map(|c| self.longest_path[c.index()])
             .fold(0.0f64, f64::max);
         let path_through_node = downstream + ctx.hardware_delay[index];
+        debug_assert_eq!(
+            self.longest_path[index], 0.0,
+            "stale longest_path entry: undo must reset entries of removed members"
+        );
         self.longest_path[index] = path_through_node;
-        self.critical_path = self.critical_path.max(path_through_node);
+        if path_through_node > self.critical_path {
+            self.critical_path = path_through_node;
+            self.hardware_cycles = HardwareDelayModel::cycles_for_delay(path_through_node);
+        }
         self.software += u64::from(ctx.software_cost[index]);
         self.area += ctx.area_cost[index];
         self.outputs = new_outputs;
-        self.in_cut[index] = true;
+        self.cut.set(index);
         self.members.push(node);
     }
 
-    /// Records the decision to keep `node` outside the cut: updates the convexity
-    /// reachability frontier (does a downstream path from `node` reach the cut?).
+    /// Records the decision to keep `node` outside the cut: one AND-with-mask test of
+    /// the node's descendant mask against the cut (see the module docs for why the flag
+    /// stays correct as the cut grows).
     pub fn mark_outside(&mut self, ctx: &BlockContext<'_>, node: NodeId) {
         let index = node.index();
-        let reaches = ctx
-            .dfg
-            .consumers(node)
-            .iter()
-            .any(|c| self.in_cut[c.index()] || self.reaches_cut[c.index()]);
+        let reaches = ctx.descendants[index].intersects(&self.cut);
         self.journal.push(UndoEntry::MarkedOutside {
             node,
-            reached: self.reaches_cut[index],
+            reached: self.reach.get(index),
         });
-        self.reaches_cut[index] = reaches;
+        if reaches {
+            self.reach.set(index);
+        } else {
+            self.reach.clear(index);
+        }
     }
 
     /// Reverses the most recent [`add`](Self::add) or
@@ -441,33 +724,45 @@ impl IncrementalCutState {
     ///
     /// Panics if the journal is empty (an undo without a matching mutation is a policy
     /// bug, not a recoverable condition).
-    pub fn undo_last(&mut self, ctx: &BlockContext<'_>) {
+    pub fn undo_last(&mut self, _ctx: &BlockContext<'_>) {
         match self.journal.pop().expect("undo without a prior mutation") {
             UndoEntry::Added {
                 node,
-                inputs,
                 outputs,
                 software,
                 critical_path,
+                hardware_cycles,
                 area,
+                spilled_nodes,
+                spilled_inputs,
             } => {
                 let index = node.index();
                 self.members.pop();
-                self.in_cut[index] = false;
-                for source in &ctx.sources[index] {
-                    match *source {
-                        Source::Node(m) => self.node_external_uses[m] -= 1,
-                        Source::Input(p) => self.input_uses[p] -= 1,
-                    }
+                self.cut.clear(index);
+                // Reset so the next occupant of this entry starts clean (the add
+                // debug-asserts this invariant).
+                self.longest_path[index] = 0.0;
+                for _ in 0..spilled_inputs {
+                    let (word, value) = self.spill.pop().expect("input spill underflow");
+                    self.src_inputs.restore_word(word, value);
                 }
-                self.inputs = inputs;
+                for _ in 0..spilled_nodes {
+                    let (word, value) = self.spill.pop().expect("node spill underflow");
+                    self.src_nodes.restore_word(word, value);
+                }
                 self.outputs = outputs;
                 self.software = software;
                 self.critical_path = critical_path;
+                self.hardware_cycles = hardware_cycles;
                 self.area = area;
             }
             UndoEntry::MarkedOutside { node, reached } => {
-                self.reaches_cut[node.index()] = reached;
+                let index = node.index();
+                if reached {
+                    self.reach.set(index);
+                } else {
+                    self.reach.clear(index);
+                }
             }
         }
     }
@@ -479,7 +774,7 @@ impl IncrementalCutState {
             cut: CutSet::from_nodes(ctx.dfg, self.members.iter().copied()),
             evaluation: CutEvaluation {
                 nodes: self.members.len(),
-                inputs: self.inputs,
+                inputs: self.inputs(),
                 outputs: self.outputs,
                 convex: true,
                 software_cycles: self.software,
@@ -613,6 +908,13 @@ pub trait SearchPolicy: Sync {
 
     /// Reverses a successful [`apply`](Self::apply) of `choice` at `level`.
     fn undo(&self, state: &mut Self::State, level: usize, choice: usize);
+
+    /// Returns `true` when the policy's pruning reads visit-order-dependent state (the
+    /// incumbent-score bound threshold): the kernel then ignores any split hint, since
+    /// a partitioned walk would see different incumbents and prune a different tree.
+    fn requires_sequential(&self) -> bool {
+        false
+    }
 }
 
 /// One explicit-stack frame of the kernel's depth-first walk: the decision level, the
@@ -698,9 +1000,10 @@ impl SearchKernel {
     }
 
     /// The split depth actually used: clamped below the tree depth, disabled entirely
-    /// under an exploration budget, and bounded so the task count stays reasonable.
+    /// under an exploration budget or a sequential-only policy, and bounded so the task
+    /// count stays reasonable.
     fn effective_split<P: SearchPolicy>(&self, policy: &P) -> usize {
-        if self.exploration_budget.is_some() {
+        if self.exploration_budget.is_some() || policy.requires_sequential() {
             return 0;
         }
         let depth = policy.depth();
@@ -784,6 +1087,8 @@ fn merge_stats(stats: &mut SearchStats, other: &SearchStats) {
     stats.pruned_output += other.pruned_output;
     stats.pruned_convexity += other.pruned_convexity;
     stats.pruned_node_budget += other.pruned_node_budget;
+    stats.pruned_bound += other.pruned_bound;
+    stats.bound_subtree_prunes += other.bound_subtree_prunes;
     stats.budget_exhausted |= other.budget_exhausted;
 }
 
@@ -916,8 +1221,11 @@ mod tests {
         assert_eq!(state.outputs(), 0);
         assert_eq!(state.software(), 0);
         assert!(state.journal.is_empty());
-        assert!(state.in_cut.iter().all(|&b| !b));
-        assert!(state.node_external_uses.iter().all(|&u| u == 0));
+        assert!(state.spill.is_empty());
+        assert!(state.cut.is_empty());
+        assert!(state.src_nodes.is_empty());
+        assert!(state.src_inputs.is_empty());
+        assert!(state.longest_path.iter().all(|&d| d == 0.0));
     }
 
     /// `mark_outside` tracks the reference convexity check: after marking a node
@@ -940,6 +1248,107 @@ mod tests {
         // Undo one mark: the other still breaks convexity.
         state.undo_last(&ctx);
         assert!(!state.probe_add(&ctx, mul).convex);
+    }
+
+    /// The ancestor and descendant masks are exact duals, and descendants follow the
+    /// transitive consumer relation.
+    #[test]
+    fn ancestor_and_descendant_masks_are_dual() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let ctx = BlockContext::new(&g, Constraints::new(8, 4), &model);
+        let n = g.node_count();
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(
+                    ctx.descendants[u].get(v),
+                    ctx.ancestors[v].get(u),
+                    "duality violated for ({u}, {v})"
+                );
+            }
+        }
+        // mul (decided last) has every other node as a descendant and none as ancestor.
+        let mul = ctx.node_at(3);
+        assert_eq!(ctx.descendants_of(mul).count(), 3);
+        assert!(ctx.ancestors_of(mul).is_empty());
+    }
+
+    /// The frontier bound prunes exactly the attempts whose optimistic merit cannot
+    /// beat the threshold, and `try_add_probed` counts them in the new category.
+    #[test]
+    fn bound_check_prunes_and_counts() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let ctx = BlockContext::new(&g, Constraints::new(8, 4), &model);
+        let mut state = IncrementalCutState::new(&ctx);
+        let mut stats = SearchStats::default();
+        let node = ctx.node_at(0);
+        // A hopeless bound prunes (and leaves the state untouched) …
+        let hopeless = BoundCheck {
+            optimistic: 0.0,
+            threshold: 0.0,
+            input_floor: None,
+        };
+        assert!(!state.try_add(&ctx, node, hopeless, &mut stats));
+        assert_eq!(stats.pruned_bound, 1);
+        assert_eq!(stats.cuts_considered, 1);
+        assert!(state.is_empty());
+        // … a disabled one never does.
+        assert!(state.try_add(&ctx, node, BoundCheck::disabled(), &mut stats));
+        assert_eq!(stats.feasible_cuts, 1);
+        // The input floor prunes on the monotone block-input count alone.
+        state.undo_last(&ctx);
+        let floored = BoundCheck {
+            optimistic: f64::INFINITY,
+            threshold: 0.0,
+            input_floor: Some(0),
+        };
+        let mul = ctx.node_at(3); // reads both block inputs
+        assert!(!state.try_add(&ctx, mul, floored, &mut stats));
+        assert_eq!(stats.pruned_bound, 2);
+    }
+
+    /// The optimistic merit helpers combine the current cut with the remaining
+    /// frontier mass: at the root the whole block is reachable, at the last level
+    /// nothing is.
+    #[test]
+    fn optimistic_merits_track_the_frontier_mass() {
+        let g = fig4();
+        let model = DefaultCostModel::new();
+        let ctx = BlockContext::new(&g, Constraints::new(8, 4), &model);
+        let state = IncrementalCutState::new(&ctx);
+        let total: u64 = (0..ctx.depth())
+            .map(|l| u64::from(ctx.node_software_cost(ctx.node_at(l))))
+            .sum();
+        assert_eq!(ctx.remaining_mass(0), total);
+        assert_eq!(ctx.remaining_mass(ctx.depth()), 0);
+        // Empty cut, zero critical path: the bound is just the reachable mass.
+        assert_eq!(state.optimistic_with(&ctx, 0), total as f64);
+        let last = ctx.depth() - 1;
+        assert_eq!(state.optimistic_without(&ctx, last), 0.0);
+        // The integer-domain forms agree with the float comparisons they replace,
+        // at every level of a partially built cut.
+        let mut state = state;
+        let mut stats = SearchStats::default();
+        assert!(state.try_add(&ctx, ctx.node_at(0), BoundCheck::disabled(), &mut stats));
+        for level in 0..ctx.depth() {
+            assert_eq!(
+                state.frontier_dead_with(&ctx, level),
+                state.optimistic_with(&ctx, level) <= 0.0
+            );
+            assert_eq!(
+                state.frontier_dead_without(&ctx, level),
+                state.optimistic_without(&ctx, level) <= 0.0
+            );
+        }
+        // Blocking a node removes its cycles from every prefix mass.
+        let mut ctx2 = BlockContext::new(&g, Constraints::new(8, 4), &model);
+        let mul = ctx2.node_at(3);
+        ctx2.block_nodes(&CutSet::from_nodes(&g, [mul]));
+        assert_eq!(
+            ctx2.remaining_mass(0),
+            total - u64::from(ctx2.node_software_cost(mul))
+        );
     }
 
     /// The replay merge reproduces the sequential update log: improvements of a later
@@ -972,7 +1381,9 @@ mod tests {
 
     #[test]
     fn split_depth_is_clamped_by_arity_and_tree_depth() {
-        struct Dummy;
+        struct Dummy {
+            sequential_only: bool,
+        }
         impl SearchPolicy for Dummy {
             type Payload = ();
             type State = ();
@@ -997,11 +1408,22 @@ mod tests {
                 false
             }
             fn undo(&self, (): &mut Self::State, _level: usize, _choice: usize) {}
+            fn requires_sequential(&self) -> bool {
+                self.sequential_only
+            }
         }
+        let parallel_ok = Dummy {
+            sequential_only: false,
+        };
         let kernel = SearchKernel::sequential().with_split_levels(64);
         // 4^k <= 4096 limits k to 6; the 5-level tree limits it further to 4.
-        assert_eq!(kernel.effective_split(&Dummy), 4);
+        assert_eq!(kernel.effective_split(&parallel_ok), 4);
         let budgeted = kernel.with_exploration_budget(Some(10));
-        assert_eq!(budgeted.effective_split(&Dummy), 0);
+        assert_eq!(budgeted.effective_split(&parallel_ok), 0);
+        // A sequential-only policy (incumbent-bound mode) disables the split entirely.
+        let sequential_only = Dummy {
+            sequential_only: true,
+        };
+        assert_eq!(kernel.effective_split(&sequential_only), 0);
     }
 }

@@ -6,6 +6,8 @@
 //!
 //! * [`cut`] — cuts (subgraphs) of a basic-block dataflow graph and the reference
 //!   implementations of `IN(S)`, `OUT(S)` and convexity;
+//! * [`bitset`] — the fixed-capacity `u64`-word [`BitSet`] the kernel packs its hot
+//!   per-node state into (membership, reach, source unions, precomputed masks);
 //! * [`Constraints`] — the microarchitectural constraints `Nin`/`Nout` (plus optional
 //!   area and size budgets);
 //! * [`kernel`] — the shared branch-and-bound [`SearchKernel`](kernel::SearchKernel):
@@ -56,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod collapse;
 mod constraints;
 pub mod cut;
@@ -68,6 +71,7 @@ pub mod pool;
 mod search;
 pub mod selection;
 
+pub use bitset::BitSet;
 pub use constraints::Constraints;
 pub use cut::{CutEvaluation, CutSet};
 pub use engine::{
@@ -75,6 +79,7 @@ pub use engine::{
     IdentifierRegistry, SweepPlanner, SweepStats,
 };
 pub use error::IseError;
+pub use kernel::reference::{identify_single_cut_reference, ReferenceCutState};
 pub use multicut::{identify_multiple_cuts, MultiCutOutcome, MultiCutSearch};
 pub use search::{identify_single_cut, IdentifiedCut, SearchOutcome, SearchStats, SingleCutSearch};
 pub use selection::{

@@ -16,12 +16,14 @@
 //! its own [`IncrementalCutState`] — the same per-cut bookkeeping the single-cut search
 //! uses, instantiated `M` times.
 
-use ise_hw::CostModel;
+use ise_hw::{cut_merit, CostModel};
 use ise_ir::Dfg;
 
 use crate::constraints::Constraints;
 use crate::cut::CutSet;
-use crate::kernel::{BlockContext, IncrementalCutState, Incumbent, SearchKernel, SearchPolicy};
+use crate::kernel::{
+    BlockContext, BoundCheck, IncrementalCutState, Incumbent, SearchKernel, SearchPolicy,
+};
 use crate::search::{IdentifiedCut, SearchStats};
 
 /// Result of a multiple-cut identification run.
@@ -81,6 +83,7 @@ struct MultiCutState {
 struct MultiCutPolicy<'a> {
     ctx: &'a BlockContext<'a>,
     num_cuts: usize,
+    incumbent_bound: bool,
 }
 
 impl MultiCutPolicy<'_> {
@@ -88,6 +91,14 @@ impl MultiCutPolicy<'_> {
     fn assignable(&self, state: &MultiCutState) -> usize {
         let used = state.cuts.iter().take_while(|cut| !cut.is_empty()).count();
         (used + 1).min(self.num_cuts)
+    }
+
+    /// The summed merit of the tuple as it stands (empty slots contribute zero): the
+    /// base of the frontier bound. Each remaining software cycle can join at most one
+    /// slot and raise that slot's merit by at most one per cycle, so
+    /// `base + remaining_mass` bounds every objective reachable in the subtree.
+    fn base_merit(&self, state: &MultiCutState) -> f64 {
+        state.cuts.iter().map(IncrementalCutState::merit).sum()
     }
 
     /// Offers the current assignment to the incumbent: every non-empty cut must satisfy
@@ -159,15 +170,42 @@ impl SearchPolicy for MultiCutPolicy<'_> {
         let node = ctx.node_at(level);
         let blocked = ctx.is_blocked(node);
         let software_choice = if blocked { 0 } else { self.assignable(state) };
+        let threshold = if self.incumbent_bound {
+            incumbent.score()
+        } else {
+            0.0
+        };
         if choice == software_choice {
-            // Software branch: the node is outside every cut; update each frontier.
+            // Software branch: the node is outside every cut — unless even the whole
+            // remaining frontier cannot lift the tuple's summed merit past the
+            // threshold, in which case the subtree is skipped outright.
+            let optimistic = self.base_merit(state) + ctx.remaining_mass(level + 1) as f64;
+            if optimistic <= threshold {
+                stats.bound_subtree_prunes += 1;
+                return false;
+            }
             for cut in &mut state.cuts {
                 cut.mark_outside(ctx, node);
             }
             return true;
         }
-        // Assign the node to cut slot `choice` (shared probe/prune/count logic).
-        if !state.cuts[choice].try_add(ctx, node, stats) {
+        // Assign the node to cut slot `choice` (shared probe/prune/count logic). The
+        // bound replaces the slot's merit by its optimistic post-add value (current
+        // critical path, since adding can only lengthen it) and grants the remaining
+        // frontier mass on top.
+        let slot = &state.cuts[choice];
+        let optimistic = self.base_merit(state) - slot.merit()
+            + cut_merit(
+                slot.software() + u64::from(ctx.node_software_cost(node)),
+                slot.critical_path(),
+            )
+            + ctx.remaining_mass(level + 1) as f64;
+        let bound = BoundCheck {
+            optimistic,
+            threshold,
+            input_floor: self.incumbent_bound.then_some(ctx.constraints.max_inputs),
+        };
+        if !state.cuts[choice].try_add(ctx, node, bound, stats) {
             return false;
         }
         // The node is *outside* every other cut, so record whether it forwards a path
@@ -189,6 +227,10 @@ impl SearchPolicy for MultiCutPolicy<'_> {
             cut.undo_last(self.ctx);
         }
     }
+
+    fn requires_sequential(&self) -> bool {
+        self.incumbent_bound
+    }
 }
 
 /// The exact multiple-cut identification algorithm, as a configured front over the
@@ -197,6 +239,7 @@ pub struct MultiCutSearch<'a> {
     ctx: BlockContext<'a>,
     num_cuts: usize,
     kernel: SearchKernel,
+    incumbent_bound: bool,
 }
 
 impl<'a> MultiCutSearch<'a> {
@@ -221,7 +264,19 @@ impl<'a> MultiCutSearch<'a> {
             ctx: BlockContext::new(dfg, constraints, model),
             num_cuts,
             kernel: SearchKernel::sequential(),
+            incumbent_bound: false,
         }
+    }
+
+    /// Sharpens the frontier bound's threshold from zero to the incumbent's summed
+    /// merit (and enables the per-slot monotone block-input floor). The selected tuple
+    /// stays identical; the effort counters shrink and become visit-order-dependent, so
+    /// this forces the sequential walk. See
+    /// [`SingleCutSearch::with_incumbent_bound`](crate::search::SingleCutSearch::with_incumbent_bound).
+    #[must_use]
+    pub fn with_incumbent_bound(mut self) -> Self {
+        self.incumbent_bound = true;
+        self
     }
 
     /// Additionally forbids the given nodes from entering any cut.
@@ -254,6 +309,7 @@ impl<'a> MultiCutSearch<'a> {
         let policy = MultiCutPolicy {
             ctx: &self.ctx,
             num_cuts: self.num_cuts,
+            incumbent_bound: self.incumbent_bound,
         };
         let (best, stats) = self.kernel.run(&policy);
         MultiCutOutcome::from_payload(best, stats)
@@ -358,7 +414,27 @@ mod tests {
                 + stats.pruned_output
                 + stats.pruned_convexity
                 + stats.pruned_node_budget
+                + stats.pruned_bound
         );
+    }
+
+    /// The opt-in incumbent-score bound returns the identical tuple while never
+    /// exploring more assignments than the default zero-threshold bound.
+    #[test]
+    fn incumbent_bound_preserves_the_tuple() {
+        let g = two_chains();
+        let model = DefaultCostModel::new();
+        for num_cuts in [1usize, 2, 3] {
+            for constraints in [Constraints::new(2, 1), Constraints::new(4, 2)] {
+                let default = MultiCutSearch::new(&g, constraints, &model, num_cuts).run();
+                let bounded = MultiCutSearch::new(&g, constraints, &model, num_cuts)
+                    .with_incumbent_bound()
+                    .run();
+                assert_eq!(default.cuts, bounded.cuts, "{num_cuts} slots");
+                assert_eq!(default.stats.best_updates, bounded.stats.best_updates);
+                assert!(bounded.stats.cuts_considered <= default.stats.cuts_considered);
+            }
+        }
     }
 
     /// Regression test: a cut must stay convex with respect to nodes assigned to *other*

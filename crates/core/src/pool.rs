@@ -30,11 +30,16 @@
 //!    is port-dominated by an earlier one of no lesser merit — preserves the exact
 //!    answer of *every* covered query ([`ParetoStore`]).
 //! 3. **The effort counters are histogram-reconstructible.** Every 1-branch attempt of
-//!    the loose walk is recorded as `(prefix max OUT, probed OUT, convex, node-budget)`;
-//!    a query aggregates the attempts its own walk would have made and classifies them
-//!    in the canonical pruning order (output → convexity → node budget), reproducing
-//!    [`SearchStats`] exactly — except `best_updates`, which would require the full
-//!    offer log and is reported as zero by pool answers (see [`AttemptHistogram`]).
+//!    the loose walk is recorded as `(prefix max OUT, probed OUT, convex, node-budget,
+//!    frontier-bound)`; a query aggregates the attempts its own walk would have made and
+//!    classifies them in the canonical pruning order (output → convexity → node budget →
+//!    frontier bound), reproducing [`SearchStats`] exactly — except `best_updates`,
+//!    which would require the full offer log and is reported as zero by pool answers
+//!    (see [`AttemptHistogram`]). The frontier bound is *query-independent*: its zero
+//!    threshold and its optimistic value depend only on the tree path, never on the
+//!    ports or the incumbent, so the fill observes the exact bound outcome every covered
+//!    query would. Software-branch subtree prunes (which attempt no cut) are tallied per
+//!    prefix in a side vector and summed the same way.
 //!
 //! Exploration budgets truncate the walk by *visit order* and therefore cannot be
 //! reconstructed from a differently-constrained enumeration: a fill that exhausts its
@@ -45,12 +50,14 @@
 
 use std::sync::Mutex;
 
-use ise_hw::CostModel;
+use ise_hw::{cut_merit, CostModel};
 use ise_ir::Dfg;
 
 use crate::constraints::Constraints;
 use crate::cut::CutSet;
-use crate::kernel::{BlockContext, IncrementalCutState, Incumbent, SearchKernel, SearchPolicy};
+use crate::kernel::{
+    BlockContext, BoundCheck, IncrementalCutState, Incumbent, SearchKernel, SearchPolicy,
+};
 use crate::search::{IdentifiedCut, SearchStats};
 
 /// One candidate kept by a [`ParetoStore`]: the payload plus its query signature.
@@ -162,9 +169,14 @@ impl<P> ParetoStore<P> {
 /// [`SearchStats`] of a direct search under any covered output-port constraint.
 ///
 /// Each attempt is keyed by the largest `OUT` applied on its tree path (`prefix`), the
-/// probed `OUT` of the attempt itself, and its convexity / node-budget flags. A walk
-/// under `Nout = q` makes exactly the attempts with `prefix ≤ q` and classifies each in
-/// the canonical order: output ports first, then convexity, then the node budget.
+/// probed `OUT` of the attempt itself, and its convexity / node-budget / frontier-bound
+/// flags. A walk under `Nout = q` makes exactly the attempts with `prefix ≤ q` and
+/// classifies each in the canonical order: output ports first, then convexity, the node
+/// budget, and last the frontier bound. The bound flag is query-independent (zero
+/// threshold, path-determined optimistic value), so recording it once at fill time is
+/// exact for every covered query. Software-branch subtree prunes — the bound firing at
+/// a 0-branch, where no cut is attempted — are tallied per prefix in
+/// `subtree_prunes` and reconstructed by the same prefix cutoff.
 ///
 /// `best_updates` is *not* reconstructible from a histogram (it depends on the full
 /// offer order) and is reported as zero by [`reconstruct`](Self::reconstruct); pool
@@ -173,24 +185,46 @@ impl<P> ParetoStore<P> {
 pub struct AttemptHistogram {
     fill_outputs: usize,
     counts: Vec<u64>,
+    subtree_prunes: Vec<u64>,
 }
 
 impl AttemptHistogram {
     fn new(fill_outputs: usize) -> Self {
         AttemptHistogram {
             fill_outputs,
-            counts: vec![0; (fill_outputs + 1) * (fill_outputs + 2) * 4],
+            counts: vec![0; (fill_outputs + 1) * (fill_outputs + 2) * 8],
+            subtree_prunes: vec![0; fill_outputs + 1],
         }
     }
 
-    fn index(&self, prefix: usize, probed: usize, convex: bool, within_budget: bool) -> usize {
-        ((prefix * (self.fill_outputs + 2) + probed) * 2 + usize::from(convex)) * 2
-            + usize::from(within_budget)
+    fn index(
+        &self,
+        prefix: usize,
+        probed: usize,
+        convex: bool,
+        within_budget: bool,
+        bound_ok: bool,
+    ) -> usize {
+        (((prefix * (self.fill_outputs + 2) + probed) * 2 + usize::from(convex)) * 2
+            + usize::from(within_budget))
+            * 2
+            + usize::from(bound_ok)
     }
 
-    fn record(&mut self, prefix: usize, probed: usize, convex: bool, within_budget: bool) {
-        let index = self.index(prefix, probed, convex, within_budget);
+    fn record(
+        &mut self,
+        prefix: usize,
+        probed: usize,
+        convex: bool,
+        within_budget: bool,
+        bound_ok: bool,
+    ) {
+        let index = self.index(prefix, probed, convex, within_budget, bound_ok);
         self.counts[index] += 1;
+    }
+
+    fn record_subtree_prune(&mut self, prefix: usize) {
+        self.subtree_prunes[prefix] += 1;
     }
 
     /// Reconstructs the statistics of a direct search under `Nout = max_outputs`.
@@ -199,22 +233,28 @@ impl AttemptHistogram {
         let mut stats = SearchStats::default();
         let query = max_outputs.min(self.fill_outputs);
         for prefix in 0..=query {
+            stats.bound_subtree_prunes += self.subtree_prunes[prefix];
             for probed in 0..=self.fill_outputs + 1 {
                 for convex in [false, true] {
                     for within_budget in [false, true] {
-                        let n = self.counts[self.index(prefix, probed, convex, within_budget)];
-                        if n == 0 {
-                            continue;
-                        }
-                        stats.cuts_considered += n;
-                        if probed > max_outputs {
-                            stats.pruned_output += n;
-                        } else if !convex {
-                            stats.pruned_convexity += n;
-                        } else if !within_budget {
-                            stats.pruned_node_budget += n;
-                        } else {
-                            stats.feasible_cuts += n;
+                        for bound_ok in [false, true] {
+                            let n = self.counts
+                                [self.index(prefix, probed, convex, within_budget, bound_ok)];
+                            if n == 0 {
+                                continue;
+                            }
+                            stats.cuts_considered += n;
+                            if probed > max_outputs {
+                                stats.pruned_output += n;
+                            } else if !convex {
+                                stats.pruned_convexity += n;
+                            } else if !within_budget {
+                                stats.pruned_node_budget += n;
+                            } else if !bound_ok {
+                                stats.pruned_bound += n;
+                            } else {
+                                stats.feasible_cuts += n;
+                            }
                         }
                     }
                 }
@@ -396,8 +436,17 @@ impl SearchPolicy for SingleCutFillPolicy<'_> {
         let ctx = self.ctx;
         let node = ctx.node_at(level);
         if choice == 1 {
-            state.cuts.mark_outside(ctx, node);
             let prefix = state.prefix();
+            // The same path-determined zero-threshold bound the direct search applies
+            // at its software branch; a pruned subtree is recorded per prefix so covered
+            // queries reconstruct their own `bound_subtree_prunes`.
+            if state.cuts.frontier_dead_without(ctx, level) {
+                stats.bound_subtree_prunes += 1;
+                let mut recorder = self.recorder.lock().expect("fill runs sequentially");
+                recorder.histogram.record_subtree_prune(prefix);
+                return false;
+            }
+            state.cuts.mark_outside(ctx, node);
             state.prefix_out.push(prefix);
             return true;
         }
@@ -410,11 +459,13 @@ impl SearchPolicy for SingleCutFillPolicy<'_> {
             .constraints
             .max_nodes
             .is_none_or(|limit| state.cuts.len() < limit);
+        let dead = state.cuts.frontier_dead_with(ctx, level);
+        let bound = BoundCheck::frontier(dead);
         let mut recorder = self.recorder.lock().expect("fill runs sequentially");
         recorder
             .histogram
-            .record(prefix, probe.outputs, probe.convex, within_budget);
-        if !state.cuts.try_add_probed(ctx, node, probe, stats) {
+            .record(prefix, probe.outputs, probe.convex, within_budget, !dead);
+        if !state.cuts.try_add_probed(ctx, node, probe, bound, stats) {
             return false;
         }
         // Candidate qualification mirrors the single-cut offer: the input-port check
@@ -458,6 +509,12 @@ impl MultiCutFillPolicy<'_> {
     fn assignable(&self, state: &FillState<Vec<IncrementalCutState>>) -> usize {
         let used = state.cuts.iter().take_while(|cut| !cut.is_empty()).count();
         (used + 1).min(self.num_cuts)
+    }
+
+    /// The tuple's current summed merit — the additive base of the frontier bound,
+    /// identical to the incumbent-driven policy's.
+    fn base_merit(state: &FillState<Vec<IncrementalCutState>>) -> f64 {
+        state.cuts.iter().map(IncrementalCutState::merit).sum()
     }
 
     /// Offers the current assignment: every non-empty cut must satisfy the input-port
@@ -534,6 +591,15 @@ impl SearchPolicy for MultiCutFillPolicy<'_> {
         let software_choice = if blocked { 0 } else { self.assignable(state) };
         let prefix = state.prefix();
         if choice == software_choice {
+            // Same path-determined zero-threshold bound as the direct `(M+1)`-ary
+            // policy's software branch, recorded per prefix for reconstruction.
+            let optimistic = Self::base_merit(state) + ctx.remaining_mass(level + 1) as f64;
+            if optimistic <= 0.0 {
+                stats.bound_subtree_prunes += 1;
+                let mut recorder = self.recorder.lock().expect("fill runs sequentially");
+                recorder.histogram.record_subtree_prune(prefix);
+                return false;
+            }
             for cut in &mut state.cuts {
                 cut.mark_outside(ctx, node);
             }
@@ -545,11 +611,26 @@ impl SearchPolicy for MultiCutFillPolicy<'_> {
             .constraints
             .max_nodes
             .is_none_or(|limit| state.cuts[choice].len() < limit);
+        let slot = &state.cuts[choice];
+        let bound = BoundCheck {
+            optimistic: Self::base_merit(state) - slot.merit()
+                + cut_merit(
+                    slot.software() + u64::from(ctx.node_software_cost(node)),
+                    slot.critical_path(),
+                )
+                + ctx.remaining_mass(level + 1) as f64,
+            threshold: 0.0,
+            input_floor: None,
+        };
         let mut recorder = self.recorder.lock().expect("fill runs sequentially");
-        recorder
-            .histogram
-            .record(prefix, probe.outputs, probe.convex, within_budget);
-        if !state.cuts[choice].try_add_probed(ctx, node, probe, stats) {
+        recorder.histogram.record(
+            prefix,
+            probe.outputs,
+            probe.convex,
+            within_budget,
+            bound.optimistic > bound.threshold,
+        );
+        if !state.cuts[choice].try_add_probed(ctx, node, probe, bound, stats) {
             return false;
         }
         for (slot, cut) in state.cuts.iter_mut().enumerate() {
@@ -713,6 +794,11 @@ mod tests {
                 assert_eq!(stats.pruned_output, direct.stats.pruned_output);
                 assert_eq!(stats.pruned_convexity, direct.stats.pruned_convexity);
                 assert_eq!(stats.pruned_node_budget, direct.stats.pruned_node_budget);
+                assert_eq!(stats.pruned_bound, direct.stats.pruned_bound);
+                assert_eq!(
+                    stats.bound_subtree_prunes,
+                    direct.stats.bound_subtree_prunes
+                );
                 assert!(!stats.budget_exhausted);
             }
         }
@@ -801,6 +887,14 @@ mod tests {
                     assert_eq!(answered, direct_payload, "seed {seed}, M={m}, {query}");
                     assert_eq!(
                         answer.stats.cuts_considered, direct.stats.cuts_considered,
+                        "seed {seed}, M={m}, {query}"
+                    );
+                    assert_eq!(
+                        answer.stats.pruned_bound, direct.stats.pruned_bound,
+                        "seed {seed}, M={m}, {query}"
+                    );
+                    assert_eq!(
+                        answer.stats.bound_subtree_prunes, direct.stats.bound_subtree_prunes,
                         "seed {seed}, M={m}, {query}"
                     );
                 }

@@ -24,7 +24,9 @@ use ise_ir::Dfg;
 
 use crate::constraints::Constraints;
 use crate::cut::{CutEvaluation, CutSet};
-use crate::kernel::{BlockContext, IncrementalCutState, Incumbent, SearchKernel, SearchPolicy};
+use crate::kernel::{
+    BlockContext, BoundCheck, IncrementalCutState, Incumbent, SearchKernel, SearchPolicy,
+};
 
 /// Counters describing one run of the identification algorithm.
 ///
@@ -43,6 +45,15 @@ pub struct SearchStats {
     pub pruned_convexity: u64,
     /// Cuts rejected (with their subtree) by the optional node-count budget.
     pub pruned_node_budget: u64,
+    /// Cuts rejected (with their subtree) by the frontier-aware merit bound — the new
+    /// category of the word-packed kernel, still inside the `cuts_considered` identity
+    /// (`considered = feasible + output + convexity + node_budget + bound`). In the
+    /// opt-in incumbent-bound mode this also counts the monotone block-input floor.
+    pub pruned_bound: u64,
+    /// Software branches whose whole subtree the frontier bound skipped *before* any
+    /// cut was attempted; not part of the `cuts_considered` identity, since no cut was
+    /// counted.
+    pub bound_subtree_prunes: u64,
     /// Number of times the incumbent best cut was improved.
     pub best_updates: u64,
     /// True when the optional exploration budget stopped the search early; the result is
@@ -123,10 +134,18 @@ impl SearchOutcome {
 /// The single-cut policy over the shared kernel: a binary decision per node.
 ///
 /// Choice `0` tries to add the node to the cut (the 1-branch of Fig. 6, with the
-/// output-port / convexity / node-budget pruning); choice `1` leaves it in software and
-/// updates the convexity reachability frontier.
+/// output-port / convexity / node-budget / frontier-bound pruning); choice `1` leaves
+/// it in software, first checking whether the remaining frontier can still produce a
+/// winning cut at all.
+///
+/// `incumbent_bound` selects the bound threshold: `false` (the default) uses zero —
+/// pruned subtrees provably contain only non-positive-merit cuts, so the selection,
+/// `best_updates` *and* the parallel-walk byte-identity are preserved; `true` uses the
+/// incumbent's score, which prunes much harder but reads visit-order-dependent state
+/// and therefore forces the sequential walk (and adds the monotone block-input floor).
 struct SingleCutPolicy<'a> {
     ctx: &'a BlockContext<'a>,
+    incumbent_bound: bool,
 }
 
 impl SearchPolicy for SingleCutPolicy<'_> {
@@ -160,7 +179,19 @@ impl SearchPolicy for SingleCutPolicy<'_> {
         let ctx = self.ctx;
         let node = ctx.node_at(level);
         if choice == 1 {
-            // 0-branch: leave `node` out of the cut.
+            // 0-branch: leave `node` out of the cut — unless even the optimistic merit
+            // of the remaining frontier cannot beat the threshold, in which case the
+            // whole subtree is skipped before any cut is attempted. The default zero
+            // threshold is decided in the integer domain (same outcome, no float work).
+            let dead = if self.incumbent_bound {
+                state.optimistic_without(ctx, level) <= incumbent.score()
+            } else {
+                state.frontier_dead_without(ctx, level)
+            };
+            if dead {
+                stats.bound_subtree_prunes += 1;
+                return false;
+            }
             state.mark_outside(ctx, node);
             return true;
         }
@@ -168,7 +199,16 @@ impl SearchPolicy for SingleCutPolicy<'_> {
         if ctx.is_blocked(node) {
             return false;
         }
-        if !state.try_add(ctx, node, stats) {
+        let bound = if self.incumbent_bound {
+            BoundCheck {
+                optimistic: state.optimistic_with(ctx, level),
+                threshold: incumbent.score(),
+                input_floor: Some(ctx.constraints.max_inputs),
+            }
+        } else {
+            BoundCheck::frontier(state.frontier_dead_with(ctx, level))
+        };
+        if !state.try_add(ctx, node, bound, stats) {
             return false;
         }
         // The input-port constraint cannot prune (adding a producer may reduce IN(S)),
@@ -184,6 +224,10 @@ impl SearchPolicy for SingleCutPolicy<'_> {
     fn undo(&self, state: &mut IncrementalCutState, _level: usize, _choice: usize) {
         state.undo_last(self.ctx);
     }
+
+    fn requires_sequential(&self) -> bool {
+        self.incumbent_bound
+    }
 }
 
 /// The exact single-cut identification algorithm (Fig. 6 of the paper), as a
@@ -191,6 +235,7 @@ impl SearchPolicy for SingleCutPolicy<'_> {
 pub struct SingleCutSearch<'a> {
     ctx: BlockContext<'a>,
     kernel: SearchKernel,
+    incumbent_bound: bool,
 }
 
 impl<'a> SingleCutSearch<'a> {
@@ -201,7 +246,23 @@ impl<'a> SingleCutSearch<'a> {
         SingleCutSearch {
             ctx: BlockContext::new(dfg, constraints, model),
             kernel: SearchKernel::sequential(),
+            incumbent_bound: false,
         }
+    }
+
+    /// Sharpens the frontier bound's threshold from zero to the incumbent's score and
+    /// enables the monotone block-input floor.
+    ///
+    /// The selection (and even `best_updates`) provably stays identical — a pruned
+    /// subtree only holds cuts that cannot strictly beat the incumbent — but the effort
+    /// counters shrink and become visit-order-dependent, so this mode forces the
+    /// sequential walk and is kept out of the deterministic engine/pool paths; it is
+    /// the fastest way to answer "best single cut" when reproducible effort accounting
+    /// and parallelism don't matter.
+    #[must_use]
+    pub fn with_incumbent_bound(mut self) -> Self {
+        self.incumbent_bound = true;
+        self
     }
 
     /// Additionally forbids the given nodes from entering any cut.
@@ -238,7 +299,10 @@ impl<'a> SingleCutSearch<'a> {
     /// Runs the search and returns the best cut found together with statistics.
     #[must_use]
     pub fn run(self) -> SearchOutcome {
-        let policy = SingleCutPolicy { ctx: &self.ctx };
+        let policy = SingleCutPolicy {
+            ctx: &self.ctx,
+            incumbent_bound: self.incumbent_bound,
+        };
         let (best, stats) = self.kernel.run(&policy);
         SearchOutcome::from_best(best, stats)
     }
@@ -321,9 +385,52 @@ mod tests {
                 + stats.pruned_output
                 + stats.pruned_convexity
                 + stats.pruned_node_budget
+                + stats.pruned_bound
         );
         assert!(stats.pruned_output > 0);
         assert!(!stats.budget_exhausted);
+    }
+
+    /// The opt-in incumbent-score bound keeps the selection (and `best_updates`)
+    /// identical while never exploring more than the default zero-threshold bound.
+    #[test]
+    fn incumbent_bound_preserves_the_selection() {
+        let graphs = [fig4(), {
+            let mut b = DfgBuilder::new("wide");
+            let x = b.input("x");
+            let y = b.input("y");
+            for i in 0..6 {
+                let s = b.add(x, b.imm(i));
+                let t = b.mul(s, y);
+                b.output(format!("o{i}"), t);
+            }
+            b.finish()
+        }];
+        let model = DefaultCostModel::new();
+        for g in &graphs {
+            for constraints in [
+                Constraints::new(2, 1),
+                Constraints::new(4, 2),
+                Constraints::new(8, 4),
+            ] {
+                let default = SingleCutSearch::new(g, constraints, &model).run();
+                let bounded = SingleCutSearch::new(g, constraints, &model)
+                    .with_incumbent_bound()
+                    .run();
+                assert_eq!(default.best, bounded.best, "{}: selection", g.name());
+                assert_eq!(
+                    default.stats.best_updates,
+                    bounded.stats.best_updates,
+                    "{}: update log",
+                    g.name()
+                );
+                assert!(
+                    bounded.stats.cuts_considered <= default.stats.cuts_considered,
+                    "{}: the sharper threshold must not explore more",
+                    g.name()
+                );
+            }
+        }
     }
 
     #[test]

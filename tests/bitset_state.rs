@@ -1,0 +1,289 @@
+//! Seeded property suite pitting the word-packed [`IncrementalCutState`] against the
+//! retained reference implementations: the `Vec<bool>`-based
+//! [`ReferenceCutState`] (the pre-bitset kernel state, kept as an executable
+//! specification) and the from-scratch evaluators of `ise::core::cut`
+//! (`evaluate`, `is_convex`).
+//!
+//! The walks below follow the kernel's decision discipline — nodes decided in the
+//! consumers-first order of the [`BlockContext`], undone in LIFO order — on random wide
+//! DAGs up to 200 nodes, with exclusion masks and multicut slot interleavings. Like
+//! `tests/properties.rs`, the cases are deterministic seeded loops (the offline
+//! environment has no `proptest`); any failure reproduces exactly from the printed
+//! case parameters.
+
+use ise::core::cut::{self, CutSet};
+use ise::core::kernel::reference::ReferenceCutState;
+use ise::core::kernel::{BlockContext, BoundCheck, IncrementalCutState};
+use ise::core::{
+    identify_single_cut_reference, Constraints, MultiCutSearch, SearchStats, SingleCutSearch,
+};
+use ise::hw::DefaultCostModel;
+use ise::ir::{Dfg, NodeId};
+use ise::workloads::random::wide_dfg;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// A random subset of the block's nodes, used as an exclusion mask.
+fn random_exclusions(dfg: &Dfg, rng: &mut u64) -> CutSet {
+    let picked = dfg
+        .node_ids()
+        .filter(|_| xorshift(rng).is_multiple_of(5))
+        .collect::<Vec<_>>();
+    CutSet::from_nodes(dfg, picked)
+}
+
+fn assert_states_agree(inc: &IncrementalCutState, reference: &ReferenceCutState, context: &str) {
+    assert_eq!(inc.len(), reference.len(), "{context}: len");
+    assert_eq!(inc.inputs(), reference.inputs(), "{context}: inputs");
+    assert_eq!(inc.outputs(), reference.outputs(), "{context}: outputs");
+    assert_eq!(inc.software(), reference.software(), "{context}: software");
+    assert!(
+        (inc.critical_path() - reference.critical_path()).abs() < 1e-9,
+        "{context}: critical path"
+    );
+    assert!(
+        (inc.area() - reference.area()).abs() < 1e-9,
+        "{context}: area"
+    );
+    assert!(
+        (inc.merit() - reference.merit()).abs() < 1e-9,
+        "{context}: merit"
+    );
+}
+
+/// One decision of the randomized walk, so the unwind can replay it in LIFO order.
+enum Decision {
+    Added,
+    Outside,
+}
+
+/// Drives both state implementations through the same randomized, walk-disciplined
+/// decision/undo sequence and checks every observable quantity after every mutation —
+/// including the from-scratch `cut::evaluate` / `cut::is_convex` on the materialized
+/// member set at checkpoints.
+#[test]
+fn bitset_state_matches_the_reference_on_random_wide_dags() {
+    let model = DefaultCostModel::new();
+    for (case, &nodes) in [16usize, 48, 96, 200].iter().enumerate() {
+        for seed in 0..3u64 {
+            let dfg = wide_dfg(nodes, 0xB17 ^ (seed << 8) ^ case as u64);
+            let mut rng = 0x9E3779B97F4A7C15u64 ^ (seed << 4) ^ nodes as u64;
+            let mut ctx = BlockContext::new(&dfg, Constraints::new(8, 4), &model);
+            // Odd cases run under a random exclusion mask.
+            if case % 2 == 1 {
+                ctx.block_nodes(&random_exclusions(&dfg, &mut rng));
+            }
+            let mut inc = IncrementalCutState::new(&ctx);
+            let mut reference = ReferenceCutState::new(&ctx);
+            let mut decisions: Vec<Decision> = Vec::new();
+            let mut members: Vec<NodeId> = Vec::new();
+            for step in 0..4 * ctx.depth() {
+                let level = decisions.len();
+                let backtrack =
+                    level == ctx.depth() || (level > 0 && xorshift(&mut rng).is_multiple_of(4));
+                let context = format!("nodes {nodes}, seed {seed}, step {step}");
+                if backtrack {
+                    if let Decision::Added = decisions.pop().expect("level > 0") {
+                        members.pop();
+                    }
+                    inc.undo_last(&ctx);
+                    reference.undo_last(&ctx);
+                    assert_states_agree(&inc, &reference, &context);
+                    continue;
+                }
+                let node = ctx.node_at(level);
+                let want_add = !ctx.is_blocked(node) && !xorshift(&mut rng).is_multiple_of(3);
+                let mut added = false;
+                if want_add {
+                    let probe = inc.probe_add(&ctx, node);
+                    let ref_probe = reference.probe_add(&ctx, node);
+                    assert_eq!(probe.outputs, ref_probe.outputs, "{context}: probed OUT");
+                    assert_eq!(
+                        probe.convex, ref_probe.convex,
+                        "{context}: probed convexity"
+                    );
+                    let mut inc_stats = SearchStats::default();
+                    let mut ref_stats = SearchStats::default();
+                    added = inc.try_add(&ctx, node, BoundCheck::disabled(), &mut inc_stats);
+                    let ref_added = reference.try_add(&ctx, node, &mut ref_stats);
+                    assert_eq!(added, ref_added, "{context}: try_add outcome");
+                    assert_eq!(inc_stats, ref_stats, "{context}: try_add stats");
+                }
+                if added {
+                    decisions.push(Decision::Added);
+                    members.push(node);
+                } else {
+                    // Blocked, declined or pruned: the node is decided outside.
+                    inc.mark_outside(&ctx, node);
+                    reference.mark_outside(&ctx, node);
+                    decisions.push(Decision::Outside);
+                }
+                assert_states_agree(&inc, &reference, &context);
+                assert!(inc.contains(node) == reference.contains(node));
+                // Periodically cross-check against the from-scratch evaluators.
+                if step % 7 == 0 && !members.is_empty() {
+                    let cut_set = CutSet::from_nodes(&dfg, members.iter().copied());
+                    assert!(cut::is_convex(&dfg, &cut_set), "{context}: convexity");
+                    let eval = cut::evaluate(&dfg, &cut_set, &model);
+                    assert_eq!(inc.inputs(), eval.inputs, "{context}: evaluate IN");
+                    assert_eq!(inc.outputs(), eval.outputs, "{context}: evaluate OUT");
+                    assert_eq!(inc.software(), eval.software_cycles);
+                    assert!((inc.merit() - eval.merit).abs() < 1e-9);
+                }
+            }
+            // Unwind completely: both states must return to empty.
+            while !decisions.is_empty() {
+                decisions.pop();
+                inc.undo_last(&ctx);
+                reference.undo_last(&ctx);
+            }
+            assert!(inc.is_empty() && reference.is_empty());
+            assert_eq!(inc.inputs(), 0);
+            assert_eq!(inc.outputs(), 0);
+        }
+    }
+}
+
+/// Deep snapshot/restore across the whole 200-node tree, twice: the second descent
+/// trips the `longest_path` stale-entry debug assertion if the first unwind left any
+/// entry behind (the regression of the documented `kernel.rs` hazard, at scale).
+#[test]
+fn deep_restores_leave_no_stale_state_behind() {
+    let model = DefaultCostModel::new();
+    let dfg = wide_dfg(200, 0xDEE9);
+    let ctx = BlockContext::new(&dfg, Constraints::new(8, 4), &model);
+    let mut inc = IncrementalCutState::new(&ctx);
+    let mut reference = ReferenceCutState::new(&ctx);
+    for round in 0..2 {
+        let mut applied = 0usize;
+        for level in 0..ctx.depth() {
+            let node = ctx.node_at(level);
+            let mut sink = SearchStats::default();
+            let added =
+                !ctx.is_blocked(node) && inc.try_add(&ctx, node, BoundCheck::disabled(), &mut sink);
+            if added {
+                let mut ref_sink = SearchStats::default();
+                assert!(reference.try_add(&ctx, node, &mut ref_sink));
+            } else {
+                inc.mark_outside(&ctx, node);
+                reference.mark_outside(&ctx, node);
+            }
+            applied += 1;
+        }
+        assert_states_agree(&inc, &reference, &format!("round {round}, full depth"));
+        for _ in 0..applied {
+            inc.undo_last(&ctx);
+            reference.undo_last(&ctx);
+        }
+        assert!(inc.is_empty() && reference.is_empty());
+    }
+}
+
+/// The bitset search (default static bound, sequential and parallel) returns the same
+/// selection as the retained reference search, and the opt-in incumbent-bound mode
+/// returns the same selection as the default mode while never considering more cuts.
+#[test]
+fn search_selections_match_the_reference_search() {
+    let model = DefaultCostModel::new();
+    for seed in 0..6u64 {
+        let nodes = 10 + (seed as usize) * 3;
+        let dfg = wide_dfg(nodes, 0x5EA ^ seed);
+        for constraints in [
+            Constraints::new(2, 1),
+            Constraints::new(4, 2),
+            Constraints::new(8, 4),
+        ] {
+            let reference = identify_single_cut_reference(&dfg, constraints, &model);
+            let bitset = SingleCutSearch::new(&dfg, constraints, &model).run();
+            assert_eq!(
+                bitset.best, reference.best,
+                "selection, seed {seed}, {constraints}"
+            );
+            assert_eq!(bitset.stats.best_updates, reference.stats.best_updates);
+            // The static bound can only relabel or remove attempts, never add any.
+            assert!(bitset.stats.cuts_considered <= reference.stats.cuts_considered);
+            let bounded = SingleCutSearch::new(&dfg, constraints, &model)
+                .with_incumbent_bound()
+                .run();
+            assert_eq!(
+                bounded.best, bitset.best,
+                "incumbent bound, seed {seed}, {constraints}"
+            );
+            assert!(bounded.stats.cuts_considered <= bitset.stats.cuts_considered);
+        }
+    }
+}
+
+/// Multicut slot interleavings: two incremental states driven side by side with the
+/// reference pair through the `(M+1)`-ary discipline (assign to one slot, mark outside
+/// the other), plus the incumbent-bound tuple equality on random DAGs.
+#[test]
+fn multicut_interleavings_track_the_reference_pair() {
+    let model = DefaultCostModel::new();
+    for seed in 0..4u64 {
+        let dfg = wide_dfg(32, 0x3C ^ (seed << 3));
+        let ctx = BlockContext::new(&dfg, Constraints::new(8, 4), &model);
+        let mut rng = 0xABCD ^ seed;
+        let mut inc = [
+            IncrementalCutState::new(&ctx),
+            IncrementalCutState::new(&ctx),
+        ];
+        let mut reference = [ReferenceCutState::new(&ctx), ReferenceCutState::new(&ctx)];
+        let mut applied = 0usize;
+        for level in 0..ctx.depth() {
+            let node = ctx.node_at(level);
+            let slot = (xorshift(&mut rng) % 3) as usize; // 2 = software branch
+            let mut assigned = None;
+            if slot < 2 && !ctx.is_blocked(node) {
+                let mut inc_stats = SearchStats::default();
+                let mut ref_stats = SearchStats::default();
+                let ok = inc[slot].try_add(&ctx, node, BoundCheck::disabled(), &mut inc_stats);
+                let ref_ok = reference[slot].try_add(&ctx, node, &mut ref_stats);
+                assert_eq!(ok, ref_ok, "seed {seed}, level {level}: try_add");
+                assert_eq!(inc_stats, ref_stats);
+                if ok {
+                    assigned = Some(slot);
+                }
+            }
+            for s in 0..2 {
+                if Some(s) != assigned {
+                    inc[s].mark_outside(&ctx, node);
+                    reference[s].mark_outside(&ctx, node);
+                }
+            }
+            applied += 1;
+            for s in 0..2 {
+                assert_states_agree(
+                    &inc[s],
+                    &reference[s],
+                    &format!("seed {seed}, level {level}, slot {s}"),
+                );
+            }
+        }
+        for _ in 0..applied {
+            for s in (0..2).rev() {
+                inc[s].undo_last(&ctx);
+                reference[s].undo_last(&ctx);
+            }
+        }
+        assert!(inc.iter().all(IncrementalCutState::is_empty));
+        assert!(reference.iter().all(ReferenceCutState::is_empty));
+    }
+    // The incumbent-bound multicut returns the same tuple as the default mode.
+    for seed in 0..3u64 {
+        let dfg = wide_dfg(14, 0x77 ^ seed);
+        for m in [2usize, 3] {
+            let default = MultiCutSearch::new(&dfg, Constraints::new(4, 2), &model, m).run();
+            let bounded = MultiCutSearch::new(&dfg, Constraints::new(4, 2), &model, m)
+                .with_incumbent_bound()
+                .run();
+            assert_eq!(default.cuts, bounded.cuts, "seed {seed}, M={m}");
+            assert!(bounded.stats.cuts_considered <= default.stats.cuts_considered);
+        }
+    }
+}

@@ -54,6 +54,7 @@ fn pruning_skips_part_of_the_sixteen_cut_search_space() {
             + stats.pruned_output
             + stats.pruned_convexity
             + stats.pruned_node_budget
+            + stats.pruned_bound
     );
     // At least one subtree was eliminated outright (cuts never even considered).
     assert!(total_nonempty_cuts - stats.cuts_considered >= 1);
