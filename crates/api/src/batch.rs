@@ -1,10 +1,15 @@
 //! The batch front-end: fan a slice of requests out across `rayon` workers.
 
 use rayon::prelude::*;
+use rayon::ShardProgress;
 
-use ise_core::IseError;
+use ise_core::{CorpusOptions, CorpusStats, IseError};
+use ise_hw::SoftwareLatencyModel;
 
-use crate::request::{IseRequest, IseResponse, SweepRequest, SweepResponse};
+use crate::request::{
+    CorpusProgramOutcome, CorpusRequest, CorpusResponse, IseRequest, IseResponse, ProgramSource,
+    SweepRequest, SweepResponse,
+};
 use crate::session::Session;
 
 /// Executes many [`IseRequest`]s concurrently with deterministic, ordered results.
@@ -68,6 +73,74 @@ impl BatchService {
         } else {
             requests.iter().map(Session::execute_sweep).collect()
         }
+    }
+
+    /// Executes one corpus request: every program analysed by the exact single-cut
+    /// search under the request's constraints, sharing enumeration work between
+    /// structurally isomorphic blocks when the request's `dedup` flag is on.
+    ///
+    /// Programs are sharded across the work-stealing scheduler (unless the service or
+    /// the request's driver options force the sequential path); the response lists
+    /// outcomes in request order and is byte-identical whatever the thread count and
+    /// whether dedup is on or off. The [`CorpusStats`] report how much enumeration the
+    /// structural sharing saved, and the [`ShardProgress`] list how the work-stealing
+    /// scheduler distributed the programs (empty on the sequential path; purely
+    /// telemetry — never part of the deterministic payload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IseError::InvalidRequest`] when the program list is empty or the
+    /// constraints are out of domain, and propagates any program-source resolution
+    /// failure ([`IseError::InvalidProgram`], unknown workload names).
+    pub fn run_corpus(
+        &self,
+        request: &CorpusRequest,
+    ) -> Result<(CorpusResponse, CorpusStats, Vec<ShardProgress>), IseError> {
+        if request.programs.is_empty() {
+            return Err(IseError::InvalidRequest(
+                "a corpus needs at least one program".to_string(),
+            ));
+        }
+        if request.constraints.max_inputs == 0 || request.constraints.max_outputs == 0 {
+            return Err(IseError::InvalidRequest(format!(
+                "constraints must allow at least one read and one write port, got {}",
+                request.constraints
+            )));
+        }
+        let programs = request
+            .programs
+            .iter()
+            .map(ProgramSource::resolve)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut driver = request.options;
+        driver.parallel = driver.parallel && self.parallel;
+        let corpus_options = CorpusOptions::new(request.constraints)
+            .with_driver(driver)
+            .with_exploration_budget(request.config.exploration_budget)
+            .with_dedup(request.dedup);
+        let model = ise_hw::DefaultCostModel::new();
+        let outcome = ise_core::run_corpus(&programs, &model, &corpus_options);
+        let software = SoftwareLatencyModel::new();
+        let outcomes = programs
+            .iter()
+            .zip(outcome.selections)
+            .map(|(program, selection)| {
+                let report = selection.speedup_report(program, &software);
+                CorpusProgramOutcome {
+                    program: program.name().to_string(),
+                    selection,
+                    report,
+                }
+            })
+            .collect();
+        Ok((
+            CorpusResponse {
+                constraints: request.constraints,
+                programs: outcomes,
+            },
+            outcome.stats,
+            outcome.shards,
+        ))
     }
 }
 

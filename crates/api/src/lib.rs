@@ -49,10 +49,10 @@ mod request;
 mod session;
 
 pub use batch::BatchService;
-pub use ise_core::{IseError, SweepStats};
+pub use ise_core::{CorpusStats, IseError, SweepStats};
 pub use request::{
-    Algorithm, IseRequest, IseResponse, Pass, ProgramSource, SweepPairOutcome, SweepRequest,
-    SweepResponse,
+    Algorithm, CorpusProgramOutcome, CorpusRequest, CorpusResponse, IseRequest, IseResponse, Pass,
+    ProgramSource, SweepPairOutcome, SweepRequest, SweepResponse,
 };
 pub use session::{Session, SessionBuilder};
 

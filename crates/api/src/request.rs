@@ -283,6 +283,126 @@ pub struct SweepResponse {
     pub pairs: Vec<SweepPairOutcome>,
 }
 
+/// One serialisable *corpus* job: many programs analysed together under one
+/// constraint set by the exact single-cut search, sharing enumeration work between
+/// structurally isomorphic basic blocks when `dedup` is on (the default).
+///
+/// Executed by [`BatchService::run_corpus`](crate::BatchService::run_corpus), which
+/// shards the programs across the work-stealing scheduler; the response is
+/// byte-identical whatever the thread count and whether dedup is on or off (the
+/// [`CorpusStats`](ise_core::CorpusStats) are reported out of band).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct CorpusRequest {
+    /// The programs to analyse, in response order.
+    pub programs: Vec<ProgramSource>,
+    /// Microarchitectural constraints shared by the whole corpus.
+    pub constraints: Constraints,
+    /// Algorithm construction parameters (only `exploration_budget` applies).
+    pub config: IdentifierConfig,
+    /// Program-driver options (`Ninstr`, parallel fan-out).
+    pub options: DriverOptions,
+    /// Share Pareto fills between isomorphic blocks (`true`, the default) or run the
+    /// reference per-program searches. Both modes produce byte-identical responses.
+    pub dedup: bool,
+}
+
+/// Hand-rolled so that everything except `programs` is optional on the wire: a corpus
+/// request file can be just a program list, and future knobs stay backward-compatible.
+impl<'de> serde::Deserialize<'de> for CorpusRequest {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn optional_or<T: serde::DeserializeOwned>(
+            fields: &[(String, serde::Value)],
+            name: &str,
+            fallback: T,
+        ) -> Result<T, serde::Error> {
+            match fields.iter().find(|(key, _)| key == name) {
+                None => Ok(fallback),
+                Some((_, field)) => serde::Deserialize::from_value(field).map_err(|e| {
+                    serde::Error::custom(format!("field `{name}` of `CorpusRequest`: {e}"))
+                }),
+            }
+        }
+        let fields = serde::expect_object(value, "CorpusRequest")?;
+        Ok(CorpusRequest {
+            programs: serde::expect_field(fields, "programs", "CorpusRequest")?,
+            constraints: optional_or(fields, "constraints", Constraints::default())?,
+            config: optional_or(fields, "config", IdentifierConfig::default())?,
+            options: optional_or(fields, "options", DriverOptions::default())?,
+            dedup: optional_or(fields, "dedup", true)?,
+        })
+    }
+}
+
+impl CorpusRequest {
+    /// Creates a corpus request with default constraints, config and options.
+    #[must_use]
+    pub fn new(programs: Vec<ProgramSource>) -> Self {
+        CorpusRequest {
+            programs,
+            constraints: Constraints::default(),
+            config: IdentifierConfig::default(),
+            options: DriverOptions::default(),
+            dedup: true,
+        }
+    }
+
+    /// Sets the microarchitectural constraints.
+    #[must_use]
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the algorithm construction parameters.
+    #[must_use]
+    pub fn with_config(mut self, config: IdentifierConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the program-driver options.
+    #[must_use]
+    pub fn with_options(mut self, options: DriverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Enables or disables cross-program structural deduplication.
+    #[must_use]
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+}
+
+/// The result for one program of a corpus: exactly the selection and report a
+/// standalone single-cut [`Session::run`](crate::Session::run) on that program (same
+/// constraints, same knobs) would produce.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CorpusProgramOutcome {
+    /// Name of the analysed program.
+    pub program: String,
+    /// The selected instructions and the (dedup-independent) effort accounting.
+    pub selection: SelectionResult,
+    /// Whole-application speed-up accounting for the selection.
+    pub report: SpeedupReport,
+}
+
+/// The result of one corpus job: one [`CorpusProgramOutcome`] per program, in request
+/// order.
+///
+/// Deliberately free of any dedup/sharding metadata, so the payload is byte-identical
+/// between the deduplicated and the reference execution mode (the
+/// [`CorpusStats`](ise_core::CorpusStats) and per-shard progress are reported out of
+/// band).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CorpusResponse {
+    /// The constraints the corpus ran under.
+    pub constraints: Constraints,
+    /// One outcome per program, in request order.
+    pub programs: Vec<CorpusProgramOutcome>,
+}
+
 /// The result of one identification job.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct IseResponse {

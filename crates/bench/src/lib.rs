@@ -16,6 +16,9 @@
 //! * [`sweep_bench`] — the sweep determinism gate: the Fig. 11 comparison run
 //!   pool-backed and direct, asserted byte-identical, with the logical-vs-physical
 //!   identifier-call accounting emitted as `BENCH_sweep.json`;
+//! * [`corpus_bench`] — the corpus dedup gate: a duplicate-heavy corpus analysed with
+//!   structural cross-program sharing on and off, asserted byte-identical with a
+//!   >= 2x enumeration reduction, emitted as `BENCH_corpus.json`;
 //! * [`report`] — CSV and Markdown rendering of the experiment rows.
 //!
 //! The binaries `fig8`, `fig11` and `sweep` print the tables and write CSV files; the
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus_bench;
 pub mod fig11;
 pub mod fig8;
 pub mod report;

@@ -11,21 +11,29 @@
 //!                               outcomes ({"response": …} | {"error": …}), ordered
 //! ise-cli sweep <sweep.json>    execute one sweep request (a base request plus a
 //!                               list of (Nin, Nout) pairs), print one response
+//! ise-cli corpus <dir|list>     analyse a whole corpus of programs together (a
+//!                               directory of program JSON files, or a corpus
+//!                               request file), print one response
 //! ise-cli algorithms            list the registered identification algorithms
 //! ```
 //!
 //! Flags: `--pretty` for indented output, `-o FILE` to write the output to a file,
-//! `--threads N` to run `run`/`batch`/`sweep` inside a scoped `rayon` pool of `N`
-//! workers (results are byte-identical for every thread count — the flag only trades
-//! wall-clock for cores, across requests, across basic blocks, and inside a block
-//! when a request sets `options.intra_block_levels`).
+//! `--threads N` to run `run`/`batch`/`sweep`/`corpus` inside a scoped `rayon` pool
+//! of `N` workers (results are byte-identical for every thread count — the flag only
+//! trades wall-clock for cores, across requests, across basic blocks, and inside a
+//! block when a request sets `options.intra_block_levels`).
 //!
 //! `sweep` answers covered pairs from a memoised cut pool by default; `--direct`
 //! forces the reference per-pair searches (the emitted response is byte-identical in
-//! both modes) and `--stats` prints the planner's effort accounting — logical versus
-//! physical identifier invocations — to stderr.
+//! both modes). `corpus` shares enumeration work between structurally isomorphic
+//! basic blocks across the whole corpus by default; `--no-dedup` forces the
+//! reference per-program searches (again byte-identical). For both commands
+//! `--stats` prints the effort accounting ([`SweepStats`](ise_api::SweepStats) /
+//! [`CorpusStats`](ise_api::CorpusStats)) as one JSON line to stderr — stdout stays
+//! byte-identical with and without the flag; `corpus --stats` also reports how the
+//! work-stealing scheduler distributed the programs across shards.
 //! Exit codes: `0` success, `1` usage or file error, `2` at least one request in a
-//! batch (or the single `run`/`sweep` request) failed.
+//! batch (or the single `run`/`sweep`/`corpus` request) failed.
 
 use std::process::ExitCode;
 
@@ -37,6 +45,7 @@ struct Options {
     output: Option<String>,
     threads: Option<usize>,
     direct: bool,
+    no_dedup: bool,
     stats: bool,
     positional: Vec<String>,
 }
@@ -49,17 +58,23 @@ fn usage() -> &'static str {
      \x20 batch <requests.json>  execute an array of requests (ordered, parallel)\n\
      \x20 sweep <sweep.json>     execute one sweep request (one result per (Nin, Nout)\n\
      \x20                        pair, answered from a memoised cut pool)\n\
+     \x20 corpus <dir|list>      analyse a corpus of programs together (a directory\n\
+     \x20                        of program JSON files, or a corpus request file),\n\
+     \x20                        sharing work between isomorphic blocks\n\
      \x20 algorithms             list the registered identification algorithms\n\
      \n\
      options:\n\
      \x20 --pretty               indent the JSON output\n\
      \x20 -o, --output FILE      write the output to FILE instead of stdout\n\
-     \x20 --threads N            size of the rayon worker pool for run/batch/sweep\n\
-     \x20                        (N >= 1; output is identical for every N)\n\
+     \x20 --threads N            size of the rayon worker pool for run/batch/sweep/\n\
+     \x20                        corpus (N >= 1; output is identical for every N)\n\
      \x20 --direct               sweep only: force the reference per-pair searches\n\
      \x20                        (the response is byte-identical to the pool mode)\n\
-     \x20 --stats                sweep only: print the planner's effort accounting\n\
-     \x20                        (logical vs physical identifier calls) to stderr\n"
+     \x20 --no-dedup             corpus only: force the reference per-program\n\
+     \x20                        searches (the response is byte-identical to the\n\
+     \x20                        deduplicated mode)\n\
+     \x20 --stats                sweep/corpus: print the effort accounting as one\n\
+     \x20                        JSON line to stderr (stdout is unchanged)\n"
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -68,6 +83,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         output: None,
         threads: None,
         direct: false,
+        no_dedup: false,
         stats: false,
         positional: Vec::new(),
     };
@@ -76,6 +92,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--pretty" => options.pretty = true,
             "--direct" => options.direct = true,
+            "--no-dedup" => options.no_dedup = true,
             "--stats" => options.stats = true,
             "-o" | "--output" => {
                 let Some(path) = iter.next() else {
@@ -155,16 +172,7 @@ fn cmd_sweep(options: &Options, path: &str) -> Result<bool, IseError> {
     let response = match outcome {
         Ok((response, stats)) => {
             if options.stats {
-                eprintln!(
-                    "sweep: {} logical identifier calls answered by {} enumerations \
-                     ({} pool fills + {} direct calls, {} pool answers, {} exhausted fills)",
-                    stats.logical_identifier_calls,
-                    stats.physical_identifier_calls(),
-                    stats.pool_fills,
-                    stats.direct_calls,
-                    stats.pool_answers,
-                    stats.exhausted_fills,
-                );
+                eprintln!("{}", ise_api::to_json(&stats));
             }
             Ok(response)
         }
@@ -172,6 +180,63 @@ fn cmd_sweep(options: &Options, path: &str) -> Result<bool, IseError> {
     };
     // The emitted envelope carries only the (mode-independent) response; the planner
     // statistics go to stderr so pool and --direct outputs stay byte-identical.
+    emit(options, &envelope(&response))?;
+    Ok(failed)
+}
+
+/// Loads a corpus request: either a directory of program JSON files (lexicographic
+/// order, so the corpus is reproducible) or a single `CorpusRequest` file.
+fn load_corpus_request(path: &str) -> Result<ise_api::CorpusRequest, IseError> {
+    if std::fs::metadata(path).is_ok_and(|m| m.is_dir()) {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| IseError::Io(format!("cannot read directory `{path}`: {e}")))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(IseError::InvalidRequest(format!(
+                "directory `{path}` contains no .json program files"
+            )));
+        }
+        let programs = files
+            .iter()
+            .map(|file| {
+                let text = read_file(&file.display().to_string())?;
+                let program = ise_api::program_from_json(&text)
+                    .map_err(|e| IseError::Io(format!("`{}`: {e}", file.display())))?;
+                Ok(ise_api::ProgramSource::Inline(program))
+            })
+            .collect::<Result<Vec<_>, IseError>>()?;
+        Ok(ise_api::CorpusRequest::new(programs))
+    } else {
+        ise_api::from_json(&read_file(path)?)
+    }
+}
+
+fn cmd_corpus(options: &Options, path: &str) -> Result<bool, IseError> {
+    let mut request = load_corpus_request(path)?;
+    if options.no_dedup {
+        request.dedup = false;
+    }
+    let outcome = BatchService::new().run_corpus(&request);
+    let failed = outcome.is_err();
+    let response = match outcome {
+        Ok((response, stats, shards)) => {
+            if options.stats {
+                eprintln!("{}", ise_api::to_json(&stats));
+                for shard in &shards {
+                    eprintln!("shard {}: {} programs", shard.shard, shard.items);
+                }
+            }
+            Ok(response)
+        }
+        Err(error) => Err(error),
+    };
+    // The envelope carries only the (mode- and schedule-independent) response; the
+    // dedup statistics and the work-stealing telemetry go to stderr so deduplicated
+    // and --no-dedup outputs stay byte-identical.
     emit(options, &envelope(&response))?;
     Ok(failed)
 }
@@ -203,11 +268,24 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    if (options.direct || options.stats)
-        && options.positional.first().map(String::as_str) != Some("sweep")
-    {
+    let first = options.positional.first().map(String::as_str);
+    if options.direct && first != Some("sweep") {
         eprintln!(
-            "error: --direct and --stats apply only to the sweep command\n\n{}",
+            "error: --direct applies only to the sweep command\n\n{}",
+            usage()
+        );
+        return ExitCode::from(1);
+    }
+    if options.no_dedup && first != Some("corpus") {
+        eprintln!(
+            "error: --no-dedup applies only to the corpus command\n\n{}",
+            usage()
+        );
+        return ExitCode::from(1);
+    }
+    if options.stats && first != Some("sweep") && first != Some("corpus") {
+        eprintln!(
+            "error: --stats applies only to the sweep and corpus commands\n\n{}",
             usage()
         );
         return ExitCode::from(1);
@@ -221,6 +299,9 @@ fn main() -> ExitCode {
         }
         Some("sweep") if options.positional.len() == 2 => {
             Some(cmd_sweep(&options, &options.positional[1]))
+        }
+        Some("corpus") if options.positional.len() == 2 => {
+            Some(cmd_corpus(&options, &options.positional[1]))
         }
         Some("algorithms") if options.positional.len() == 1 => Some(cmd_algorithms(&options)),
         _ => None,

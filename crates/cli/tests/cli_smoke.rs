@@ -89,7 +89,13 @@ fn sweep_output_is_byte_identical_in_pool_and_direct_mode_and_to_in_process_runs
     // The emitted envelope is byte-identical between the memoised and the reference
     // mode; only the --stats line on stderr differs.
     assert_eq!(pooled.stdout, direct.stdout);
-    assert!(String::from_utf8_lossy(&direct.stderr).contains("identifier calls"));
+    // --stats emits the SweepStats as one JSON line on stderr.
+    let stderr = String::from_utf8(direct.stderr).expect("utf-8 stderr");
+    let stats_line = json::parse(stderr.trim()).expect("--stats emits valid JSON");
+    assert!(
+        stats_line.get("logical_identifier_calls").is_some(),
+        "{stderr}"
+    );
 
     // And byte-identical to the in-process execution of the same file.
     let text = std::fs::read_to_string(&request_path).expect("request file");
@@ -106,9 +112,13 @@ fn sweep_output_is_byte_identical_in_pool_and_direct_mode_and_to_in_process_runs
 }
 
 #[test]
-fn sweep_only_flags_are_rejected_on_other_commands() {
+fn mode_flags_are_rejected_on_commands_they_do_not_apply_to() {
     let requests_path = repo_root().join("requests/adpcm.json");
-    for flag in ["--direct", "--stats"] {
+    for (flag, expected) in [
+        ("--direct", "sweep command"),
+        ("--no-dedup", "corpus command"),
+        ("--stats", "sweep and corpus commands"),
+    ] {
         let output = cli()
             .arg("batch")
             .arg(&requests_path)
@@ -116,8 +126,90 @@ fn sweep_only_flags_are_rejected_on_other_commands() {
             .output()
             .expect("ise-cli runs");
         assert_eq!(output.status.code(), Some(1), "{flag} must be rejected");
-        assert!(String::from_utf8_lossy(&output.stderr).contains("sweep command"));
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains(expected),
+            "{flag}"
+        );
     }
+}
+
+#[test]
+fn corpus_output_is_byte_identical_in_dedup_and_reference_mode_and_to_in_process_runs() {
+    let request_path = repo_root().join("requests/corpus_media.json");
+    let deduped = cli()
+        .arg("corpus")
+        .arg(&request_path)
+        .arg("--stats")
+        .output()
+        .expect("ise-cli runs");
+    assert!(
+        deduped.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&deduped.stderr)
+    );
+    let reference = cli()
+        .arg("corpus")
+        .arg(&request_path)
+        .arg("--no-dedup")
+        .output()
+        .expect("ise-cli runs");
+    assert!(reference.status.success());
+    // The emitted envelope is byte-identical between the deduplicated and the
+    // reference mode; only the --stats lines on stderr differ.
+    assert_eq!(deduped.stdout, reference.stdout);
+    let stderr = String::from_utf8(deduped.stderr).expect("utf-8 stderr");
+    let stats_line = stderr.lines().next().expect("--stats emits a stats line");
+    let stats = json::parse(stats_line).expect("--stats emits valid JSON");
+    assert!(stats.get("pool_answers").is_some(), "{stderr}");
+
+    // And byte-identical to the in-process execution of the same file.
+    let text = std::fs::read_to_string(&request_path).expect("request file");
+    let request: ise_api::CorpusRequest = ise_api::from_json(&text).expect("valid corpus file");
+    let (response, stats, _) = ise_api::BatchService::new()
+        .run_corpus(&request)
+        .expect("in-process corpus");
+    let stdout = String::from_utf8(deduped.stdout).expect("utf-8 output");
+    let parsed = json::parse(stdout.trim()).expect("CLI emits valid JSON");
+    assert_eq!(
+        json::to_string(parsed.get("response").expect("a response envelope")),
+        ise_api::to_json(&response),
+    );
+    // The checked-in corpus repeats workloads, so the pool must have shared fills.
+    assert!(stats.pool_answers > 0);
+}
+
+#[test]
+fn corpus_directory_mode_reads_program_files_in_name_order() {
+    let dir = std::env::temp_dir().join("ise-cli-corpus-dir");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // Two copies of the same program under different names: directory mode must
+    // load both (sorted) and the deduplicator must treat them as one shape.
+    let program = ise_workloads::suite::by_name("gsm").expect("bundled workload");
+    let text = ise_api::to_json(&program);
+    std::fs::write(dir.join("a_first.json"), &text).expect("write program");
+    std::fs::write(dir.join("b_second.json"), &text).expect("write program");
+    std::fs::write(dir.join("ignored.txt"), "not json").expect("write decoy");
+    let output = cli()
+        .arg("corpus")
+        .arg(&dir)
+        .output()
+        .expect("ise-cli runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    let parsed = json::parse(stdout.trim()).expect("CLI emits valid JSON");
+    let programs = parsed
+        .get("response")
+        .and_then(|r| r.get("programs"))
+        .and_then(|p| p.as_array())
+        .expect("a programs array");
+    assert_eq!(programs.len(), 2);
+    // Identical programs get identical outcomes (only the name could differ, and
+    // here even the names match).
+    assert_eq!(json::to_string(&programs[0]), json::to_string(&programs[1]));
 }
 
 #[test]

@@ -249,6 +249,103 @@ pub fn is_convex(dfg: &Dfg, cut: &CutSet) -> bool {
     true
 }
 
+/// Returns `true` if the cut stays convex once each of `groups` is contracted into a
+/// single vertex.
+///
+/// Selecting several instructions in one block later collapses each chosen cut into one
+/// AFU node, in selection order. Collapsing a cut `A` merges its nodes, so a later cut
+/// `B` that has both an ancestor *and* a descendant inside `A` — two unrelated paths in
+/// the original graph — gains a `B → A → B` path in the rewritten graph and stops being
+/// convex, even though `A` and `B` are disjoint and each convex on its own. The
+/// selection drivers therefore validate every new candidate against the cuts already
+/// committed in its block with this check: a depth-first search downstream from the
+/// cut's external consumers that, on entering any node of a contracted group, may leave
+/// from *every* node of that group. Reaching the cut again disproves convexity in the
+/// contracted graph.
+///
+/// `groups` must be disjoint from `cut` (the drivers guarantee this: committed nodes
+/// are excluded from later searches).
+#[must_use]
+pub fn is_convex_under_contractions(dfg: &Dfg, cut: &CutSet, groups: &[CutSet]) -> bool {
+    if groups.is_empty() {
+        return is_convex(dfg, cut);
+    }
+    let mut group_of = vec![usize::MAX; dfg.node_count()];
+    for (g, group) in groups.iter().enumerate() {
+        for id in group.iter() {
+            debug_assert!(!cut.contains(id), "groups must be disjoint from the cut");
+            group_of[id.index()] = g;
+        }
+    }
+    let mut visited = vec![false; dfg.node_count()];
+    let mut expanded = vec![false; groups.len()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let enqueue = |id: NodeId, visited: &mut Vec<bool>, stack: &mut Vec<NodeId>| {
+        if !visited[id.index()] {
+            visited[id.index()] = true;
+            stack.push(id);
+        }
+    };
+    for id in cut.iter() {
+        for &consumer in dfg.consumers(id) {
+            if !cut.contains(consumer) {
+                enqueue(consumer, &mut visited, &mut stack);
+            }
+        }
+    }
+    while let Some(id) = stack.pop() {
+        // Entering a contracted group means every member's consumers become reachable.
+        let g = group_of[id.index()];
+        if g != usize::MAX && !expanded[g] {
+            expanded[g] = true;
+            for member in groups[g].iter() {
+                enqueue(member, &mut visited, &mut stack);
+            }
+        }
+        for &consumer in dfg.consumers(id) {
+            if cut.contains(consumer) {
+                return false;
+            }
+            enqueue(consumer, &mut visited, &mut stack);
+        }
+    }
+    true
+}
+
+/// The set of nodes reachable downstream from any node of `groups` (excluding the
+/// group nodes themselves unless they are reachable from another group node).
+///
+/// Used by the iterative selection driver to resolve interlock rejections: a candidate
+/// that straddles a committed cut is split along this frontier, and only its downstream
+/// side is excluded before the block is re-identified — keeping the upstream side
+/// available to later candidates.
+#[must_use]
+pub fn downstream_of(dfg: &Dfg, groups: &[CutSet]) -> CutSet {
+    let mut visited = vec![false; dfg.node_count()];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for group in groups {
+        for id in group.iter() {
+            for &consumer in dfg.consumers(id) {
+                if !visited[consumer.index()] {
+                    visited[consumer.index()] = true;
+                    stack.push(consumer);
+                }
+            }
+        }
+    }
+    let mut result = CutSet::for_dfg(dfg);
+    while let Some(id) = stack.pop() {
+        result.insert(id);
+        for &consumer in dfg.consumers(id) {
+            if !visited[consumer.index()] {
+                visited[consumer.index()] = true;
+                stack.push(consumer);
+            }
+        }
+    }
+    result
+}
+
 /// Returns `true` if every node of the cut may legally be implemented inside an AFU
 /// (i.e. the cut contains no memory operation and no already-collapsed AFU node).
 #[must_use]

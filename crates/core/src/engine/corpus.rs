@@ -1,0 +1,543 @@
+//! Corpus-scale identification: structural dedup and cross-program pool sharing.
+//!
+//! A corpus — many programs analysed under one constraint set and one cost model — is
+//! full of repeated structure: unrolled loop bodies, template-instantiated filters,
+//! blocks copy-pasted between programs with nothing but node numbering changed. Run
+//! naively, every one of those blocks pays for its own exponential enumeration.
+//!
+//! The [`CorpusPool`] removes that redundancy *exactly*. Every block is reduced to its
+//! [`StructuralForm`]: an isomorphism-invariant [`StructuralKey`] plus the permutation
+//! between original node ids and canonical positions. Blocks whose keys are byte-equal
+//! walk identical search trees in the canonical order (see [`crate::structural`]), so
+//! the first block to query a `(key, exclusion-state)` pays for one recording
+//! enumeration ([`fill_single_cut`]) and the fill is stored **in canonical
+//! coordinates** — making it independent of *which* isomorphic block happened to fill
+//! it, and therefore independent of thread scheduling. Every later query translates
+//! the canonical answer onto its own node ids and reconstructs the effort counters
+//! from the recorded attempt histogram: byte-identical to what its own direct search
+//! would have produced, `identifier_calls` and `cuts_considered` included
+//! (`tests/corpus_differential.rs` holds the proof).
+//!
+//! [`run_corpus`] drives a whole corpus through this pool, sharding programs across
+//! the work-stealing scheduler of the `rayon` shim ([`rayon::sharded_map`]): workers
+//! pull the next unanalysed program from an atomic cursor, results are reassembled in
+//! input order, and per-shard progress comes back as telemetry. With
+//! [`CorpusOptions::dedup`] off the same entry point runs the plain per-program
+//! driver — the reference the differential tests compare against, and the baseline
+//! the `corpus` benchmark measures speedups from.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ise_hw::CostModel;
+use ise_ir::Program;
+use rayon::ShardProgress;
+
+use crate::constraints::Constraints;
+use crate::cut::{CutEvaluation, CutSet};
+use crate::pool::{fill_single_cut, AttemptHistogram, FillOutcome, ParetoStore};
+use crate::search::IdentifiedCut;
+use crate::selection::SelectionResult;
+use crate::structural::{StructuralForm, StructuralKey};
+
+use super::driver::{select_iteratively_core, BlockAnswer, DriverOptions};
+use super::{Identifier, SingleCut};
+
+/// Options of one corpus run.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusOptions {
+    /// The microarchitectural constraints every program is analysed under.
+    pub constraints: Constraints,
+    /// Program-driver options (instruction budget, parallelism knobs).
+    pub driver: DriverOptions,
+    /// Optional exploration budget per identifier invocation; pool fills run under the
+    /// same budget and fall back to direct searches when they exhaust it.
+    pub exploration_budget: Option<u64>,
+    /// Share enumerations between structurally isomorphic blocks. Off, every program
+    /// runs the plain per-program driver — the reference path, byte-identical in its
+    /// results but repeating every enumeration.
+    pub dedup: bool,
+}
+
+impl CorpusOptions {
+    /// Dedup-enabled corpus options with default driver settings.
+    #[must_use]
+    pub fn new(constraints: Constraints) -> Self {
+        CorpusOptions {
+            constraints,
+            driver: DriverOptions::default(),
+            exploration_budget: None,
+            dedup: true,
+        }
+    }
+
+    /// Sets the program-driver options.
+    #[must_use]
+    pub fn with_driver(mut self, driver: DriverOptions) -> Self {
+        self.driver = driver;
+        self
+    }
+
+    /// Sets (or clears) the per-invocation exploration budget.
+    #[must_use]
+    pub fn with_exploration_budget(mut self, budget: Option<u64>) -> Self {
+        self.exploration_budget = budget;
+        self
+    }
+
+    /// Enables or disables structural dedup.
+    #[must_use]
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+}
+
+/// Effort accounting of one corpus run.
+///
+/// The logical counters are what the emitted [`SelectionResult`]s report — identical
+/// with dedup on or off. The physical counters measure enumerations actually paid;
+/// their ratio is the quantity the pool exists to improve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CorpusStats {
+    /// Programs analysed.
+    pub programs: u64,
+    /// Basic blocks across the whole corpus.
+    pub blocks_seen: u64,
+    /// Distinct `(structural key, exclusion state)` pool entries created.
+    pub unique_keys: u64,
+    /// Identifier invocations the results report (identical in both modes).
+    pub logical_identifier_calls: u64,
+    /// Cuts considered according to the results (identical in both modes).
+    pub logical_cuts_considered: u64,
+    /// Recording enumerations performed (pool misses, including exhausted ones).
+    pub pool_fills: u64,
+    /// Queries answered by translating a memoised fill — enumerations *not* paid.
+    pub pool_answers: u64,
+    /// Direct searches run because a fill exhausted its exploration budget.
+    pub direct_calls: u64,
+    /// Fills rejected for exhausting the exploration budget.
+    pub exhausted_fills: u64,
+    /// Cuts physically enumerated (fill walks plus direct fallbacks). With dedup off
+    /// this equals `logical_cuts_considered`.
+    pub physical_cuts_considered: u64,
+    /// Structural-key hash collisions observed (distinct serializations, equal hash).
+    /// Purely diagnostic: equality is byte-based, so collisions cost nothing but a
+    /// bucket scan.
+    pub key_collisions: u64,
+    /// Whether the run had dedup enabled.
+    pub dedup: bool,
+}
+
+impl CorpusStats {
+    /// Fraction of identifier invocations answered without enumerating, in `[0, 1]`.
+    #[must_use]
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.logical_identifier_calls == 0 {
+            0.0
+        } else {
+            self.pool_answers as f64 / self.logical_identifier_calls as f64
+        }
+    }
+}
+
+/// Everything one corpus run produces: per-program selections in input order, the
+/// effort accounting, and the scheduler's per-shard telemetry.
+#[derive(Debug, Clone)]
+pub struct CorpusOutcome {
+    /// One selection per input program, in input order (independent of scheduling).
+    pub selections: Vec<SelectionResult>,
+    /// The run's effort accounting.
+    pub stats: CorpusStats,
+    /// How many programs each worker shard processed (telemetry; varies with
+    /// scheduling, never affects `selections` or the deterministic stats).
+    pub shards: Vec<ShardProgress>,
+}
+
+/// One memoised enumeration, stored entirely in canonical coordinates so that the
+/// stored bytes do not depend on which isomorphic block performed the fill.
+struct CanonicalFill {
+    store: ParetoStore<CanonicalCandidate>,
+    histogram: AttemptHistogram,
+}
+
+/// A recorded candidate cut: canonical node positions plus its (structure-determined,
+/// hence translation-invariant) evaluation.
+#[derive(Clone)]
+struct CanonicalCandidate {
+    positions: Vec<u32>,
+    evaluation: CutEvaluation,
+}
+
+/// Memo entry state of one `(key, exclusion)` pool slot.
+enum FillEntry {
+    Complete(CanonicalFill),
+    Exhausted,
+}
+
+/// Key of one pool slot: the block's structural key plus the exclusion state in
+/// canonical positions. Constraints and cost model are fixed per pool, so they do not
+/// appear in the key.
+#[derive(PartialEq, Eq, Hash)]
+struct PoolKey {
+    structural: StructuralKey,
+    excluded: Vec<u32>,
+}
+
+/// The shared cross-program memo: one [`fill_single_cut`] enumeration per distinct
+/// `(structural key, exclusion state)`, answered by node-relabelling translation.
+pub struct CorpusPool<'m> {
+    model: &'m dyn CostModel,
+    constraints: Constraints,
+    exploration_budget: Option<u64>,
+    entries: Mutex<PoolMap>,
+    logical_calls: AtomicU64,
+    logical_cuts: AtomicU64,
+    pool_fills: AtomicU64,
+    pool_answers: AtomicU64,
+    direct_calls: AtomicU64,
+    exhausted_fills: AtomicU64,
+    physical_cuts: AtomicU64,
+}
+
+/// The map plus the collision diagnostics it maintains under one lock.
+#[derive(Default)]
+struct PoolMap {
+    slots: HashMap<PoolKey, Arc<OnceLock<FillEntry>>>,
+    /// First-seen canonical serialization per 64-bit hash, to surface collisions.
+    hash_census: HashMap<u64, Vec<u8>>,
+    collisions: u64,
+}
+
+impl<'m> CorpusPool<'m> {
+    /// Creates an empty pool for one constraint set and cost model.
+    #[must_use]
+    pub fn new(
+        constraints: Constraints,
+        model: &'m dyn CostModel,
+        exploration_budget: Option<u64>,
+    ) -> Self {
+        CorpusPool {
+            model,
+            constraints,
+            exploration_budget,
+            entries: Mutex::new(PoolMap::default()),
+            logical_calls: AtomicU64::new(0),
+            logical_cuts: AtomicU64::new(0),
+            pool_fills: AtomicU64::new(0),
+            pool_answers: AtomicU64::new(0),
+            direct_calls: AtomicU64::new(0),
+            exhausted_fills: AtomicU64::new(0),
+            physical_cuts: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs the iterative selection for one program, answering every per-block
+    /// identification from the shared pool.
+    ///
+    /// Byte-identical — selection, statistics, `identifier_calls` — to
+    /// [`select_program`](super::select_program) with the `"single-cut"` identifier,
+    /// whatever mixture of fills and translations serves the queries.
+    #[must_use]
+    pub fn select_program(&self, program: &Program, options: DriverOptions) -> SelectionResult {
+        let forms: Vec<StructuralForm> = program.blocks().iter().map(StructuralForm::of).collect();
+        select_iteratively_core(program, options.max_instructions, |work| {
+            work.iter()
+                .map(|&(block, excl)| {
+                    self.answer(
+                        program,
+                        block,
+                        &forms[block],
+                        excl,
+                        options.intra_block_levels,
+                    )
+                })
+                .collect()
+        })
+    }
+
+    /// Answers one `(block, exclusion)` identification query from the pool, filling
+    /// its slot on first use.
+    fn answer(
+        &self,
+        program: &Program,
+        block: usize,
+        form: &StructuralForm,
+        excluded: &CutSet,
+        split_levels: usize,
+    ) -> BlockAnswer {
+        self.logical_calls.fetch_add(1, Ordering::Relaxed);
+        let dfg = program.block(block);
+        let key = PoolKey {
+            structural: form.key().clone(),
+            excluded: form.to_canonical(excluded),
+        };
+        let hash = key.structural.hash();
+        let cell = {
+            let mut map = self.entries.lock().expect("corpus pool lock poisoned");
+            if !map.slots.contains_key(&key) {
+                match map.hash_census.entry(hash) {
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(key.structural.bytes().to_vec());
+                    }
+                    std::collections::hash_map::Entry::Occupied(seen) => {
+                        if seen.get() != key.structural.bytes() {
+                            map.collisions += 1;
+                        }
+                    }
+                }
+            }
+            Arc::clone(map.slots.entry(key).or_default())
+        };
+        let mut filled_now = false;
+        let entry = cell.get_or_init(|| {
+            filled_now = true;
+            self.fill(dfg, form, excluded)
+        });
+        if !filled_now {
+            self.pool_answers.fetch_add(1, Ordering::Relaxed);
+        }
+        match entry {
+            FillEntry::Complete(fill) => {
+                let stats = fill.histogram.reconstruct(self.constraints.max_outputs);
+                self.logical_cuts
+                    .fetch_add(stats.cuts_considered, Ordering::Relaxed);
+                let best = fill
+                    .store
+                    .answer(self.constraints.max_inputs, self.constraints.max_outputs)
+                    .map(|entry| IdentifiedCut {
+                        cut: form.cut_from_canonical(dfg, &entry.payload.positions),
+                        evaluation: entry.payload.evaluation.clone(),
+                    });
+                BlockAnswer {
+                    best,
+                    cuts_considered: stats.cuts_considered,
+                }
+            }
+            FillEntry::Exhausted => {
+                // A truncated walk is visit-order-dependent and cannot be translated;
+                // fall back to the direct search, exactly like the sweep planner.
+                self.direct_calls.fetch_add(1, Ordering::Relaxed);
+                let identifier = SingleCut::new().with_exploration_budget(self.exploration_budget);
+                let outcome = identifier.identify_split(
+                    dfg,
+                    Some(excluded),
+                    &self.constraints,
+                    self.model,
+                    split_levels,
+                );
+                self.logical_cuts
+                    .fetch_add(outcome.stats.cuts_considered, Ordering::Relaxed);
+                self.physical_cuts
+                    .fetch_add(outcome.stats.cuts_considered, Ordering::Relaxed);
+                BlockAnswer {
+                    best: outcome.best,
+                    cuts_considered: outcome.stats.cuts_considered,
+                }
+            }
+        }
+    }
+
+    /// Performs one recording enumeration and re-expresses it in canonical
+    /// coordinates.
+    fn fill(&self, dfg: &ise_ir::Dfg, form: &StructuralForm, excluded: &CutSet) -> FillEntry {
+        self.pool_fills.fetch_add(1, Ordering::Relaxed);
+        match fill_single_cut(
+            dfg,
+            Some(excluded),
+            self.constraints,
+            self.model,
+            self.exploration_budget,
+        ) {
+            FillOutcome::Complete(pool) => {
+                self.physical_cuts
+                    .fetch_add(pool.fill_cuts_considered, Ordering::Relaxed);
+                FillEntry::Complete(CanonicalFill {
+                    store: pool.store.map(|identified| CanonicalCandidate {
+                        positions: form.to_canonical(&identified.cut),
+                        evaluation: identified.evaluation,
+                    }),
+                    histogram: pool.histogram,
+                })
+            }
+            FillOutcome::Exhausted {
+                fill_cuts_considered,
+            } => {
+                self.exhausted_fills.fetch_add(1, Ordering::Relaxed);
+                self.physical_cuts
+                    .fetch_add(fill_cuts_considered, Ordering::Relaxed);
+                FillEntry::Exhausted
+            }
+        }
+    }
+
+    /// Snapshot of the pool's accounting (the per-corpus fields are filled in by
+    /// [`run_corpus`]).
+    fn stats(&self) -> CorpusStats {
+        let map = self.entries.lock().expect("corpus pool lock poisoned");
+        CorpusStats {
+            programs: 0,
+            blocks_seen: 0,
+            unique_keys: map.slots.len() as u64,
+            logical_identifier_calls: self.logical_calls.load(Ordering::Relaxed),
+            logical_cuts_considered: self.logical_cuts.load(Ordering::Relaxed),
+            pool_fills: self.pool_fills.load(Ordering::Relaxed),
+            pool_answers: self.pool_answers.load(Ordering::Relaxed),
+            direct_calls: self.direct_calls.load(Ordering::Relaxed),
+            exhausted_fills: self.exhausted_fills.load(Ordering::Relaxed),
+            physical_cuts_considered: self.physical_cuts.load(Ordering::Relaxed),
+            key_collisions: map.collisions,
+            dedup: true,
+        }
+    }
+}
+
+/// Analyses every program of the corpus under one constraint set, sharing
+/// enumerations between structurally isomorphic blocks when
+/// [`CorpusOptions::dedup`] is on.
+///
+/// Programs are sharded across the work-stealing scheduler (one program per task,
+/// dynamic assignment); the returned selections are in input order either way, and
+/// with dedup on they are byte-identical to the dedup-off reference run.
+#[must_use]
+pub fn run_corpus(
+    programs: &[Program],
+    model: &dyn CostModel,
+    options: &CorpusOptions,
+) -> CorpusOutcome {
+    let blocks_seen: u64 = programs.iter().map(|p| p.block_count() as u64).sum();
+    let (selections, stats, shards) = if options.dedup {
+        let pool = CorpusPool::new(options.constraints, model, options.exploration_budget);
+        let run = |_, program: &Program| pool.select_program(program, options.driver);
+        let (selections, shards) = if options.driver.parallel && programs.len() > 1 {
+            rayon::sharded_map(programs, run)
+        } else {
+            let selections = programs.iter().map(|p| run(0, p)).collect();
+            (selections, Vec::new())
+        };
+        (selections, pool.stats(), shards)
+    } else {
+        let identifier = SingleCut::new().with_exploration_budget(options.exploration_budget);
+        let run = |_, program: &Program| {
+            // The per-program driver already fans out across blocks; sharding
+            // programs on top would oversubscribe, so the reference path shards
+            // programs only and runs each program's driver sequentially inside.
+            super::select_program(
+                program,
+                &identifier,
+                options.constraints,
+                model,
+                options.driver.sequential(),
+            )
+        };
+        let (selections, shards) = if options.driver.parallel && programs.len() > 1 {
+            rayon::sharded_map(programs, run)
+        } else {
+            let selections: Vec<SelectionResult> = programs.iter().map(|p| run(0, p)).collect();
+            (selections, Vec::new())
+        };
+        let mut stats = CorpusStats {
+            dedup: false,
+            ..CorpusStats::default()
+        };
+        for selection in &selections {
+            stats.logical_identifier_calls += selection.identifier_calls;
+            stats.logical_cuts_considered += selection.cuts_considered;
+        }
+        stats.physical_cuts_considered = stats.logical_cuts_considered;
+        stats.direct_calls = stats.logical_identifier_calls;
+        (selections, stats, shards)
+    };
+    let mut stats = stats;
+    stats.programs = programs.len() as u64;
+    stats.blocks_seen = blocks_seen;
+    CorpusOutcome {
+        selections,
+        stats,
+        shards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ise_hw::DefaultCostModel;
+    use ise_ir::DfgBuilder;
+
+    fn mac_program(name: &str, swap: bool) -> Program {
+        let mut p = Program::new(name);
+        let mut b = DfgBuilder::new("body");
+        b.exec_count(100);
+        let x = b.input("x");
+        let y = b.input("y");
+        let acc = b.input("acc");
+        let (prod, shifted) = if swap {
+            let s = b.shl(y, b.imm(2));
+            let m = b.mul(x, y);
+            (m, s)
+        } else {
+            let m = b.mul(x, y);
+            let s = b.shl(y, b.imm(2));
+            (m, s)
+        };
+        let sum = b.add(prod, acc);
+        let out = b.xor(sum, shifted);
+        b.output("acc", out);
+        p.add_block(b.finish());
+        p
+    }
+
+    #[test]
+    fn dedup_matches_reference_and_shares_fills() {
+        let corpus: Vec<Program> = (0..6)
+            .map(|i| mac_program(&format!("p{i}"), i % 2 == 1))
+            .collect();
+        let model = DefaultCostModel::new();
+        let options = CorpusOptions::new(Constraints::new(4, 2)).with_driver(DriverOptions::new(4));
+        let deduped = run_corpus(&corpus, &model, &options);
+        let reference = run_corpus(&corpus, &model, &options.with_dedup(false));
+        assert_eq!(deduped.selections, reference.selections);
+        assert_eq!(
+            deduped.stats.logical_identifier_calls,
+            reference.stats.logical_identifier_calls
+        );
+        assert_eq!(
+            deduped.stats.logical_cuts_considered,
+            reference.stats.logical_cuts_considered
+        );
+        // Six isomorphic one-block programs: every exclusion state is enumerated once.
+        assert!(deduped.stats.pool_answers > 0);
+        assert!(deduped.stats.physical_cuts_considered < reference.stats.physical_cuts_considered);
+        assert_eq!(deduped.stats.key_collisions, 0);
+        assert_eq!(deduped.stats.blocks_seen, 6);
+        // Every slot is created by the query that fills it, so the two counts agree;
+        // sharing shows up as fills staying far below the logical call count.
+        assert_eq!(deduped.stats.unique_keys, deduped.stats.pool_fills);
+        assert!(deduped.stats.pool_fills < deduped.stats.logical_identifier_calls);
+    }
+
+    #[test]
+    fn exhausted_fills_fall_back_to_direct_searches() {
+        let corpus = vec![mac_program("p0", false), mac_program("p1", true)];
+        let model = DefaultCostModel::new();
+        let options = CorpusOptions::new(Constraints::new(4, 2))
+            .with_driver(DriverOptions::new(4))
+            .with_exploration_budget(Some(3));
+        let deduped = run_corpus(&corpus, &model, &options);
+        let reference = run_corpus(&corpus, &model, &options.with_dedup(false));
+        assert_eq!(deduped.selections, reference.selections);
+        assert!(deduped.stats.exhausted_fills > 0);
+        assert!(deduped.stats.direct_calls > 0);
+    }
+
+    #[test]
+    fn empty_corpus_degrades_gracefully() {
+        let model = DefaultCostModel::new();
+        let options = CorpusOptions::new(Constraints::new(4, 2));
+        let outcome = run_corpus(&[], &model, &options);
+        assert!(outcome.selections.is_empty());
+        assert_eq!(outcome.stats.blocks_seen, 0);
+        assert_eq!(outcome.stats.dedup_hit_rate(), 0.0);
+    }
+}

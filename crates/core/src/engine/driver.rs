@@ -17,8 +17,10 @@
 //!   and commit them greedily by dynamic saving — the cross-block strategy the paper
 //!   applies to the prior-art techniques.
 
+use std::collections::HashMap;
+
 use ise_hw::CostModel;
-use ise_ir::Program;
+use ise_ir::{NodeId, Program};
 use rayon::prelude::*;
 
 use crate::constraints::Constraints;
@@ -77,12 +79,20 @@ pub struct DriverOptions {
     /// memory. It has no effect on single-pair runs. On by default; switch off to force
     /// the reference per-pair path (the CLI and benchmarks expose this as `--direct`).
     pub cut_pool: bool,
+    /// Identify identical blocks once per round: blocks of one program whose stored
+    /// representation and exclusion state are byte-equal (unrolled loop bodies,
+    /// copy-pasted kernels) provably get byte-equal outcomes from any deterministic
+    /// identifier, so [`identify_blocks`] runs the search on the first of each group
+    /// and copies the outcome to the rest. Reported results and statistics are
+    /// unchanged; only wall-clock drops. On by default.
+    pub block_dedup: bool,
 }
 
-/// Hand-rolled (not derived) so that `intra_block_levels` and `cut_pool` are *optional*
-/// on the wire: request files written before either field existed keep deserialising,
-/// defaulting to the behaviour they were written against (sequential within a block,
-/// pool-backed sweeps — the pool default changes no single-pair result).
+/// Hand-rolled (not derived) so that `intra_block_levels`, `cut_pool` and
+/// `block_dedup` are *optional* on the wire: request files written before these fields
+/// existed keep deserialising, defaulting to the behaviour they were written against
+/// (sequential within a block, pool-backed sweeps, deduplicated identical blocks —
+/// neither default changes any result).
 impl<'de> serde::Deserialize<'de> for DriverOptions {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         fn optional<T: serde::DeserializeOwned>(
@@ -104,6 +114,7 @@ impl<'de> serde::Deserialize<'de> for DriverOptions {
             parallel: serde::expect_field(fields, "parallel", "DriverOptions")?,
             intra_block_levels: optional(fields, "intra_block_levels", serde::Value::Uint(0))?,
             cut_pool: optional(fields, "cut_pool", serde::Value::Bool(true))?,
+            block_dedup: optional(fields, "block_dedup", serde::Value::Bool(true))?,
         })
     }
 }
@@ -125,6 +136,7 @@ impl DriverOptions {
             parallel: true,
             intra_block_levels: 0,
             cut_pool: true,
+            block_dedup: true,
         }
     }
 
@@ -158,6 +170,14 @@ impl DriverOptions {
         self
     }
 
+    /// Enables or disables identical-block deduplication inside [`identify_blocks`]
+    /// (see the field documentation; results are identical either way).
+    #[must_use]
+    pub fn with_block_dedup(mut self, block_dedup: bool) -> Self {
+        self.block_dedup = block_dedup;
+        self
+    }
+
     /// Switches the per-block fan-out to the sequential path.
     #[must_use]
     pub fn sequential(self) -> Self {
@@ -168,8 +188,10 @@ impl DriverOptions {
 /// Runs `identifier` once on each listed block (`(block_index, exclusions)` pairs) and
 /// returns the outcomes in the same order. With `options.parallel` set the per-block
 /// runs are fanned out with `rayon`, and `options.intra_block_levels` additionally
-/// splits each block's own decision tree; the returned outcomes are unaffected by
-/// either knob.
+/// splits each block's own decision tree; with `options.block_dedup` set, work items
+/// whose block structure (in stored node order) and exclusion state are byte-equal run
+/// the search once and share the outcome. The returned outcomes are unaffected by all
+/// three knobs.
 #[must_use]
 pub fn identify_blocks(
     program: &Program,
@@ -188,6 +210,40 @@ pub fn identify_blocks(
             options.intra_block_levels,
         )
     };
+    if options.block_dedup && work.len() > 1 {
+        // Group work items by the identity serialisation of their block plus the
+        // exclusion set. Equal keys mean the blocks are node-for-node identical (same
+        // opcodes, operands, flags, in the same stored order), so any deterministic
+        // identifier provably returns byte-equal outcomes — run the first of each
+        // group and copy its outcome to the rest.
+        let mut first_of: HashMap<(Vec<u8>, Vec<NodeId>), usize> = HashMap::new();
+        let mut source: Vec<usize> = Vec::with_capacity(work.len());
+        for (slot, &(block_index, excluded)) in work.iter().enumerate() {
+            let key = (
+                crate::structural::raw_key(program.block(block_index)),
+                excluded.map(|cut| cut.iter().collect()).unwrap_or_default(),
+            );
+            source.push(*first_of.entry(key).or_insert(slot));
+        }
+        let rep_slots: Vec<usize> = (0..work.len())
+            .filter(|&slot| source[slot] == slot)
+            .collect();
+        if rep_slots.len() < work.len() {
+            let rep_work: Vec<(usize, Option<&CutSet>)> =
+                rep_slots.iter().map(|&slot| work[slot]).collect();
+            let rep_outcomes: Vec<SearchOutcome> = if options.parallel && rep_work.len() > 1 {
+                rep_work.par_iter().map(run).collect()
+            } else {
+                rep_work.iter().map(run).collect()
+            };
+            let outcome_of: HashMap<usize, &SearchOutcome> = rep_slots
+                .iter()
+                .zip(rep_outcomes.iter())
+                .map(|(&slot, outcome)| (slot, outcome))
+                .collect();
+            return source.iter().map(|rep| outcome_of[rep].clone()).collect();
+        }
+    }
     if options.parallel && work.len() > 1 {
         work.par_iter().map(run).collect()
     } else {
@@ -258,6 +314,10 @@ pub(crate) fn select_iteratively_core(
     let mut excluded: Vec<CutSet> = program.blocks().iter().map(CutSet::for_dfg).collect();
     let mut candidate: Vec<Option<IdentifiedCut>> = vec![None; block_count];
     let mut stale: Vec<bool> = vec![true; block_count];
+    // Cuts already committed per block, in commit order: a new candidate must stay
+    // convex once these are contracted (see `cut::is_convex_under_contractions`),
+    // otherwise the selection could not be collapsed into AFU instructions.
+    let mut committed: Vec<Vec<CutSet>> = vec![Vec::new(); block_count];
     let mut result = SelectionResult {
         chosen: Vec::new(),
         total_weighted_saving: 0.0,
@@ -269,11 +329,46 @@ pub(crate) fn select_iteratively_core(
         let stale_blocks: Vec<usize> = (0..block_count).filter(|&b| stale[b]).collect();
         let work: Vec<(usize, &CutSet)> = stale_blocks.iter().map(|&b| (b, &excluded[b])).collect();
         let answers = refresh(&work);
+        let mut any_rejected = false;
         for (&block_index, answer) in stale_blocks.iter().zip(answers) {
             result.identifier_calls += 1;
             result.cuts_considered += answer.cuts_considered;
-            candidate[block_index] = answer.best;
-            stale[block_index] = false;
+            let mut rejected = false;
+            candidate[block_index] = answer.best.filter(|identified| {
+                let dfg = program.block(block_index);
+                let convex = crate::cut::is_convex_under_contractions(
+                    dfg,
+                    &identified.cut,
+                    &committed[block_index],
+                );
+                if !convex {
+                    // The candidate interlocks with an earlier instruction of this
+                    // block (it has both ancestors and descendants inside one).
+                    // Exclude only its downstream side — the nodes fed by a committed
+                    // instruction — and re-identify: the upstream side remains
+                    // available, so the retry can still salvage a smaller cut there.
+                    // The block stays stale and no commit happens until every stale
+                    // block has a valid answer.
+                    let downstream = crate::cut::downstream_of(dfg, &committed[block_index]);
+                    let mut blocked = CutSet::for_dfg(dfg);
+                    for id in identified.cut.iter().filter(|&id| downstream.contains(id)) {
+                        blocked.insert(id);
+                    }
+                    if blocked.is_empty() || blocked.len() == identified.cut.len() {
+                        // Degenerate split: fall back to excluding the whole cut so
+                        // the retry loop always makes progress.
+                        blocked = identified.cut.clone();
+                    }
+                    excluded[block_index].union_with(&blocked);
+                    rejected = true;
+                }
+                convex
+            });
+            stale[block_index] = rejected;
+            any_rejected |= rejected;
+        }
+        if any_rejected {
+            continue;
         }
         // Commit the candidate saving the most dynamic cycles (merit × block frequency);
         // ties resolve to the highest block index, exactly as in `select_iterative`
@@ -290,6 +385,7 @@ pub(crate) fn select_iteratively_core(
             break;
         }
         excluded[block_index].union_with(&identified.cut);
+        committed[block_index].push(identified.cut.clone());
         stale[block_index] = true;
         result.total_weighted_saving += weighted;
         result.chosen.push(ChosenCut {
@@ -358,6 +454,21 @@ fn select_one_shot(
             chosen.block_index == block_index && chosen.identified.cut.intersects(&candidate.cut)
         });
         if overlaps {
+            continue;
+        }
+        // Skip candidates that would interlock with an already-accepted instruction of
+        // the same block: collapsing the accepted cut would leave this one non-convex.
+        let accepted: Vec<CutSet> = result
+            .chosen
+            .iter()
+            .filter(|chosen| chosen.block_index == block_index)
+            .map(|chosen| chosen.identified.cut.clone())
+            .collect();
+        if !crate::cut::is_convex_under_contractions(
+            program.block(block_index),
+            &candidate.cut,
+            &accepted,
+        ) {
             continue;
         }
         result.total_weighted_saving += weighted;
@@ -498,6 +609,63 @@ mod tests {
     }
 
     #[test]
+    fn identical_blocks_share_one_search_without_changing_results() {
+        // A program of repeated copies of the same block (an unrolled loop): the
+        // deduplicated driver must return outcomes byte-identical to the reference
+        // per-block path, statistics included.
+        let mut p = Program::new("unrolled");
+        for i in 0..4 {
+            let mut b = DfgBuilder::new(format!("body_{i}"));
+            b.exec_count(500);
+            let x = b.input("x");
+            let y = b.input("y");
+            let acc = b.input("acc");
+            let m = b.mul(x, y);
+            let s = b.add(m, acc);
+            b.output("acc", s);
+            p.add_block(b.finish());
+        }
+        let model = DefaultCostModel::new();
+        let constraints = Constraints::new(4, 2);
+        let deduped = identify_program(
+            &p,
+            &SingleCut::new(),
+            constraints,
+            &model,
+            DriverOptions::default().sequential(),
+        );
+        let reference = identify_program(
+            &p,
+            &SingleCut::new(),
+            constraints,
+            &model,
+            DriverOptions::default()
+                .sequential()
+                .with_block_dedup(false),
+        );
+        assert_eq!(deduped, reference);
+        assert!(deduped.iter().all(|o| o == &deduped[0]));
+
+        // Selection across the duplicates also matches the reference end to end.
+        let fast = select_program(
+            &p,
+            &SingleCut::new(),
+            constraints,
+            &model,
+            DriverOptions::new(4).sequential(),
+        );
+        let slow = select_program(
+            &p,
+            &SingleCut::new(),
+            constraints,
+            &model,
+            DriverOptions::new(4).sequential().with_block_dedup(false),
+        );
+        assert_eq!(fast, slow);
+        assert_eq!(fast.chosen.len(), 4);
+    }
+
+    #[test]
     fn options_deserialise_from_the_pre_split_wire_format() {
         // Request files written before `intra_block_levels` existed must keep parsing,
         // defaulting to the sequential-within-a-block behaviour.
@@ -511,13 +679,25 @@ mod tests {
         let options: DriverOptions = serde::json::from_str(pr3).expect("PR 3 wire format");
         assert_eq!(options, DriverOptions::new(4).with_intra_block_levels(3));
 
-        let new = r#"{"max_instructions": 4, "parallel": true, "intra_block_levels": 3, "cut_pool": false}"#;
+        // The PR 6 wire format (no `block_dedup`) keeps parsing, defaulting to
+        // deduplicated identical blocks (which changes no result).
+        let pr6 = r#"{"max_instructions": 4, "parallel": true, "intra_block_levels": 3, "cut_pool": false}"#;
+        let options: DriverOptions = serde::json::from_str(pr6).expect("PR 6 wire format");
+        assert_eq!(
+            options,
+            DriverOptions::new(4)
+                .with_intra_block_levels(3)
+                .with_cut_pool(false)
+        );
+
+        let new = r#"{"max_instructions": 4, "parallel": true, "intra_block_levels": 3, "cut_pool": false, "block_dedup": false}"#;
         let options: DriverOptions = serde::json::from_str(new).expect("current wire format");
         assert_eq!(
             options,
             DriverOptions::new(4)
                 .with_intra_block_levels(3)
                 .with_cut_pool(false)
+                .with_block_dedup(false)
         );
         // The current format round-trips byte-identically.
         assert_eq!(

@@ -17,6 +17,7 @@
 //!
 //! [`SearchStats`]: crate::search::SearchStats
 
+pub mod corpus;
 pub mod driver;
 pub mod registry;
 pub mod sweep;
@@ -29,6 +30,7 @@ use crate::cut::CutSet;
 use crate::multicut::MultiCutSearch;
 use crate::search::{SearchOutcome, SearchStats, SingleCutSearch};
 
+pub use corpus::{run_corpus, CorpusOptions, CorpusOutcome, CorpusPool, CorpusStats};
 pub use driver::{identify_blocks, select_program, DriverOptions};
 pub use registry::{IdentifierConfig, IdentifierFactory, IdentifierRegistry};
 pub use sweep::{sweep_program, SweepPlanner, SweepStats};

@@ -87,7 +87,7 @@
 pub mod reference;
 
 use ise_hw::{cut_merit, CostModel, HardwareDelayModel};
-use ise_ir::{topo, Dfg, NodeId, Operand};
+use ise_ir::{Dfg, NodeId, Operand};
 use rayon::prelude::*;
 
 use crate::bitset::BitSet;
@@ -200,7 +200,10 @@ impl<'a> BlockContext<'a> {
             hardware_delay.push(model.hardware_delay(node));
             area_cost.push(model.hardware_area(node));
         }
-        let order = topo::consumers_first(dfg);
+        // Canonical consumers-first order: structurally determined (certificate
+        // tie-breaks), so isomorphic blocks walk isomorphic search trees — the
+        // invariant the corpus-level pool sharing in `engine::corpus` relies on.
+        let order = ise_ir::canon::canonical_consumers_first(dfg);
         // Consumers-first: when a node is reached, all of its consumers (hence all of
         // its descendants) already carry their final masks.
         let mut consumers_mask = vec![BitSet::with_capacity(n); n];

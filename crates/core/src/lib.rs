@@ -70,13 +70,15 @@ pub mod multicut;
 pub mod pool;
 mod search;
 pub mod selection;
+pub mod structural;
 
 pub use bitset::BitSet;
 pub use constraints::Constraints;
 pub use cut::{CutEvaluation, CutSet};
 pub use engine::{
-    identify_blocks, select_program, sweep_program, DriverOptions, Identifier, IdentifierConfig,
-    IdentifierRegistry, SweepPlanner, SweepStats,
+    identify_blocks, run_corpus, select_program, sweep_program, CorpusOptions, CorpusOutcome,
+    CorpusPool, CorpusStats, DriverOptions, Identifier, IdentifierConfig, IdentifierRegistry,
+    SweepPlanner, SweepStats,
 };
 pub use error::IseError;
 pub use kernel::reference::{identify_single_cut_reference, ReferenceCutState};
@@ -86,3 +88,4 @@ pub use selection::{
     select_iterative, select_optimal, select_under_area, ChosenCut, SelectionOptions,
     SelectionResult,
 };
+pub use structural::{StructuralForm, StructuralKey};

@@ -152,6 +152,30 @@ impl<P> ParetoStore<P> {
         best
     }
 
+    /// Maps every stored payload through `f`, preserving the signatures, scores and
+    /// enumeration indices that drive [`answer`](Self::answer).
+    ///
+    /// The corpus engine uses this to re-express recorded cuts in canonical node
+    /// coordinates, so one fill can be translated onto any structurally isomorphic
+    /// block (see `crate::structural`).
+    #[must_use]
+    pub fn map<Q>(self, mut f: impl FnMut(P) -> Q) -> ParetoStore<Q> {
+        ParetoStore {
+            entries: self
+                .entries
+                .into_iter()
+                .map(|e| PoolEntry {
+                    inputs: e.inputs,
+                    outputs: e.outputs,
+                    score: e.score,
+                    seq: e.seq,
+                    payload: f(e.payload),
+                })
+                .collect(),
+            offered: self.offered,
+        }
+    }
+
     /// Number of stored (non-dominated) candidates.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -162,54 +162,26 @@ pub fn select_iterative(
     model: &dyn CostModel,
     options: SelectionOptions,
 ) -> SelectionResult {
-    let block_count = program.block_count();
-    let mut excluded: Vec<CutSet> = program.blocks().iter().map(CutSet::for_dfg).collect();
-    // Cached best candidate per block; only the block whose exclusion set changed needs
-    // to be re-identified.
-    let mut candidate: Vec<Option<IdentifiedCut>> = vec![None; block_count];
-    let mut stale: Vec<bool> = vec![true; block_count];
-    let mut result = SelectionResult {
-        chosen: Vec::new(),
-        total_weighted_saving: 0.0,
-        identifier_calls: 0,
-        cuts_considered: 0,
-    };
-
-    while result.chosen.len() < options.max_instructions {
-        for block_index in 0..block_count {
-            if !stale[block_index] {
-                continue;
-            }
-            let dfg = program.block(block_index);
-            let mut search =
-                SingleCutSearch::new(dfg, constraints, model).with_excluded(&excluded[block_index]);
-            if let Some(budget) = options.exploration_budget {
-                search = search.with_exploration_budget(budget);
-            }
-            let outcome = search.run();
-            result.identifier_calls += 1;
-            result.cuts_considered += outcome.stats.cuts_considered;
-            candidate[block_index] = outcome.best;
-            stale[block_index] = false;
-        }
-        let Some((block_index, weighted)) = best_weighted_block(program, &candidate) else {
-            break;
-        };
-        let Some(identified) = candidate[block_index].take() else {
-            break;
-        };
-        if weighted <= 0.0 {
-            break;
-        }
-        excluded[block_index].union_with(&identified.cut);
-        stale[block_index] = true;
-        result.total_weighted_saving += weighted;
-        result.chosen.push(ChosenCut {
-            block_index,
-            identified,
-        });
-    }
-    result
+    // Delegates to the engine's shared iterative loop (commit order, interlock guard
+    // and accounting live in exactly one place; the test-suite asserts this function
+    // and the engine driver are byte-identical).
+    crate::engine::driver::select_iteratively_core(program, options.max_instructions, |work| {
+        work.iter()
+            .map(|&(block_index, excluded)| {
+                let dfg = program.block(block_index);
+                let mut search =
+                    SingleCutSearch::new(dfg, constraints, model).with_excluded(excluded);
+                if let Some(budget) = options.exploration_budget {
+                    search = search.with_exploration_budget(budget);
+                }
+                let outcome = search.run();
+                crate::engine::driver::BlockAnswer {
+                    best: outcome.best,
+                    cuts_considered: outcome.stats.cuts_considered,
+                }
+            })
+            .collect()
+    })
 }
 
 /// Optimal selection (Section 6.2): grow the per-block cut count greedily on marginal

@@ -1,0 +1,350 @@
+//! Canonical (isomorphism-invariant) structural certificates and node ordering.
+//!
+//! The search kernel walks nodes in a consumers-first topological order. For
+//! corpus-scale memoization we want two structurally isomorphic blocks — same
+//! opcodes, same edge structure, different node numbering — to walk *the same*
+//! search tree, so that one enumeration can answer both exactly. That requires
+//! the walk order to be a structural invariant of the graph rather than an
+//! artifact of node insertion order.
+//!
+//! This module computes per-node and per-input-port **certificates** by
+//! Weisfeiler–Lehman-style refinement over the labelled graph (opcode,
+//! AFU-forbidden flag, output-source flag, immediate values, positional edge
+//! structure, both upstream and downstream), then derives a consumers-first
+//! topological order that breaks ties by certificate. Certificates are
+//! isomorphism-invariant by construction; node indices enter only as a final
+//! tie-break between certificate-equal candidates, so the order is invariant
+//! whenever refinement separates the nodes (the overwhelmingly common case for
+//! opcode-labelled DAGs). Consumers that need a *guarantee* rather than a
+//! likelihood compare full canonical serializations byte-for-byte — see
+//! `ise-core`'s `structural` module — so a tie-break that falls back to indices
+//! can only reduce sharing, never correctness.
+//!
+//! All hashing is hand-rolled (xor/multiply mixing with a splitmix64
+//! finalizer): the values feed a committed canonical order, so they must be
+//! stable across toolchain versions, which the standard library hasher does not
+//! promise.
+
+use crate::dfg::{Dfg, NodeId};
+use crate::node::Operand;
+
+/// Structural certificates for every operation node and input port of a [`Dfg`].
+///
+/// Two isomorphic graphs assign equal certificates to corresponding nodes and
+/// ports. The converse does not hold in general (hash collisions, or
+/// WL-indistinguishable non-isomorphic structures), which is why exactness
+/// arguments must be grounded in byte comparison of canonical serializations,
+/// not in certificate equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificates {
+    /// Certificate of each operation node, indexed by node index.
+    pub nodes: Vec<u64>,
+    /// Certificate of each block input port, indexed by port index.
+    pub ports: Vec<u64>,
+    /// Number of refinement rounds until the partition stabilized.
+    pub rounds: u32,
+}
+
+const NODE_SEED: u64 = 0x5152_5eed_0000_0001;
+const PORT_SEED: u64 = 0x5152_5eed_0000_0002;
+const IMM_TAG: u64 = 0x5152_5eed_0000_0003;
+const INPUT_TAG: u64 = 0x5152_5eed_0000_0004;
+const NODE_TAG: u64 = 0x5152_5eed_0000_0005;
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v.wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h = mix(h, u64::from(*b));
+    }
+    h
+}
+
+/// Folds a multiset of hashes order-independently: sort, then mix in sequence.
+fn fold_multiset(seed: u64, values: &mut Vec<u64>) -> u64 {
+    values.sort_unstable();
+    let mut h = seed;
+    for &v in values.iter() {
+        h = mix(h, v);
+    }
+    values.clear();
+    h
+}
+
+/// Counts distinct values in a slice (allocates a scratch copy).
+fn distinct(values: &[u64]) -> usize {
+    let mut copy = values.to_vec();
+    copy.sort_unstable();
+    copy.dedup();
+    copy.len()
+}
+
+/// Computes isomorphism-invariant certificates for all nodes and input ports.
+///
+/// The initial node label covers everything the search kernel reads locally:
+/// opcode (including AFU id/output fields, via the stable `Debug` rendering),
+/// the AFU-forbidden flag, the output-source flag, and the positional operand
+/// skeleton with immediate values. Refinement then propagates neighbour
+/// certificates both downstream (operand edges, positional) and upstream
+/// (consumer edges, as a multiset of `(consumer certificate, operand slot)`
+/// pairs) until the induced partition of nodes and ports stops splitting.
+#[must_use]
+pub fn certificates(dfg: &Dfg) -> Certificates {
+    let n = dfg.node_count();
+    let p = dfg.input_count();
+
+    // Uses of each node and each port: (consumer node index, operand slot).
+    let mut node_uses: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    let mut port_uses: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
+    for (id, node) in dfg.iter_nodes() {
+        for (slot, operand) in node.operands.iter().enumerate() {
+            match *operand {
+                Operand::Node(m) => node_uses[m.index()].push((id.index(), slot)),
+                Operand::Input(port) => port_uses[port.index()].push((id.index(), slot)),
+                Operand::Imm(_) => {}
+            }
+        }
+    }
+
+    // Initial labels: local structure only.
+    let mut nodes: Vec<u64> = Vec::with_capacity(n);
+    for (id, node) in dfg.iter_nodes() {
+        let mut h = mix(NODE_SEED, hash_str(&format!("{:?}", node.opcode)));
+        h = mix(h, u64::from(node.is_forbidden_in_afu()));
+        h = mix(h, u64::from(dfg.is_output_source(id)));
+        for operand in &node.operands {
+            h = match *operand {
+                Operand::Node(_) => mix(h, NODE_TAG),
+                Operand::Input(_) => mix(h, INPUT_TAG),
+                Operand::Imm(v) => mix(mix(h, IMM_TAG), v as u64),
+            };
+        }
+        nodes.push(h);
+    }
+    let mut ports: Vec<u64> = vec![PORT_SEED; p];
+
+    let mut classes = distinct(&nodes) + distinct(&ports);
+    let mut rounds = 0u32;
+    let max_rounds = (n + p + 1) as u32;
+    let mut scratch: Vec<u64> = Vec::new();
+
+    while rounds < max_rounds {
+        rounds += 1;
+        // Ports first: a port's identity is the multiset of its uses.
+        let new_ports: Vec<u64> = (0..p)
+            .map(|i| {
+                for &(consumer, slot) in &port_uses[i] {
+                    scratch.push(mix(nodes[consumer], slot as u64));
+                }
+                fold_multiset(PORT_SEED, &mut scratch)
+            })
+            .collect();
+        let new_nodes: Vec<u64> = dfg
+            .iter_nodes()
+            .map(|(id, node)| {
+                let mut h = mix(NODE_SEED, nodes[id.index()]);
+                for operand in &node.operands {
+                    h = match *operand {
+                        Operand::Node(m) => mix(h, nodes[m.index()]),
+                        Operand::Input(port) => mix(h, new_ports[port.index()]),
+                        Operand::Imm(v) => mix(mix(h, IMM_TAG), v as u64),
+                    };
+                }
+                for &(consumer, slot) in &node_uses[id.index()] {
+                    scratch.push(mix(nodes[consumer], slot as u64));
+                }
+                mix(h, fold_multiset(NODE_SEED, &mut scratch))
+            })
+            .collect();
+        let new_classes = distinct(&new_nodes) + distinct(&new_ports);
+        nodes = new_nodes;
+        ports = new_ports;
+        if new_classes <= classes {
+            break;
+        }
+        classes = new_classes;
+    }
+
+    Certificates {
+        nodes,
+        ports,
+        rounds,
+    }
+}
+
+/// Returns a consumers-first topological order with certificate tie-breaks.
+///
+/// Like [`crate::topo::consumers_first`], every node appears before all of its
+/// producers; unlike it, the choice among simultaneously ready nodes is made by
+/// smallest `(certificate, index)` rather than by insertion order, so the order
+/// is a structural invariant whenever the certificates separate the candidates.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic, which cannot happen for graphs built through
+/// [`Dfg::add_node`]. Callers holding untrusted serialised graphs should run
+/// [`Dfg::validate`] first, as the engine drivers do.
+#[must_use]
+pub fn canonical_consumers_first(dfg: &Dfg) -> Vec<NodeId> {
+    canonical_consumers_first_with(dfg, &certificates(dfg))
+}
+
+/// [`canonical_consumers_first`] with precomputed certificates.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic (see [`canonical_consumers_first`]).
+#[must_use]
+pub fn canonical_consumers_first_with(dfg: &Dfg, certs: &Certificates) -> Vec<NodeId> {
+    let n = dfg.node_count();
+    assert_eq!(certs.nodes.len(), n, "certificates do not match graph");
+    // Kahn on the reversed graph: a node is ready once all its consumers are
+    // placed. Blocks are small, so a linear scan per step is fine.
+    let mut remaining_consumers: Vec<usize> = (0..n)
+        .map(|i| dfg.consumers(NodeId::new(i)).len())
+        .collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_consumers[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let mut best = 0;
+        for (slot, &candidate) in ready.iter().enumerate().skip(1) {
+            let b = ready[best];
+            if (certs.nodes[candidate], candidate) < (certs.nodes[b], b) {
+                best = slot;
+            }
+        }
+        let chosen = ready.swap_remove(best);
+        order.push(NodeId::new(chosen));
+        for operand in &dfg.node(NodeId::new(chosen)).operands {
+            if let Operand::Node(m) = *operand {
+                let slot = &mut remaining_consumers[m.index()];
+                *slot -= 1;
+                if *slot == 0 {
+                    ready.push(m.index());
+                }
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "cyclic graph in canonical ordering");
+    order
+}
+
+/// Returns a canonical numbering of the input ports.
+///
+/// Ports are ordered by `(certificate, index)`; the result maps canonical port
+/// position to original port index.
+#[must_use]
+pub fn canonical_port_order(certs: &Certificates) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..certs.ports.len()).collect();
+    order.sort_by_key(|&i| (certs.ports[i], i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfgBuilder;
+    use crate::opcode::Opcode;
+    use crate::topo::is_consumers_first;
+
+    fn mac() -> Dfg {
+        // out = ((a * b) >> 2) + (a * b + c)   — shares the multiply.
+        let mut b = DfgBuilder::new("mac");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let mul = b.op(Opcode::Mul, &[a, bb]);
+        let two = b.imm(2);
+        let shr = b.op(Opcode::Lshr, &[mul, two]);
+        let add1 = b.op(Opcode::Add, &[mul, c]);
+        let sum = b.op(Opcode::Add, &[shr, add1]);
+        b.output("out", sum);
+        b.finish()
+    }
+
+    #[test]
+    fn canonical_order_is_consumers_first() {
+        let dfg = mac();
+        let order = canonical_consumers_first(&dfg);
+        assert!(is_consumers_first(&dfg, &order));
+        assert_eq!(order.len(), dfg.node_count());
+    }
+
+    #[test]
+    fn certificates_separate_distinct_structures() {
+        let dfg = mac();
+        let certs = certificates(&dfg);
+        // All four nodes play structurally different roles here.
+        assert_eq!(distinct(&certs.nodes), 4);
+        // `a` and `b` feed the same multiply symmetrically but `a`/`b` both feed
+        // only the multiply while `c` feeds the add: at least two port classes.
+        assert!(distinct(&certs.ports) >= 2);
+    }
+
+    #[test]
+    fn certificates_are_insertion_order_invariant() {
+        // Same graph built with sibling subtrees in swapped insertion order.
+        let build = |swap: bool| {
+            let mut b = DfgBuilder::new("pair");
+            let x = b.input("x");
+            let y = b.input("y");
+            let one = b.imm(1);
+            let seven = b.imm(7);
+            let (first, second) = if swap {
+                let s = b.op(Opcode::Shl, &[y, one]);
+                let a = b.op(Opcode::Add, &[x, seven]);
+                (a, s)
+            } else {
+                let a = b.op(Opcode::Add, &[x, seven]);
+                let s = b.op(Opcode::Shl, &[y, one]);
+                (a, s)
+            };
+            let out = b.op(Opcode::Xor, &[first, second]);
+            b.output("out", out);
+            b.finish()
+        };
+        let g0 = build(false);
+        let g1 = build(true);
+        let c0 = certificates(&g0);
+        let c1 = certificates(&g1);
+        let mut s0 = c0.nodes.clone();
+        let mut s1 = c1.nodes.clone();
+        s0.sort_unstable();
+        s1.sort_unstable();
+        assert_eq!(s0, s1, "node certificate multisets must match");
+        // The canonical orders must pick corresponding nodes at every position.
+        let o0 = canonical_consumers_first_with(&g0, &c0);
+        let o1 = canonical_consumers_first_with(&g1, &c1);
+        let k0: Vec<u64> = o0.iter().map(|id| c0.nodes[id.index()]).collect();
+        let k1: Vec<u64> = o1.iter().map(|id| c1.nodes[id.index()]).collect();
+        assert_eq!(k0, k1);
+    }
+
+    #[test]
+    fn immediates_distinguish_nodes() {
+        let build = |imm: i64| {
+            let mut b = DfgBuilder::new("imm");
+            let x = b.input("x");
+            let k = b.imm(imm);
+            let y = b.op(Opcode::Add, &[x, k]);
+            b.output("out", y);
+            b.finish()
+        };
+        let c7 = certificates(&build(7));
+        let c8 = certificates(&build(8));
+        assert_ne!(c7.nodes, c8.nodes);
+    }
+}

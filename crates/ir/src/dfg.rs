@@ -179,6 +179,11 @@ impl Dfg {
         self.exec_count = count;
     }
 
+    /// Renames the basic block.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
     /// Number of operation nodes `|V|`.
     #[must_use]
     pub fn node_count(&self) -> usize {

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod canon;
 mod cfg;
 mod dfg;
 pub mod dot;

@@ -1,0 +1,210 @@
+//! Duplicate-heavy synthetic corpora for the corpus-scale identification driver.
+//!
+//! Real embedded codebases are full of *structurally repeated* basic blocks: unrolled
+//! loop bodies, the same saturating arithmetic idiom expanded in a dozen call sites,
+//! per-channel copies of a filter kernel. The compiler emits these blocks with
+//! different variable names, different instruction schedules and different register
+//! numbers, so they are rarely byte-identical — but they are *isomorphic*, and the
+//! corpus driver's structural deduplication (`ise_core::run_corpus`) identifies each
+//! shape once.
+//!
+//! This module generates such corpora deterministically: a small set of template
+//! graphs, each re-instantiated many times with a shuffled (but still topological)
+//! node insertion order and a shuffled input-port order — the kind of benign
+//! renaming/rescheduling a compiler applies — plus a configurable share of unique
+//! random blocks so the dedup hit-rate stays below 100% and the miss path stays
+//! exercised.
+
+use ise_ir::{Dfg, Node, NodeId, Operand, PortId, Program};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::random::{random_dfg, RandomDfgConfig};
+
+/// Shape of a generated corpus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusConfig {
+    /// Number of programs in the corpus.
+    pub programs: usize,
+    /// Number of basic blocks per program.
+    pub blocks_per_program: usize,
+    /// Number of distinct template graphs shared across the whole corpus.
+    pub templates: usize,
+    /// Number of operation nodes per template (and per unique block).
+    pub template_nodes: usize,
+    /// How many of each program's blocks are unique random graphs instead of
+    /// template instances (clamped to `blocks_per_program`).
+    pub unique_per_program: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            programs: 8,
+            blocks_per_program: 6,
+            templates: 3,
+            template_nodes: 14,
+            unique_per_program: 1,
+        }
+    }
+}
+
+/// Fisher–Yates shuffle (the bundled `rand` shim has no `SliceRandom`).
+fn shuffle<T>(rng: &mut SmallRng, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Rebuilds `dfg` with a randomly shuffled (but topological) node insertion order and
+/// a randomly permuted input-port order.
+///
+/// The result is isomorphic to the input — same opcodes, same edges, same outputs,
+/// same execution count — but generally not byte-identical to it, mimicking what a
+/// compiler's scheduling and register allocation do to repeated source idioms. The
+/// same `seed` always produces the same reordering.
+#[must_use]
+pub fn shuffled_isomorph(dfg: &Dfg, name: impl Into<String>, seed: u64) -> Dfg {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Dfg::new(name);
+    out.set_exec_count(dfg.exec_count());
+
+    // Permute the input ports.
+    let mut port_order: Vec<PortId> = dfg.input_ids().collect();
+    shuffle(&mut rng, &mut port_order);
+    let mut port_map: Vec<PortId> = vec![PortId::new(0); dfg.input_count()];
+    for old in &port_order {
+        port_map[old.index()] = out.add_input(dfg.input(*old).name.clone());
+    }
+
+    // Schedule the nodes: repeatedly emit a uniformly random *ready* node (one whose
+    // node operands have all been emitted), which samples a topological order.
+    let n = dfg.node_count();
+    let mut pending_deps: Vec<usize> = vec![0; n];
+    let mut dependents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for id in dfg.node_ids() {
+        for operand in &dfg.node(id).operands {
+            if let Operand::Node(dep) = operand {
+                pending_deps[id.index()] += 1;
+                dependents[dep.index()].push(id);
+            }
+        }
+    }
+    let mut ready: Vec<NodeId> = dfg
+        .node_ids()
+        .filter(|id| pending_deps[id.index()] == 0)
+        .collect();
+    let mut node_map: Vec<NodeId> = vec![NodeId::new(0); n];
+    let mut emitted = 0;
+    while !ready.is_empty() {
+        let pick = rng.gen_range(0..ready.len());
+        let id = ready.swap_remove(pick);
+        let original = dfg.node(id);
+        let operands = original
+            .operands
+            .iter()
+            .map(|operand| match *operand {
+                Operand::Node(dep) => Operand::Node(node_map[dep.index()]),
+                Operand::Input(port) => Operand::Input(port_map[port.index()]),
+                Operand::Imm(value) => Operand::Imm(value),
+            })
+            .collect();
+        let mut node = Node::new(original.opcode, operands);
+        node.name = original.name.clone();
+        node_map[id.index()] = out.add_node(node);
+        emitted += 1;
+        for &dependent in &dependents[id.index()] {
+            pending_deps[dependent.index()] -= 1;
+            if pending_deps[dependent.index()] == 0 {
+                ready.push(dependent);
+            }
+        }
+    }
+    debug_assert_eq!(emitted, n, "stored order is acyclic, all nodes schedule");
+
+    for output in dfg.iter_outputs() {
+        let source = match output.source {
+            Operand::Node(id) => Operand::Node(node_map[id.index()]),
+            Operand::Input(port) => Operand::Input(port_map[port.index()]),
+            Operand::Imm(value) => Operand::Imm(value),
+        };
+        out.add_output(output.name.clone(), source);
+    }
+    out
+}
+
+/// Generates a deterministic duplicate-heavy corpus.
+///
+/// Every program mixes shuffled instances of the corpus-wide templates (most blocks)
+/// with a few unique random blocks, so a structural deduplicator sees
+/// `templates + programs * unique_per_program` distinct shapes across
+/// `programs * blocks_per_program` blocks. The same `(config, seed)` always produces
+/// the same corpus.
+#[must_use]
+pub fn duplicate_heavy(config: &CorpusConfig, seed: u64) -> Vec<Program> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC02B_5EED);
+    let template_config = RandomDfgConfig {
+        nodes: config.template_nodes.max(2),
+        memory_fraction: 0.0,
+        ..RandomDfgConfig::default()
+    };
+    let templates: Vec<Dfg> = (0..config.templates.max(1))
+        .map(|t| random_dfg(&template_config, seed.wrapping_add(0x7E3F * t as u64)))
+        .collect();
+
+    let unique = config.unique_per_program.min(config.blocks_per_program);
+    (0..config.programs)
+        .map(|p| {
+            let mut program = Program::new(format!("corpus_{p}"));
+            for b in 0..config.blocks_per_program {
+                let mut block = if b < config.blocks_per_program - unique {
+                    let t = rng.gen_range(0..templates.len());
+                    shuffled_isomorph(&templates[t], format!("p{p}_b{b}_t{t}"), rng.gen())
+                } else {
+                    let mut fresh = random_dfg(&template_config, rng.gen());
+                    fresh.set_name(format!("p{p}_b{b}_unique"));
+                    fresh
+                };
+                // Realistic profile skew: early blocks are hot.
+                block.set_exec_count(1000 / (1 + b as u64));
+                program.add_block(block);
+            }
+            program
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffled_isomorphs_are_valid_and_deterministic() {
+        let template = random_dfg(&RandomDfgConfig::with_nodes(20), 11);
+        for seed in 0..10 {
+            let shuffled = shuffled_isomorph(&template, "s", seed);
+            shuffled
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(shuffled.node_count(), template.node_count());
+            assert_eq!(shuffled.input_count(), template.input_count());
+            assert_eq!(shuffled.output_count(), template.output_count());
+            assert_eq!(shuffled.exec_count(), template.exec_count());
+            assert_eq!(shuffled, shuffled_isomorph(&template, "s", seed));
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_duplicate_heavy() {
+        let config = CorpusConfig::default();
+        let corpus = duplicate_heavy(&config, 42);
+        assert_eq!(corpus.len(), config.programs);
+        for program in &corpus {
+            assert_eq!(program.block_count(), config.blocks_per_program);
+            program.validate().expect("generated corpus is well-formed");
+        }
+        assert_eq!(corpus, duplicate_heavy(&config, 42));
+        assert_ne!(corpus, duplicate_heavy(&config, 43));
+    }
+}

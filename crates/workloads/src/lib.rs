@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod adpcm;
+pub mod corpus;
 pub mod crypto;
 pub mod dsp;
 pub mod g721;

@@ -202,6 +202,82 @@ where
     }
 }
 
+/// How many items one worker (shard) of a [`sharded_map`] ended up claiming.
+///
+/// The atomic-cursor scheduler hands items out dynamically, so the per-shard counts
+/// depend on relative item costs and OS scheduling — they are telemetry, not part of
+/// any deterministic result. The mapped *values* are always reassembled in input
+/// order regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardProgress {
+    /// Worker index, `0..thread_count`.
+    pub shard: usize,
+    /// Number of items this worker claimed and completed.
+    pub items: usize,
+}
+
+/// Ordered dynamic-scheduling map that also reports per-shard progress.
+///
+/// This is a shim extension beyond the real `rayon` API (under real `rayon` the same
+/// shape is a `par_iter().map().collect()` plus a per-thread counter): `op` receives
+/// the claiming worker's shard index alongside the item, results come back in input
+/// order, and the second return value records how many items each shard processed.
+/// Corpus-scale drivers use the shard index for progress reporting while relying on
+/// the ordered reassembly for deterministic results.
+pub fn sharded_map<'data, T, R, F>(items: &'data [T], op: F) -> (Vec<R>, Vec<ShardProgress>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'data T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len()).max(1);
+    if threads == 1 {
+        let results = items.iter().map(|item| op(0, item)).collect();
+        let progress = vec![ShardProgress {
+            shard: 0,
+            items: items.len(),
+        }];
+        return (results, progress);
+    }
+    let next = AtomicUsize::new(0);
+    let op = &op;
+    let next = &next;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        produced.push((index, op(shard, &items[index])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        let mut progress = Vec::with_capacity(threads);
+        for (shard, handle) in handles.into_iter().enumerate() {
+            let produced = handle.join().expect("worker thread panicked");
+            progress.push(ShardProgress {
+                shard,
+                items: produced.len(),
+            });
+            for (index, value) in produced {
+                slots[index] = Some(value);
+            }
+        }
+        let results = slots
+            .into_iter()
+            .map(|slot| slot.expect("every index is claimed by exactly one worker"))
+            .collect();
+        (results, progress)
+    })
+}
+
 /// Ordered parallel map with dynamic scheduling: workers pull the next unclaimed item
 /// from a shared atomic cursor, so wildly different per-item costs still keep all
 /// threads busy; the results are reassembled by index afterwards.
@@ -295,6 +371,23 @@ mod tests {
             })
             .collect();
         assert_eq!(out, (0..64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_map_preserves_order_and_accounts_every_item() {
+        let items: Vec<u64> = (0..257).collect();
+        let (out, progress) = sharded_map(&items, |_shard, &x| x * 3);
+        assert_eq!(out, (0..257).map(|x| x * 3).collect::<Vec<_>>());
+        let claimed: usize = progress.iter().map(|p| p.items).sum();
+        assert_eq!(claimed, items.len());
+        for (index, p) in progress.iter().enumerate() {
+            assert_eq!(p.shard, index);
+        }
+
+        let empty: Vec<u64> = Vec::new();
+        let (out, progress) = sharded_map(&empty, |_s, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(progress.iter().map(|p| p.items).sum::<usize>(), 0);
     }
 
     #[test]

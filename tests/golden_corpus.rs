@@ -5,7 +5,9 @@
 //! * `results/golden/fig11_quick.csv` — the CSV the `fig11 --quick` binary writes
 //!   (pool-backed, the default mode);
 //! * `results/golden/sweep_cli.json` — the envelope `ise-cli sweep requests/sweep_gsm.json`
-//!   prints (proven byte-identical to the in-process API by `crates/cli/tests/cli_smoke.rs`).
+//!   prints (proven byte-identical to the in-process API by `crates/cli/tests/cli_smoke.rs`);
+//! * `results/golden/corpus_cli.json` — the envelope `ise-cli corpus requests/corpus_media.json`
+//!   prints (same cross-process proof, and byte-identical with `--no-dedup`).
 //!
 //! Regeneration: when a change *intentionally* alters the artefacts, run
 //!
@@ -60,6 +62,22 @@ fn fig11_quick_csv_matches_golden() {
         .collect();
     let rows = fig11::run(&benchmarks, &config);
     assert_golden("results/golden/fig11_quick.csv", &report::fig11_csv(&rows));
+}
+
+/// The `ise-cli corpus requests/corpus_media.json` envelope, computed in-process —
+/// with structural dedup on (the default CLI mode). The differential suite proves the
+/// dedup-off bytes are identical, so this single golden pins both modes.
+#[test]
+fn corpus_cli_json_matches_golden() {
+    let text = std::fs::read_to_string(repo_root().join("requests/corpus_media.json"))
+        .expect("checked-in corpus request");
+    let request: ise_api::CorpusRequest = ise_api::from_json(&text).expect("valid corpus request");
+    let (response, _, _) = ise_api::BatchService::new()
+        .run_corpus(&request)
+        .expect("corpus executes");
+    let envelope = json::Value::Object(vec![("response".to_string(), json::to_value(&response))]);
+    let payload = format!("{}\n", json::to_string(&envelope));
+    assert_golden("results/golden/corpus_cli.json", &payload);
 }
 
 /// The `ise-cli sweep requests/sweep_gsm.json` envelope, computed in-process.
