@@ -144,6 +144,107 @@ impl BatchService {
     }
 }
 
+/// Per-program speed-up comparison between the exact single-cut search and the
+/// two bundled heuristic baselines.
+///
+/// Kept out of [`CorpusStats`] on purpose: that struct is exact-integer telemetry
+/// (`Eq`), while speed-ups are floating point. Baselines are diagnostics — they
+/// are reported out of band (the CLI prints them on stderr under `--stats`) and
+/// never become part of the deterministic corpus payload.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BaselineRow {
+    /// Name of the analysed program.
+    pub program: String,
+    /// Whole-application speed-up of the exact single-cut selection.
+    pub single_cut: f64,
+    /// Whole-application speed-up of the MaxMISO baseline (Alippi et al.).
+    pub maxmiso: f64,
+    /// Whole-application speed-up of the Clubbing baseline (Baleani et al.).
+    pub clubbing: f64,
+}
+
+/// The baseline comparison for one corpus: one [`BaselineRow`] per program plus
+/// geometric-mean speed-ups across the corpus.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CorpusBaselines {
+    /// One row per program, in request order.
+    pub rows: Vec<BaselineRow>,
+    /// Geometric mean of the single-cut speed-ups.
+    pub geomean_single_cut: f64,
+    /// Geometric mean of the MaxMISO speed-ups.
+    pub geomean_maxmiso: f64,
+    /// Geometric mean of the Clubbing speed-ups.
+    pub geomean_clubbing: f64,
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0f64, 0usize), |(s, n), v| {
+        (s + v.max(1e-300).ln(), n + 1)
+    });
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+impl BatchService {
+    /// Runs the MaxMISO and Clubbing baselines next to the exact single-cut search
+    /// on every program of a corpus request and tabulates the speed-ups.
+    ///
+    /// Shares the corpus request's constraints, exploration budget and driver
+    /// options, so each row compares like for like. The three per-program jobs are
+    /// fanned out through [`BatchService::run`], inheriting this service's
+    /// parallelism setting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first program-source resolution or execution failure.
+    pub fn corpus_baselines(&self, request: &CorpusRequest) -> Result<CorpusBaselines, IseError> {
+        use crate::request::Algorithm;
+        const ALGORITHMS: [Algorithm; 3] = [
+            Algorithm::SingleCut,
+            Algorithm::MaxMiso,
+            Algorithm::Clubbing,
+        ];
+        let jobs: Vec<IseRequest> = request
+            .programs
+            .iter()
+            .flat_map(|source| {
+                ALGORITHMS.map(|algorithm| {
+                    IseRequest::new(algorithm, source.clone())
+                        .with_constraints(request.constraints)
+                        .with_config(request.config)
+                        .with_options(request.options)
+                })
+            })
+            .collect();
+        let outcomes = self.run(&jobs);
+        let mut rows = Vec::with_capacity(request.programs.len());
+        for (source, chunk) in request.programs.iter().zip(outcomes.chunks(3)) {
+            let mut speedups = [0.0f64; 3];
+            for (slot, outcome) in speedups.iter_mut().zip(chunk) {
+                match outcome {
+                    Ok(response) => *slot = response.report.speedup,
+                    Err(e) => return Err(e.clone()),
+                }
+            }
+            rows.push(BaselineRow {
+                program: source.name().to_string(),
+                single_cut: speedups[0],
+                maxmiso: speedups[1],
+                clubbing: speedups[2],
+            });
+        }
+        Ok(CorpusBaselines {
+            geomean_single_cut: geomean(rows.iter().map(|r| r.single_cut)),
+            geomean_maxmiso: geomean(rows.iter().map(|r| r.maxmiso)),
+            geomean_clubbing: geomean(rows.iter().map(|r| r.clubbing)),
+            rows,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,7 +48,7 @@ mod batch;
 mod request;
 mod session;
 
-pub use batch::BatchService;
+pub use batch::{BaselineRow, BatchService, CorpusBaselines};
 pub use ise_core::{CorpusStats, IseError, SweepStats};
 pub use request::{
     Algorithm, CorpusProgramOutcome, CorpusRequest, CorpusResponse, IseRequest, IseResponse, Pass,

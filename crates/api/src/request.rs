@@ -105,6 +105,17 @@ pub enum ProgramSource {
     Workload(String),
     /// A full program carried inline in the request.
     Inline(Program),
+    /// Textual LLVM IR (`.ll`) carried inline, lowered on resolution by the
+    /// dependency-free [`ise_frontend`] parser.
+    ///
+    /// `name` labels the resulting program (and error messages); it is usually
+    /// the source file path.
+    LlvmIr {
+        /// Program name / source label, usually the `.ll` file path.
+        name: String,
+        /// The full textual LLVM IR module.
+        text: String,
+    },
 }
 
 impl ProgramSource {
@@ -118,8 +129,9 @@ impl ProgramSource {
     /// # Errors
     ///
     /// Returns [`IseError::InvalidRequest`] for an unknown workload name (the
-    /// message lists the bundled names) and [`IseError::InvalidProgram`] for a
-    /// structurally invalid inline program.
+    /// message lists the bundled names), [`IseError::InvalidProgram`] for a
+    /// structurally invalid inline program, and [`IseError::Frontend`] (with
+    /// source position) for textual LLVM IR that fails to parse or lower.
     pub fn resolve(&self) -> Result<Program, IseError> {
         match self {
             ProgramSource::Workload(name) => ise_workloads::suite::by_name(name).ok_or_else(|| {
@@ -132,6 +144,17 @@ impl ProgramSource {
                 program.validate()?;
                 Ok(program.clone())
             }
+            ProgramSource::LlvmIr { name, text } => {
+                let program =
+                    ise_frontend::parse_and_lower(name, text).map_err(|e| IseError::Frontend {
+                        file: name.clone(),
+                        line: e.line,
+                        column: e.column,
+                        message: e.message,
+                    })?;
+                program.validate()?;
+                Ok(program)
+            }
         }
     }
 
@@ -141,6 +164,7 @@ impl ProgramSource {
         match self {
             ProgramSource::Workload(name) => name,
             ProgramSource::Inline(program) => program.name(),
+            ProgramSource::LlvmIr { name, .. } => name,
         }
     }
 }

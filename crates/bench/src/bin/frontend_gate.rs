@@ -1,0 +1,53 @@
+//! The LLVM front-end fixture gate: parses every bundled `.ll` fixture, runs the
+//! exact single-cut identification over the lowered corpus, and differentially
+//! checks `crc32-flat.ll` against the hand-built `crc32_kernel`.
+//!
+//! Usage: `cargo run --release -p ise-bench --bin frontend_gate`
+//!
+//! Exit codes: `0` every fixture parses and the selections match, `3` a fixture
+//! failed to parse/lower or the differential selection diverged — CI runs this
+//! like `sweep_gate` and `corpus_gate`.
+
+use std::process::ExitCode;
+
+use ise_bench::frontend_bench::{self, Fixture};
+
+fn main() -> ExitCode {
+    let fixtures: Vec<Fixture> = match frontend_bench::load_fixtures() {
+        Ok(fixtures) => fixtures,
+        Err(error) => {
+            eprintln!("error: {error}");
+            return ExitCode::from(3);
+        }
+    };
+    println!("# Front-end gate — {} bundled fixtures", fixtures.len());
+    for fixture in &fixtures {
+        let blocks = fixture.program.blocks().len();
+        let nodes: usize = fixture
+            .program
+            .blocks()
+            .iter()
+            .map(ise_ir::Dfg::node_count)
+            .sum();
+        println!("  {}: {blocks} blocks, {nodes} nodes", fixture.name);
+    }
+    if fixtures.len() < 6 {
+        eprintln!(
+            "error: expected at least 6 bundled fixtures, found {}",
+            fixtures.len()
+        );
+        return ExitCode::from(3);
+    }
+
+    // Identification must complete over the whole lowered corpus.
+    let programs: Vec<ise_ir::Program> = fixtures.iter().map(|f| f.program.clone()).collect();
+    let selections = frontend_bench::selections_json(&programs);
+    println!("selections: {} bytes of JSON", selections.len());
+
+    if let Err(error) = frontend_bench::differential_check(&fixtures) {
+        eprintln!("error: {error}");
+        return ExitCode::from(3);
+    }
+    println!("crc32-flat.ll differential check: selections identical");
+    ExitCode::SUCCESS
+}

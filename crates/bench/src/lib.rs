@@ -19,6 +19,10 @@
 //! * [`corpus_bench`] — the corpus dedup gate: a duplicate-heavy corpus analysed with
 //!   structural cross-program sharing on and off, asserted byte-identical with a
 //!   >= 2x enumeration reduction, emitted as `BENCH_corpus.json`;
+//! * [`frontend_bench`] — the LLVM front-end gate and benchmark: every bundled `.ll`
+//!   fixture parsed, lowered and identified, the hand-written `crc32-flat.ll`
+//!   differentially checked against the hand-built `crc32_kernel`, and the parsing
+//!   throughput emitted as `BENCH_frontend.json`;
 //! * [`report`] — CSV and Markdown rendering of the experiment rows.
 //!
 //! The binaries `fig8`, `fig11` and `sweep` print the tables and write CSV files; the
@@ -32,6 +36,7 @@
 pub mod corpus_bench;
 pub mod fig11;
 pub mod fig8;
+pub mod frontend_bench;
 pub mod report;
 pub mod scaling;
 pub mod sweep_bench;

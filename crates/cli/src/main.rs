@@ -12,10 +12,18 @@
 //! ise-cli sweep <sweep.json>    execute one sweep request (a base request plus a
 //!                               list of (Nin, Nout) pairs), print one response
 //! ise-cli corpus <dir|list>     analyse a whole corpus of programs together (a
-//!                               directory of program JSON files, or a corpus
-//!                               request file), print one response
+//!                               directory of program `.json`/`.ll` files, or a
+//!                               corpus request file), print one response
 //! ise-cli algorithms            list the registered identification algorithms
 //! ```
+//!
+//! `run --ll kernel.ll` / `sweep --ll kernel.ll` take the program from a textual
+//! LLVM IR file (lowered by the dependency-free [`ise_frontend`](ise_api) parser)
+//! instead of a JSON request; combined with a request file, `--ll` replaces the
+//! request's program and keeps every other knob. In corpus directory mode `.ll`
+//! files participate next to `.json` programs (lexicographic name order); a file
+//! that fails to parse is reported on stderr with its `file:line:column` and the
+//! rest of the corpus still runs (exit code `2`).
 //!
 //! Flags: `--pretty` for indented output, `-o FILE` to write the output to a file,
 //! `--threads N` to run `run`/`batch`/`sweep`/`corpus` inside a scoped `rayon` pool
@@ -47,6 +55,7 @@ struct Options {
     direct: bool,
     no_dedup: bool,
     stats: bool,
+    ll: Option<String>,
     positional: Vec<String>,
 }
 
@@ -59,8 +68,8 @@ fn usage() -> &'static str {
      \x20 sweep <sweep.json>     execute one sweep request (one result per (Nin, Nout)\n\
      \x20                        pair, answered from a memoised cut pool)\n\
      \x20 corpus <dir|list>      analyse a corpus of programs together (a directory\n\
-     \x20                        of program JSON files, or a corpus request file),\n\
-     \x20                        sharing work between isomorphic blocks\n\
+     \x20                        of program .json/.ll files, or a corpus request\n\
+     \x20                        file), sharing work between isomorphic blocks\n\
      \x20 algorithms             list the registered identification algorithms\n\
      \n\
      options:\n\
@@ -74,7 +83,13 @@ fn usage() -> &'static str {
      \x20                        searches (the response is byte-identical to the\n\
      \x20                        deduplicated mode)\n\
      \x20 --stats                sweep/corpus: print the effort accounting as one\n\
-     \x20                        JSON line to stderr (stdout is unchanged)\n"
+     \x20                        JSON line to stderr (stdout is unchanged); corpus\n\
+     \x20                        also prints MaxMISO/Clubbing baseline comparison\n\
+     \x20                        rows\n\
+     \x20 --ll FILE              run/sweep: take the program from a textual LLVM IR\n\
+     \x20                        (.ll) file; without a request file, runs the\n\
+     \x20                        single-cut search under default constraints (run)\n\
+     \x20                        or the paper (Nin, Nout) sweep (sweep)\n"
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -85,6 +100,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         direct: false,
         no_dedup: false,
         stats: false,
+        ll: None,
         positional: Vec::new(),
     };
     let mut iter = args.iter();
@@ -94,6 +110,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--direct" => options.direct = true,
             "--no-dedup" => options.no_dedup = true,
             "--stats" => options.stats = true,
+            "--ll" => {
+                let Some(path) = iter.next() else {
+                    return Err(format!("{arg} requires a .ll file path"));
+                };
+                options.ll = Some(path.clone());
+            }
             "-o" | "--output" => {
                 let Some(path) = iter.next() else {
                     return Err(format!("{arg} requires a file path"));
@@ -154,16 +176,51 @@ fn envelope<T: serde::Serialize>(outcome: &Result<T, IseError>) -> json::Value {
     }
 }
 
-fn cmd_run(options: &Options, path: &str) -> Result<bool, IseError> {
-    let request: IseRequest = ise_api::from_json(&read_file(path)?)?;
+/// Loads a `.ll` file as a program source (the file path doubles as the program
+/// name, so errors and responses point back at the input).
+fn ll_source(path: &str) -> Result<ise_api::ProgramSource, IseError> {
+    Ok(ise_api::ProgramSource::LlvmIr {
+        name: path.to_string(),
+        text: read_file(path)?,
+    })
+}
+
+fn cmd_run(options: &Options, path: Option<&str>) -> Result<bool, IseError> {
+    let mut request: IseRequest = match path {
+        Some(path) => ise_api::from_json(&read_file(path)?)?,
+        // `run --ll kernel.ll` with no request file: the exact single-cut search
+        // under default constraints.
+        None => IseRequest::new(
+            ise_api::Algorithm::SingleCut,
+            ll_source(options.ll.as_deref().expect("dispatch guarantees --ll"))?,
+        ),
+    };
+    if path.is_some() {
+        if let Some(ll) = &options.ll {
+            request.program = ll_source(ll)?;
+        }
+    }
     let outcome = Session::execute(&request);
     let failed = outcome.is_err();
     emit(options, &envelope(&outcome))?;
     Ok(failed)
 }
 
-fn cmd_sweep(options: &Options, path: &str) -> Result<bool, IseError> {
-    let mut request: ise_api::SweepRequest = ise_api::from_json(&read_file(path)?)?;
+fn cmd_sweep(options: &Options, path: Option<&str>) -> Result<bool, IseError> {
+    let mut request: ise_api::SweepRequest = match path {
+        Some(path) => ise_api::from_json(&read_file(path)?)?,
+        // `sweep --ll kernel.ll` with no request file: the paper's published
+        // (Nin, Nout) pairs on the single-cut search.
+        None => ise_api::SweepRequest::paper_sweep(IseRequest::new(
+            ise_api::Algorithm::SingleCut,
+            ll_source(options.ll.as_deref().expect("dispatch guarantees --ll"))?,
+        )),
+    };
+    if path.is_some() {
+        if let Some(ll) = &options.ll {
+            request.request.program = ll_source(ll)?;
+        }
+    }
     if options.direct {
         request.request.options.cut_pool = false;
     }
@@ -184,50 +241,85 @@ fn cmd_sweep(options: &Options, path: &str) -> Result<bool, IseError> {
     Ok(failed)
 }
 
-/// Loads a corpus request: either a directory of program JSON files (lexicographic
-/// order, so the corpus is reproducible) or a single `CorpusRequest` file.
-fn load_corpus_request(path: &str) -> Result<ise_api::CorpusRequest, IseError> {
+/// Loads one corpus program file: `.json` programs deserialise, `.ll` files go
+/// through the LLVM IR front-end. Parse/lower failures carry `file:line:column`.
+fn load_corpus_program(file: &std::path::Path) -> Result<ise_api::ProgramSource, IseError> {
+    let name = file.display().to_string();
+    let text = read_file(&name)?;
+    if file.extension().is_some_and(|ext| ext == "ll") {
+        // Parse eagerly (rather than deferring to resolve-time) so a broken file
+        // is diagnosed here, with its position, and the rest of the corpus runs.
+        let source = ise_api::ProgramSource::LlvmIr { name, text };
+        let program = source.resolve()?;
+        Ok(ise_api::ProgramSource::Inline(program))
+    } else {
+        let program = ise_api::program_from_json(&text)
+            .map_err(|e| IseError::Io(format!("`{name}`: {e}")))?;
+        Ok(ise_api::ProgramSource::Inline(program))
+    }
+}
+
+/// Loads a corpus request: either a directory of program files (`*.json` and
+/// `*.ll`, lexicographic name order, so the corpus is reproducible) or a single
+/// `CorpusRequest` file.
+///
+/// In directory mode a file that fails to load does not abort the corpus: its
+/// error is returned alongside the request and the remaining programs run.
+fn load_corpus_request(path: &str) -> Result<(ise_api::CorpusRequest, Vec<IseError>), IseError> {
     if std::fs::metadata(path).is_ok_and(|m| m.is_dir()) {
         let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
             .map_err(|e| IseError::Io(format!("cannot read directory `{path}`: {e}")))?
             .filter_map(Result::ok)
             .map(|entry| entry.path())
-            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .filter(|p| {
+                p.extension()
+                    .is_some_and(|ext| ext == "json" || ext == "ll")
+            })
             .collect();
         files.sort();
         if files.is_empty() {
             return Err(IseError::InvalidRequest(format!(
-                "directory `{path}` contains no .json program files"
+                "directory `{path}` contains no .json or .ll program files"
             )));
         }
-        let programs = files
-            .iter()
-            .map(|file| {
-                let text = read_file(&file.display().to_string())?;
-                let program = ise_api::program_from_json(&text)
-                    .map_err(|e| IseError::Io(format!("`{}`: {e}", file.display())))?;
-                Ok(ise_api::ProgramSource::Inline(program))
-            })
-            .collect::<Result<Vec<_>, IseError>>()?;
-        Ok(ise_api::CorpusRequest::new(programs))
+        let mut programs = Vec::new();
+        let mut failures = Vec::new();
+        for file in &files {
+            match load_corpus_program(file) {
+                Ok(source) => programs.push(source),
+                Err(error) => failures.push(error),
+            }
+        }
+        if programs.is_empty() {
+            return Err(failures.into_iter().next().expect("files is non-empty"));
+        }
+        Ok((ise_api::CorpusRequest::new(programs), failures))
     } else {
-        ise_api::from_json(&read_file(path)?)
+        Ok((ise_api::from_json(&read_file(path)?)?, Vec::new()))
     }
 }
 
 fn cmd_corpus(options: &Options, path: &str) -> Result<bool, IseError> {
-    let mut request = load_corpus_request(path)?;
+    let (mut request, load_failures) = load_corpus_request(path)?;
+    for failure in &load_failures {
+        eprintln!("error: {failure}");
+    }
     if options.no_dedup {
         request.dedup = false;
     }
-    let outcome = BatchService::new().run_corpus(&request);
-    let failed = outcome.is_err();
+    let service = BatchService::new();
+    let outcome = service.run_corpus(&request);
+    let failed = outcome.is_err() || !load_failures.is_empty();
     let response = match outcome {
         Ok((response, stats, shards)) => {
             if options.stats {
                 eprintln!("{}", ise_api::to_json(&stats));
                 for shard in &shards {
                     eprintln!("shard {}: {} programs", shard.shard, shard.items);
+                }
+                match service.corpus_baselines(&request) {
+                    Ok(baselines) => print_baselines(&baselines),
+                    Err(error) => eprintln!("error: baseline comparison failed: {error}"),
                 }
             }
             Ok(response)
@@ -239,6 +331,22 @@ fn cmd_corpus(options: &Options, path: &str) -> Result<bool, IseError> {
     // and --no-dedup outputs stay byte-identical.
     emit(options, &envelope(&response))?;
     Ok(failed)
+}
+
+/// Prints the `--stats` baseline comparison table (single-cut vs MaxMISO vs
+/// Clubbing speed-ups) to stderr, one row per program plus the geometric means.
+fn print_baselines(baselines: &ise_api::CorpusBaselines) {
+    eprintln!("baseline comparison (speed-up): program single-cut maxmiso clubbing");
+    for row in &baselines.rows {
+        eprintln!(
+            "  {} {:.4} {:.4} {:.4}",
+            row.program, row.single_cut, row.maxmiso, row.clubbing
+        );
+    }
+    eprintln!(
+        "  geomean {:.4} {:.4} {:.4}",
+        baselines.geomean_single_cut, baselines.geomean_maxmiso, baselines.geomean_clubbing
+    );
 }
 
 fn cmd_batch(options: &Options, path: &str) -> Result<bool, IseError> {
@@ -290,15 +398,28 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(1);
     }
+    if options.ll.is_some() && first != Some("run") && first != Some("sweep") {
+        eprintln!(
+            "error: --ll applies only to the run and sweep commands\n\n{}",
+            usage()
+        );
+        return ExitCode::from(1);
+    }
     let command = || match options.positional.first().map(String::as_str) {
         Some("run") if options.positional.len() == 2 => {
-            Some(cmd_run(&options, &options.positional[1]))
+            Some(cmd_run(&options, Some(&options.positional[1])))
+        }
+        Some("run") if options.positional.len() == 1 && options.ll.is_some() => {
+            Some(cmd_run(&options, None))
         }
         Some("batch") if options.positional.len() == 2 => {
             Some(cmd_batch(&options, &options.positional[1]))
         }
         Some("sweep") if options.positional.len() == 2 => {
-            Some(cmd_sweep(&options, &options.positional[1]))
+            Some(cmd_sweep(&options, Some(&options.positional[1])))
+        }
+        Some("sweep") if options.positional.len() == 1 && options.ll.is_some() => {
+            Some(cmd_sweep(&options, None))
         }
         Some("corpus") if options.positional.len() == 2 => {
             Some(cmd_corpus(&options, &options.positional[1]))

@@ -33,6 +33,21 @@ pub enum IseError {
     Serialization(String),
     /// A file or stream operation failed (used by the CLI front-end).
     Io(String),
+    /// A textual LLVM IR source failed to parse or lower.
+    ///
+    /// Carries the originating file (or synthetic source name) and the 1-based
+    /// source position so corpus runs can report `file:line:column` per input
+    /// instead of aborting the whole batch.
+    Frontend {
+        /// The file path or source label the text came from.
+        file: String,
+        /// 1-based source line of the offending construct.
+        line: u32,
+        /// 1-based source column (1 when only the line is known).
+        column: u32,
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for IseError {
@@ -52,6 +67,12 @@ impl fmt::Display for IseError {
             IseError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             IseError::Serialization(msg) => write!(f, "serialisation error: {msg}"),
             IseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            IseError::Frontend {
+                file,
+                line,
+                column,
+                message,
+            } => write!(f, "{file}:{line}:{column}: {message}"),
         }
     }
 }

@@ -1,0 +1,53 @@
+; ModuleID = 'adpcm.c'
+; One IMA ADPCM decode step with a step-size table lookup and output clamping:
+; int adpcm_decode_step(int valpred, int index, int delta) {
+;   int step = stepsizeTable[index];
+;   int vpdiff = step >> 3;
+;   if (delta & 4) vpdiff += step;
+;   if (delta & 2) vpdiff += step >> 1;
+;   if (delta & 1) vpdiff += step >> 2;
+;   if (delta & 8) valpred -= vpdiff; else valpred += vpdiff;
+;   if (valpred > 32767) valpred = 32767;
+;   else if (valpred < -32768) valpred = -32768;
+;   return valpred;
+; }
+; clang -O1 -S -emit-llvm -fno-discard-value-names adpcm.c
+source_filename = "adpcm.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+@stepsizeTable = dso_local local_unnamed_addr constant [89 x i32] [i32 7, i32 8, i32 9, i32 10, i32 11, i32 12, i32 13, i32 14, i32 16, i32 17, i32 19, i32 21, i32 23, i32 25, i32 28, i32 31, i32 34, i32 37, i32 41, i32 45, i32 50, i32 55, i32 60, i32 66, i32 73, i32 80, i32 88, i32 97, i32 107, i32 118, i32 130, i32 143, i32 157, i32 173, i32 190, i32 209, i32 230, i32 253, i32 279, i32 307, i32 337, i32 371, i32 408, i32 449, i32 494, i32 544, i32 598, i32 658, i32 724, i32 796, i32 876, i32 963, i32 1060, i32 1166, i32 1282, i32 1411, i32 1552, i32 1707, i32 1878, i32 2066, i32 2272, i32 2499, i32 2749, i32 3024, i32 3327, i32 3660, i32 4026, i32 4428, i32 4871, i32 5358, i32 5894, i32 6484, i32 7132, i32 7845, i32 8630, i32 9493, i32 10442, i32 11487, i32 12635, i32 13899, i32 15289, i32 16818, i32 18500, i32 20350, i32 22385, i32 24623, i32 27086, i32 29794, i32 32767], align 16
+
+define dso_local i32 @adpcm_decode_step(i32 noundef %valpred, i32 noundef %index, i32 noundef %delta) local_unnamed_addr #0 {
+entry:
+  %idxprom = sext i32 %index to i64
+  %arrayidx = getelementptr inbounds [89 x i32], [89 x i32]* @stepsizeTable, i64 0, i64 %idxprom
+  %step = load i32, i32* %arrayidx, align 4
+  %shr = ashr i32 %step, 3
+  %and = and i32 %delta, 4
+  %tobool.not = icmp eq i32 %and, 0
+  %add = add nsw i32 %shr, %step
+  %vpdiff.0 = select i1 %tobool.not, i32 %shr, i32 %add
+  %and1 = and i32 %delta, 2
+  %tobool2.not = icmp eq i32 %and1, 0
+  %shr3 = ashr i32 %step, 1
+  %add4 = add nsw i32 %vpdiff.0, %shr3
+  %vpdiff.1 = select i1 %tobool2.not, i32 %vpdiff.0, i32 %add4
+  %and5 = and i32 %delta, 1
+  %tobool6.not = icmp eq i32 %and5, 0
+  %shr7 = ashr i32 %step, 2
+  %add8 = add nsw i32 %vpdiff.1, %shr7
+  %vpdiff.2 = select i1 %tobool6.not, i32 %vpdiff.1, i32 %add8
+  %and9 = and i32 %delta, 8
+  %tobool10.not = icmp eq i32 %and9, 0
+  %sub = sub nsw i32 %valpred, %vpdiff.2
+  %add11 = add nsw i32 %valpred, %vpdiff.2
+  %valpred.0 = select i1 %tobool10.not, i32 %add11, i32 %sub
+  %cmp12 = icmp sgt i32 %valpred.0, 32767
+  %cmp14 = icmp slt i32 %valpred.0, -32768
+  %valpred.1 = select i1 %cmp14, i32 -32768, i32 %valpred.0
+  %valpred.2 = select i1 %cmp12, i32 32767, i32 %valpred.1
+  ret i32 %valpred.2
+}
+
+attributes #0 = { mustprogress nofree norecurse nosync nounwind readonly willreturn uwtable }

@@ -1,0 +1,60 @@
+; ModuleID = 'crc32.c'
+; unsigned crc32_update(unsigned crc, unsigned char byte) {
+;   crc = crc ^ byte;
+;   for (int i = 0; i < 8; i++) {
+;     unsigned mask = -(crc & 1u);
+;     crc = (crc >> 1) ^ (0xEDB88320u & mask);
+;   }
+;   return crc;
+; }
+; clang -O0 -S -emit-llvm -fno-discard-value-names crc32.c
+source_filename = "crc32.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+define dso_local i32 @crc32_update(i32 noundef %crc, i8 noundef zeroext %byte) #0 {
+entry:
+  %crc.addr = alloca i32, align 4
+  %byte.addr = alloca i8, align 1
+  %i = alloca i32, align 4
+  %mask = alloca i32, align 4
+  store i32 %crc, i32* %crc.addr, align 4
+  store i8 %byte, i8* %byte.addr, align 1
+  %0 = load i8, i8* %byte.addr, align 1
+  %conv = zext i8 %0 to i32
+  %1 = load i32, i32* %crc.addr, align 4
+  %xor = xor i32 %1, %conv
+  store i32 %xor, i32* %crc.addr, align 4
+  store i32 0, i32* %i, align 4
+  br label %for.cond
+
+for.cond:
+  %2 = load i32, i32* %i, align 4
+  %cmp = icmp slt i32 %2, 8
+  br i1 %cmp, label %for.body, label %for.end
+
+for.body:
+  %3 = load i32, i32* %crc.addr, align 4
+  %and = and i32 %3, 1
+  %sub = sub i32 0, %and
+  store i32 %sub, i32* %mask, align 4
+  %4 = load i32, i32* %crc.addr, align 4
+  %shr = lshr i32 %4, 1
+  %5 = load i32, i32* %mask, align 4
+  %and1 = and i32 -306674912, %5
+  %xor2 = xor i32 %shr, %and1
+  store i32 %xor2, i32* %crc.addr, align 4
+  br label %for.inc
+
+for.inc:
+  %6 = load i32, i32* %i, align 4
+  %inc = add nsw i32 %6, 1
+  store i32 %inc, i32* %i, align 4
+  br label %for.cond
+
+for.end:
+  %7 = load i32, i32* %crc.addr, align 4
+  ret i32 %7
+}
+
+attributes #0 = { noinline nounwind optnone uwtable }

@@ -1,0 +1,30 @@
+; ModuleID = 'crc32.c'
+; unsigned crc32_update(unsigned crc, unsigned char byte) — see crc32-O0.ll.
+; clang -O1 -S -emit-llvm -fno-discard-value-names crc32.c
+source_filename = "crc32.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+define dso_local i32 @crc32_update(i32 noundef %crc, i8 noundef zeroext %byte) local_unnamed_addr #0 {
+entry:
+  %conv = zext i8 %byte to i32
+  %xor = xor i32 %conv, %crc
+  br label %for.body
+
+for.body:
+  %i.07 = phi i32 [ 0, %entry ], [ %inc, %for.body ]
+  %crc.addr.06 = phi i32 [ %xor, %entry ], [ %xor2, %for.body ]
+  %and = and i32 %crc.addr.06, 1
+  %sub = sub nsw i32 0, %and
+  %and1 = and i32 %sub, -306674912
+  %shr = lshr i32 %crc.addr.06, 1
+  %xor2 = xor i32 %and1, %shr
+  %inc = add nuw nsw i32 %i.07, 1
+  %exitcond.not = icmp eq i32 %inc, 8
+  br i1 %exitcond.not, label %for.end, label %for.body
+
+for.end:
+  ret i32 %xor2
+}
+
+attributes #0 = { mustprogress nofree norecurse nosync nounwind readnone willreturn uwtable }

@@ -1,0 +1,56 @@
+; ModuleID = 'crc32.c'
+; unsigned crc32_update(unsigned crc, unsigned char byte) — see crc32-O0.ll.
+; At -O2 the 8-iteration loop is fully unrolled into straight-line code.
+; clang -O2 -S -emit-llvm -fno-discard-value-names crc32.c
+source_filename = "crc32.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+define dso_local i32 @crc32_update(i32 noundef %crc, i8 noundef zeroext %byte) local_unnamed_addr #0 {
+entry:
+  %conv = zext i8 %byte to i32
+  %xor = xor i32 %conv, %crc
+  %and = and i32 %xor, 1
+  %sub = sub nsw i32 0, %and
+  %and1 = and i32 %sub, -306674912
+  %shr = lshr i32 %xor, 1
+  %xor2 = xor i32 %and1, %shr
+  %and.1 = and i32 %xor2, 1
+  %sub.1 = sub nsw i32 0, %and.1
+  %and1.1 = and i32 %sub.1, -306674912
+  %shr.1 = lshr i32 %xor2, 1
+  %xor2.1 = xor i32 %and1.1, %shr.1
+  %and.2 = and i32 %xor2.1, 1
+  %sub.2 = sub nsw i32 0, %and.2
+  %and1.2 = and i32 %sub.2, -306674912
+  %shr.2 = lshr i32 %xor2.1, 1
+  %xor2.2 = xor i32 %and1.2, %shr.2
+  %and.3 = and i32 %xor2.2, 1
+  %sub.3 = sub nsw i32 0, %and.3
+  %and1.3 = and i32 %sub.3, -306674912
+  %shr.3 = lshr i32 %xor2.2, 1
+  %xor2.3 = xor i32 %and1.3, %shr.3
+  %and.4 = and i32 %xor2.3, 1
+  %sub.4 = sub nsw i32 0, %and.4
+  %and1.4 = and i32 %sub.4, -306674912
+  %shr.4 = lshr i32 %xor2.3, 1
+  %xor2.4 = xor i32 %and1.4, %shr.4
+  %and.5 = and i32 %xor2.4, 1
+  %sub.5 = sub nsw i32 0, %and.5
+  %and1.5 = and i32 %sub.5, -306674912
+  %shr.5 = lshr i32 %xor2.4, 1
+  %xor2.5 = xor i32 %and1.5, %shr.5
+  %and.6 = and i32 %xor2.5, 1
+  %sub.6 = sub nsw i32 0, %and.6
+  %and1.6 = and i32 %sub.6, -306674912
+  %shr.6 = lshr i32 %xor2.5, 1
+  %xor2.6 = xor i32 %and1.6, %shr.6
+  %and.7 = and i32 %xor2.6, 1
+  %sub.7 = sub nsw i32 0, %and.7
+  %and1.7 = and i32 %sub.7, -306674912
+  %shr.7 = lshr i32 %xor2.6, 1
+  %xor2.7 = xor i32 %and1.7, %shr.7
+  ret i32 %xor2.7
+}
+
+attributes #0 = { mustprogress nofree norecurse nosync nounwind readnone willreturn uwtable }

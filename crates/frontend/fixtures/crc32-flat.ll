@@ -1,0 +1,36 @@
+; Four unrolled bit-steps of the table-less CRC-32, mirroring the hand-built
+; `crc32_kernel` of crates/workloads (crypto.rs) node for node:
+;   bit = crc & 1; mask = -bit; masked = mask & 0xEDB88320;
+;   shifted = crc >> 1; crc = shifted ^ masked;   (× 4)
+; Used by the differential test proving the front-end lowering produces the
+; same selection result as the hand-built DFG.
+source_filename = "crc32_flat.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+define dso_local i32 @crc32_bits(i32 noundef %crc) local_unnamed_addr #0 {
+entry:
+  %bit0 = and i32 %crc, 1
+  %mask0 = sub i32 0, %bit0
+  %masked0 = and i32 %mask0, -306674912
+  %shifted0 = lshr i32 %crc, 1
+  %crc0 = xor i32 %shifted0, %masked0
+  %bit1 = and i32 %crc0, 1
+  %mask1 = sub i32 0, %bit1
+  %masked1 = and i32 %mask1, -306674912
+  %shifted1 = lshr i32 %crc0, 1
+  %crc1 = xor i32 %shifted1, %masked1
+  %bit2 = and i32 %crc1, 1
+  %mask2 = sub i32 0, %bit2
+  %masked2 = and i32 %mask2, -306674912
+  %shifted2 = lshr i32 %crc1, 1
+  %crc2 = xor i32 %shifted2, %masked2
+  %bit3 = and i32 %crc2, 1
+  %mask3 = sub i32 0, %bit3
+  %masked3 = and i32 %mask3, -306674912
+  %shifted3 = lshr i32 %crc2, 1
+  %crc3 = xor i32 %shifted3, %masked3
+  ret i32 %crc3
+}
+
+attributes #0 = { mustprogress nofree norecurse nosync nounwind readnone willreturn uwtable }

@@ -1,0 +1,55 @@
+; ModuleID = 'sha1round.c'
+; unsigned sha1_round(unsigned a, unsigned b, unsigned c, unsigned d,
+;                     unsigned e, unsigned w) {
+;   unsigned f = (b & c) | (~b & d);
+;   unsigned rot = (a << 5) | (a >> 27);
+;   return rot + f + e + w + 0x5A827999u;
+; }
+; clang -O0 -S -emit-llvm -fno-discard-value-names sha1round.c
+source_filename = "sha1round.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+define dso_local i32 @sha1_round(i32 noundef %a, i32 noundef %b, i32 noundef %c, i32 noundef %d, i32 noundef %e, i32 noundef %w) #0 {
+entry:
+  %a.addr = alloca i32, align 4
+  %b.addr = alloca i32, align 4
+  %c.addr = alloca i32, align 4
+  %d.addr = alloca i32, align 4
+  %e.addr = alloca i32, align 4
+  %w.addr = alloca i32, align 4
+  %f = alloca i32, align 4
+  %rot = alloca i32, align 4
+  store i32 %a, i32* %a.addr, align 4
+  store i32 %b, i32* %b.addr, align 4
+  store i32 %c, i32* %c.addr, align 4
+  store i32 %d, i32* %d.addr, align 4
+  store i32 %e, i32* %e.addr, align 4
+  store i32 %w, i32* %w.addr, align 4
+  %0 = load i32, i32* %b.addr, align 4
+  %1 = load i32, i32* %c.addr, align 4
+  %and = and i32 %0, %1
+  %2 = load i32, i32* %b.addr, align 4
+  %neg = xor i32 %2, -1
+  %3 = load i32, i32* %d.addr, align 4
+  %and1 = and i32 %neg, %3
+  %or = or i32 %and, %and1
+  store i32 %or, i32* %f, align 4
+  %4 = load i32, i32* %a.addr, align 4
+  %shl = shl i32 %4, 5
+  %5 = load i32, i32* %a.addr, align 4
+  %shr = lshr i32 %5, 27
+  %or2 = or i32 %shl, %shr
+  store i32 %or2, i32* %rot, align 4
+  %6 = load i32, i32* %rot, align 4
+  %7 = load i32, i32* %f, align 4
+  %add = add i32 %6, %7
+  %8 = load i32, i32* %e.addr, align 4
+  %add3 = add i32 %add, %8
+  %9 = load i32, i32* %w.addr, align 4
+  %add4 = add i32 %add3, %9
+  %add5 = add i32 %add4, 1518500249
+  ret i32 %add5
+}
+
+attributes #0 = { noinline nounwind optnone uwtable }

@@ -1,0 +1,25 @@
+; ModuleID = 'sha1round.c'
+; unsigned sha1_round(unsigned a, unsigned b, unsigned c, unsigned d,
+;                     unsigned e, unsigned w) — see sha1round-O0.ll.
+; clang -O1 -S -emit-llvm -fno-discard-value-names sha1round.c
+source_filename = "sha1round.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+define dso_local i32 @sha1_round(i32 noundef %a, i32 noundef %b, i32 noundef %c, i32 noundef %d, i32 noundef %e, i32 noundef %w) local_unnamed_addr #0 {
+entry:
+  %and = and i32 %c, %b
+  %neg = xor i32 %b, -1
+  %and1 = and i32 %neg, %d
+  %or = or i32 %and, %and1
+  %shl = shl i32 %a, 5
+  %shr = lshr i32 %a, 27
+  %or2 = or i32 %shr, %shl
+  %add = add i32 %or, %or2
+  %add3 = add i32 %add, %e
+  %add4 = add i32 %add3, %w
+  %add5 = add i32 %add4, 1518500249
+  ret i32 %add5
+}
+
+attributes #0 = { mustprogress nofree norecurse nosync nounwind readnone willreturn uwtable }

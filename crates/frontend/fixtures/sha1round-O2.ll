@@ -1,0 +1,26 @@
+; ModuleID = 'sha1round.c'
+; unsigned sha1_round(unsigned a, unsigned b, unsigned c, unsigned d,
+;                     unsigned e, unsigned w) — see sha1round-O0.ll.
+; At -O2 instcombine reassociates the additions and rewrites the round
+; function (b & c) | (~b & d) into ((c ^ d) & b) ^ d.
+; clang -O2 -S -emit-llvm -fno-discard-value-names sha1round.c
+source_filename = "sha1round.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+define dso_local i32 @sha1_round(i32 noundef %a, i32 noundef %b, i32 noundef %c, i32 noundef %d, i32 noundef %e, i32 noundef %w) local_unnamed_addr #0 {
+entry:
+  %xor = xor i32 %c, %d
+  %and = and i32 %xor, %b
+  %or = xor i32 %and, %d
+  %shl = shl i32 %a, 5
+  %shr = lshr i32 %a, 27
+  %or2 = or i32 %shr, %shl
+  %add = add i32 %or, 1518500249
+  %add3 = add i32 %add, %or2
+  %add4 = add i32 %add3, %e
+  %add5 = add i32 %add4, %w
+  ret i32 %add5
+}
+
+attributes #0 = { mustprogress nofree norecurse nosync nounwind readnone willreturn uwtable }

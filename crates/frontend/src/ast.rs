@@ -1,0 +1,470 @@
+//! Abstract syntax tree for the supported LLVM IR subset.
+//!
+//! The AST is *normalised*: flags and annotations that do not affect dataflow
+//! (`nsw`/`nuw`/`exact`/`inbounds`, alignment, parameter attributes, metadata,
+//! calling conventions) are dropped by the parser. Pretty-printing an AST therefore
+//! yields a canonical `.ll` text, and `parse ∘ print` is the identity on ASTs — the
+//! property the round-trip test suite checks at the byte level.
+
+use std::fmt;
+
+/// A parsed module: the functions defined in one `.ll` file.
+///
+/// Module-level constructs that carry no dataflow (`target` lines, global variable
+/// definitions, `declare`s, attribute groups, metadata) are skipped during parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// The functions defined in the module, in source order.
+    pub functions: Vec<Function>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name without the `@` sigil.
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Formal parameters, in order.
+    pub params: Vec<Param>,
+    /// Basic blocks, in source order. The first block is the entry block.
+    pub blocks: Vec<Block>,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter type.
+    pub ty: Ty,
+    /// Parameter name without the `%` sigil (implicitly numbered when unnamed).
+    pub name: String,
+}
+
+/// A basic block: a label, straight-line instructions, and one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Label without the trailing `:` (an unlabelled entry block is implicitly
+    /// numbered, following LLVM's unnamed-value numbering).
+    pub label: String,
+    /// Non-terminator instructions in source order, each with its 1-based source
+    /// line (used by the lowering pass for diagnostics; ignored by the printer).
+    pub insts: Vec<(u32, Inst)>,
+    /// The block terminator.
+    pub term: Terminator,
+}
+
+/// The supported types: `void`, integers, pointers and arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// `void`.
+    Void,
+    /// `iN` — an integer of `N` bits.
+    Int(u32),
+    /// An opaque pointer (`ptr`).
+    Ptr,
+    /// A typed pointer (`T*`).
+    PtrTo(Box<Ty>),
+    /// `[N x T]`.
+    Array(u64, Box<Ty>),
+    /// A named (struct) type, `%name`; only meaningful behind a pointer.
+    Named(String),
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Void => f.write_str("void"),
+            Ty::Int(bits) => write!(f, "i{bits}"),
+            Ty::Ptr => f.write_str("ptr"),
+            Ty::PtrTo(inner) => write!(f, "{inner}*"),
+            Ty::Array(n, elem) => write!(f, "[{n} x {elem}]"),
+            Ty::Named(name) => write!(f, "%{name}"),
+        }
+    }
+}
+
+/// An SSA value reference or constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `%name`.
+    Local(String),
+    /// `@name`.
+    Global(String),
+    /// An integer literal (also `true`/`false`, printed as such for `i1`).
+    Int(i64),
+    /// `undef`, `poison` or `null` — lowered as the constant 0.
+    Undef,
+}
+
+/// Integer binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `add`
+    Add,
+    /// `sub`
+    Sub,
+    /// `mul`
+    Mul,
+    /// `sdiv`
+    Sdiv,
+    /// `udiv`
+    Udiv,
+    /// `srem`
+    Srem,
+    /// `urem`
+    Urem,
+    /// `shl`
+    Shl,
+    /// `lshr`
+    Lshr,
+    /// `ashr`
+    Ashr,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `xor`
+    Xor,
+}
+
+impl BinOp {
+    /// The LLVM keyword of the operator.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Sdiv => "sdiv",
+            BinOp::Udiv => "udiv",
+            BinOp::Srem => "srem",
+            BinOp::Urem => "urem",
+            BinOp::Shl => "shl",
+            BinOp::Lshr => "lshr",
+            BinOp::Ashr => "ashr",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+        }
+    }
+}
+
+/// `icmp` predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpPred {
+    /// `eq`
+    Eq,
+    /// `ne`
+    Ne,
+    /// `slt`
+    Slt,
+    /// `sle`
+    Sle,
+    /// `sgt`
+    Sgt,
+    /// `sge`
+    Sge,
+    /// `ult`
+    Ult,
+    /// `ule`
+    Ule,
+    /// `ugt`
+    Ugt,
+    /// `uge`
+    Uge,
+}
+
+impl IcmpPred {
+    /// The LLVM keyword of the predicate.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            IcmpPred::Eq => "eq",
+            IcmpPred::Ne => "ne",
+            IcmpPred::Slt => "slt",
+            IcmpPred::Sle => "sle",
+            IcmpPred::Sgt => "sgt",
+            IcmpPred::Sge => "sge",
+            IcmpPred::Ult => "ult",
+            IcmpPred::Ule => "ule",
+            IcmpPred::Ugt => "ugt",
+            IcmpPred::Uge => "uge",
+        }
+    }
+}
+
+/// Cast operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CastOp {
+    /// `sext`
+    Sext,
+    /// `zext`
+    Zext,
+    /// `trunc`
+    Trunc,
+    /// `bitcast`
+    Bitcast,
+    /// `ptrtoint`
+    Ptrtoint,
+    /// `inttoptr`
+    Inttoptr,
+}
+
+impl CastOp {
+    /// The LLVM keyword of the cast.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            CastOp::Sext => "sext",
+            CastOp::Zext => "zext",
+            CastOp::Trunc => "trunc",
+            CastOp::Bitcast => "bitcast",
+            CastOp::Ptrtoint => "ptrtoint",
+            CastOp::Inttoptr => "inttoptr",
+        }
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `%r = <binop> <ty> <lhs>, <rhs>`
+    Binary {
+        /// Result name.
+        result: String,
+        /// The operator.
+        op: BinOp,
+        /// Operand type.
+        ty: Ty,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// `%r = icmp <pred> <ty> <lhs>, <rhs>`
+    Icmp {
+        /// Result name.
+        result: String,
+        /// The predicate.
+        pred: IcmpPred,
+        /// Operand type.
+        ty: Ty,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// `%r = select i1 <cond>, <ty> <then>, <ty> <else>`
+    Select {
+        /// Result name.
+        result: String,
+        /// Condition value.
+        cond: Value,
+        /// Value type.
+        ty: Ty,
+        /// Value when the condition is non-zero.
+        then_value: Value,
+        /// Value when the condition is zero.
+        else_value: Value,
+    },
+    /// `%r = <castop> <from> <value> to <to>`
+    Cast {
+        /// Result name.
+        result: String,
+        /// The cast operator.
+        op: CastOp,
+        /// Source type.
+        from: Ty,
+        /// Operand.
+        value: Value,
+        /// Destination type.
+        to: Ty,
+    },
+    /// `%r = freeze <ty> <value>`
+    Freeze {
+        /// Result name.
+        result: String,
+        /// Operand type.
+        ty: Ty,
+        /// Operand.
+        value: Value,
+    },
+    /// `%r = load <ty>, <ptr-ty> <ptr>`
+    Load {
+        /// Result name.
+        result: String,
+        /// Loaded type.
+        ty: Ty,
+        /// Pointer operand type.
+        ptr_ty: Ty,
+        /// Pointer operand.
+        ptr: Value,
+    },
+    /// `store <ty> <value>, <ptr-ty> <ptr>`
+    Store {
+        /// Stored type.
+        ty: Ty,
+        /// Stored value.
+        value: Value,
+        /// Pointer operand type.
+        ptr_ty: Ty,
+        /// Pointer operand.
+        ptr: Value,
+    },
+    /// `%r = getelementptr <base-ty>, <ptr-ty> <ptr>, (<ty> <idx>)+`
+    Gep {
+        /// Result name.
+        result: String,
+        /// Indexed (pointee) type.
+        base_ty: Ty,
+        /// Pointer operand type.
+        ptr_ty: Ty,
+        /// Pointer operand.
+        ptr: Value,
+        /// Index list.
+        indices: Vec<(Ty, Value)>,
+    },
+    /// `%r = alloca <ty>`
+    Alloca {
+        /// Result name.
+        result: String,
+        /// Allocated type.
+        ty: Ty,
+    },
+    /// `[%r =] call <ret-ty> @callee((<ty> <arg>)*)`
+    Call {
+        /// Result name (`None` for `void` calls).
+        result: Option<String>,
+        /// Return type.
+        ret: Ty,
+        /// Callee name without the `@` sigil.
+        callee: String,
+        /// Argument list.
+        args: Vec<(Ty, Value)>,
+    },
+    /// `%r = phi <ty> [ <value>, %<pred> ], ...`
+    Phi {
+        /// Result name.
+        result: String,
+        /// Value type.
+        ty: Ty,
+        /// `(value, predecessor label)` pairs.
+        incoming: Vec<(Value, String)>,
+    },
+}
+
+impl Inst {
+    /// The name the instruction defines, if any.
+    #[must_use]
+    pub fn result(&self) -> Option<&str> {
+        match self {
+            Inst::Binary { result, .. }
+            | Inst::Icmp { result, .. }
+            | Inst::Select { result, .. }
+            | Inst::Cast { result, .. }
+            | Inst::Freeze { result, .. }
+            | Inst::Load { result, .. }
+            | Inst::Gep { result, .. }
+            | Inst::Alloca { result, .. }
+            | Inst::Phi { result, .. } => Some(result),
+            Inst::Store { .. } => None,
+            Inst::Call { result, .. } => result.as_deref(),
+        }
+    }
+
+    /// Visits every [`Value`] operand of the instruction.
+    pub fn for_each_operand(&self, mut f: impl FnMut(&Value)) {
+        match self {
+            Inst::Binary { lhs, rhs, .. } | Inst::Icmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Select {
+                cond,
+                then_value,
+                else_value,
+                ..
+            } => {
+                f(cond);
+                f(then_value);
+                f(else_value);
+            }
+            Inst::Cast { value, .. } | Inst::Freeze { value, .. } => f(value),
+            Inst::Load { ptr, .. } => f(ptr),
+            Inst::Store { value, ptr, .. } => {
+                f(value);
+                f(ptr);
+            }
+            Inst::Gep { ptr, indices, .. } => {
+                f(ptr);
+                for (_, idx) in indices {
+                    f(idx);
+                }
+            }
+            Inst::Alloca { .. } => {}
+            Inst::Call { args, .. } => {
+                for (_, arg) in args {
+                    f(arg);
+                }
+            }
+            Inst::Phi { incoming, .. } => {
+                for (value, _) in incoming {
+                    f(value);
+                }
+            }
+        }
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// `ret void`
+    RetVoid,
+    /// `ret <ty> <value>`
+    Ret {
+        /// Returned type.
+        ty: Ty,
+        /// Returned value.
+        value: Value,
+    },
+    /// `br label %dest`
+    Br {
+        /// Destination label.
+        dest: String,
+    },
+    /// `br i1 <cond>, label %then, label %else`
+    CondBr {
+        /// Branch condition.
+        cond: Value,
+        /// Taken destination.
+        then_dest: String,
+        /// Fall-through destination.
+        else_dest: String,
+    },
+    /// `switch <ty> <value>, label %default [ (<ty> <case>, label %dest)* ]`
+    Switch {
+        /// Scrutinee type.
+        ty: Ty,
+        /// Scrutinee value.
+        value: Value,
+        /// Default destination label.
+        default: String,
+        /// `(case constant, destination label)` pairs.
+        cases: Vec<(i64, String)>,
+    },
+    /// `unreachable`
+    Unreachable,
+}
+
+impl Terminator {
+    /// Visits every [`Value`] operand of the terminator.
+    pub fn for_each_operand(&self, mut f: impl FnMut(&Value)) {
+        match self {
+            Terminator::Ret { value, .. } => f(value),
+            Terminator::CondBr { cond, .. } => f(cond),
+            Terminator::Switch { value, .. } => f(value),
+            Terminator::RetVoid | Terminator::Br { .. } | Terminator::Unreachable => {}
+        }
+    }
+}

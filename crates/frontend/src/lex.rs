@@ -1,0 +1,350 @@
+//! Hand-rolled tokeniser for the textual LLVM IR subset.
+//!
+//! The lexer is deliberately small: it recognises exactly the token shapes that appear
+//! in integer-only compiled C (`clang -S -emit-llvm`) — identifiers, `%local` /
+//! `@global` references, integer literals, string literals, metadata (`!name`) and
+//! attribute-group (`#0`) references, and single-character punctuation. `;` comments
+//! are skipped. Every token carries its 1-based line and column so parse errors can be
+//! reported with source positions.
+
+use std::fmt;
+
+/// A single lexed token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub column: u32,
+}
+
+/// The shape of a token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A bare word: keyword, opcode, type or attribute name (`define`, `add`, `i32`).
+    Word(String),
+    /// A local value or label reference without the `%` sigil (`%acc` → `acc`).
+    Local(String),
+    /// A global reference without the `@` sigil (`@crc_table` → `crc_table`).
+    Global(String),
+    /// A metadata reference without the `!` sigil (`!tbaa` → `tbaa`, bare `!` → empty).
+    Metadata(String),
+    /// An attribute-group reference without the `#` sigil (`#0` → `0`).
+    AttrGroup(String),
+    /// An integer literal.
+    Int(i64),
+    /// A quoted string literal (contents only).
+    Str(String),
+    /// One punctuation character: `( ) { } [ ] < > = , * :`.
+    Punct(char),
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "`{w}`"),
+            TokenKind::Local(n) => write!(f, "`%{n}`"),
+            TokenKind::Global(n) => write!(f, "`@{n}`"),
+            TokenKind::Metadata(n) => write!(f, "`!{n}`"),
+            TokenKind::AttrGroup(n) => write!(f, "`#{n}`"),
+            TokenKind::Int(v) => write!(f, "`{v}`"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Punct(c) => write!(f, "`{c}`"),
+        }
+    }
+}
+
+/// A lexing failure with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub column: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || matches!(c, '$' | '.' | '_' | '-')
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '$' | '.' | '_' | '-')
+}
+
+/// Lexes `source` into a token vector.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on characters outside the supported vocabulary or on an
+/// unterminated string literal.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+    let mut column: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                column = 1;
+            } else if c.is_some() {
+                column += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let tok_line = line;
+        let tok_column = column;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            ';' => {
+                // Comment: skip to end of line.
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '%' | '@' | '!' | '#' => {
+                bump!();
+                let mut name = String::new();
+                if chars.peek() == Some(&'"') {
+                    bump!();
+                    loop {
+                        match bump!() {
+                            Some('"') => break,
+                            Some(c) => name.push(c),
+                            None => {
+                                return Err(LexError {
+                                    line: tok_line,
+                                    column: tok_column,
+                                    message: "unterminated quoted identifier".into(),
+                                })
+                            }
+                        }
+                    }
+                } else {
+                    while let Some(&c) = chars.peek() {
+                        if is_ident_continue(c) {
+                            name.push(c);
+                            bump!();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let kind = match c {
+                    '%' => TokenKind::Local(name),
+                    '@' => TokenKind::Global(name),
+                    '!' => TokenKind::Metadata(name),
+                    _ => TokenKind::AttrGroup(name),
+                };
+                tokens.push(Token {
+                    kind,
+                    line: tok_line,
+                    column: tok_column,
+                });
+            }
+            '"' => {
+                bump!();
+                let mut text = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => break,
+                        Some(c) => text.push(c),
+                        None => {
+                            return Err(LexError {
+                                line: tok_line,
+                                column: tok_column,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(text),
+                    line: tok_line,
+                    column: tok_column,
+                });
+            }
+            '0'..='9' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == 'x' {
+                        text.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let value = parse_int(&text).ok_or_else(|| LexError {
+                    line: tok_line,
+                    column: tok_column,
+                    message: format!("invalid integer literal `{text}`"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line: tok_line,
+                    column: tok_column,
+                });
+            }
+            '-' => {
+                // `-` starts either a negative integer literal or an identifier-like
+                // word (LLVM permits `-` inside identifiers, but never leading in the
+                // constructs we parse — so a leading `-` is always a number here).
+                bump!();
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                if text.is_empty() {
+                    return Err(LexError {
+                        line: tok_line,
+                        column: tok_column,
+                        message: "expected digits after `-`".into(),
+                    });
+                }
+                let value = text
+                    .parse::<i64>()
+                    .ok()
+                    .map(i64::wrapping_neg)
+                    .ok_or_else(|| LexError {
+                        line: tok_line,
+                        column: tok_column,
+                        message: format!("invalid integer literal `-{text}`"),
+                    })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    line: tok_line,
+                    column: tok_column,
+                });
+            }
+            c if is_ident_start(c) => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_ident_continue(c) {
+                        word.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(word),
+                    line: tok_line,
+                    column: tok_column,
+                });
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | '<' | '>' | '=' | ',' | '*' | ':' => {
+                bump!();
+                tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line: tok_line,
+                    column: tok_column,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    line: tok_line,
+                    column: tok_column,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parses a decimal or `0x`-prefixed integer literal, wrapping to `i64`.
+fn parse_int(text: &str) -> Option<i64> {
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok().map(|v| v as i64)
+    } else {
+        // LLVM prints u64-sized constants; accept the full unsigned range and wrap.
+        text.parse::<i64>()
+            .ok()
+            .or_else(|| text.parse::<u64>().ok().map(|v| v as i64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_simple_instruction() {
+        let tokens = lex("%sum = add nsw i32 %a, -7 ; trailing comment").unwrap();
+        let kinds: Vec<TokenKind> = tokens.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Local("sum".into()),
+                TokenKind::Punct('='),
+                TokenKind::Word("add".into()),
+                TokenKind::Word("nsw".into()),
+                TokenKind::Word("i32".into()),
+                TokenKind::Local("a".into()),
+                TokenKind::Punct(','),
+                TokenKind::Int(-7),
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let tokens = lex("define\n  @f:").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[0].column, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[1].column, 3);
+        assert_eq!(tokens[2].kind, TokenKind::Punct(':'));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = lex("add ^ sub").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 5);
+        assert!(err.message.contains('^'));
+    }
+
+    #[test]
+    fn lexes_quoted_identifiers_and_metadata() {
+        let tokens = lex("%\"odd name\" @g !tbaa !{ #0").unwrap();
+        let kinds: Vec<TokenKind> = tokens.into_iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Local("odd name".into()),
+                TokenKind::Global("g".into()),
+                TokenKind::Metadata("tbaa".into()),
+                TokenKind::Metadata(String::new()),
+                TokenKind::Punct('{'),
+                TokenKind::AttrGroup("0".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_large_unsigned_constants() {
+        let tokens = lex("4294967295 0xEDB88320").unwrap();
+        assert_eq!(tokens[0].kind, TokenKind::Int(4_294_967_295));
+        assert_eq!(tokens[1].kind, TokenKind::Int(0xEDB8_8320));
+    }
+}

@@ -1,0 +1,95 @@
+//! # ise-frontend — textual LLVM IR (`.ll`) front-end for ISE identification
+//!
+//! The identification algorithms of the Atasu/Pozzi/Ienne methodology operate on
+//! *compiler-produced* dataflow graphs of real embedded applications. This crate turns
+//! the textual LLVM IR a C compiler emits (`clang -S -emit-llvm`) into
+//! [`ise_ir::Program`]s, with no external dependencies: a hand-rolled lexer
+//! ([`lex`]), a recursive-descent parser ([`parser`]) over an integer-only subset of
+//! the `.ll` grammar, a canonical pretty-printer ([`printer`]) for round-trip testing,
+//! and a lowering pass ([`lower`]) implementing the paper's AFU model — memory
+//! operations, calls and address computations are materialised as *forbidden* nodes
+//! rather than silently dropped, so the `IN(S)`/`OUT(S)` port accounting stays honest.
+//!
+//! See the module documentation of [`lower`] for the complete opcode mapping and
+//! forbidden-node policy, and the repository README for the supported grammar subset.
+//!
+//! # Example
+//!
+//! ```
+//! let source = r#"
+//! define i32 @sum_diff_product(i32 %a, i32 %b) {
+//! entry:
+//!   %sum = add i32 %a, %b
+//!   %diff = sub i32 %a, %b
+//!   %prod = mul i32 %sum, %diff
+//!   ret i32 %prod
+//! }
+//! "#;
+//! let program = ise_frontend::parse_and_lower("example", source).unwrap();
+//! assert_eq!(program.blocks().len(), 1);
+//! assert_eq!(program.blocks()[0].node_count(), 3);
+//! assert_eq!(program.blocks()[0].input_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lex;
+pub mod lower;
+pub mod parser;
+pub mod printer;
+
+use std::fmt;
+
+pub use ast::Module;
+pub use lower::lower_module;
+pub use parser::{parse_module, ParseError};
+pub use printer::print_module;
+
+/// A front-end failure: lexing, parsing or lowering, with 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (1 when only the line is known).
+    pub column: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError {
+            line: e.line,
+            column: e.column,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses `.ll` text and lowers every defined function into one [`ise_ir::Program`].
+///
+/// Blocks are named `<function>.<label>` and profile execution counts default to 1
+/// (textual LLVM IR carries no profile data).
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] with line/column context on any lexing or parsing
+/// failure, on constructs outside the supported subset, and on invalid SSA.
+pub fn parse_and_lower(program_name: &str, source: &str) -> Result<ise_ir::Program, FrontendError> {
+    let module = parse_module(source)?;
+    lower_module(&module, program_name)
+}

@@ -1,0 +1,453 @@
+//! Lowering from the parsed LLVM AST to [`ise_ir::Program`].
+//!
+//! # Mapping policy
+//!
+//! One basic block becomes one [`Dfg`] named `<function>.<label>`. The lowering is
+//! *honest about ports*: every value that crosses the block boundary is materialised,
+//! so the `IN(S)`/`OUT(S)` accounting of the identification algorithms matches what a
+//! register-file implementation would observe.
+//!
+//! * **Function arguments, globals and values defined in other blocks** become block
+//!   input variables (`V⁺` of the paper), created on first use.
+//! * **φ-nodes** become block input variables, not operation nodes: a φ is the arrival
+//!   of a value in a register, exactly what an input variable models.
+//! * **Block outputs** are the values defined in a block and used outside it — by
+//!   instructions of other blocks, by φ incoming values anywhere (including the
+//!   defining block itself, which is how loop back-edges appear), or by the block's own
+//!   terminator.
+//! * **Terminators** produce no nodes; their data operands (returned values, branch
+//!   conditions, switch scrutinees) are treated as external uses so they surface as
+//!   block outputs.
+//! * **Loads and stores** become [`Opcode::Load`]/[`Opcode::Store`] nodes — present in
+//!   the graph, forbidden inside cuts (the paper's AFU has no memory port).
+//! * **Calls, `getelementptr` and `alloca`** become [`Opcode::Opaque`] nodes (also
+//!   forbidden), except the integer intrinsics `llvm.smax`/`llvm.smin`/`llvm.abs`,
+//!   which map to [`Opcode::Max`]/[`Opcode::Min`]/[`Opcode::Abs`].
+//! * **Casts** map width-wise: the IR models 32-bit integers, so only the sub-word
+//!   extensions/truncations (`i8`/`i16`, plus `i1` tricks) produce real operations;
+//!   all remaining casts (`bitcast`, `ptrtoint`, `inttoptr`, `freeze`, wider-than-word
+//!   extensions) lower to [`Opcode::Copy`].
+//! * `sub 0, x` lowers to [`Opcode::Neg`] and `xor x, -1` to [`Opcode::Not`], the
+//!   idioms LLVM uses for negation and complement.
+//!
+//! Profile execution counts default to 1 — textual `.ll` carries no profile data; use
+//! [`Dfg::set_exec_count`] to attach weights afterwards.
+
+use crate::ast::{BinOp, Block, CastOp, Function, IcmpPred, Inst, Module, Ty, Value};
+use crate::FrontendError;
+use ise_ir::{Dfg, Node, OpaqueOp, Opcode, Operand, Program};
+use std::collections::{HashMap, HashSet};
+
+/// Lowers every function of a parsed module into one [`Program`].
+///
+/// Blocks are named `<function>.<label>`; functions contribute blocks in source order.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] if an instruction uses a value before its definition
+/// within a block (invalid SSA that valid compiler output never produces).
+pub fn lower_module(module: &Module, program_name: &str) -> Result<Program, FrontendError> {
+    let mut program = Program::new(program_name);
+    for function in &module.functions {
+        let uses = collect_uses(function);
+        for block in &function.blocks {
+            program.add_block(lower_block(function, &uses, block)?);
+        }
+    }
+    Ok(program)
+}
+
+/// The values used outside their defining block, split by the kind of use.
+struct ExternalUses {
+    /// Local names used as φ incoming values anywhere in the function.
+    phi_uses: HashSet<String>,
+    /// Local names used by non-φ instructions, keyed by using block label.
+    inst_uses: HashMap<String, HashSet<String>>,
+    /// Local names used by terminators, keyed by block label.
+    term_uses: HashMap<String, HashSet<String>>,
+}
+
+fn collect_uses(function: &Function) -> ExternalUses {
+    let mut phi_uses = HashSet::new();
+    let mut inst_uses: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut term_uses: HashMap<String, HashSet<String>> = HashMap::new();
+    for block in &function.blocks {
+        let inst_set = inst_uses.entry(block.label.clone()).or_default();
+        for (_, inst) in &block.insts {
+            if matches!(inst, Inst::Phi { .. }) {
+                inst.for_each_operand(|v| {
+                    if let Value::Local(name) = v {
+                        phi_uses.insert(name.clone());
+                    }
+                });
+            } else {
+                inst.for_each_operand(|v| {
+                    if let Value::Local(name) = v {
+                        inst_set.insert(name.clone());
+                    }
+                });
+            }
+        }
+        let term_set = term_uses.entry(block.label.clone()).or_default();
+        block.term.for_each_operand(|v| {
+            if let Value::Local(name) = v {
+                term_set.insert(name.clone());
+            }
+        });
+    }
+    ExternalUses {
+        phi_uses,
+        inst_uses,
+        term_uses,
+    }
+}
+
+/// Returns the names defined in `block` (φ and non-φ results alike) that are used
+/// outside it, in definition order.
+fn live_out_names(uses: &ExternalUses, block: &Block) -> Vec<String> {
+    let defined: Vec<&str> = block
+        .insts
+        .iter()
+        .filter_map(|(_, inst)| inst.result())
+        .collect();
+    let mut live: Vec<String> = Vec::new();
+    for name in defined {
+        let used_elsewhere = uses.phi_uses.contains(name)
+            || uses
+                .inst_uses
+                .iter()
+                .any(|(label, set)| label != &block.label && set.contains(name))
+            || uses
+                .term_uses
+                .iter()
+                .any(|(label, set)| label != &block.label && set.contains(name))
+            || uses
+                .term_uses
+                .get(&block.label)
+                .is_some_and(|set| set.contains(name));
+        if used_elsewhere && !live.contains(&name.to_string()) {
+            live.push(name.to_string());
+        }
+    }
+    live
+}
+
+fn lower_block(
+    function: &Function,
+    uses: &ExternalUses,
+    block: &Block,
+) -> Result<Dfg, FrontendError> {
+    let mut dfg = Dfg::new(format!("{}.{}", function.name, block.label));
+    // Values available as operands: parameters/globals/other-block values become
+    // inputs on demand; same-block results resolve to their node.
+    let mut env: HashMap<String, Operand> = HashMap::new();
+    let mut input_ports: HashMap<String, Operand> = HashMap::new();
+    // Non-φ results of this block, for use-before-def detection: a local that *will*
+    // be defined here but has not been yet is invalid SSA, not an external value.
+    let defined_here: HashSet<&str> = block
+        .insts
+        .iter()
+        .filter(|(_, inst)| !matches!(inst, Inst::Phi { .. }))
+        .filter_map(|(_, inst)| inst.result())
+        .collect();
+
+    // φ results become inputs up front (LLVM places φs at the block head).
+    for (_, inst) in &block.insts {
+        if let Inst::Phi { result, .. } = inst {
+            let port = dfg.add_input(result.clone());
+            env.insert(result.clone(), Operand::Input(port));
+            input_ports.insert(result.clone(), Operand::Input(port));
+        }
+    }
+
+    for (line, inst) in &block.insts {
+        if matches!(inst, Inst::Phi { .. }) {
+            continue;
+        }
+        let mut read = |dfg: &mut Dfg, env: &mut HashMap<String, Operand>, v: &Value| {
+            read_value(dfg, env, &mut input_ports, &defined_here, block, *line, v)
+        };
+        let produced: Option<(String, Operand)> = match inst {
+            Inst::Binary {
+                result,
+                op,
+                lhs,
+                rhs,
+                ..
+            } => {
+                let l = read(&mut dfg, &mut env, lhs)?;
+                let r = read(&mut dfg, &mut env, rhs)?;
+                let node = match (op, l, r) {
+                    // LLVM spells negation `sub 0, x` and complement `xor x, -1`.
+                    (BinOp::Sub, Operand::Imm(0), r) => Node::named(Opcode::Neg, vec![r], result),
+                    (BinOp::Xor, l, Operand::Imm(-1)) => Node::named(Opcode::Not, vec![l], result),
+                    (BinOp::Xor, Operand::Imm(-1), r) => Node::named(Opcode::Not, vec![r], result),
+                    (op, l, r) => {
+                        let opcode = match op {
+                            BinOp::Add => Opcode::Add,
+                            BinOp::Sub => Opcode::Sub,
+                            BinOp::Mul => Opcode::Mul,
+                            BinOp::Sdiv | BinOp::Udiv => Opcode::Div,
+                            BinOp::Srem | BinOp::Urem => Opcode::Rem,
+                            BinOp::Shl => Opcode::Shl,
+                            BinOp::Lshr => Opcode::Lshr,
+                            BinOp::Ashr => Opcode::Ashr,
+                            BinOp::And => Opcode::And,
+                            BinOp::Or => Opcode::Or,
+                            BinOp::Xor => Opcode::Xor,
+                        };
+                        Node::named(opcode, vec![l, r], result)
+                    }
+                };
+                let id = try_add(&mut dfg, node, *line)?;
+                Some((result.clone(), Operand::Node(id)))
+            }
+            Inst::Icmp {
+                result,
+                pred,
+                lhs,
+                rhs,
+                ..
+            } => {
+                let l = read(&mut dfg, &mut env, lhs)?;
+                let r = read(&mut dfg, &mut env, rhs)?;
+                // The vocabulary has no unsigned-gt/le: swap the operands instead.
+                let (opcode, a, b) = match pred {
+                    IcmpPred::Eq => (Opcode::Eq, l, r),
+                    IcmpPred::Ne => (Opcode::Ne, l, r),
+                    IcmpPred::Slt => (Opcode::Lt, l, r),
+                    IcmpPred::Sle => (Opcode::Le, l, r),
+                    IcmpPred::Sgt => (Opcode::Gt, l, r),
+                    IcmpPred::Sge => (Opcode::Ge, l, r),
+                    IcmpPred::Ult => (Opcode::Ltu, l, r),
+                    IcmpPred::Uge => (Opcode::Geu, l, r),
+                    IcmpPred::Ugt => (Opcode::Ltu, r, l),
+                    IcmpPred::Ule => (Opcode::Geu, r, l),
+                };
+                let id = try_add(&mut dfg, Node::named(opcode, vec![a, b], result), *line)?;
+                Some((result.clone(), Operand::Node(id)))
+            }
+            Inst::Select {
+                result,
+                cond,
+                then_value,
+                else_value,
+                ..
+            } => {
+                let c = read(&mut dfg, &mut env, cond)?;
+                let t = read(&mut dfg, &mut env, then_value)?;
+                let e = read(&mut dfg, &mut env, else_value)?;
+                let id = try_add(
+                    &mut dfg,
+                    Node::named(Opcode::Select, vec![c, t, e], result),
+                    *line,
+                )?;
+                Some((result.clone(), Operand::Node(id)))
+            }
+            Inst::Cast {
+                result,
+                op,
+                from,
+                value,
+                to,
+            } => {
+                let v = read(&mut dfg, &mut env, value)?;
+                let node = lower_cast(*op, from, to, v, result);
+                let id = try_add(&mut dfg, node, *line)?;
+                Some((result.clone(), Operand::Node(id)))
+            }
+            Inst::Freeze { result, value, .. } => {
+                let v = read(&mut dfg, &mut env, value)?;
+                let id = try_add(&mut dfg, Node::named(Opcode::Copy, vec![v], result), *line)?;
+                Some((result.clone(), Operand::Node(id)))
+            }
+            Inst::Load { result, ptr, .. } => {
+                let p = read(&mut dfg, &mut env, ptr)?;
+                let id = try_add(&mut dfg, Node::named(Opcode::Load, vec![p], result), *line)?;
+                Some((result.clone(), Operand::Node(id)))
+            }
+            Inst::Store { value, ptr, .. } => {
+                let v = read(&mut dfg, &mut env, value)?;
+                let p = read(&mut dfg, &mut env, ptr)?;
+                try_add(&mut dfg, Node::new(Opcode::Store, vec![p, v]), *line)?;
+                None
+            }
+            Inst::Gep {
+                result,
+                ptr,
+                indices,
+                ..
+            } => {
+                let mut operands = vec![read(&mut dfg, &mut env, ptr)?];
+                for (_, idx) in indices {
+                    operands.push(read(&mut dfg, &mut env, idx)?);
+                }
+                let id = try_add(
+                    &mut dfg,
+                    Node::named(Opcode::Opaque(OpaqueOp::Gep), operands, result),
+                    *line,
+                )?;
+                Some((result.clone(), Operand::Node(id)))
+            }
+            Inst::Alloca { result, .. } => {
+                let id = try_add(
+                    &mut dfg,
+                    Node::named(Opcode::Opaque(OpaqueOp::Alloca), Vec::new(), result),
+                    *line,
+                )?;
+                Some((result.clone(), Operand::Node(id)))
+            }
+            Inst::Call {
+                result,
+                callee,
+                args,
+                ..
+            } => {
+                let mut operands = Vec::with_capacity(args.len());
+                for (_, arg) in args {
+                    operands.push(read(&mut dfg, &mut env, arg)?);
+                }
+                let node = lower_call(result.as_deref(), callee, operands);
+                let has_result = node.opcode.has_result();
+                let id = try_add(&mut dfg, node, *line)?;
+                match (result, has_result) {
+                    (Some(r), true) => Some((r.clone(), Operand::Node(id))),
+                    _ => None,
+                }
+            }
+            Inst::Phi { .. } => unreachable!("φs are skipped above"),
+        };
+        if let Some((name, operand)) = produced {
+            env.insert(name, operand);
+        }
+    }
+
+    for name in live_out_names(uses, block) {
+        let source = env.get(&name).copied().unwrap_or_else(|| {
+            unreachable!("live-out `{name}` is defined in the block, so it is in the env")
+        });
+        dfg.add_output(name, source);
+    }
+    Ok(dfg)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn read_value(
+    dfg: &mut Dfg,
+    env: &mut HashMap<String, Operand>,
+    input_ports: &mut HashMap<String, Operand>,
+    defined_here: &HashSet<&str>,
+    block: &Block,
+    line: u32,
+    value: &Value,
+) -> Result<Operand, FrontendError> {
+    match value {
+        Value::Int(v) => Ok(Operand::Imm(*v)),
+        Value::Undef => Ok(Operand::Imm(0)),
+        Value::Global(name) => {
+            // Globals are addresses produced outside the block: inputs, named with
+            // their sigil so they can never collide with a local.
+            let key = format!("@{name}");
+            if let Some(op) = input_ports.get(&key) {
+                return Ok(*op);
+            }
+            let port = dfg.add_input(key.clone());
+            input_ports.insert(key, Operand::Input(port));
+            Ok(Operand::Input(port))
+        }
+        Value::Local(name) => {
+            if let Some(op) = env.get(name.as_str()) {
+                return Ok(*op);
+            }
+            if defined_here.contains(name.as_str()) {
+                // The name is defined later in this block: invalid SSA, and the one
+                // way a front-end could hand `Dfg::try_add_node` a forward reference.
+                return Err(FrontendError {
+                    line,
+                    column: 1,
+                    message: format!(
+                        "`%{name}` is used before its definition in block `{}` (invalid SSA)",
+                        block.label
+                    ),
+                });
+            }
+            if let Some(op) = input_ports.get(name.as_str()) {
+                return Ok(*op);
+            }
+            let port = dfg.add_input(name.clone());
+            let op = Operand::Input(port);
+            input_ports.insert(name.clone(), op);
+            env.insert(name.clone(), op);
+            Ok(op)
+        }
+    }
+}
+
+fn try_add(dfg: &mut Dfg, node: Node, line: u32) -> Result<ise_ir::NodeId, FrontendError> {
+    dfg.try_add_node(node).map_err(|e| FrontendError {
+        line,
+        column: 1,
+        message: e.to_string(),
+    })
+}
+
+/// Maps a cast onto the 32-bit vocabulary by the widths involved.
+fn lower_cast(op: CastOp, from: &Ty, to: &Ty, v: Operand, result: &str) -> Node {
+    let bits = |ty: &Ty| match ty {
+        Ty::Int(bits) => Some(*bits),
+        _ => None,
+    };
+    match op {
+        CastOp::Sext => match bits(from) {
+            Some(8) => Node::named(Opcode::SextB, vec![v], result),
+            Some(16) => Node::named(Opcode::SextH, vec![v], result),
+            // sext i1 x = -x (0 → 0, 1 → −1).
+            Some(1) => Node::named(Opcode::Neg, vec![v], result),
+            _ => Node::named(Opcode::Copy, vec![v], result),
+        },
+        CastOp::Zext => match bits(from) {
+            Some(8) => Node::named(Opcode::ZextB, vec![v], result),
+            Some(16) => Node::named(Opcode::ZextH, vec![v], result),
+            // An i1 is already 0 or 1.
+            _ => Node::named(Opcode::Copy, vec![v], result),
+        },
+        CastOp::Trunc => match bits(to) {
+            Some(8) => Node::named(Opcode::TruncB, vec![v], result),
+            Some(16) => Node::named(Opcode::TruncH, vec![v], result),
+            Some(1) => Node::named(Opcode::And, vec![v, Operand::Imm(1)], result),
+            _ => Node::named(Opcode::Copy, vec![v], result),
+        },
+        // Pointer/bit reinterpretations move a value unchanged through a register.
+        CastOp::Bitcast | CastOp::Ptrtoint | CastOp::Inttoptr => {
+            Node::named(Opcode::Copy, vec![v], result)
+        }
+    }
+}
+
+/// Maps a call: the handful of integer intrinsics with vocabulary equivalents become
+/// real operations; everything else stays an opaque (forbidden) call node.
+fn lower_call(result: Option<&str>, callee: &str, operands: Vec<Operand>) -> Node {
+    let named = |opcode: Opcode, operands: Vec<Operand>| match result {
+        Some(r) => Node::named(opcode, operands, r),
+        None => Node::new(opcode, operands),
+    };
+    if callee.starts_with("llvm.smax.") && operands.len() == 2 {
+        return named(Opcode::Max, operands);
+    }
+    if callee.starts_with("llvm.smin.") && operands.len() == 2 {
+        return named(Opcode::Min, operands);
+    }
+    // llvm.abs takes a trailing i1 poison flag.
+    if callee.starts_with("llvm.abs.") && !operands.is_empty() {
+        return named(Opcode::Abs, vec![operands[0]]);
+    }
+    let opcode = if result.is_some() {
+        Opcode::Opaque(OpaqueOp::Call)
+    } else {
+        Opcode::Opaque(OpaqueOp::CallVoid)
+    };
+    match result {
+        Some(_) => named(opcode, operands),
+        None => Node::named(opcode, operands, callee),
+    }
+}

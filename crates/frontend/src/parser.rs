@@ -1,0 +1,900 @@
+//! Recursive-descent parser for the textual LLVM IR subset.
+//!
+//! The grammar is line-oriented, matching what `clang -S -emit-llvm` actually prints:
+//! one instruction per line (the multi-line `switch` is handled explicitly), labels on
+//! their own line, and module-level constructs (`target …`, global definitions,
+//! `declare`, `attributes`, metadata) each on a single line. Constructs without
+//! dataflow content are skipped; annotations that do not affect dataflow (`nsw`, `nuw`,
+//! `exact`, `inbounds`, `align`, parameter/function attributes, metadata) are dropped,
+//! so the parsed AST is canonical (see [`crate::printer`]).
+
+use crate::ast::{
+    BinOp, Block, CastOp, Function, IcmpPred, Inst, Module, Param, Terminator, Ty, Value,
+};
+use crate::lex::{lex, Token, TokenKind};
+use std::fmt;
+
+/// A parse failure with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub column: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an `.ll` module from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column context on any construct outside the
+/// supported subset (floating-point or vector types, constant expressions, indirect
+/// calls, malformed syntax).
+pub fn parse_module(source: &str) -> Result<Module, ParseError> {
+    let tokens = lex(source).map_err(|e| ParseError {
+        line: e.line,
+        column: e.column,
+        message: e.message,
+    })?;
+    Parser::new(tokens).module()
+}
+
+/// Attribute-like words that may appear between a type and a value (parameter
+/// attributes, return attributes, calling conventions, function qualifiers).
+const ATTR_WORDS: &[&str] = &[
+    "noundef",
+    "signext",
+    "zeroext",
+    "inreg",
+    "returned",
+    "nonnull",
+    "nocapture",
+    "readonly",
+    "readnone",
+    "writeonly",
+    "byval",
+    "sret",
+    "noalias",
+    "immarg",
+    "nest",
+    "swiftself",
+    "dereferenceable",
+    "fastcc",
+    "coldcc",
+    "ccc",
+    "tailcc",
+    "dso_local",
+    "dso_preemptable",
+    "internal",
+    "private",
+    "external",
+    "linkonce",
+    "linkonce_odr",
+    "weak",
+    "weak_odr",
+    "common",
+    "hidden",
+    "protected",
+    "local_unnamed_addr",
+    "unnamed_addr",
+    "comdat",
+];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    last_line: u32,
+    last_column: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            last_line: 1,
+            last_column: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if let Some(t) = &tok {
+            self.pos += 1;
+            self.last_line = t.line;
+            self.last_column = t.column;
+        }
+        tok
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError {
+                line: t.line,
+                column: t.column,
+                message: message.into(),
+            },
+            None => ParseError {
+                line: self.last_line,
+                column: self.last_column,
+                message: format!("{} (at end of input)", message.into()),
+            },
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t.kind == TokenKind::Punct(c) => {
+                self.next_token();
+                Ok(())
+            }
+            Some(t) => Err(self.error_here(format!("expected `{c}`, found {}", t.kind))),
+            None => Err(self.error_here(format!("expected `{c}`"))),
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t.kind == TokenKind::Word(word.to_string()) => {
+                self.next_token();
+                Ok(())
+            }
+            Some(t) => Err(self.error_here(format!("expected `{word}`, found {}", t.kind))),
+            None => Err(self.error_here(format!("expected `{word}`"))),
+        }
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(t) if t.kind == TokenKind::Punct(c))
+    }
+
+    fn at_word(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(t) if matches!(&t.kind, TokenKind::Word(w) if w == word))
+    }
+
+    fn expect_local(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(t) => {
+                if let TokenKind::Local(name) = &t.kind {
+                    let name = name.clone();
+                    self.next_token();
+                    Ok(name)
+                } else {
+                    Err(self.error_here(format!("expected a `%local` name, found {}", t.kind)))
+                }
+            }
+            None => Err(self.error_here("expected a `%local` name")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.peek() {
+            Some(t) => {
+                if let TokenKind::Int(v) = t.kind {
+                    self.next_token();
+                    Ok(v)
+                } else {
+                    Err(self.error_here(format!("expected an integer, found {}", t.kind)))
+                }
+            }
+            None => Err(self.error_here("expected an integer")),
+        }
+    }
+
+    /// Consumes every remaining token on `line` (trailing `align`, metadata, attribute
+    /// annotations — anything without dataflow content).
+    fn skip_rest_of_line(&mut self, line: u32) {
+        while matches!(self.peek(), Some(t) if t.line == line) {
+            self.next_token();
+        }
+    }
+
+    /// Skips attribute-like words (and their optional integer/paren payloads) that may
+    /// sit between a type and a value.
+    fn skip_attr_words(&mut self) {
+        while let Some(t) = self.peek() {
+            match &t.kind {
+                TokenKind::Word(w) if w == "align" => {
+                    self.next_token();
+                    if matches!(self.peek(), Some(t) if matches!(t.kind, TokenKind::Int(_))) {
+                        self.next_token();
+                    }
+                }
+                TokenKind::Word(w) if w == "dereferenceable" => {
+                    self.next_token();
+                    if self.at_punct('(') {
+                        self.skip_balanced('(', ')');
+                    }
+                }
+                TokenKind::Word(w) if ATTR_WORDS.contains(&w.as_str()) => {
+                    self.next_token();
+                }
+                TokenKind::AttrGroup(_) => {
+                    self.next_token();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Consumes a balanced `open … close` group, assuming the opener is next.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 0usize;
+        while let Some(t) = self.next_token() {
+            if t.kind == TokenKind::Punct(open) {
+                depth += 1;
+            } else if t.kind == TokenKind::Punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn at_type_start(&self) -> bool {
+        match self.peek() {
+            Some(t) => match &t.kind {
+                TokenKind::Word(w) => {
+                    w == "void"
+                        || w == "ptr"
+                        || (w.len() > 1
+                            && w.starts_with('i')
+                            && w[1..].chars().all(|c| c.is_ascii_digit()))
+                }
+                TokenKind::Punct('[') | TokenKind::Punct('<') => true,
+                TokenKind::Local(_) => true,
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<Ty, ParseError> {
+        let base = match self.peek() {
+            Some(t) => match &t.kind {
+                TokenKind::Word(w) => match w.as_str() {
+                    "void" => {
+                        self.next_token();
+                        Ty::Void
+                    }
+                    "ptr" => {
+                        self.next_token();
+                        Ty::Ptr
+                    }
+                    "half" | "bfloat" | "float" | "double" | "fp128" | "x86_fp80" => {
+                        return Err(self.error_here(format!(
+                            "floating-point type `{w}` is unsupported (integer-only subset)"
+                        )));
+                    }
+                    w2 if w2.len() > 1
+                        && w2.starts_with('i')
+                        && w2[1..].chars().all(|c| c.is_ascii_digit()) =>
+                    {
+                        let bits: u32 = w2[1..].parse().map_err(|_| {
+                            self.error_here(format!("integer type `{w2}` is too wide"))
+                        })?;
+                        self.next_token();
+                        Ty::Int(bits)
+                    }
+                    other => {
+                        return Err(self.error_here(format!("expected a type, found `{other}`")));
+                    }
+                },
+                TokenKind::Punct('[') => {
+                    self.next_token();
+                    let n = self.expect_int()?;
+                    if n < 0 {
+                        return Err(self.error_here("negative array length"));
+                    }
+                    self.expect_word("x")?;
+                    let elem = self.parse_type()?;
+                    self.expect_punct(']')?;
+                    Ty::Array(n as u64, Box::new(elem))
+                }
+                TokenKind::Punct('<') => {
+                    return Err(self.error_here("vector types are unsupported"));
+                }
+                TokenKind::Local(name) => {
+                    let name = name.clone();
+                    self.next_token();
+                    Ty::Named(name)
+                }
+                other => {
+                    return Err(self.error_here(format!("expected a type, found {other}")));
+                }
+            },
+            None => return Err(self.error_here("expected a type")),
+        };
+        let mut ty = base;
+        while self.at_punct('*') {
+            self.next_token();
+            ty = Ty::PtrTo(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(t) => match &t.kind {
+                TokenKind::Local(name) => {
+                    let name = name.clone();
+                    self.next_token();
+                    Ok(Value::Local(name))
+                }
+                TokenKind::Global(name) => {
+                    let name = name.clone();
+                    self.next_token();
+                    Ok(Value::Global(name))
+                }
+                TokenKind::Int(v) => {
+                    let v = *v;
+                    self.next_token();
+                    Ok(Value::Int(v))
+                }
+                TokenKind::Word(w) => match w.as_str() {
+                    "true" => {
+                        self.next_token();
+                        Ok(Value::Int(1))
+                    }
+                    "false" => {
+                        self.next_token();
+                        Ok(Value::Int(0))
+                    }
+                    "undef" | "poison" | "null" | "zeroinitializer" | "none" => {
+                        self.next_token();
+                        Ok(Value::Undef)
+                    }
+                    "getelementptr" | "bitcast" | "ptrtoint" | "inttoptr" | "add" | "sub"
+                    | "mul" => Err(self.error_here(
+                        "constant expressions are unsupported; materialise the address in C \
+                         or lower the optimisation level",
+                    )),
+                    other => Err(self.error_here(format!("expected a value, found `{other}`"))),
+                },
+                other => Err(self.error_here(format!("expected a value, found {other}"))),
+            },
+            None => Err(self.error_here("expected a value")),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        let mut functions = Vec::new();
+        while let Some(t) = self.peek() {
+            let line = t.line;
+            match &t.kind {
+                TokenKind::Word(w) if w == "define" => {
+                    functions.push(self.function()?);
+                }
+                // Constructs without dataflow content are skipped line-wise: target
+                // lines, global definitions, declarations, attribute groups, metadata,
+                // module asm. Each is single-line in compiler output.
+                TokenKind::Word(w)
+                    if matches!(
+                        w.as_str(),
+                        "source_filename" | "target" | "declare" | "attributes" | "module"
+                    ) =>
+                {
+                    self.skip_rest_of_line(line);
+                }
+                TokenKind::Global(_) | TokenKind::Metadata(_) => {
+                    self.skip_rest_of_line(line);
+                }
+                other => {
+                    return Err(self.error_here(format!("unsupported top-level construct {other}")));
+                }
+            }
+        }
+        Ok(Module { functions })
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        self.expect_word("define")?;
+        self.skip_attr_words();
+        let ret = self.parse_type()?;
+        let name = match self.peek() {
+            Some(t) => {
+                if let TokenKind::Global(n) = &t.kind {
+                    let n = n.clone();
+                    self.next_token();
+                    n
+                } else {
+                    return Err(
+                        self.error_here(format!("expected a `@function` name, found {}", t.kind))
+                    );
+                }
+            }
+            None => return Err(self.error_here("expected a `@function` name")),
+        };
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        // LLVM's implicit numbering: unnamed parameters take %0, %1, … and an unnamed
+        // entry block takes the next number.
+        let mut implicit = 0u32;
+        if !self.at_punct(')') {
+            loop {
+                let ty = self.parse_type()?;
+                self.skip_attr_words();
+                let pname = match self.peek() {
+                    Some(t) => {
+                        if let TokenKind::Local(n) = &t.kind {
+                            let n = n.clone();
+                            self.next_token();
+                            n
+                        } else {
+                            let n = implicit.to_string();
+                            implicit += 1;
+                            n
+                        }
+                    }
+                    None => return Err(self.error_here("unterminated parameter list")),
+                };
+                params.push(Param { ty, name: pname });
+                if self.at_punct(',') {
+                    self.next_token();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        // Skip function attributes, attribute-group references and metadata up to the
+        // opening brace of the body.
+        while !self.at_punct('{') {
+            if self.next_token().is_none() {
+                return Err(self.error_here("expected `{` to open the function body"));
+            }
+        }
+        self.expect_punct('{')?;
+
+        let mut blocks = Vec::new();
+        while !self.at_punct('}') {
+            let label = self.block_label(&mut implicit, blocks.is_empty())?;
+            let block = self.block(label)?;
+            blocks.push(block);
+        }
+        self.expect_punct('}')?;
+        if blocks.is_empty() {
+            return Err(self.error_here(format!("function @{name} has no basic blocks")));
+        }
+        Ok(Function {
+            name,
+            ret,
+            params,
+            blocks,
+        })
+    }
+
+    fn block_label(&mut self, implicit: &mut u32, is_entry: bool) -> Result<String, ParseError> {
+        // A label is `name:` or `N:` on its own line; an unlabelled entry block takes
+        // the next implicit number.
+        let labelled = matches!(
+            (self.peek(), self.peek2()),
+            (Some(t1), Some(t2))
+                if matches!(t1.kind, TokenKind::Word(_) | TokenKind::Int(_))
+                    && t2.kind == TokenKind::Punct(':')
+        );
+        if labelled {
+            let name = match self.next_token().map(|t| t.kind) {
+                Some(TokenKind::Word(w)) => w,
+                Some(TokenKind::Int(v)) => v.to_string(),
+                _ => unreachable!("guarded by `labelled`"),
+            };
+            self.expect_punct(':')?;
+            Ok(name)
+        } else if is_entry {
+            let name = implicit.to_string();
+            *implicit += 1;
+            Ok(name)
+        } else {
+            Err(self.error_here("expected a block label"))
+        }
+    }
+
+    fn block(&mut self, label: String) -> Result<Block, ParseError> {
+        let mut insts = Vec::new();
+        loop {
+            let Some(t) = self.peek() else {
+                return Err(self.error_here(format!("block `{label}` has no terminator")));
+            };
+            let line = t.line;
+            if let TokenKind::Word(w) = &t.kind {
+                if matches!(w.as_str(), "ret" | "br" | "switch" | "unreachable") {
+                    let term = self.terminator()?;
+                    self.skip_rest_of_line(self.last_line);
+                    return Ok(Block { label, insts, term });
+                }
+            }
+            insts.push((line, self.instruction()?));
+            self.skip_rest_of_line(line);
+        }
+    }
+
+    fn terminator(&mut self) -> Result<Terminator, ParseError> {
+        if self.at_word("unreachable") {
+            self.next_token();
+            return Ok(Terminator::Unreachable);
+        }
+        if self.at_word("ret") {
+            self.next_token();
+            if self.at_word("void") {
+                self.next_token();
+                return Ok(Terminator::RetVoid);
+            }
+            let ty = self.parse_type()?;
+            let value = self.parse_value()?;
+            return Ok(Terminator::Ret { ty, value });
+        }
+        if self.at_word("br") {
+            self.next_token();
+            if self.at_word("label") {
+                self.next_token();
+                let dest = self.expect_local()?;
+                return Ok(Terminator::Br { dest });
+            }
+            let _ty = self.parse_type()?;
+            let cond = self.parse_value()?;
+            self.expect_punct(',')?;
+            self.expect_word("label")?;
+            let then_dest = self.expect_local()?;
+            self.expect_punct(',')?;
+            self.expect_word("label")?;
+            let else_dest = self.expect_local()?;
+            return Ok(Terminator::CondBr {
+                cond,
+                then_dest,
+                else_dest,
+            });
+        }
+        if self.at_word("switch") {
+            self.next_token();
+            let ty = self.parse_type()?;
+            let value = self.parse_value()?;
+            self.expect_punct(',')?;
+            self.expect_word("label")?;
+            let default = self.expect_local()?;
+            self.expect_punct('[')?;
+            let mut cases = Vec::new();
+            while !self.at_punct(']') {
+                let _case_ty = self.parse_type()?;
+                let case = self.expect_int()?;
+                self.expect_punct(',')?;
+                self.expect_word("label")?;
+                let dest = self.expect_local()?;
+                cases.push((case, dest));
+            }
+            self.expect_punct(']')?;
+            return Ok(Terminator::Switch {
+                ty,
+                value,
+                default,
+                cases,
+            });
+        }
+        Err(self.error_here("expected a terminator"))
+    }
+
+    fn instruction(&mut self) -> Result<Inst, ParseError> {
+        match self.peek() {
+            Some(t) => match &t.kind {
+                TokenKind::Local(name) => {
+                    let result = name.clone();
+                    self.next_token();
+                    self.expect_punct('=')?;
+                    self.valued_instruction(result)
+                }
+                TokenKind::Word(w) if w == "store" => self.store(),
+                TokenKind::Word(w)
+                    if matches!(w.as_str(), "call" | "tail" | "musttail" | "notail") =>
+                {
+                    self.call(None)
+                }
+                other => Err(self.error_here(format!("unsupported instruction {other}"))),
+            },
+            None => Err(self.error_here("expected an instruction")),
+        }
+    }
+
+    fn valued_instruction(&mut self, result: String) -> Result<Inst, ParseError> {
+        let Some(t) = self.peek() else {
+            return Err(self.error_here("expected an opcode"));
+        };
+        let TokenKind::Word(op) = t.kind.clone() else {
+            return Err(self.error_here(format!("expected an opcode, found {}", t.kind)));
+        };
+        match op.as_str() {
+            "add" | "sub" | "mul" | "sdiv" | "udiv" | "srem" | "urem" | "shl" | "lshr" | "ashr"
+            | "and" | "or" | "xor" => {
+                self.next_token();
+                let binop = match op.as_str() {
+                    "add" => BinOp::Add,
+                    "sub" => BinOp::Sub,
+                    "mul" => BinOp::Mul,
+                    "sdiv" => BinOp::Sdiv,
+                    "udiv" => BinOp::Udiv,
+                    "srem" => BinOp::Srem,
+                    "urem" => BinOp::Urem,
+                    "shl" => BinOp::Shl,
+                    "lshr" => BinOp::Lshr,
+                    "ashr" => BinOp::Ashr,
+                    "and" => BinOp::And,
+                    "or" => BinOp::Or,
+                    _ => BinOp::Xor,
+                };
+                // Wrap/exactness flags do not change dataflow.
+                while self.at_word("nsw") || self.at_word("nuw") || self.at_word("exact") {
+                    self.next_token();
+                }
+                let ty = self.parse_type()?;
+                let lhs = self.parse_value()?;
+                self.expect_punct(',')?;
+                let rhs = self.parse_value()?;
+                Ok(Inst::Binary {
+                    result,
+                    op: binop,
+                    ty,
+                    lhs,
+                    rhs,
+                })
+            }
+            "icmp" => {
+                self.next_token();
+                let Some(t) = self.peek() else {
+                    return Err(self.error_here("expected an icmp predicate"));
+                };
+                let TokenKind::Word(pred_word) = t.kind.clone() else {
+                    return Err(self.error_here("expected an icmp predicate"));
+                };
+                let pred = match pred_word.as_str() {
+                    "eq" => IcmpPred::Eq,
+                    "ne" => IcmpPred::Ne,
+                    "slt" => IcmpPred::Slt,
+                    "sle" => IcmpPred::Sle,
+                    "sgt" => IcmpPred::Sgt,
+                    "sge" => IcmpPred::Sge,
+                    "ult" => IcmpPred::Ult,
+                    "ule" => IcmpPred::Ule,
+                    "ugt" => IcmpPred::Ugt,
+                    "uge" => IcmpPred::Uge,
+                    other => {
+                        return Err(self.error_here(format!("unknown icmp predicate `{other}`")));
+                    }
+                };
+                self.next_token();
+                let ty = self.parse_type()?;
+                let lhs = self.parse_value()?;
+                self.expect_punct(',')?;
+                let rhs = self.parse_value()?;
+                Ok(Inst::Icmp {
+                    result,
+                    pred,
+                    ty,
+                    lhs,
+                    rhs,
+                })
+            }
+            "select" => {
+                self.next_token();
+                let _cond_ty = self.parse_type()?;
+                let cond = self.parse_value()?;
+                self.expect_punct(',')?;
+                let ty = self.parse_type()?;
+                let then_value = self.parse_value()?;
+                self.expect_punct(',')?;
+                let _else_ty = self.parse_type()?;
+                let else_value = self.parse_value()?;
+                Ok(Inst::Select {
+                    result,
+                    cond,
+                    ty,
+                    then_value,
+                    else_value,
+                })
+            }
+            "sext" | "zext" | "trunc" | "bitcast" | "ptrtoint" | "inttoptr" => {
+                self.next_token();
+                let cast = match op.as_str() {
+                    "sext" => CastOp::Sext,
+                    "zext" => CastOp::Zext,
+                    "trunc" => CastOp::Trunc,
+                    "bitcast" => CastOp::Bitcast,
+                    "ptrtoint" => CastOp::Ptrtoint,
+                    _ => CastOp::Inttoptr,
+                };
+                let from = self.parse_type()?;
+                let value = self.parse_value()?;
+                self.expect_word("to")?;
+                let to = self.parse_type()?;
+                Ok(Inst::Cast {
+                    result,
+                    op: cast,
+                    from,
+                    value,
+                    to,
+                })
+            }
+            "freeze" => {
+                self.next_token();
+                let ty = self.parse_type()?;
+                let value = self.parse_value()?;
+                Ok(Inst::Freeze { result, ty, value })
+            }
+            "load" => {
+                self.next_token();
+                if self.at_word("volatile") {
+                    self.next_token();
+                }
+                let ty = self.parse_type()?;
+                self.expect_punct(',')?;
+                let ptr_ty = self.parse_type()?;
+                let ptr = self.parse_value()?;
+                Ok(Inst::Load {
+                    result,
+                    ty,
+                    ptr_ty,
+                    ptr,
+                })
+            }
+            "alloca" => {
+                self.next_token();
+                let ty = self.parse_type()?;
+                Ok(Inst::Alloca { result, ty })
+            }
+            "getelementptr" => {
+                self.next_token();
+                if self.at_word("inbounds") {
+                    self.next_token();
+                }
+                let base_ty = self.parse_type()?;
+                self.expect_punct(',')?;
+                let ptr_ty = self.parse_type()?;
+                let ptr = self.parse_value()?;
+                let mut indices = Vec::new();
+                while self.at_punct(',') {
+                    // A comma is followed either by another `<ty> <idx>` pair or by
+                    // trailing annotations handled by the caller's line skip.
+                    let saved = self.pos;
+                    self.next_token();
+                    if self.at_type_start() {
+                        let ty = self.parse_type()?;
+                        let idx = self.parse_value()?;
+                        indices.push((ty, idx));
+                    } else {
+                        self.pos = saved;
+                        break;
+                    }
+                }
+                if indices.is_empty() {
+                    return Err(self.error_here("getelementptr requires at least one index"));
+                }
+                Ok(Inst::Gep {
+                    result,
+                    base_ty,
+                    ptr_ty,
+                    ptr,
+                    indices,
+                })
+            }
+            "phi" => {
+                self.next_token();
+                let ty = self.parse_type()?;
+                let mut incoming = Vec::new();
+                loop {
+                    self.expect_punct('[')?;
+                    let value = self.parse_value()?;
+                    self.expect_punct(',')?;
+                    let pred = self.expect_local()?;
+                    self.expect_punct(']')?;
+                    incoming.push((value, pred));
+                    if self.at_punct(',') {
+                        self.next_token();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Inst::Phi {
+                    result,
+                    ty,
+                    incoming,
+                })
+            }
+            "call" | "tail" | "musttail" | "notail" => self.call(Some(result)),
+            other => Err(self.error_here(format!("unsupported opcode `{other}`"))),
+        }
+    }
+
+    fn store(&mut self) -> Result<Inst, ParseError> {
+        self.expect_word("store")?;
+        if self.at_word("volatile") {
+            self.next_token();
+        }
+        let ty = self.parse_type()?;
+        let value = self.parse_value()?;
+        self.expect_punct(',')?;
+        let ptr_ty = self.parse_type()?;
+        let ptr = self.parse_value()?;
+        Ok(Inst::Store {
+            ty,
+            value,
+            ptr_ty,
+            ptr,
+        })
+    }
+
+    fn call(&mut self, result: Option<String>) -> Result<Inst, ParseError> {
+        while self.at_word("tail") || self.at_word("musttail") || self.at_word("notail") {
+            self.next_token();
+        }
+        self.expect_word("call")?;
+        self.skip_attr_words();
+        let ret = self.parse_type()?;
+        // A varargs callee carries its full function type: `call i32 (i8*, ...) @f(…)`.
+        if self.at_punct('(') {
+            self.skip_balanced('(', ')');
+            while self.at_punct('*') {
+                self.next_token();
+            }
+        }
+        let callee = match self.peek() {
+            Some(t) => match &t.kind {
+                TokenKind::Global(n) => {
+                    let n = n.clone();
+                    self.next_token();
+                    n
+                }
+                TokenKind::Local(_) => {
+                    return Err(self.error_here("indirect calls are unsupported"));
+                }
+                other => {
+                    return Err(self.error_here(format!("expected a callee, found {other}")));
+                }
+            },
+            None => return Err(self.error_here("expected a callee")),
+        };
+        self.expect_punct('(')?;
+        let mut args = Vec::new();
+        if !self.at_punct(')') {
+            loop {
+                let ty = self.parse_type()?;
+                self.skip_attr_words();
+                let value = self.parse_value()?;
+                args.push((ty, value));
+                if self.at_punct(',') {
+                    self.next_token();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        let result = if ret == Ty::Void { None } else { result };
+        Ok(Inst::Call {
+            result,
+            ret,
+            callee,
+            args,
+        })
+    }
+}

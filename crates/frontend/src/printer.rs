@@ -1,0 +1,257 @@
+//! Canonical `.ll` pretty-printer.
+//!
+//! Prints exactly the normalised subset the parser produces: no flags, no attributes,
+//! no metadata. Because the parser drops those annotations at parse time,
+//! `parse ∘ print` is the identity on ASTs and `print ∘ parse` is idempotent on text —
+//! printing a freshly parsed module and re-parsing it reproduces the same bytes, the
+//! property the round-trip suite checks.
+
+use crate::ast::{Block, Function, Inst, Module, Param, Terminator, Value};
+use std::fmt::Write as _;
+
+/// Renders a module to canonical `.ll` text.
+#[must_use]
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for (i, function) in module.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(&mut out, function);
+    }
+    out
+}
+
+fn print_function(out: &mut String, function: &Function) {
+    let _ = write!(out, "define {} @{}(", function.ret, ident(&function.name));
+    for (i, Param { ty, name }) in function.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{ty} %{}", ident(name));
+    }
+    out.push_str(") {\n");
+    for block in &function.blocks {
+        print_block(out, block);
+    }
+    out.push_str("}\n");
+}
+
+fn print_block(out: &mut String, block: &Block) {
+    let _ = writeln!(out, "{}:", ident(&block.label));
+    for (_, inst) in &block.insts {
+        print_inst(out, inst);
+    }
+    print_terminator(out, &block.term);
+}
+
+fn print_inst(out: &mut String, inst: &Inst) {
+    out.push_str("  ");
+    match inst {
+        Inst::Binary {
+            result,
+            op,
+            ty,
+            lhs,
+            rhs,
+        } => {
+            let _ = writeln!(
+                out,
+                "%{} = {} {ty} {}, {}",
+                ident(result),
+                op.keyword(),
+                value(lhs),
+                value(rhs)
+            );
+        }
+        Inst::Icmp {
+            result,
+            pred,
+            ty,
+            lhs,
+            rhs,
+        } => {
+            let _ = writeln!(
+                out,
+                "%{} = icmp {} {ty} {}, {}",
+                ident(result),
+                pred.keyword(),
+                value(lhs),
+                value(rhs)
+            );
+        }
+        Inst::Select {
+            result,
+            cond,
+            ty,
+            then_value,
+            else_value,
+        } => {
+            let _ = writeln!(
+                out,
+                "%{} = select i1 {}, {ty} {}, {ty} {}",
+                ident(result),
+                value(cond),
+                value(then_value),
+                value(else_value)
+            );
+        }
+        Inst::Cast {
+            result,
+            op,
+            from,
+            value: v,
+            to,
+        } => {
+            let _ = writeln!(
+                out,
+                "%{} = {} {from} {} to {to}",
+                ident(result),
+                op.keyword(),
+                value(v)
+            );
+        }
+        Inst::Freeze {
+            result,
+            ty,
+            value: v,
+        } => {
+            let _ = writeln!(out, "%{} = freeze {ty} {}", ident(result), value(v));
+        }
+        Inst::Load {
+            result,
+            ty,
+            ptr_ty,
+            ptr,
+        } => {
+            let _ = writeln!(
+                out,
+                "%{} = load {ty}, {ptr_ty} {}",
+                ident(result),
+                value(ptr)
+            );
+        }
+        Inst::Store {
+            ty,
+            value: v,
+            ptr_ty,
+            ptr,
+        } => {
+            let _ = writeln!(out, "store {ty} {}, {ptr_ty} {}", value(v), value(ptr));
+        }
+        Inst::Gep {
+            result,
+            base_ty,
+            ptr_ty,
+            ptr,
+            indices,
+        } => {
+            let _ = write!(
+                out,
+                "%{} = getelementptr {base_ty}, {ptr_ty} {}",
+                ident(result),
+                value(ptr)
+            );
+            for (ty, idx) in indices {
+                let _ = write!(out, ", {ty} {}", value(idx));
+            }
+            out.push('\n');
+        }
+        Inst::Alloca { result, ty } => {
+            let _ = writeln!(out, "%{} = alloca {ty}", ident(result));
+        }
+        Inst::Call {
+            result,
+            ret,
+            callee,
+            args,
+        } => {
+            if let Some(result) = result {
+                let _ = write!(out, "%{} = ", ident(result));
+            }
+            let _ = write!(out, "call {ret} @{}(", ident(callee));
+            for (i, (ty, arg)) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{ty} {}", value(arg));
+            }
+            out.push_str(")\n");
+        }
+        Inst::Phi {
+            result,
+            ty,
+            incoming,
+        } => {
+            let _ = write!(out, "%{} = phi {ty} ", ident(result));
+            for (i, (v, pred)) in incoming.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[ {}, %{} ]", value(v), ident(pred));
+            }
+            out.push('\n');
+        }
+    }
+}
+
+fn print_terminator(out: &mut String, term: &Terminator) {
+    out.push_str("  ");
+    match term {
+        Terminator::RetVoid => out.push_str("ret void\n"),
+        Terminator::Ret { ty, value: v } => {
+            let _ = writeln!(out, "ret {ty} {}", value(v));
+        }
+        Terminator::Br { dest } => {
+            let _ = writeln!(out, "br label %{}", ident(dest));
+        }
+        Terminator::CondBr {
+            cond,
+            then_dest,
+            else_dest,
+        } => {
+            let _ = writeln!(
+                out,
+                "br i1 {}, label %{}, label %{}",
+                value(cond),
+                ident(then_dest),
+                ident(else_dest)
+            );
+        }
+        Terminator::Switch {
+            ty,
+            value: v,
+            default,
+            cases,
+        } => {
+            let _ = writeln!(out, "switch {ty} {}, label %{} [", value(v), ident(default));
+            for (case, dest) in cases {
+                let _ = writeln!(out, "    {ty} {case}, label %{}", ident(dest));
+            }
+            out.push_str("  ]\n");
+        }
+        Terminator::Unreachable => out.push_str("unreachable\n"),
+    }
+}
+
+fn value(v: &Value) -> String {
+    match v {
+        Value::Local(name) => format!("%{}", ident(name)),
+        Value::Global(name) => format!("@{}", ident(name)),
+        Value::Int(i) => i.to_string(),
+        Value::Undef => "undef".to_string(),
+    }
+}
+
+/// Quotes an identifier when it contains characters outside LLVM's bare-name set.
+fn ident(name: &str) -> String {
+    let bare = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '$' | '.' | '_' | '-'));
+    if bare {
+        name.to_string()
+    } else {
+        format!("\"{name}\"")
+    }
+}

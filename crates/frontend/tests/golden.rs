@@ -1,0 +1,219 @@
+//! Fixture-based golden parse tests: every bundled `.ll` parses, lowers and
+//! validates, selected fixtures have known graph shapes, and malformed inputs
+//! report precise line/column errors.
+
+use ise_frontend::{parse_and_lower, parse_module};
+use ise_ir::{OpaqueOp, Opcode};
+use std::fs;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn fixture(name: &str) -> String {
+    fs::read_to_string(fixtures_dir().join(name)).expect("fixture exists")
+}
+
+#[test]
+fn all_fixtures_parse_lower_and_validate() {
+    let mut names: Vec<String> = fs::read_dir(fixtures_dir())
+        .expect("fixtures directory exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".ll"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 6,
+        "at least 6 bundled fixtures, found {names:?}"
+    );
+    for name in names {
+        let source = fixture(&name);
+        let program = parse_and_lower(name.trim_end_matches(".ll"), &source)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("{name} lowered to an invalid program: {e}"));
+        assert!(
+            !program.blocks().is_empty(),
+            "{name} lowered to an empty program"
+        );
+    }
+}
+
+#[test]
+fn crc32_o2_is_straight_line_with_known_shape() {
+    let program = parse_and_lower("crc32-O2", &fixture("crc32-O2.ll")).unwrap();
+    assert_eq!(program.blocks().len(), 1);
+    let dfg = &program.blocks()[0];
+    assert_eq!(dfg.name(), "crc32_update.entry");
+    // zext + xor + 8 × (and, neg, and, lshr, xor) = 42 nodes, all AFU-legal.
+    assert_eq!(dfg.node_count(), 42);
+    assert_eq!(dfg.input_count(), 2);
+    assert_eq!(dfg.output_count(), 1);
+    assert_eq!(dfg.count_opcode(Opcode::Neg), 8, "sub 0, x lowers to neg");
+    assert!(dfg.iter_nodes().all(|(_, n)| !n.is_forbidden_in_afu()));
+}
+
+#[test]
+fn crc32_o0_materialises_memory_traffic_as_forbidden_nodes() {
+    let program = parse_and_lower("crc32-O0", &fixture("crc32-O0.ll")).unwrap();
+    // entry, for.cond, for.body, for.inc, for.end.
+    assert_eq!(program.blocks().len(), 5);
+    let entry = &program.blocks()[0];
+    assert_eq!(entry.name(), "crc32_update.entry");
+    assert_eq!(entry.count_opcode(Opcode::Opaque(OpaqueOp::Alloca)), 4);
+    assert_eq!(entry.count_opcode(Opcode::Store), 4);
+    assert_eq!(entry.count_opcode(Opcode::Load), 2);
+    // The alloca addresses used by other blocks (crc.addr, i, mask — byte.addr is
+    // entry-only) must surface as block outputs.
+    let outputs: Vec<&str> = entry.iter_outputs().map(|o| o.name.as_str()).collect();
+    assert!(outputs.contains(&"crc.addr"), "outputs: {outputs:?}");
+    assert!(outputs.contains(&"i"), "outputs: {outputs:?}");
+    assert!(outputs.contains(&"mask"), "outputs: {outputs:?}");
+    assert!(!outputs.contains(&"byte.addr"), "outputs: {outputs:?}");
+    let body = &program.blocks()[2];
+    assert_eq!(body.name(), "crc32_update.for.body");
+    assert_eq!(body.count_opcode(Opcode::Neg), 1);
+}
+
+#[test]
+fn crc32_o1_loop_carried_values_become_inputs_and_outputs() {
+    let program = parse_and_lower("crc32-O1", &fixture("crc32-O1.ll")).unwrap();
+    let body = program
+        .blocks()
+        .iter()
+        .find(|b| b.name() == "crc32_update.for.body")
+        .expect("loop body present");
+    // φs i.07 and crc.addr.06 are inputs; xor2 and inc feed the back-edge φs and
+    // the exit block, so they are outputs together with the branch condition.
+    assert!(body.input_count() >= 2);
+    let output_names: Vec<&str> = body.iter_outputs().map(|o| o.name.as_str()).collect();
+    assert!(output_names.contains(&"xor2"), "outputs: {output_names:?}");
+    assert!(output_names.contains(&"inc"), "outputs: {output_names:?}");
+    assert!(
+        output_names.contains(&"exitcond.not"),
+        "the branch condition is consumed by the terminator: {output_names:?}"
+    );
+}
+
+#[test]
+fn adpcm_gep_and_call_free_table_lookup_lowers_with_forbidden_nodes() {
+    let program = parse_and_lower("adpcm-O1", &fixture("adpcm-O1.ll")).unwrap();
+    let dfg = &program.blocks()[0];
+    assert_eq!(dfg.count_opcode(Opcode::Opaque(OpaqueOp::Gep)), 1);
+    assert_eq!(dfg.count_opcode(Opcode::Load), 1);
+    assert_eq!(dfg.count_opcode(Opcode::Select), 6);
+    // @stepsizeTable is an address produced outside the block: an input.
+    assert!(dfg.iter_inputs().any(|(_, i)| i.name == "@stepsizeTable"));
+}
+
+#[test]
+fn intrinsic_calls_map_to_vocabulary_ops() {
+    let source = r#"
+declare i32 @llvm.smax.i32(i32, i32)
+declare i32 @llvm.abs.i32(i32, i1)
+
+define i32 @clamp0(i32 %x, i32 %y) {
+entry:
+  %m = call i32 @llvm.smax.i32(i32 %x, i32 %y)
+  %a = call i32 @llvm.abs.i32(i32 %m, i1 false)
+  %r = call i32 @external(i32 %a)
+  call void @sink(i32 %r)
+  ret i32 %r
+}
+"#;
+    let program = parse_and_lower("intrinsics", source).unwrap();
+    let dfg = &program.blocks()[0];
+    assert_eq!(dfg.count_opcode(Opcode::Max), 1);
+    assert_eq!(dfg.count_opcode(Opcode::Abs), 1);
+    assert_eq!(dfg.count_opcode(Opcode::Opaque(OpaqueOp::Call)), 1);
+    assert_eq!(dfg.count_opcode(Opcode::Opaque(OpaqueOp::CallVoid)), 1);
+    // The abs intrinsic's i1 poison flag is dropped.
+    let (_, abs) = dfg
+        .iter_nodes()
+        .find(|(_, n)| n.opcode == Opcode::Abs)
+        .unwrap();
+    assert_eq!(abs.operands.len(), 1);
+}
+
+#[test]
+fn unsigned_comparisons_swap_operands() {
+    let source = r#"
+define i1 @cmps(i32 %a, i32 %b) {
+entry:
+  %gt = icmp ugt i32 %a, %b
+  %le = icmp ule i32 %a, %b
+  %x = and i1 %gt, %le
+  ret i1 %x
+}
+"#;
+    let program = parse_and_lower("cmps", source).unwrap();
+    let dfg = &program.blocks()[0];
+    assert_eq!(dfg.count_opcode(Opcode::Ltu), 1);
+    assert_eq!(dfg.count_opcode(Opcode::Geu), 1);
+    // ugt a b ⇒ ltu b a: the first operand is %b (input 1).
+    let (_, ltu) = dfg
+        .iter_nodes()
+        .find(|(_, n)| n.opcode == Opcode::Ltu)
+        .unwrap();
+    assert_eq!(
+        ltu.operands[0],
+        ise_ir::Operand::Input(ise_ir::PortId::new(1))
+    );
+}
+
+#[test]
+fn float_types_are_rejected_with_position() {
+    let source = "define float @f(float %x) {\nentry:\n  ret float %x\n}\n";
+    let err = parse_module(source).unwrap_err();
+    assert_eq!(err.line, 1);
+    assert!(err.message.contains("floating-point"), "{}", err.message);
+}
+
+#[test]
+fn vector_types_are_rejected() {
+    let source = "define i32 @f(<4 x i32> %v) {\nentry:\n  ret i32 0\n}\n";
+    let err = parse_module(source).unwrap_err();
+    assert_eq!(err.line, 1);
+    assert!(err.message.contains("vector"), "{}", err.message);
+}
+
+#[test]
+fn stray_characters_are_rejected_with_position() {
+    let source = "define i32 @f() {\nentry:\n  %x = add i32 1, ?\n  ret i32 %x\n}\n";
+    let err = parse_module(source).unwrap_err();
+    assert_eq!(err.line, 3);
+    assert_eq!(err.column, 19);
+}
+
+#[test]
+fn missing_terminator_is_rejected() {
+    let source = "define i32 @f(i32 %x) {\nentry:\n  %y = add i32 %x, 1\n}\n";
+    let err = parse_module(source).unwrap_err();
+    assert!(
+        err.message.contains("instruction") || err.message.contains("terminator"),
+        "{}",
+        err.message
+    );
+}
+
+#[test]
+fn indirect_calls_are_rejected() {
+    let source = "define i32 @f(i32 %x) {\nentry:\n  %r = call i32 %x(i32 1)\n  ret i32 %r\n}\n";
+    let err = parse_module(source).unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(err.message.contains("indirect"), "{}", err.message);
+}
+
+#[test]
+fn constant_expressions_are_rejected() {
+    let source = "define i32 @f() {\nentry:\n  %v = load i32, i32* getelementptr inbounds ([4 x i32], [4 x i32]* @t, i64 0, i64 1)\n  ret i32 %v\n}\n";
+    let err = parse_module(source).unwrap_err();
+    assert_eq!(err.line, 3);
+    assert!(
+        err.message.contains("constant expressions"),
+        "{}",
+        err.message
+    );
+}

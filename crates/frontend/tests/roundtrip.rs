@@ -1,0 +1,128 @@
+//! Round-trip property suite: `print(parse(x))` is a fixpoint.
+//!
+//! The parser normalises away everything outside the supported subset (flags,
+//! attributes, alignment, metadata), and the printer emits exactly that
+//! normalised subset. So while `print(parse(src))` need not equal `src`
+//! byte-for-byte, a second trip must be the identity: for every accepted
+//! source, `print(parse(print(parse(src))))` equals `print(parse(src))`.
+//! The suite checks this on every bundled fixture and on seeded random
+//! straight-line modules.
+
+use ise_frontend::{parse_module, print_module};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::path::PathBuf;
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// Asserts the canonical form is a fixpoint of `print ∘ parse` and returns it.
+fn assert_roundtrip(label: &str, source: &str) -> String {
+    let module = parse_module(source).unwrap_or_else(|e| panic!("{label}: parse failed: {e}"));
+    let printed = print_module(&module);
+    let reparsed = parse_module(&printed)
+        .unwrap_or_else(|e| panic!("{label}: reparse failed: {e}\n{printed}"));
+    let reprinted = print_module(&reparsed);
+    assert_eq!(
+        printed, reprinted,
+        "{label}: print ∘ parse is not idempotent"
+    );
+    printed
+}
+
+#[test]
+fn fixtures_roundtrip_byte_identical() {
+    let mut names: Vec<String> = fs::read_dir(fixtures_dir())
+        .expect("fixtures directory exists")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".ll"))
+        .collect();
+    names.sort();
+    assert!(names.len() >= 6);
+    for name in names {
+        let source = fs::read_to_string(fixtures_dir().join(&name)).unwrap();
+        assert_roundtrip(&name, &source);
+    }
+}
+
+/// A generated straight-line function: binary ops, comparisons, selects and
+/// casts over i32 values, closed under the set of names defined so far.
+fn random_module(rng: &mut SmallRng) -> String {
+    const BINOPS: &[&str] = &[
+        "add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr", "sdiv", "udiv", "srem",
+        "urem",
+    ];
+    const PREDS: &[&str] = &[
+        "eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge",
+    ];
+    let nparams = rng.gen_range(1..4usize);
+    let params: Vec<String> = (0..nparams).map(|i| format!("p{i}")).collect();
+    let mut avail: Vec<String> = params.clone();
+    let mut body = String::new();
+    let ninsts = rng.gen_range(1..24usize);
+    for i in 0..ninsts {
+        let name = format!("v{i}");
+        // Operand: an existing value or an immediate.
+        let operand = |rng: &mut SmallRng, avail: &[String]| -> String {
+            if rng.gen_range(0..4u32) == 0 {
+                format!("{}", rng.gen_range(-128..128i64))
+            } else {
+                format!("%{}", avail[rng.gen_range(0..avail.len())])
+            }
+        };
+        let line = match rng.gen_range(0..4u32) {
+            0 | 1 => {
+                let op = BINOPS[rng.gen_range(0..BINOPS.len())];
+                let a = operand(rng, &avail);
+                let b = operand(rng, &avail);
+                format!("  %{name} = {op} i32 {a}, {b}\n")
+            }
+            2 => {
+                let pred = PREDS[rng.gen_range(0..PREDS.len())];
+                let a = operand(rng, &avail);
+                let b = operand(rng, &avail);
+                // Keep everything i32-typed: widen the i1 right back.
+                body.push_str(&format!("  %{name}.c = icmp {pred} i32 {a}, {b}\n"));
+                format!("  %{name} = zext i1 %{name}.c to i32\n")
+            }
+            _ => {
+                let a = operand(rng, &avail);
+                body.push_str(&format!("  %{name}.t = trunc i32 {a} to i8\n"));
+                format!("  %{name} = sext i8 %{name}.t to i32\n")
+            }
+        };
+        body.push_str(&line);
+        avail.push(name);
+    }
+    let ret = &avail[avail.len() - 1];
+    let sig: Vec<String> = params.iter().map(|p| format!("i32 %{p}")).collect();
+    format!(
+        "define i32 @gen({}) {{\nentry:\n{body}  ret i32 %{ret}\n}}\n",
+        sig.join(", ")
+    )
+}
+
+#[test]
+fn random_modules_roundtrip() {
+    for seed in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let source = random_module(&mut rng);
+        let printed = assert_roundtrip(&format!("seed {seed}"), &source);
+        // The generator already emits canonical text, so the first trip is
+        // also the identity — a stronger check we get for free here.
+        assert_eq!(source, printed, "seed {seed}: canonical source changed");
+    }
+}
+
+#[test]
+fn printer_normalises_flags_and_metadata() {
+    let source = "define i32 @f(i32 noundef %x) local_unnamed_addr #0 {\n\
+                  entry:\n  %y = add nsw i32 %x, 1, !dbg !7\n  \
+                  %z = mul nuw nsw i32 %y, %y\n  ret i32 %z\n}\n";
+    let printed = assert_roundtrip("flags", source);
+    assert!(!printed.contains("nsw"), "{printed}");
+    assert!(!printed.contains("noundef"), "{printed}");
+    assert!(!printed.contains("!dbg"), "{printed}");
+}

@@ -66,6 +66,9 @@ impl AreaModel {
             Div | Rem => self.divide,
             Load | Store => self.memory,
             Afu { .. } => self.mac,
+            // Opaque nodes never enter a cut, so this figure is never summed into an
+            // AFU's area; charge the memory-port figure for completeness.
+            Opaque(_) => self.memory,
         }
     }
 

@@ -71,6 +71,9 @@ impl HardwareDelayModel {
             Div | Rem => self.divide,
             Load | Store => self.memory,
             Afu { .. } => self.mac,
+            // Opaque nodes never enter a cut, so this figure never lands on an AFU
+            // critical path; charge the memory-access delay for completeness.
+            Opaque(_) => self.memory,
         }
     }
 

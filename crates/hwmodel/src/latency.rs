@@ -87,6 +87,16 @@ impl SoftwareLatencyModel {
             // A collapsed AFU executes in the cycles recorded by its specification; the
             // software model conservatively charges a single issue slot.
             Afu { .. } => 1,
+            // Calls dominate their surroundings; other opaque operations (address
+            // arithmetic, allocas) cost one ALU slot. The exact charge never affects
+            // cut selection because opaque nodes sit outside every candidate cut and
+            // contribute identically to baseline and extended schedules.
+            Opaque(op) => match op {
+                ise_ir::OpaqueOp::Call | ise_ir::OpaqueOp::CallVoid => self.divide,
+                ise_ir::OpaqueOp::Gep | ise_ir::OpaqueOp::Alloca | ise_ir::OpaqueOp::Unknown => {
+                    self.alu
+                }
+            },
         }
     }
 

@@ -284,31 +284,70 @@ impl Dfg {
     /// # Panics
     ///
     /// Panics if an operand references a node or input variable that does not exist yet
-    /// (the graph is built in def-before-use order and must stay acyclic).
+    /// (the graph is built in def-before-use order and must stay acyclic). Trusted
+    /// hand-built construction sites (the builder, the workload crate) rely on this;
+    /// code inserting nodes derived from *external* text — the LLVM front-end in
+    /// particular — must use [`Dfg::try_add_node`] so malformed input surfaces as an
+    /// error instead of a panic.
     pub fn add_node(&mut self, node: Node) -> NodeId {
+        match self.try_add_node(node) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds an operation node, reporting invalid operands as an error.
+    ///
+    /// The dataflow graph maintains two intertwined invariants that all of `topo`
+    /// depends on: node identifiers are dense indices in insertion order, and every
+    /// operand references a *previously inserted* node (def-before-use), which makes
+    /// the graph acyclic by construction and the insertion order a valid
+    /// producers-first topological order. A front-end lowering SSA instructions in
+    /// program order preserves both automatically for *valid* SSA (a definition
+    /// dominates its uses, and φ-nodes — the only legal intra-block forward
+    /// references — are lowered to block inputs, never to nodes); malformed input is
+    /// caught here and reported as [`IrError::ForwardReference`] /
+    /// [`IrError::UnknownInput`] without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an operand references a node or input variable that does
+    /// not exist yet. The graph is left unchanged on failure.
+    pub fn try_add_node(&mut self, node: Node) -> Result<NodeId, IrError> {
         let id = NodeId::new(self.nodes.len());
         for operand in &node.operands {
             match *operand {
                 Operand::Node(n) => {
-                    assert!(
-                        n.index() < self.nodes.len(),
-                        "operand {n} references a node that has not been inserted yet"
-                    );
-                    self.consumers[n.index()].push(id);
+                    if n.index() >= self.nodes.len() {
+                        return Err(IrError::ForwardReference {
+                            block: self.name.clone(),
+                            node: id,
+                            operand: n,
+                        });
+                    }
                 }
                 Operand::Input(p) => {
-                    assert!(
-                        p.index() < self.inputs.len(),
-                        "operand {p} references an undeclared input variable"
-                    );
-                    self.input_consumers[p.index()].push(id);
+                    if p.index() >= self.inputs.len() {
+                        return Err(IrError::UnknownInput {
+                            block: self.name.clone(),
+                            node: id,
+                            port: p,
+                        });
+                    }
                 }
+                Operand::Imm(_) => {}
+            }
+        }
+        for operand in &node.operands {
+            match *operand {
+                Operand::Node(n) => self.consumers[n.index()].push(id),
+                Operand::Input(p) => self.input_consumers[p.index()].push(id),
                 Operand::Imm(_) => {}
             }
         }
         self.nodes.push(node);
         self.consumers.push(Vec::new());
-        id
+        Ok(id)
     }
 
     /// Declares a block output variable fed by `source`.
@@ -561,9 +600,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "has not been inserted yet")]
+    #[should_panic(expected = "references later node")]
     fn forward_reference_panics_on_insert() {
         let mut g = Dfg::new("forward");
         let _ = g.add_node(Node::new(Opcode::Not, vec![Operand::Node(NodeId::new(5))]));
+    }
+
+    #[test]
+    fn try_add_node_reports_errors_and_leaves_graph_unchanged() {
+        let mut g = diamond();
+        let before = g.node_count();
+        // A forward node reference fails without mutating the graph — even when a
+        // valid operand precedes the bad one (no partially recorded use lists).
+        let err = g
+            .try_add_node(Node::new(
+                Opcode::Add,
+                vec![NodeId::new(0).into(), Operand::Node(NodeId::new(9))],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, IrError::ForwardReference { .. }));
+        assert_eq!(g.node_count(), before);
+        assert_eq!(g.consumers(NodeId::new(0)), &[NodeId::new(2)]);
+        // Same for an undeclared input port.
+        let err = g
+            .try_add_node(Node::new(Opcode::Not, vec![Operand::Input(PortId::new(7))]))
+            .unwrap_err();
+        assert!(matches!(err, IrError::UnknownInput { .. }));
+        assert_eq!(g.node_count(), before);
+        assert!(g.validate().is_ok());
     }
 }

@@ -79,6 +79,16 @@ pub enum IrError {
         /// Identifier of the missing AFU specification.
         afu: u16,
     },
+    /// The interpreter encountered an opaque operation (call, address computation, …)
+    /// whose semantics the IR does not model.
+    CannotInterpret {
+        /// Name of the offending basic block.
+        block: String,
+        /// Offending node.
+        node: NodeId,
+        /// The uninterpretable opcode.
+        opcode: Opcode,
+    },
     /// The graph contains a dependency cycle, so no topological ordering exists.
     ///
     /// Graphs built through [`crate::Dfg::add_node`] are acyclic by construction; this
@@ -128,6 +138,10 @@ impl fmt::Display for IrError {
             IrError::UnknownAfu { block, afu } => {
                 write!(f, "block `{block}` uses AFU {afu} but no specification was provided")
             }
+            IrError::CannotInterpret { block, node, opcode } => write!(
+                f,
+                "node {node} in block `{block}` has opaque opcode {opcode}, which cannot be interpreted"
+            ),
             IrError::Cyclic { block } => {
                 write!(f, "block `{block}` contains a dependency cycle")
             }

@@ -238,6 +238,13 @@ impl Evaluator {
                     let operands: Vec<i32> = (0..node.operands.len()).map(operand).collect();
                     self.eval_afu(dfg, afu_id, out, &operands)?
                 }
+                Opcode::Opaque(_) => {
+                    return Err(IrError::CannotInterpret {
+                        block: dfg.name().to_string(),
+                        node: id,
+                        opcode: node.opcode,
+                    });
+                }
             };
             values[id.index()] = value;
         }

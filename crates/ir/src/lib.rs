@@ -59,5 +59,5 @@ pub use cfg::{BlockId, Cfg, CfgBlock, Inst, Reg, RegOrImm, Terminator};
 pub use dfg::{Dfg, InputVar, NodeId, OutputVar, PortId};
 pub use error::IrError;
 pub use node::{Node, Operand};
-pub use opcode::Opcode;
+pub use opcode::{OpaqueOp, Opcode};
 pub use program::{AfuSpec, Program};

@@ -2,6 +2,45 @@
 
 use std::fmt;
 
+/// The category of an operation that is opaque to the AFU model.
+///
+/// Compiler front-ends (the `ise-frontend` LLVM-IR parser) encounter operations the
+/// paper's dataflow vocabulary cannot absorb into an AFU — function calls, address
+/// computations over unknown type layouts, stack allocations. Dropping them would
+/// falsify the `IN(S)`/`OUT(S)` accounting of every cut around them, so they are
+/// materialised as [`Opcode::Opaque`] nodes: present in the graph, consuming and
+/// producing values like any node, but forbidden inside cuts.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum OpaqueOp {
+    /// A call producing a value. Operands are the call arguments.
+    Call,
+    /// A call producing no value (`void`). Operands are the call arguments.
+    CallVoid,
+    /// An address computation over a type layout the IR does not model
+    /// (LLVM `getelementptr`). Operands are the base pointer and the indices.
+    Gep,
+    /// A stack allocation producing an address (LLVM `alloca`).
+    Alloca,
+    /// Any other value-producing operation outside the vocabulary.
+    Unknown,
+}
+
+impl OpaqueOp {
+    /// Short lower-case mnemonic of the opaque category.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpaqueOp::Call => "call",
+            OpaqueOp::CallVoid => "call.void",
+            OpaqueOp::Gep => "gep",
+            OpaqueOp::Alloca => "alloca",
+            OpaqueOp::Unknown => "opaque",
+        }
+    }
+}
+
 /// A primitive operation of the dataflow graph.
 ///
 /// The vocabulary follows the MachSUIF-level operations used by the paper's experimental
@@ -11,6 +50,8 @@ use std::fmt;
 /// Memory accesses ([`Opcode::Load`], [`Opcode::Store`]) are *forbidden* inside
 /// application-specific functional units (the AFU of the paper has no architecturally
 /// visible state and no memory port), which is reported by [`Opcode::is_forbidden_in_afu`].
+/// [`Opcode::Opaque`] nodes — calls, address computations and other operations carried
+/// through from a compiler front-end — are forbidden for the same reason.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
@@ -103,6 +144,12 @@ pub enum Opcode {
         /// Index of the produced output among the AFU outputs.
         out: u16,
     },
+    /// An operation carried through from a compiler front-end that the AFU model
+    /// cannot absorb (calls, address computations, stack allocations).
+    ///
+    /// Opaque nodes take a variable number of operands, are forbidden inside cuts,
+    /// and cannot be interpreted. See [`OpaqueOp`] for the categories.
+    Opaque(OpaqueOp),
 }
 
 impl Opcode {
@@ -113,7 +160,10 @@ impl Opcode {
     /// likewise excluded from further identification (Section 6.3).
     #[must_use]
     pub fn is_forbidden_in_afu(self) -> bool {
-        matches!(self, Opcode::Load | Opcode::Store | Opcode::Afu { .. })
+        matches!(
+            self,
+            Opcode::Load | Opcode::Store | Opcode::Afu { .. } | Opcode::Opaque(_)
+        )
     }
 
     /// Returns `true` if the operation accesses memory.
@@ -124,22 +174,30 @@ impl Opcode {
 
     /// Returns `true` if the operation produces a value consumed through dataflow edges.
     ///
-    /// Only [`Opcode::Store`] produces no value.
+    /// Only [`Opcode::Store`] and `void` calls produce no value.
     #[must_use]
     pub fn has_result(self) -> bool {
-        !matches!(self, Opcode::Store)
+        !matches!(self, Opcode::Store | Opcode::Opaque(OpaqueOp::CallVoid))
     }
 
     /// Returns `true` if the node has a side effect and must be preserved by dead-code
     /// elimination even when its result is unused.
+    ///
+    /// Calls and unknown opaque operations may touch memory or observable state, so they
+    /// are conservatively treated as effectful; `gep`/`alloca` are pure address
+    /// computations.
     #[must_use]
     pub fn has_side_effect(self) -> bool {
-        matches!(self, Opcode::Store)
+        matches!(
+            self,
+            Opcode::Store | Opcode::Opaque(OpaqueOp::Call | OpaqueOp::CallVoid | OpaqueOp::Unknown)
+        )
     }
 
     /// Number of value operands expected by the operation, if fixed.
     ///
-    /// [`Opcode::Afu`] nodes take a variable number of operands and return `None`.
+    /// [`Opcode::Afu`] and [`Opcode::Opaque`] nodes take a variable number of operands
+    /// and return `None`.
     #[must_use]
     pub fn arity(self) -> Option<usize> {
         use Opcode::*;
@@ -149,7 +207,7 @@ impl Opcode {
             Add | Sub | Mul | MulHi | Div | Rem | Min | Max | And | Or | Xor | Shl | Lshr
             | Ashr | Eq | Ne | Lt | Le | Gt | Ge | Ltu | Geu | Store => 2,
             Mac | Select => 3,
-            Afu { .. } => return None,
+            Afu { .. } | Opaque(_) => return None,
         })
     }
 
@@ -196,11 +254,12 @@ impl Opcode {
             Load => "load",
             Store => "store",
             Afu { .. } => "afu",
+            Opaque(op) => op.mnemonic(),
         }
     }
 
-    /// All opcodes except [`Opcode::Afu`], useful for exhaustive model tables and for
-    /// randomised workload generation.
+    /// All opcodes except [`Opcode::Afu`] and [`Opcode::Opaque`], useful for exhaustive
+    /// model tables and for randomised workload generation.
     #[must_use]
     pub fn all_primitive() -> &'static [Opcode] {
         use Opcode::*;
@@ -232,6 +291,29 @@ mod tests {
         assert!(Opcode::Afu { id: 0, out: 0 }.is_forbidden_in_afu());
         assert!(!Opcode::Add.is_forbidden_in_afu());
         assert!(!Opcode::Select.is_forbidden_in_afu());
+    }
+
+    #[test]
+    fn opaque_ops_are_forbidden_and_variadic() {
+        for op in [
+            OpaqueOp::Call,
+            OpaqueOp::CallVoid,
+            OpaqueOp::Gep,
+            OpaqueOp::Alloca,
+            OpaqueOp::Unknown,
+        ] {
+            assert!(Opcode::Opaque(op).is_forbidden_in_afu());
+            assert_eq!(Opcode::Opaque(op).arity(), None);
+            assert!(!Opcode::Opaque(op).is_memory());
+        }
+        assert!(!Opcode::Opaque(OpaqueOp::CallVoid).has_result());
+        assert!(Opcode::Opaque(OpaqueOp::Call).has_result());
+        assert!(Opcode::Opaque(OpaqueOp::Call).has_side_effect());
+        assert!(Opcode::Opaque(OpaqueOp::CallVoid).has_side_effect());
+        assert!(!Opcode::Opaque(OpaqueOp::Gep).has_side_effect());
+        assert!(!Opcode::Opaque(OpaqueOp::Alloca).has_side_effect());
+        assert_eq!(Opcode::Opaque(OpaqueOp::Gep).to_string(), "gep");
+        assert_eq!(Opcode::Opaque(OpaqueOp::CallVoid).to_string(), "call.void");
     }
 
     #[test]

@@ -114,7 +114,7 @@ fn evaluate_constant(opcode: Opcode, values: &[i64]) -> Option<i64> {
         Opcode::TruncB => v(0) & 0xff,
         Opcode::TruncH => v(0) & 0xffff,
         Opcode::Copy | Opcode::Const => v(0),
-        Opcode::Load | Opcode::Store | Opcode::Afu { .. } => return None,
+        Opcode::Load | Opcode::Store | Opcode::Afu { .. } | Opcode::Opaque(_) => return None,
     };
     Some(i64::from(result))
 }

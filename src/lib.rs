@@ -19,7 +19,8 @@
 //! * [`core`] — cut identification/selection, the engine registry and program driver,
 //!   and the [`IseError`] hierarchy;
 //! * [`baselines`] — the Clubbing and MaxMISO comparison algorithms;
-//! * [`workloads`] — MediaBench-like kernels and random graph generation.
+//! * [`workloads`] — MediaBench-like kernels and random graph generation;
+//! * [`frontend`] — the dependency-free textual LLVM IR (`.ll`) parser and lowering.
 //!
 //! # Quickstart
 //!
@@ -60,6 +61,8 @@ pub use ise_api as api;
 pub use ise_baselines as baselines;
 /// Identification and selection algorithms — the paper's contribution.
 pub use ise_core as core;
+/// Textual LLVM IR (`.ll`) front-end: lexer, parser, printer, lowering.
+pub use ise_frontend as frontend;
 /// Cost models: software latency, hardware delay, area, speed-up accounting.
 pub use ise_hw as hw;
 /// Dataflow and control-flow intermediate representation.
