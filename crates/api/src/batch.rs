@@ -1,9 +1,11 @@
 //! The batch front-end: fan a slice of requests out across `rayon` workers.
 
+use std::sync::Arc;
+
 use rayon::prelude::*;
 use rayon::ShardProgress;
 
-use ise_core::{CorpusOptions, CorpusStats, IseError};
+use ise_core::{CorpusOptions, CorpusStats, IseError, WarmCacheConfig, WarmPoolCache};
 use ise_hw::SoftwareLatencyModel;
 
 use crate::request::{
@@ -96,30 +98,37 @@ impl BatchService {
         &self,
         request: &CorpusRequest,
     ) -> Result<(CorpusResponse, CorpusStats, Vec<ShardProgress>), IseError> {
-        if request.programs.is_empty() {
-            return Err(IseError::InvalidRequest(
-                "a corpus needs at least one program".to_string(),
-            ));
-        }
-        if request.constraints.max_inputs == 0 || request.constraints.max_outputs == 0 {
-            return Err(IseError::InvalidRequest(format!(
-                "constraints must allow at least one read and one write port, got {}",
-                request.constraints
-            )));
-        }
+        let cache = Arc::new(WarmPoolCache::new(WarmCacheConfig::default()));
+        self.run_corpus_cached(request, &cache)
+    }
+
+    /// Executes one corpus request against a caller-owned [`WarmPoolCache`], so
+    /// Pareto fills survive the request and warm every later one that sees the
+    /// same `(structural key, exclusion state, budget group)`.
+    ///
+    /// The response is **byte-identical** to [`run_corpus`](Self::run_corpus) on
+    /// a fresh cache: canonical-coordinate fills are schedule-independent, so a
+    /// warm answer is the same answer, effort accounting included. This is the
+    /// entry point of the serve mode ([`ServeService`](crate::ServeService)),
+    /// where the cache lives for the whole process.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`run_corpus`](Self::run_corpus).
+    pub fn run_corpus_cached(
+        &self,
+        request: &CorpusRequest,
+        cache: &Arc<WarmPoolCache>,
+    ) -> Result<(CorpusResponse, CorpusStats, Vec<ShardProgress>), IseError> {
+        Self::validate_corpus(request)?;
         let programs = request
             .programs
             .iter()
             .map(ProgramSource::resolve)
             .collect::<Result<Vec<_>, _>>()?;
-        let mut driver = request.options;
-        driver.parallel = driver.parallel && self.parallel;
-        let corpus_options = CorpusOptions::new(request.constraints)
-            .with_driver(driver)
-            .with_exploration_budget(request.config.exploration_budget)
-            .with_dedup(request.dedup);
+        let corpus_options = self.corpus_options(request);
         let model = ise_hw::DefaultCostModel::new();
-        let outcome = ise_core::run_corpus(&programs, &model, &corpus_options);
+        let outcome = ise_core::run_corpus_warm(&programs, &model, &corpus_options, cache);
         let software = SoftwareLatencyModel::new();
         let outcomes = programs
             .iter()
@@ -141,6 +150,99 @@ impl BatchService {
             outcome.stats,
             outcome.shards,
         ))
+    }
+
+    /// Executes one corpus request in streaming mode: program sources resolve
+    /// lazily and at most `max_in_flight` resolved programs are alive at once,
+    /// so an arbitrarily long corpus runs under a bounded memory ceiling.
+    ///
+    /// The response is **byte-identical** to [`run_corpus`](Self::run_corpus) on
+    /// the same request — streaming only bounds residency, never changes answers
+    /// (fills are shared across the whole stream exactly as in the batch path).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_corpus`](Self::run_corpus), plus `max_in_flight == 0` is an
+    /// [`IseError::InvalidRequest`]. A program source that fails to resolve
+    /// mid-stream stops the stream and returns its error (earlier programs have
+    /// already been analysed at that point; the work is discarded).
+    pub fn run_corpus_streaming(
+        &self,
+        request: &CorpusRequest,
+        max_in_flight: usize,
+    ) -> Result<(CorpusResponse, CorpusStats, Vec<ShardProgress>), IseError> {
+        Self::validate_corpus(request)?;
+        if max_in_flight == 0 {
+            return Err(IseError::InvalidRequest(
+                "streaming needs at least one in-flight program".to_string(),
+            ));
+        }
+        let corpus_options = self.corpus_options(request);
+        let model = ise_hw::DefaultCostModel::new();
+        let software = SoftwareLatencyModel::new();
+        let mut outcomes = Vec::with_capacity(request.programs.len());
+        let mut failure: Option<IseError> = None;
+        let sources = request
+            .programs
+            .iter()
+            .map_while(|source| match source.resolve() {
+                Ok(program) => Some(program),
+                Err(error) => {
+                    failure = Some(error);
+                    None
+                }
+            });
+        let stream = ise_core::run_corpus_streaming(
+            sources,
+            &model,
+            &corpus_options,
+            max_in_flight,
+            |_, program, selection| {
+                let report = selection.speedup_report(&program, &software);
+                outcomes.push(CorpusProgramOutcome {
+                    program: program.name().to_string(),
+                    selection,
+                    report,
+                });
+            },
+        );
+        if let Some(error) = failure {
+            return Err(error);
+        }
+        Ok((
+            CorpusResponse {
+                constraints: request.constraints,
+                programs: outcomes,
+            },
+            stream.stats,
+            stream.shards,
+        ))
+    }
+
+    /// The request-independent corpus validation shared by all three entry points.
+    fn validate_corpus(request: &CorpusRequest) -> Result<(), IseError> {
+        if request.programs.is_empty() {
+            return Err(IseError::InvalidRequest(
+                "a corpus needs at least one program".to_string(),
+            ));
+        }
+        if request.constraints.max_inputs == 0 || request.constraints.max_outputs == 0 {
+            return Err(IseError::InvalidRequest(format!(
+                "constraints must allow at least one read and one write port, got {}",
+                request.constraints
+            )));
+        }
+        Ok(())
+    }
+
+    /// Folds the request's knobs and this service's parallelism into [`CorpusOptions`].
+    fn corpus_options(&self, request: &CorpusRequest) -> CorpusOptions {
+        let mut driver = request.options;
+        driver.parallel = driver.parallel && self.parallel;
+        CorpusOptions::new(request.constraints)
+            .with_driver(driver)
+            .with_exploration_budget(request.config.exploration_budget)
+            .with_dedup(request.dedup)
     }
 }
 
@@ -281,6 +383,40 @@ mod tests {
             let response = outcome.as_ref().expect("good requests succeed");
             assert_eq!(response.program, requests[i].program.name());
             assert_eq!(response.algorithm, requests[i].algorithm);
+        }
+    }
+
+    #[test]
+    fn cached_and_streaming_corpus_runs_match_the_batch_run() {
+        let request = CorpusRequest::new(vec![
+            ProgramSource::Workload("adpcmdecode".into()),
+            ProgramSource::Workload("gsm".into()),
+            ProgramSource::Workload("adpcmdecode".into()),
+        ]);
+        let service = BatchService::new();
+        let (batch, _, _) = service.run_corpus(&request).expect("valid corpus");
+        let cache = Arc::new(WarmPoolCache::new(WarmCacheConfig::default()));
+        let (cold, _, _) = service
+            .run_corpus_cached(&request, &cache)
+            .expect("valid corpus");
+        let (warm, warm_stats, _) = service
+            .run_corpus_cached(&request, &cache)
+            .expect("valid corpus");
+        assert_eq!(crate::to_json(&batch), crate::to_json(&cold));
+        assert_eq!(crate::to_json(&batch), crate::to_json(&warm));
+        assert_eq!(
+            warm_stats.pool_fills, 0,
+            "the second run answers every block from the warm cache"
+        );
+        for max_in_flight in [1, 2, 8] {
+            let (streamed, _, _) = service
+                .run_corpus_streaming(&request, max_in_flight)
+                .expect("valid corpus");
+            assert_eq!(
+                crate::to_json(&batch),
+                crate::to_json(&streamed),
+                "max_in_flight {max_in_flight}"
+            );
         }
     }
 

@@ -17,6 +17,11 @@
 //! * [`BatchService`] — fans a slice of requests out across `rayon` workers and
 //!   returns responses in request order, deterministically (each response is
 //!   byte-identical to what a sequential [`Session::run`] produces);
+//! * [`ServeService`]/[`Server`] — the persistent serve mode: a long-running JSONL
+//!   TCP server whose [`WarmPoolCache`] of canonical Pareto fills outlives
+//!   individual requests (and, via disk snapshots, the process), answering repeat
+//!   structures without re-enumeration while staying byte-identical to the
+//!   one-shot paths;
 //! * [`json`] — the serialisation entry points (`to_string`, `to_string_pretty`,
 //!   `from_str`) shared by the `ise-cli` binary and in-process callers.
 //!
@@ -46,14 +51,19 @@
 
 mod batch;
 mod request;
+mod serve;
 mod session;
 
 pub use batch::{BaselineRow, BatchService, CorpusBaselines};
-pub use ise_core::{CorpusStats, IseError, SweepStats};
+pub use ise_core::{
+    CorpusStats, IseError, SweepStats, WarmCacheConfig, WarmCacheStats, WarmPoolCache,
+    SNAPSHOT_FILE,
+};
 pub use request::{
     Algorithm, CorpusProgramOutcome, CorpusRequest, CorpusResponse, IseRequest, IseResponse, Pass,
     ProgramSource, SweepPairOutcome, SweepRequest, SweepResponse,
 };
+pub use serve::{ServeConfig, ServeService, Server};
 pub use session::{Session, SessionBuilder};
 
 use serde::{DeserializeOwned, Serialize};

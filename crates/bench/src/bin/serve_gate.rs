@@ -1,0 +1,75 @@
+//! The serve-mode gate: asserts that every served response is byte-identical to
+//! the one-shot path, that the warm cross-request cache answers a
+//! duplicate-heavy corpus at least 2x faster than cold dispatch without paying
+//! a single fill, and that a snapshot round trip warm-starts identically; then
+//! writes the machine-readable `BENCH_serve.json`.
+//!
+//! Usage: `cargo run --release -p ise-bench --bin serve_gate [--quick] [output-dir]`
+//!
+//! Exit codes: `0` all gates hold, `3` identity, the warm pay-off or persistence
+//! failed — CI runs this like `corpus_gate`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ise_bench::serve_bench::{self, ServeBenchConfig};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut output_dir = PathBuf::from("results");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg.starts_with('-') {
+            eprintln!("error: unknown flag {arg:?}\nusage: serve_gate [--quick] [output-dir]");
+            return ExitCode::from(2);
+        } else {
+            output_dir = PathBuf::from(arg);
+        }
+    }
+    let config = if quick {
+        ServeBenchConfig::quick()
+    } else {
+        ServeBenchConfig::default()
+    };
+    let report = serve_bench::run(&config);
+
+    println!("# Serve gate — warm cross-request cache vs cold dispatch");
+    println!();
+    print!("{}", serve_bench::markdown(&report));
+
+    if let Err(error) = fs::create_dir_all(&output_dir) {
+        eprintln!("warning: cannot create {}: {error}", output_dir.display());
+    }
+    let path = output_dir.join("BENCH_serve.json");
+    match fs::write(&path, serve_bench::to_json(&report) + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("warning: cannot write {}: {error}", path.display()),
+    }
+
+    if !report.identical {
+        eprintln!("error: a served response diverged from the one-shot reference");
+        return ExitCode::from(3);
+    }
+    if !report.snapshot_roundtrip_identical {
+        eprintln!("error: the snapshot round trip did not warm-start byte-identically");
+        return ExitCode::from(3);
+    }
+    if report.warm_fills > 0 || report.snapshot_warm_fills > 0 {
+        eprintln!(
+            "error: the warm phases paid {} + {} fills (the gate requires 0)",
+            report.warm_fills, report.snapshot_warm_fills
+        );
+        return ExitCode::from(3);
+    }
+    if report.warm_speedup < 2.0 {
+        eprintln!(
+            "error: the warm cache served only {:.2}x the cold throughput \
+             (the gate requires >= 2x)",
+            report.warm_speedup
+        );
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}

@@ -23,6 +23,10 @@
 //!   fixture parsed, lowered and identified, the hand-written `crc32-flat.ll`
 //!   differentially checked against the hand-built `crc32_kernel`, and the parsing
 //!   throughput emitted as `BENCH_frontend.json`;
+//! * [`serve_bench`] — the serve-mode gate: warm cross-request cache throughput
+//!   versus cold dispatch on a duplicate-heavy corpus (>= 2x required), byte
+//!   identity against the one-shot path, the striped-lock concurrency row and a
+//!   snapshot persistence round trip, emitted as `BENCH_serve.json`;
 //! * [`report`] — CSV and Markdown rendering of the experiment rows.
 //!
 //! The binaries `fig8`, `fig11` and `sweep` print the tables and write CSV files; the
@@ -39,6 +43,7 @@ pub mod fig8;
 pub mod frontend_bench;
 pub mod report;
 pub mod scaling;
+pub mod serve_bench;
 pub mod sweep_bench;
 
 /// Default exploration budget (cuts considered per identifier invocation) applied to the

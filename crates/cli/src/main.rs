@@ -14,6 +14,10 @@
 //! ise-cli corpus <dir|list>     analyse a whole corpus of programs together (a
 //!                               directory of program `.json`/`.ll` files, or a
 //!                               corpus request file), print one response
+//! ise-cli serve                 long-running JSONL TCP server with a warm
+//!                               cross-request cut-pool cache and disk snapshots
+//! ise-cli client <addr> <file>  send a JSONL request file to a running server
+//!                               and print its responses
 //! ise-cli algorithms            list the registered identification algorithms
 //! ```
 //!
@@ -35,15 +39,33 @@
 //! forces the reference per-pair searches (the emitted response is byte-identical in
 //! both modes). `corpus` shares enumeration work between structurally isomorphic
 //! basic blocks across the whole corpus by default; `--no-dedup` forces the
-//! reference per-program searches (again byte-identical). For both commands
+//! reference per-program searches (again byte-identical), and `--stream N` runs the
+//! corpus with at most `N` programs resident at once (bounded memory, identical
+//! response). For both commands
 //! `--stats` prints the effort accounting ([`SweepStats`](ise_api::SweepStats) /
 //! [`CorpusStats`](ise_api::CorpusStats)) as one JSON line to stderr — stdout stays
 //! byte-identical with and without the flag; `corpus --stats` also reports how the
 //! work-stealing scheduler distributed the programs across shards.
+//! `serve` keeps the process — and its warm cut-pool cache — alive across requests:
+//! one JSON object per line over TCP (`{"id": …, "kind": "run" | "sweep" | "corpus" |
+//! "stats" | "shutdown", "request": …}`), answered with `{"id": …, "response": …}`
+//! envelopes whose payloads are byte-identical to the one-shot commands, cold or
+//! warm. `--addr HOST:PORT` picks the socket (port `0` for an ephemeral port; the
+//! bound address is printed as one JSON line on stdout), `--workers`/`--queue` size
+//! the worker pool and the bounded backpressure queue, and `--cache-dir` enables
+//! warm-start snapshots (written on shutdown and every `--snapshot-secs`, loaded on
+//! boot, falling back to a cold start when damaged). SIGTERM/SIGINT drain in-flight
+//! work before exiting. `client` is the matching sender for scripts and soak tests.
+//!
 //! Exit codes: `0` success, `1` usage or file error, `2` at least one request in a
-//! batch (or the single `run`/`sweep`/`corpus` request) failed.
+//! batch (or the single `run`/`sweep`/`corpus` request) failed — for `client`, at
+//! least one response line carried an `"error"` envelope.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use ise_api::{json, BatchService, IseError, IseRequest, Session};
 
@@ -56,6 +78,14 @@ struct Options {
     no_dedup: bool,
     stats: bool,
     ll: Option<String>,
+    stream: Option<usize>,
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    segments: Option<usize>,
+    cache_bytes: Option<u64>,
+    cache_dir: Option<String>,
+    snapshot_secs: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -70,6 +100,10 @@ fn usage() -> &'static str {
      \x20 corpus <dir|list>      analyse a corpus of programs together (a directory\n\
      \x20                        of program .json/.ll files, or a corpus request\n\
      \x20                        file), sharing work between isomorphic blocks\n\
+     \x20 serve                  long-running JSONL TCP server with a warm\n\
+     \x20                        cross-request cut-pool cache and disk snapshots\n\
+     \x20 client <addr> <file>   send a JSONL request file to a running server and\n\
+     \x20                        print its responses (one per request line)\n\
      \x20 algorithms             list the registered identification algorithms\n\
      \n\
      options:\n\
@@ -89,7 +123,21 @@ fn usage() -> &'static str {
      \x20 --ll FILE              run/sweep: take the program from a textual LLVM IR\n\
      \x20                        (.ll) file; without a request file, runs the\n\
      \x20                        single-cut search under default constraints (run)\n\
-     \x20                        or the paper (Nin, Nout) sweep (sweep)\n"
+     \x20                        or the paper (Nin, Nout) sweep (sweep)\n\
+     \x20 --stream N             corpus only: keep at most N programs resident at\n\
+     \x20                        once (bounded memory; the response is byte-\n\
+     \x20                        identical to the batch run)\n\
+     \x20 --addr HOST:PORT       serve: listening address (default 127.0.0.1:9167;\n\
+     \x20                        port 0 picks an ephemeral port, printed on stdout)\n\
+     \x20 --workers N            serve: worker threads executing requests (default 2)\n\
+     \x20 --queue N              serve: bounded request queue; beyond it requests\n\
+     \x20                        are answered `server busy` immediately (default 64)\n\
+     \x20 --segments N           serve: lock stripes of the warm cache (default 16)\n\
+     \x20 --cache-bytes N        serve: byte budget of the warm cache (LRU eviction\n\
+     \x20                        beyond it; default unbounded)\n\
+     \x20 --cache-dir DIR        serve: persist the cache to DIR on shutdown and\n\
+     \x20                        warm-start from it on boot\n\
+     \x20 --snapshot-secs N      serve: also snapshot the cache every N seconds\n"
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -101,8 +149,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         no_dedup: false,
         stats: false,
         ll: None,
+        stream: None,
+        addr: None,
+        workers: None,
+        queue: None,
+        segments: None,
+        cache_bytes: None,
+        cache_dir: None,
+        snapshot_secs: None,
         positional: Vec::new(),
     };
+    fn parsed<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+        let Some(value) = value else {
+            return Err(format!("{flag} requires a value"));
+        };
+        value
+            .parse()
+            .map_err(|_| format!("{flag} expects a number, got `{value}`"))
+    }
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -123,16 +187,59 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.output = Some(path.clone());
             }
             "--threads" => {
-                let Some(count) = iter.next() else {
-                    return Err(format!("{arg} requires a thread count"));
-                };
-                let parsed: usize = count
-                    .parse()
-                    .map_err(|_| format!("--threads expects a number, got `{count}`"))?;
-                if parsed == 0 {
+                let count: usize = parsed(arg, iter.next())?;
+                if count == 0 {
                     return Err("--threads requires at least one thread".to_string());
                 }
-                options.threads = Some(parsed);
+                options.threads = Some(count);
+            }
+            "--stream" => {
+                let count: usize = parsed(arg, iter.next())?;
+                if count == 0 {
+                    return Err("--stream requires at least one in-flight program".to_string());
+                }
+                options.stream = Some(count);
+            }
+            "--addr" => {
+                let Some(addr) = iter.next() else {
+                    return Err(format!("{arg} requires a host:port address"));
+                };
+                options.addr = Some(addr.clone());
+            }
+            "--workers" => {
+                let count: usize = parsed(arg, iter.next())?;
+                if count == 0 {
+                    return Err("--workers requires at least one worker".to_string());
+                }
+                options.workers = Some(count);
+            }
+            "--queue" => {
+                let count: usize = parsed(arg, iter.next())?;
+                if count == 0 {
+                    return Err("--queue requires capacity for at least one request".to_string());
+                }
+                options.queue = Some(count);
+            }
+            "--segments" => {
+                let count: usize = parsed(arg, iter.next())?;
+                if count == 0 {
+                    return Err("--segments requires at least one lock stripe".to_string());
+                }
+                options.segments = Some(count);
+            }
+            "--cache-bytes" => options.cache_bytes = Some(parsed(arg, iter.next())?),
+            "--snapshot-secs" => {
+                let secs: u64 = parsed(arg, iter.next())?;
+                if secs == 0 {
+                    return Err("--snapshot-secs requires a non-zero interval".to_string());
+                }
+                options.snapshot_secs = Some(secs);
+            }
+            "--cache-dir" => {
+                let Some(dir) = iter.next() else {
+                    return Err(format!("{arg} requires a directory path"));
+                };
+                options.cache_dir = Some(dir.clone());
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option `{other}`"));
@@ -308,7 +415,11 @@ fn cmd_corpus(options: &Options, path: &str) -> Result<bool, IseError> {
         request.dedup = false;
     }
     let service = BatchService::new();
-    let outcome = service.run_corpus(&request);
+    let outcome = match options.stream {
+        // Bounded residency: at most N resolved programs alive at once, same bytes.
+        Some(max_in_flight) => service.run_corpus_streaming(&request, max_in_flight),
+        None => service.run_corpus(&request),
+    };
     let failed = outcome.is_err() || !load_failures.is_empty();
     let response = match outcome {
         Ok((response, stats, shards)) => {
@@ -367,6 +478,129 @@ fn cmd_algorithms(options: &Options) -> Result<bool, IseError> {
     Ok(false)
 }
 
+/// SIGTERM/SIGINT bridge for the serve command: the handler only flips an
+/// atomic flag; the server's accept loop polls it and drains gracefully. This
+/// is the one place in the workspace that needs `unsafe` (registering the
+/// handler through libc's `signal`), so it lives here rather than in the
+/// `#![forbid(unsafe_code)]` library crates.
+mod signals {
+    use std::sync::atomic::AtomicBool;
+
+    /// Set by SIGTERM/SIGINT; observed by [`ise_api::Server::run`].
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    pub fn install() {
+        use std::sync::atomic::Ordering;
+        extern "C" fn on_signal(_signum: i32) {
+            // Only an atomic store: async-signal-safe.
+            SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+fn cmd_serve(options: &Options) -> Result<bool, IseError> {
+    let config = ise_api::ServeConfig {
+        workers: options.workers.unwrap_or(2),
+        queue_capacity: options.queue.unwrap_or(64),
+        segments: options.segments.unwrap_or(16),
+        cache_bytes: options.cache_bytes,
+        cache_dir: options.cache_dir.clone().map(PathBuf::from),
+        snapshot_interval: options.snapshot_secs.map(Duration::from_secs),
+    };
+    let addr = options.addr.as_deref().unwrap_or("127.0.0.1:9167");
+    let server = ise_api::Server::bind(addr, config)
+        .map_err(|e| IseError::Io(format!("cannot bind `{addr}`: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| IseError::Io(format!("cannot resolve the bound address: {e}")))?;
+    if let Some(loaded) = server.service().warm_loaded() {
+        eprintln!("serve: warm start ({loaded} fills loaded from snapshot)");
+    }
+    // The one stdout line of serve mode, so scripts discover the actual port
+    // when 0 was requested; everything else (stats, snapshots) goes to stderr.
+    println!(
+        "{}",
+        json::to_string(&json::Value::Object(vec![(
+            "serving".to_string(),
+            json::Value::Str(local.to_string()),
+        )]))
+    );
+    std::io::stdout()
+        .flush()
+        .map_err(|e| IseError::Io(e.to_string()))?;
+    signals::install();
+    server
+        .run(&signals::SHUTDOWN)
+        .map_err(|e| IseError::Io(format!("serve failed: {e}")))?;
+    Ok(false)
+}
+
+fn cmd_client(options: &Options, addr: &str, path: &str) -> Result<bool, IseError> {
+    let text = read_file(path)?;
+    let requests: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty())
+        .collect();
+    if requests.is_empty() {
+        return Err(IseError::InvalidRequest(format!(
+            "`{path}` contains no request lines"
+        )));
+    }
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| IseError::Io(format!("cannot connect to `{addr}`: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| IseError::Io(e.to_string()))?;
+    let mut reader = BufReader::new(stream);
+    for line in &requests {
+        writeln!(writer, "{line}").map_err(|e| IseError::Io(format!("send failed: {e}")))?;
+    }
+    writer
+        .flush()
+        .map_err(|e| IseError::Io(format!("send failed: {e}")))?;
+    // The server answers every request line exactly once (possibly out of
+    // order across a pipelined batch; the `id` is the correlation key).
+    let mut failed = false;
+    let mut out = String::new();
+    for _ in 0..requests.len() {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| IseError::Io(format!("receive failed: {e}")))?;
+        if n == 0 {
+            return Err(IseError::Io(
+                "the server closed the connection before answering every request".to_string(),
+            ));
+        }
+        let response = line.trim_end();
+        if let Ok(json::Value::Object(fields)) = json::parse(response) {
+            failed |= fields.iter().any(|(key, _)| key == "error");
+        }
+        out.push_str(response);
+        out.push('\n');
+    }
+    match &options.output {
+        Some(path) => std::fs::write(path, &out)
+            .map_err(|e| IseError::Io(format!("cannot write `{path}`: {e}")))?,
+        None => print!("{out}"),
+    }
+    Ok(failed)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse_options(&args) {
@@ -405,6 +639,28 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(1);
     }
+    if options.stream.is_some() && first != Some("corpus") {
+        eprintln!(
+            "error: --stream applies only to the corpus command\n\n{}",
+            usage()
+        );
+        return ExitCode::from(1);
+    }
+    let serve_only = options.addr.is_some()
+        || options.workers.is_some()
+        || options.queue.is_some()
+        || options.segments.is_some()
+        || options.cache_bytes.is_some()
+        || options.cache_dir.is_some()
+        || options.snapshot_secs.is_some();
+    if serve_only && first != Some("serve") {
+        eprintln!(
+            "error: --addr/--workers/--queue/--segments/--cache-bytes/--cache-dir/\
+             --snapshot-secs apply only to the serve command\n\n{}",
+            usage()
+        );
+        return ExitCode::from(1);
+    }
     let command = || match options.positional.first().map(String::as_str) {
         Some("run") if options.positional.len() == 2 => {
             Some(cmd_run(&options, Some(&options.positional[1])))
@@ -424,6 +680,12 @@ fn main() -> ExitCode {
         Some("corpus") if options.positional.len() == 2 => {
             Some(cmd_corpus(&options, &options.positional[1]))
         }
+        Some("serve") if options.positional.len() == 1 => Some(cmd_serve(&options)),
+        Some("client") if options.positional.len() == 3 => Some(cmd_client(
+            &options,
+            &options.positional[1],
+            &options.positional[2],
+        )),
         Some("algorithms") if options.positional.len() == 1 => Some(cmd_algorithms(&options)),
         _ => None,
     };

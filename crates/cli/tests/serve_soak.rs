@@ -1,0 +1,330 @@
+//! Serve-mode soak test: a real `ise-cli serve` process under concurrent mixed
+//! load, every response diffed byte-for-byte against the one-shot execution
+//! paths, plus warm-phase fill accounting and a snapshot warm-start restart.
+//!
+//! The quick profile (the default, CI-sized) fires 200 requests from 4
+//! concurrent `ise-cli client` processes; set `ISE_SOAK_FULL=1` for the larger
+//! local profile.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ise_api::{json, Algorithm, BatchService, CorpusRequest, IseRequest, ProgramSource, Session};
+
+fn cli() -> &'static str {
+    env!("CARGO_BIN_EXE_ise-cli")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ise-cli-soak-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Kills the serve process on drop so a failing assertion never leaks it.
+struct ServeGuard(Child);
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `ise-cli serve` on an ephemeral port and returns (guard, address).
+fn spawn_server(cache_dir: &Path) -> (ServeGuard, String) {
+    let child = Command::new(cli())
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue",
+            "256",
+            "--cache-dir",
+        ])
+        .arg(cache_dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ise-cli serve");
+    let mut guard = ServeGuard(child);
+    let stdout = guard.0.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read the serving line");
+    let value = json::parse(line.trim()).expect("serving line is JSON");
+    let json::Value::Object(fields) = value else {
+        panic!("unexpected serving line: {line}");
+    };
+    let addr = fields
+        .iter()
+        .find_map(|(key, value)| match (key.as_str(), value) {
+            ("serving", json::Value::Str(addr)) => Some(addr.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no `serving` field in {line}"));
+    (guard, addr)
+}
+
+/// One request shape: the line sent (with `id` = shape index) and the expected
+/// response line, computed through the one-shot in-process paths.
+struct Shape {
+    line: String,
+    expected: String,
+}
+
+fn envelope(id: u64, kind: &str, request: Option<json::Value>) -> String {
+    let mut fields = vec![
+        ("id".to_string(), json::to_value(&id)),
+        ("kind".to_string(), json::Value::Str(kind.to_string())),
+    ];
+    if let Some(request) = request {
+        fields.push(("request".to_string(), request));
+    }
+    json::to_string(&json::Value::Object(fields))
+}
+
+fn response_line(id: u64, response: json::Value) -> String {
+    json::to_string(&json::Value::Object(vec![
+        ("id".to_string(), json::to_value(&id)),
+        ("response".to_string(), response),
+    ]))
+}
+
+/// The mixed request shapes of the soak: runs, a sweep and duplicate-heavy
+/// corpora, each paired with its one-shot reference response.
+fn shapes() -> Vec<Shape> {
+    let mut shapes = Vec::new();
+    let mut push_run = |id: u64, algorithm: Algorithm, workload: &str| {
+        let request = IseRequest::new(algorithm, ProgramSource::Workload(workload.to_string()));
+        let response = Session::execute(&request).expect("valid one-shot request");
+        shapes.push(Shape {
+            line: envelope(id, "run", Some(json::to_value(&request))),
+            expected: response_line(id, json::to_value(&response)),
+        });
+    };
+    push_run(0, Algorithm::SingleCut, "adpcmdecode");
+    push_run(1, Algorithm::MaxMiso, "gsm");
+    push_run(2, Algorithm::Clubbing, "adpcmencode");
+
+    let sweep = ise_api::SweepRequest::paper_sweep(IseRequest::new(
+        Algorithm::SingleCut,
+        ProgramSource::Workload("gsm".to_string()),
+    ));
+    let (sweep_response, _) = Session::execute_sweep(&sweep).expect("valid one-shot sweep");
+    shapes.push(Shape {
+        line: envelope(3, "sweep", Some(json::to_value(&sweep))),
+        expected: response_line(3, json::to_value(&sweep_response)),
+    });
+
+    for (id, programs) in [
+        (4u64, vec!["adpcmdecode", "gsm", "adpcmdecode"]),
+        (5u64, vec!["adpcmencode", "adpcmencode"]),
+    ] {
+        let request = CorpusRequest::new(
+            programs
+                .iter()
+                .map(|name| ProgramSource::Workload((*name).to_string()))
+                .collect(),
+        );
+        let (response, _, _) = BatchService::new()
+            .run_corpus(&request)
+            .expect("valid one-shot corpus");
+        shapes.push(Shape {
+            line: envelope(id, "corpus", Some(json::to_value(&request))),
+            expected: response_line(id, json::to_value(&response)),
+        });
+    }
+    shapes
+}
+
+/// Writes one client request file cycling through the shapes.
+fn write_request_file(dir: &Path, name: &str, shapes: &[Shape], lines: usize) -> PathBuf {
+    let path = dir.join(name);
+    let mut text = String::new();
+    for i in 0..lines {
+        text.push_str(&shapes[i % shapes.len()].line);
+        text.push('\n');
+    }
+    std::fs::write(&path, text).expect("write request file");
+    path
+}
+
+/// Runs one `ise-cli client` invocation and returns its response lines.
+fn run_client(addr: &str, file: &Path) -> Vec<String> {
+    let output = Command::new(cli())
+        .arg("client")
+        .arg(addr)
+        .arg(file)
+        .output()
+        .expect("run ise-cli client");
+    assert!(
+        output.status.success(),
+        "client failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout)
+        .expect("client output is UTF-8")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Fetches the warm-cache fill counter through a `stats` request.
+fn cache_fills(addr: &str, dir: &Path) -> u64 {
+    let file = write_request_file_raw(
+        dir,
+        "stats.jsonl",
+        "{\"id\":\"stats\",\"kind\":\"stats\"}\n",
+    );
+    let lines = run_client(addr, &file);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    let value = json::parse(&lines[0]).expect("stats response parses");
+    let json::Value::Object(fields) = value else {
+        panic!("unexpected stats response: {lines:?}");
+    };
+    let response = fields
+        .iter()
+        .find_map(|(key, value)| (key == "response").then_some(value))
+        .unwrap_or_else(|| panic!("no response in {lines:?}"));
+    let json::Value::Object(stats) = response else {
+        panic!("unexpected stats payload: {lines:?}");
+    };
+    stats
+        .iter()
+        .find_map(|(key, value)| match (key.as_str(), value) {
+            ("fills", json::Value::Uint(fills)) => Some(*fills),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no fills counter in {lines:?}"))
+}
+
+fn write_request_file_raw(dir: &Path, name: &str, text: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("write request file");
+    path
+}
+
+/// Sends a shutdown request and waits for the server to exit cleanly.
+fn shut_down(addr: &str, dir: &Path, mut guard: ServeGuard) {
+    let file = write_request_file_raw(dir, "bye.jsonl", "{\"id\":\"bye\",\"kind\":\"shutdown\"}\n");
+    let lines = run_client(addr, &file);
+    assert!(lines[0].contains("shutting down"), "{lines:?}");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match guard.0.try_wait().expect("poll serve process") {
+            Some(status) => {
+                assert!(status.success(), "serve exited with {status}");
+                break;
+            }
+            None if Instant::now() > deadline => panic!("serve did not exit after shutdown"),
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    // Already exited: keep Drop from reporting a kill error.
+    std::mem::forget(guard);
+}
+
+#[test]
+fn soak_concurrent_mixed_load_is_byte_identical_and_warms() {
+    let full = std::env::var("ISE_SOAK_FULL").is_ok_and(|v| v == "1");
+    let (clients, lines_per_client) = if full { (6, 100) } else { (4, 50) };
+    let dir = temp_dir("soak");
+    let cache_dir = dir.join("cache");
+    let shapes = shapes();
+
+    let (guard, addr) = spawn_server(&cache_dir);
+    let files: Vec<PathBuf> = (0..clients)
+        .map(|i| {
+            write_request_file(
+                &dir,
+                &format!("client-{i}.jsonl"),
+                &shapes,
+                lines_per_client,
+            )
+        })
+        .collect();
+
+    // Phase 1 (cold): all clients concurrently; every response must match the
+    // one-shot reference for its id exactly.
+    let verify_phase = |files: &[PathBuf]| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = files
+                .iter()
+                .map(|file| scope.spawn(|| run_client(&addr, file)))
+                .collect();
+            for handle in handles {
+                let responses = handle.join().expect("client thread");
+                assert_eq!(responses.len(), lines_per_client);
+                for response in responses {
+                    let id: usize = response
+                        .strip_prefix("{\"id\":")
+                        .and_then(|rest| rest.split([',', '}']).next())
+                        .and_then(|id| id.parse().ok())
+                        .unwrap_or_else(|| panic!("no numeric id in {response}"));
+                    assert_eq!(
+                        response, shapes[id].expected,
+                        "served response diverged from the one-shot reference (id {id})"
+                    );
+                }
+            }
+        });
+    };
+    verify_phase(&files);
+    let cold_fills = cache_fills(&addr, &dir);
+    assert!(cold_fills > 0, "the cold phase must have filled the cache");
+
+    // Phase 2 (warm): the same load again enumerates nothing new.
+    verify_phase(&files);
+    let warm_fills = cache_fills(&addr, &dir);
+    assert_eq!(
+        warm_fills, cold_fills,
+        "the warm phase must answer entirely from the cache"
+    );
+
+    shut_down(&addr, &dir, guard);
+
+    // Phase 3 (restart): a fresh process warm-starts from the snapshot and
+    // still answers byte-identically, without re-enumerating.
+    assert!(
+        cache_dir.join(ise_api::SNAPSHOT_FILE).is_file(),
+        "shutdown must have written a snapshot"
+    );
+    let (guard, addr) = spawn_server(&cache_dir);
+    let corpus_file = write_request_file_raw(
+        &dir,
+        "restart.jsonl",
+        &shapes[4..]
+            .iter()
+            .map(|shape| shape.line.clone() + "\n")
+            .collect::<String>(),
+    );
+    // Responses to pipelined requests may arrive out of order; match by id.
+    let responses = run_client(&addr, &corpus_file);
+    assert_eq!(responses.len(), shapes.len() - 4);
+    for response in &responses {
+        let id: usize = response
+            .strip_prefix("{\"id\":")
+            .and_then(|rest| rest.split([',', '}']).next())
+            .and_then(|id| id.parse().ok())
+            .unwrap_or_else(|| panic!("no numeric id in {response}"));
+        assert_eq!(
+            response, &shapes[id].expected,
+            "post-restart warm-start response diverged (id {id})"
+        );
+    }
+    assert_eq!(
+        cache_fills(&addr, &dir),
+        0,
+        "the restarted server must answer from the snapshot, not refill"
+    );
+    shut_down(&addr, &dir, guard);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

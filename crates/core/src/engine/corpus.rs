@@ -18,30 +18,42 @@
 //! would have produced, `identifier_calls` and `cuts_considered` included
 //! (`tests/corpus_differential.rs` holds the proof).
 //!
+//! Storage lives in a [`WarmPoolCache`] (see [`super::warm`]): a run-local pool
+//! creates a private cache, while serve mode shares one process-lifetime cache
+//! across every request via [`run_corpus_warm`] — because fills are canonical and
+//! keyed by `(structure, exclusion, budget group)`, a pre-warmed cache changes
+//! nothing but the work saved.
+//!
 //! [`run_corpus`] drives a whole corpus through this pool, sharding programs across
 //! the work-stealing scheduler of the `rayon` shim ([`rayon::sharded_map`]): workers
 //! pull the next unanalysed program from an atomic cursor, results are reassembled in
 //! input order, and per-shard progress comes back as telemetry. With
 //! [`CorpusOptions::dedup`] off the same entry point runs the plain per-program
 //! driver — the reference the differential tests compare against, and the baseline
-//! the `corpus` benchmark measures speedups from.
+//! the `corpus` benchmark measures speedups from. [`run_corpus_streaming`] feeds the
+//! same machinery from an iterator with a bounded number of programs in flight, so
+//! huge corpora never have to be materialised up front.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 use ise_hw::CostModel;
 use ise_ir::Program;
 use rayon::ShardProgress;
 
 use crate::constraints::Constraints;
-use crate::cut::{CutEvaluation, CutSet};
-use crate::pool::{fill_single_cut, AttemptHistogram, FillOutcome, ParetoStore};
+use crate::cut::CutSet;
+use crate::pool::{fill_single_cut, FillOutcome};
 use crate::search::IdentifiedCut;
 use crate::selection::SelectionResult;
 use crate::structural::{StructuralForm, StructuralKey};
 
 use super::driver::{select_iteratively_core, BlockAnswer, DriverOptions};
+use super::warm::{
+    BudgetGroup, CacheKey, CanonicalCandidate, CanonicalFill, FillEntry, WarmCacheConfig,
+    WarmPoolCache,
+};
 use super::{Identifier, SingleCut};
 
 /// Options of one corpus run.
@@ -105,7 +117,7 @@ pub struct CorpusStats {
     pub programs: u64,
     /// Basic blocks across the whole corpus.
     pub blocks_seen: u64,
-    /// Distinct `(structural key, exclusion state)` pool entries created.
+    /// Distinct `(structural key, exclusion state)` slots this run touched.
     pub unique_keys: u64,
     /// Identifier invocations the results report (identical in both modes).
     pub logical_identifier_calls: u64,
@@ -155,43 +167,45 @@ pub struct CorpusOutcome {
     pub shards: Vec<ShardProgress>,
 }
 
-/// One memoised enumeration, stored entirely in canonical coordinates so that the
-/// stored bytes do not depend on which isomorphic block performed the fill.
-struct CanonicalFill {
-    store: ParetoStore<CanonicalCandidate>,
-    histogram: AttemptHistogram,
+/// Everything one *streaming* corpus run produces. Selections are handed to the
+/// caller's `emit` callback one program at a time instead of being collected, so
+/// the outcome carries only accounting and telemetry.
+#[derive(Debug, Clone)]
+pub struct CorpusStreamOutcome {
+    /// The run's effort accounting.
+    pub stats: CorpusStats,
+    /// Per-shard telemetry, aggregated over all chunks.
+    pub shards: Vec<ShardProgress>,
 }
 
-/// A recorded candidate cut: canonical node positions plus its (structure-determined,
-/// hence translation-invariant) evaluation.
-#[derive(Clone)]
-struct CanonicalCandidate {
-    positions: Vec<u32>,
-    evaluation: CutEvaluation,
-}
-
-/// Memo entry state of one `(key, exclusion)` pool slot.
-enum FillEntry {
-    Complete(CanonicalFill),
-    Exhausted,
-}
-
-/// Key of one pool slot: the block's structural key plus the exclusion state in
-/// canonical positions. Constraints and cost model are fixed per pool, so they do not
-/// appear in the key.
+/// Per-run identity of one pool slot, for the `unique_keys` / collision accounting.
 #[derive(PartialEq, Eq, Hash)]
-struct PoolKey {
+struct SeenKey {
     structural: StructuralKey,
     excluded: Vec<u32>,
 }
 
+/// Per-run bookkeeping the pool maintains under one small lock (the heavy slot
+/// storage lives in the striped [`WarmPoolCache`]).
+#[derive(Default)]
+struct RunBook {
+    /// Distinct `(structural key, exclusion state)` pairs this run touched.
+    seen: HashSet<SeenKey>,
+    /// First-seen canonical serialization per 64-bit hash, to surface collisions.
+    hash_census: HashMap<u64, Vec<u8>>,
+    collisions: u64,
+}
+
 /// The shared cross-program memo: one [`fill_single_cut`] enumeration per distinct
-/// `(structural key, exclusion state)`, answered by node-relabelling translation.
+/// `(structural key, exclusion state, budget group)`, answered by node-relabelling
+/// translation out of a [`WarmPoolCache`].
 pub struct CorpusPool<'m> {
     model: &'m dyn CostModel,
     constraints: Constraints,
     exploration_budget: Option<u64>,
-    entries: Mutex<PoolMap>,
+    group: BudgetGroup,
+    cache: Arc<WarmPoolCache>,
+    run: Mutex<RunBook>,
     logical_calls: AtomicU64,
     logical_cuts: AtomicU64,
     pool_fills: AtomicU64,
@@ -201,28 +215,39 @@ pub struct CorpusPool<'m> {
     physical_cuts: AtomicU64,
 }
 
-/// The map plus the collision diagnostics it maintains under one lock.
-#[derive(Default)]
-struct PoolMap {
-    slots: HashMap<PoolKey, Arc<OnceLock<FillEntry>>>,
-    /// First-seen canonical serialization per 64-bit hash, to surface collisions.
-    hash_census: HashMap<u64, Vec<u8>>,
-    collisions: u64,
-}
-
 impl<'m> CorpusPool<'m> {
-    /// Creates an empty pool for one constraint set and cost model.
+    /// Creates an empty pool for one constraint set and cost model, backed by a
+    /// private run-lifetime cache (the pre-serve behaviour, unchanged).
     #[must_use]
     pub fn new(
         constraints: Constraints,
         model: &'m dyn CostModel,
         exploration_budget: Option<u64>,
     ) -> Self {
+        let cache = Arc::new(WarmPoolCache::new(WarmCacheConfig::default()));
+        CorpusPool::with_cache(constraints, model, exploration_budget, cache)
+    }
+
+    /// Creates a pool backed by a shared, possibly pre-warmed cache.
+    ///
+    /// Because fills are canonical, deterministic and keyed by budget group, a
+    /// warm cache changes which queries pay for enumerations — never what any
+    /// query answers. The caller is responsible for pairing the cache with the
+    /// cost model its fills were computed under.
+    #[must_use]
+    pub fn with_cache(
+        constraints: Constraints,
+        model: &'m dyn CostModel,
+        exploration_budget: Option<u64>,
+        cache: Arc<WarmPoolCache>,
+    ) -> Self {
         CorpusPool {
             model,
             constraints,
             exploration_budget,
-            entries: Mutex::new(PoolMap::default()),
+            group: BudgetGroup::new(&constraints, exploration_budget),
+            cache,
+            run: Mutex::new(RunBook::default()),
             logical_calls: AtomicU64::new(0),
             logical_cuts: AtomicU64::new(0),
             pool_fills: AtomicU64::new(0),
@@ -269,33 +294,41 @@ impl<'m> CorpusPool<'m> {
     ) -> BlockAnswer {
         self.logical_calls.fetch_add(1, Ordering::Relaxed);
         let dfg = program.block(block);
-        let key = PoolKey {
-            structural: form.key().clone(),
-            excluded: form.to_canonical(excluded),
-        };
-        let hash = key.structural.hash();
-        let cell = {
-            let mut map = self.entries.lock().expect("corpus pool lock poisoned");
-            if !map.slots.contains_key(&key) {
-                match map.hash_census.entry(hash) {
+        let excluded_canonical = form.to_canonical(excluded);
+        let hash = form.key().hash();
+        {
+            let mut run = self.run.lock().expect("corpus pool lock poisoned");
+            let newly_seen = run.seen.insert(SeenKey {
+                structural: form.key().clone(),
+                excluded: excluded_canonical.clone(),
+            });
+            if newly_seen {
+                match run.hash_census.entry(hash) {
                     std::collections::hash_map::Entry::Vacant(slot) => {
-                        slot.insert(key.structural.bytes().to_vec());
+                        slot.insert(form.key().bytes().to_vec());
                     }
                     std::collections::hash_map::Entry::Occupied(seen) => {
-                        if seen.get() != key.structural.bytes() {
-                            map.collisions += 1;
+                        if seen.get() != form.key().bytes() {
+                            run.collisions += 1;
                         }
                     }
                 }
             }
-            Arc::clone(map.slots.entry(key).or_default())
+        }
+        let key = CacheKey {
+            structural: form.key().clone(),
+            excluded: excluded_canonical,
+            group: self.group,
         };
+        let cell = self.cache.lookup(&key);
         let mut filled_now = false;
         let entry = cell.get_or_init(|| {
             filled_now = true;
             self.fill(dfg, form, excluded)
         });
-        if !filled_now {
+        if filled_now {
+            self.cache.record_fill(&key, entry);
+        } else {
             self.pool_answers.fetch_add(1, Ordering::Relaxed);
         }
         match entry {
@@ -375,11 +408,11 @@ impl<'m> CorpusPool<'m> {
     /// Snapshot of the pool's accounting (the per-corpus fields are filled in by
     /// [`run_corpus`]).
     fn stats(&self) -> CorpusStats {
-        let map = self.entries.lock().expect("corpus pool lock poisoned");
+        let run = self.run.lock().expect("corpus pool lock poisoned");
         CorpusStats {
             programs: 0,
             blocks_seen: 0,
-            unique_keys: map.slots.len() as u64,
+            unique_keys: run.seen.len() as u64,
             logical_identifier_calls: self.logical_calls.load(Ordering::Relaxed),
             logical_cuts_considered: self.logical_cuts.load(Ordering::Relaxed),
             pool_fills: self.pool_fills.load(Ordering::Relaxed),
@@ -387,7 +420,7 @@ impl<'m> CorpusPool<'m> {
             direct_calls: self.direct_calls.load(Ordering::Relaxed),
             exhausted_fills: self.exhausted_fills.load(Ordering::Relaxed),
             physical_cuts_considered: self.physical_cuts.load(Ordering::Relaxed),
-            key_collisions: map.collisions,
+            key_collisions: run.collisions,
             dedup: true,
         }
     }
@@ -406,9 +439,32 @@ pub fn run_corpus(
     model: &dyn CostModel,
     options: &CorpusOptions,
 ) -> CorpusOutcome {
+    let cache = Arc::new(WarmPoolCache::new(WarmCacheConfig::default()));
+    run_corpus_warm(programs, model, options, &cache)
+}
+
+/// [`run_corpus`] against a shared (possibly pre-warmed, process-lifetime) cache.
+///
+/// With a fresh cache this is exactly [`run_corpus`]. With a warm cache the
+/// selections are still byte-identical — pre-existing fills only turn this run's
+/// fills into answers (`pool_fills` drops, `pool_answers` rises) — which is the
+/// property serve mode's differential soak test asserts. Ignored when
+/// [`CorpusOptions::dedup`] is off (the reference path never memoises).
+#[must_use]
+pub fn run_corpus_warm(
+    programs: &[Program],
+    model: &dyn CostModel,
+    options: &CorpusOptions,
+    cache: &Arc<WarmPoolCache>,
+) -> CorpusOutcome {
     let blocks_seen: u64 = programs.iter().map(|p| p.block_count() as u64).sum();
     let (selections, stats, shards) = if options.dedup {
-        let pool = CorpusPool::new(options.constraints, model, options.exploration_budget);
+        let pool = CorpusPool::with_cache(
+            options.constraints,
+            model,
+            options.exploration_budget,
+            Arc::clone(cache),
+        );
         let run = |_, program: &Program| pool.select_program(program, options.driver);
         let (selections, shards) = if options.driver.parallel && programs.len() > 1 {
             rayon::sharded_map(programs, run)
@@ -459,11 +515,110 @@ pub fn run_corpus(
     }
 }
 
+/// Streams a corpus through the pool with at most `max_in_flight` programs
+/// materialised at a time.
+///
+/// Programs are pulled from the iterator in chunks of `max_in_flight` (clamped to
+/// at least 1), analysed — in parallel within a chunk when the driver allows —
+/// and handed to `emit` as `(input index, program, selection)` before the next
+/// chunk is pulled, so peak memory is bounded by the chunk size regardless of
+/// corpus length. The pool (and therefore every fill) is shared across chunks:
+/// selections are byte-identical to a [`run_corpus`] over the same programs, in
+/// the same order, because canonical fills are schedule-independent.
+pub fn run_corpus_streaming(
+    programs: impl IntoIterator<Item = Program>,
+    model: &dyn CostModel,
+    options: &CorpusOptions,
+    max_in_flight: usize,
+    mut emit: impl FnMut(usize, Program, SelectionResult),
+) -> CorpusStreamOutcome {
+    let cache = Arc::new(WarmPoolCache::new(WarmCacheConfig::default()));
+    run_corpus_streaming_warm(programs, model, options, max_in_flight, &cache, &mut emit)
+}
+
+/// [`run_corpus_streaming`] against a shared (possibly pre-warmed) cache.
+pub fn run_corpus_streaming_warm(
+    programs: impl IntoIterator<Item = Program>,
+    model: &dyn CostModel,
+    options: &CorpusOptions,
+    max_in_flight: usize,
+    cache: &Arc<WarmPoolCache>,
+    emit: &mut dyn FnMut(usize, Program, SelectionResult),
+) -> CorpusStreamOutcome {
+    let chunk_size = max_in_flight.max(1);
+    let pool = options.dedup.then(|| {
+        CorpusPool::with_cache(
+            options.constraints,
+            model,
+            options.exploration_budget,
+            Arc::clone(cache),
+        )
+    });
+    let identifier = SingleCut::new().with_exploration_budget(options.exploration_budget);
+
+    let mut iterator = programs.into_iter();
+    let mut shards: Vec<ShardProgress> = Vec::new();
+    let mut reference_stats = CorpusStats {
+        dedup: options.dedup,
+        ..CorpusStats::default()
+    };
+    let mut programs_seen = 0u64;
+    let mut blocks_seen = 0u64;
+    let mut next_index = 0usize;
+    loop {
+        let chunk: Vec<Program> = iterator.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        programs_seen += chunk.len() as u64;
+        blocks_seen += chunk.iter().map(|p| p.block_count() as u64).sum::<u64>();
+        let run = |_, program: &Program| match &pool {
+            Some(pool) => pool.select_program(program, options.driver),
+            None => super::select_program(
+                program,
+                &identifier,
+                options.constraints,
+                model,
+                options.driver.sequential(),
+            ),
+        };
+        let selections = if options.driver.parallel && chunk.len() > 1 {
+            let (selections, chunk_shards) = rayon::sharded_map(&chunk, run);
+            shards.extend(chunk_shards);
+            selections
+        } else {
+            chunk.iter().map(|p| run(0, p)).collect()
+        };
+        for (program, selection) in chunk.into_iter().zip(selections) {
+            if pool.is_none() {
+                reference_stats.logical_identifier_calls += selection.identifier_calls;
+                reference_stats.logical_cuts_considered += selection.cuts_considered;
+            }
+            emit(next_index, program, selection);
+            next_index += 1;
+        }
+    }
+
+    let mut stats = match &pool {
+        Some(pool) => pool.stats(),
+        None => {
+            reference_stats.physical_cuts_considered = reference_stats.logical_cuts_considered;
+            reference_stats.direct_calls = reference_stats.logical_identifier_calls;
+            reference_stats
+        }
+    };
+    stats.programs = programs_seen;
+    stats.blocks_seen = blocks_seen;
+    CorpusStreamOutcome { stats, shards }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ise_hw::DefaultCostModel;
     use ise_ir::DfgBuilder;
+    use std::cell::Cell;
+    use std::rc::Rc;
 
     fn mac_program(name: &str, swap: bool) -> Program {
         let mut p = Program::new(name);
@@ -539,5 +694,96 @@ mod tests {
         assert!(outcome.selections.is_empty());
         assert_eq!(outcome.stats.blocks_seen, 0);
         assert_eq!(outcome.stats.dedup_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn warm_cache_reuses_fills_across_runs_byte_identically() {
+        let corpus: Vec<Program> = (0..4)
+            .map(|i| mac_program(&format!("p{i}"), i % 2 == 1))
+            .collect();
+        let model = DefaultCostModel::new();
+        let options = CorpusOptions::new(Constraints::new(4, 2)).with_driver(DriverOptions::new(4));
+        let cache = Arc::new(WarmPoolCache::new(WarmCacheConfig::default()));
+        let cold = run_corpus_warm(&corpus, &model, &options, &cache);
+        let warm = run_corpus_warm(&corpus, &model, &options, &cache);
+        assert_eq!(cold.selections, warm.selections);
+        assert_eq!(
+            cold.stats.logical_cuts_considered,
+            warm.stats.logical_cuts_considered
+        );
+        assert!(cold.stats.pool_fills > 0);
+        assert_eq!(warm.stats.pool_fills, 0, "warm run refills nothing");
+        assert_eq!(
+            warm.stats.pool_answers, warm.stats.logical_identifier_calls,
+            "every warm query is answered from the shared cache"
+        );
+    }
+
+    #[test]
+    fn streaming_is_byte_identical_and_bounds_in_flight_programs() {
+        let corpus: Vec<Program> = (0..7)
+            .map(|i| mac_program(&format!("p{i}"), i % 2 == 1))
+            .collect();
+        let model = DefaultCostModel::new();
+        let options = CorpusOptions::new(Constraints::new(4, 2)).with_driver(DriverOptions::new(4));
+        let batch = run_corpus(&corpus, &model, &options);
+
+        for max_in_flight in [1usize, 2, 3, 16] {
+            let yielded = Rc::new(Cell::new(0usize));
+            let emitted = Rc::new(Cell::new(0usize));
+            let peak = Rc::new(Cell::new(0usize));
+            let source = {
+                let yielded = Rc::clone(&yielded);
+                let emitted = Rc::clone(&emitted);
+                let peak = Rc::clone(&peak);
+                corpus.clone().into_iter().inspect(move |_| {
+                    yielded.set(yielded.get() + 1);
+                    peak.set(peak.get().max(yielded.get() - emitted.get()));
+                })
+            };
+            let mut selections = Vec::new();
+            let outcome = {
+                let emitted = Rc::clone(&emitted);
+                run_corpus_streaming(
+                    source,
+                    &model,
+                    &options,
+                    max_in_flight,
+                    |index, program, selection| {
+                        emitted.set(emitted.get() + 1);
+                        assert_eq!(program.name(), format!("p{index}"));
+                        selections.push(selection);
+                    },
+                )
+            };
+            assert_eq!(
+                selections, batch.selections,
+                "max_in_flight {max_in_flight}"
+            );
+            assert_eq!(outcome.stats.programs, 7);
+            assert_eq!(outcome.stats.blocks_seen, 7);
+            assert_eq!(
+                outcome.stats.logical_cuts_considered,
+                batch.stats.logical_cuts_considered
+            );
+            // The memory ceiling: never more than one chunk of programs alive
+            // between the source and the emit callback.
+            assert!(
+                peak.get() <= max_in_flight,
+                "peak {} exceeds ceiling {max_in_flight}",
+                peak.get()
+            );
+        }
+
+        // The reference (dedup-off) streaming path agrees too.
+        let mut selections = Vec::new();
+        run_corpus_streaming(
+            corpus.clone(),
+            &model,
+            &options.with_dedup(false),
+            2,
+            |_, _, selection| selections.push(selection),
+        );
+        assert_eq!(selections, batch.selections);
     }
 }

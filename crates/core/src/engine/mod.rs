@@ -21,6 +21,7 @@ pub mod corpus;
 pub mod driver;
 pub mod registry;
 pub mod sweep;
+pub mod warm;
 
 use ise_hw::CostModel;
 use ise_ir::Dfg;
@@ -30,10 +31,14 @@ use crate::cut::CutSet;
 use crate::multicut::MultiCutSearch;
 use crate::search::{SearchOutcome, SearchStats, SingleCutSearch};
 
-pub use corpus::{run_corpus, CorpusOptions, CorpusOutcome, CorpusPool, CorpusStats};
+pub use corpus::{
+    run_corpus, run_corpus_streaming, run_corpus_streaming_warm, run_corpus_warm, CorpusOptions,
+    CorpusOutcome, CorpusPool, CorpusStats, CorpusStreamOutcome,
+};
 pub use driver::{identify_blocks, select_program, DriverOptions};
 pub use registry::{IdentifierConfig, IdentifierFactory, IdentifierRegistry};
 pub use sweep::{sweep_program, SweepPlanner, SweepStats};
+pub use warm::{BudgetGroup, WarmCacheConfig, WarmCacheStats, WarmPoolCache, SNAPSHOT_FILE};
 
 /// A pluggable per-basic-block identification algorithm.
 ///

@@ -76,9 +76,11 @@ pub use bitset::BitSet;
 pub use constraints::Constraints;
 pub use cut::{CutEvaluation, CutSet};
 pub use engine::{
-    identify_blocks, run_corpus, select_program, sweep_program, CorpusOptions, CorpusOutcome,
-    CorpusPool, CorpusStats, DriverOptions, Identifier, IdentifierConfig, IdentifierRegistry,
-    SweepPlanner, SweepStats,
+    identify_blocks, run_corpus, run_corpus_streaming, run_corpus_streaming_warm, run_corpus_warm,
+    select_program, sweep_program, BudgetGroup, CorpusOptions, CorpusOutcome, CorpusPool,
+    CorpusStats, CorpusStreamOutcome, DriverOptions, Identifier, IdentifierConfig,
+    IdentifierRegistry, SweepPlanner, SweepStats, WarmCacheConfig, WarmCacheStats, WarmPoolCache,
+    SNAPSHOT_FILE,
 };
 pub use error::IseError;
 pub use kernel::reference::{identify_single_cut_reference, ReferenceCutState};

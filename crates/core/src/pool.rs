@@ -187,6 +187,20 @@ impl<P> ParetoStore<P> {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The raw `(entries, offered)` state, for snapshot serialization.
+    pub(crate) fn parts(&self) -> (&[PoolEntry<P>], u64) {
+        (&self.entries, self.offered)
+    }
+
+    /// Rebuilds a store from snapshot state without re-running domination checks.
+    ///
+    /// Only valid for entry lists previously produced by [`parts`](Self::parts) —
+    /// the invariants (non-dominated, positive scores, `seq < offered`) are the
+    /// loader's responsibility to preserve by round-tripping bytes faithfully.
+    pub(crate) fn from_parts(entries: Vec<PoolEntry<P>>, offered: u64) -> Self {
+        ParetoStore { entries, offered }
+    }
 }
 
 /// Histogram of every 1-branch attempt of a pool fill, sufficient to reconstruct the
@@ -285,6 +299,32 @@ impl AttemptHistogram {
             }
         }
         stats
+    }
+
+    /// The raw `(fill_outputs, counts, subtree_prunes)` state, for snapshots.
+    pub(crate) fn parts(&self) -> (usize, &[u64], &[u64]) {
+        (self.fill_outputs, &self.counts, &self.subtree_prunes)
+    }
+
+    /// Rebuilds a histogram from snapshot state, validating the table geometry.
+    ///
+    /// Returns `None` when the vector lengths do not match `fill_outputs` — the
+    /// snapshot loader treats that as corruption and falls back to a cold start.
+    pub(crate) fn from_parts(
+        fill_outputs: usize,
+        counts: Vec<u64>,
+        subtree_prunes: Vec<u64>,
+    ) -> Option<Self> {
+        if counts.len() != (fill_outputs + 1) * (fill_outputs + 2) * 8
+            || subtree_prunes.len() != fill_outputs + 1
+        {
+            return None;
+        }
+        Some(AttemptHistogram {
+            fill_outputs,
+            counts,
+            subtree_prunes,
+        })
     }
 }
 

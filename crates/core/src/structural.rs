@@ -70,6 +70,17 @@ impl StructuralKey {
     pub fn collides_with(&self, other: &StructuralKey) -> bool {
         self.hash == other.hash && self.bytes != other.bytes
     }
+
+    /// Reconstitutes a key from its canonical serialization bytes, recomputing the
+    /// lookup hash. A key built from the bytes of an existing key compares equal to
+    /// it; the warm-cache snapshot loader relies on exactly that.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> StructuralKey {
+        StructuralKey {
+            hash: hash_bytes(&bytes),
+            bytes,
+        }
+    }
 }
 
 impl PartialEq for StructuralKey {

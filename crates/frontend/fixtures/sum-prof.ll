@@ -1,0 +1,41 @@
+; ModuleID = 'sum.c'
+; A profiled accumulation loop — the one bundled fixture carrying !prof metadata:
+; int sum_weighted(int n, const int *a) {
+;   int acc = 0;
+;   for (int i = 0; i < n; i++) acc += (a[i] * 3) ^ acc;
+;   return acc;
+; }
+; clang -O1 -fprofile-instr-use=sum.profdata -S -emit-llvm -fno-discard-value-names sum.c
+; Profile: 50 calls, loop trip count 20 → entry ×50, for.body ×1000, for.end ×50.
+source_filename = "sum.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+define dso_local i32 @sum_weighted(i32 noundef %n, i32* nocapture noundef readonly %a) local_unnamed_addr #0 !prof !36 {
+entry:
+  %cmp5 = icmp sgt i32 %n, 0
+  br i1 %cmp5, label %for.body, label %for.end, !prof !37
+
+for.body:
+  %i.07 = phi i32 [ %inc, %for.body ], [ 0, %entry ]
+  %acc.06 = phi i32 [ %add, %for.body ], [ 0, %entry ]
+  %idxprom = sext i32 %i.07 to i64
+  %arrayidx = getelementptr inbounds i32, i32* %a, i64 %idxprom
+  %0 = load i32, i32* %arrayidx, align 4
+  %mul = mul nsw i32 %0, 3
+  %xor = xor i32 %mul, %acc.06
+  %add = add nsw i32 %xor, %acc.06
+  %inc = add nuw nsw i32 %i.07, 1
+  %exitcond.not = icmp eq i32 %inc, %n
+  br i1 %exitcond.not, label %for.end, label %for.body, !prof !38
+
+for.end:
+  %acc.0.lcssa = phi i32 [ 0, %entry ], [ %add, %for.body ]
+  ret i32 %acc.0.lcssa
+}
+
+attributes #0 = { nofree norecurse nosync nounwind readonly uwtable }
+
+!36 = !{!"function_entry_count", i64 50}
+!37 = !{!"branch_weights", i32 50, i32 0}
+!38 = !{!"branch_weights", i32 50, i32 950}

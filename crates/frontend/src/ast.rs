@@ -29,6 +29,9 @@ pub struct Function {
     pub params: Vec<Param>,
     /// Basic blocks, in source order. The first block is the entry block.
     pub blocks: Vec<Block>,
+    /// Profile entry count from `!prof !N` → `!{!"function_entry_count", i64 N}` on
+    /// the `define` line, when present. The one metadata kind the parser keeps.
+    pub entry_count: Option<u64>,
 }
 
 /// A formal parameter.
@@ -51,6 +54,11 @@ pub struct Block {
     pub insts: Vec<(u32, Inst)>,
     /// The block terminator.
     pub term: Terminator,
+    /// Branch weights from `!prof !N` → `!{!"branch_weights", …}` on the terminator,
+    /// when present: one weight per successor, in successor order ([then, else] for
+    /// `br i1`, [default, cases…] for `switch`). The parser drops weight lists whose
+    /// length does not match the successor count.
+    pub prof: Option<Vec<u64>>,
 }
 
 /// The supported types: `void`, integers, pointers and arrays.

@@ -82,8 +82,9 @@ impl From<ParseError> for FrontendError {
 
 /// Parses `.ll` text and lowers every defined function into one [`ise_ir::Program`].
 ///
-/// Blocks are named `<function>.<label>` and profile execution counts default to 1
-/// (textual LLVM IR carries no profile data).
+/// Blocks are named `<function>.<label>`. Execution counts are inferred from `!prof`
+/// metadata when the module carries it (branch weights summed over incoming edges,
+/// `function_entry_count` for the entry block) and default to 1 otherwise.
 ///
 /// # Errors
 ///

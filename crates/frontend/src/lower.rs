@@ -30,10 +30,15 @@
 //! * `sub 0, x` lowers to [`Opcode::Neg`] and `xor x, -1` to [`Opcode::Not`], the
 //!   idioms LLVM uses for negation and complement.
 //!
-//! Profile execution counts default to 1 — textual `.ll` carries no profile data; use
-//! [`Dfg::set_exec_count`] to attach weights afterwards.
+//! * **Execution counts** come from `!prof` metadata when the module carries it: a
+//!   block's count is the sum of the branch weights on its weighted incoming edges
+//!   (`br i1` successor order [then, else], `switch` order [default, cases…]), with
+//!   the `function_entry_count` as the entry block's fallback. Branch weights are
+//!   taken at face value as execution counts — exact for instrumentation profiles,
+//!   a scale-free approximation for sampled ones. Unprofiled blocks default to 1;
+//!   use [`Dfg::set_exec_count`] to attach weights afterwards.
 
-use crate::ast::{BinOp, Block, CastOp, Function, IcmpPred, Inst, Module, Ty, Value};
+use crate::ast::{BinOp, Block, CastOp, Function, IcmpPred, Inst, Module, Terminator, Ty, Value};
 use crate::FrontendError;
 use ise_ir::{Dfg, Node, OpaqueOp, Opcode, Operand, Program};
 use std::collections::{HashMap, HashSet};
@@ -50,11 +55,67 @@ pub fn lower_module(module: &Module, program_name: &str) -> Result<Program, Fron
     let mut program = Program::new(program_name);
     for function in &module.functions {
         let uses = collect_uses(function);
-        for block in &function.blocks {
-            program.add_block(lower_block(function, &uses, block)?);
+        let exec_counts = block_exec_counts(function);
+        for (block, exec) in function.blocks.iter().zip(exec_counts) {
+            let mut dfg = lower_block(function, &uses, block)?;
+            dfg.set_exec_count(exec);
+            program.add_block(dfg);
         }
     }
     Ok(program)
+}
+
+/// Infers per-block execution counts from `!prof` metadata, in block order.
+///
+/// Each weighted terminator (`br i1`/`switch` with branch weights) contributes its
+/// per-successor weight to the destination block; a block's count is the sum over
+/// its weighted incoming edges. Blocks with no weighted incoming edge fall back to
+/// the function's entry count (entry block) or 1 (everything else) — so a module
+/// without profile data lowers exactly as before, every block at count 1.
+fn block_exec_counts(function: &Function) -> Vec<u64> {
+    let index: HashMap<&str, usize> = function
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, block)| (block.label.as_str(), i))
+        .collect();
+    let mut weighted: Vec<Option<u64>> = vec![None; function.blocks.len()];
+    for block in &function.blocks {
+        let Some(weights) = &block.prof else {
+            continue;
+        };
+        let successors: Vec<&str> = match &block.term {
+            Terminator::CondBr {
+                then_dest,
+                else_dest,
+                ..
+            } => vec![then_dest, else_dest],
+            Terminator::Switch { default, cases, .. } => {
+                let mut dests = vec![default.as_str()];
+                dests.extend(cases.iter().map(|(_, dest)| dest.as_str()));
+                dests
+            }
+            _ => continue,
+        };
+        for (dest, weight) in successors.into_iter().zip(weights) {
+            if let Some(&i) = index.get(dest) {
+                weighted[i] = Some(weighted[i].unwrap_or(0).saturating_add(*weight));
+            }
+        }
+    }
+    weighted
+        .iter()
+        .enumerate()
+        .map(|(i, count)| {
+            count.unwrap_or_else(|| {
+                if i == 0 {
+                    function.entry_count.unwrap_or(1)
+                } else {
+                    1
+                }
+            })
+        })
+        .collect()
 }
 
 /// The values used outside their defining block, split by the kind of use.

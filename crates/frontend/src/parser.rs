@@ -7,11 +7,20 @@
 //! dataflow content are skipped; annotations that do not affect dataflow (`nsw`, `nuw`,
 //! `exact`, `inbounds`, `align`, parameter/function attributes, metadata) are dropped,
 //! so the parsed AST is canonical (see [`crate::printer`]).
+//!
+//! The one metadata kind that *is* kept is `!prof`: `!{!"function_entry_count", …}`
+//! on a `define` and `!{!"branch_weights", …}` on a `br i1`/`switch` terminator carry
+//! the profile the lowering pass turns into block execution counts. Definitions may
+//! appear after their uses (LLVM prints them at the end of the module), so references
+//! are recorded during the parse and resolved once the whole module has been read;
+//! unresolved, malformed or wrong-arity profile metadata is silently dropped, like
+//! every other annotation.
 
 use crate::ast::{
     BinOp, Block, CastOp, Function, IcmpPred, Inst, Module, Param, Terminator, Ty, Value,
 };
 use crate::lex::{lex, Token, TokenKind};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A parse failure with its 1-based source position.
@@ -94,11 +103,29 @@ const ATTR_WORDS: &[&str] = &[
     "comdat",
 ];
 
+/// A module-level metadata definition with profile content.
+enum MetaDef {
+    /// `!{!"branch_weights", i32 w0, i32 w1, …}` — one weight per successor.
+    BranchWeights(Vec<u64>),
+    /// `!{!"function_entry_count", i64 n}`.
+    FunctionEntryCount(u64),
+}
+
+/// A `!prof !N` reference awaiting its definition: on a `define` line
+/// (`block == None`) or on a block terminator.
+struct ProfRef {
+    function: usize,
+    block: Option<usize>,
+    id: String,
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     last_line: u32,
     last_column: u32,
+    metadata_defs: HashMap<String, MetaDef>,
+    prof_refs: Vec<ProfRef>,
 }
 
 impl Parser {
@@ -108,6 +135,8 @@ impl Parser {
             pos: 0,
             last_line: 1,
             last_column: 1,
+            metadata_defs: HashMap::new(),
+            prof_refs: Vec::new(),
         }
     }
 
@@ -386,7 +415,8 @@ impl Parser {
             let line = t.line;
             match &t.kind {
                 TokenKind::Word(w) if w == "define" => {
-                    functions.push(self.function()?);
+                    let index = functions.len();
+                    functions.push(self.function(index)?);
                 }
                 // Constructs without dataflow content are skipped line-wise: target
                 // lines, global definitions, declarations, attribute groups, metadata,
@@ -399,18 +429,148 @@ impl Parser {
                 {
                     self.skip_rest_of_line(line);
                 }
-                TokenKind::Global(_) | TokenKind::Metadata(_) => {
+                TokenKind::Global(_) => {
                     self.skip_rest_of_line(line);
+                }
+                TokenKind::Metadata(_) => {
+                    self.metadata_definition(line);
                 }
                 other => {
                     return Err(self.error_here(format!("unsupported top-level construct {other}")));
                 }
             }
         }
+        self.resolve_prof_refs(&mut functions);
         Ok(Module { functions })
     }
 
-    fn function(&mut self) -> Result<Function, ParseError> {
+    /// Parses a module-level `!<id> = [distinct] !{ … }` line, keeping the two
+    /// profile payloads (`branch_weights`, `function_entry_count`) and skipping
+    /// everything else. Metadata never fails the parse: any shape outside the
+    /// recognised grammar is consumed to the end of the line and dropped.
+    fn metadata_definition(&mut self, line: u32) {
+        let id = match self.next_token().map(|t| t.kind) {
+            Some(TokenKind::Metadata(id)) if !id.is_empty() => id,
+            _ => return self.skip_rest_of_line(line),
+        };
+        if !self.at_punct('=') {
+            return self.skip_rest_of_line(line);
+        }
+        self.next_token();
+        if self.at_word("distinct") {
+            self.next_token();
+        }
+        // `!{` lexes as an empty metadata reference followed by the brace.
+        if !matches!(self.peek(), Some(t) if matches!(&t.kind, TokenKind::Metadata(m) if m.is_empty()))
+        {
+            return self.skip_rest_of_line(line);
+        }
+        self.next_token();
+        if !self.at_punct('{') {
+            return self.skip_rest_of_line(line);
+        }
+        self.next_token();
+        let kind = match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Metadata(k))
+                if k == "branch_weights" || k == "function_entry_count" =>
+            {
+                self.next_token();
+                k
+            }
+            _ => return self.skip_rest_of_line(line),
+        };
+        let mut values = Vec::new();
+        while self.at_punct(',') {
+            self.next_token();
+            // Newer LLVM inserts a leading `!"expected"` marker for synthetic weights.
+            if matches!(self.peek(), Some(t) if matches!(&t.kind, TokenKind::Metadata(m) if m == "expected"))
+            {
+                self.next_token();
+                continue;
+            }
+            if self.at_word("i32") || self.at_word("i64") {
+                self.next_token();
+            } else {
+                return self.skip_rest_of_line(line);
+            }
+            let Ok(v) = self.expect_int() else {
+                return self.skip_rest_of_line(line);
+            };
+            if v < 0 {
+                return self.skip_rest_of_line(line);
+            }
+            values.push(v as u64);
+        }
+        if !self.at_punct('}') {
+            return self.skip_rest_of_line(line);
+        }
+        self.next_token();
+        let def = match kind.as_str() {
+            "branch_weights" if !values.is_empty() => MetaDef::BranchWeights(values),
+            "function_entry_count" if values.len() == 1 => MetaDef::FunctionEntryCount(values[0]),
+            _ => return,
+        };
+        self.metadata_defs.insert(id, def);
+    }
+
+    /// Resolves the recorded `!prof !N` references against the collected metadata
+    /// definitions. References whose definition is missing, of the wrong profile
+    /// kind for the position, or whose weight count does not match the terminator's
+    /// successor count are dropped — normalisation, not an error.
+    fn resolve_prof_refs(&mut self, functions: &mut [Function]) {
+        for fix in std::mem::take(&mut self.prof_refs) {
+            let Some(def) = self.metadata_defs.get(&fix.id) else {
+                continue;
+            };
+            let function = &mut functions[fix.function];
+            match (fix.block, def) {
+                (None, MetaDef::FunctionEntryCount(n)) => function.entry_count = Some(*n),
+                (Some(b), MetaDef::BranchWeights(weights)) => {
+                    let block = &mut function.blocks[b];
+                    let successors = match &block.term {
+                        Terminator::CondBr { .. } => 2,
+                        Terminator::Switch { cases, .. } => cases.len() + 1,
+                        _ => 0,
+                    };
+                    if weights.len() == successors {
+                        block.prof = Some(weights.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes every remaining token on `line` like [`skip_rest_of_line`], but
+    /// records a `!prof !N` reference if one appears among the trailing annotations.
+    ///
+    /// [`skip_rest_of_line`]: Parser::skip_rest_of_line
+    fn skip_line_recording_prof(&mut self, line: u32, function: usize, block: Option<usize>) {
+        while matches!(self.peek(), Some(t) if t.line == line) {
+            let Some(t) = self.next_token() else {
+                return;
+            };
+            if matches!(&t.kind, TokenKind::Metadata(m) if m == "prof") {
+                if let Some(next) = self.peek() {
+                    if next.line == line {
+                        if let TokenKind::Metadata(id) = &next.kind {
+                            if !id.is_empty() {
+                                let id = id.clone();
+                                self.next_token();
+                                self.prof_refs.push(ProfRef {
+                                    function,
+                                    block,
+                                    id,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn function(&mut self, function_index: usize) -> Result<Function, ParseError> {
         self.expect_word("define")?;
         self.skip_attr_words();
         let ret = self.parse_type()?;
@@ -461,10 +621,28 @@ impl Parser {
         }
         self.expect_punct(')')?;
         // Skip function attributes, attribute-group references and metadata up to the
-        // opening brace of the body.
+        // opening brace of the body — keeping the one annotation with content, a
+        // `!prof !N` entry-count reference.
         while !self.at_punct('{') {
-            if self.next_token().is_none() {
+            let Some(t) = self.next_token() else {
                 return Err(self.error_here("expected `{` to open the function body"));
+            };
+            if matches!(&t.kind, TokenKind::Metadata(m) if m == "prof") {
+                if let Some(Token {
+                    kind: TokenKind::Metadata(id),
+                    ..
+                }) = self.peek()
+                {
+                    if !id.is_empty() {
+                        let id = id.clone();
+                        self.next_token();
+                        self.prof_refs.push(ProfRef {
+                            function: function_index,
+                            block: None,
+                            id,
+                        });
+                    }
+                }
             }
         }
         self.expect_punct('{')?;
@@ -472,7 +650,8 @@ impl Parser {
         let mut blocks = Vec::new();
         while !self.at_punct('}') {
             let label = self.block_label(&mut implicit, blocks.is_empty())?;
-            let block = self.block(label)?;
+            let block_index = blocks.len();
+            let block = self.block(label, function_index, block_index)?;
             blocks.push(block);
         }
         self.expect_punct('}')?;
@@ -484,6 +663,7 @@ impl Parser {
             ret,
             params,
             blocks,
+            entry_count: None,
         })
     }
 
@@ -513,7 +693,12 @@ impl Parser {
         }
     }
 
-    fn block(&mut self, label: String) -> Result<Block, ParseError> {
+    fn block(
+        &mut self,
+        label: String,
+        function_index: usize,
+        block_index: usize,
+    ) -> Result<Block, ParseError> {
         let mut insts = Vec::new();
         loop {
             let Some(t) = self.peek() else {
@@ -523,8 +708,17 @@ impl Parser {
             if let TokenKind::Word(w) = &t.kind {
                 if matches!(w.as_str(), "ret" | "br" | "switch" | "unreachable") {
                     let term = self.terminator()?;
-                    self.skip_rest_of_line(self.last_line);
-                    return Ok(Block { label, insts, term });
+                    self.skip_line_recording_prof(
+                        self.last_line,
+                        function_index,
+                        Some(block_index),
+                    );
+                    return Ok(Block {
+                        label,
+                        insts,
+                        term,
+                        prof: None,
+                    });
                 }
             }
             insts.push((line, self.instruction()?));

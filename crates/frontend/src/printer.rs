@@ -1,10 +1,16 @@
 //! Canonical `.ll` pretty-printer.
 //!
 //! Prints exactly the normalised subset the parser produces: no flags, no attributes,
-//! no metadata. Because the parser drops those annotations at parse time,
-//! `parse ∘ print` is the identity on ASTs and `print ∘ parse` is idempotent on text —
-//! printing a freshly parsed module and re-parsing it reproduces the same bytes, the
-//! property the round-trip suite checks.
+//! and no metadata apart from `!prof`. Because the parser drops everything else at
+//! parse time, `parse ∘ print` is the identity on ASTs and `print ∘ parse` is
+//! idempotent on text — printing a freshly parsed module and re-parsing it reproduces
+//! the same bytes, the property the round-trip suite checks.
+//!
+//! Profile metadata is printed the way LLVM does: a `!prof !N` reference on the
+//! `define` line (entry count) or after a `br i1`/`switch` terminator (branch
+//! weights), with the `!N = !{…}` definitions collected at the end of the module.
+//! Definitions are renumbered densely in first-use order, so the output is canonical
+//! regardless of the ids the input used.
 
 use crate::ast::{Block, Function, Inst, Module, Param, Terminator, Value};
 use std::fmt::Write as _;
@@ -13,16 +19,24 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn print_module(module: &Module) -> String {
     let mut out = String::new();
+    // Rendered `!{…}` bodies in first-use order; index = canonical metadata id.
+    let mut defs: Vec<String> = Vec::new();
     for (i, function) in module.functions.iter().enumerate() {
         if i > 0 {
             out.push('\n');
         }
-        print_function(&mut out, function);
+        print_function(&mut out, function, &mut defs);
+    }
+    if !defs.is_empty() {
+        out.push('\n');
+        for (id, body) in defs.iter().enumerate() {
+            let _ = writeln!(out, "!{id} = !{{{body}}}");
+        }
     }
     out
 }
 
-fn print_function(out: &mut String, function: &Function) {
+fn print_function(out: &mut String, function: &Function, defs: &mut Vec<String>) {
     let _ = write!(out, "define {} @{}(", function.ret, ident(&function.name));
     for (i, Param { ty, name }) in function.params.iter().enumerate() {
         if i > 0 {
@@ -30,19 +44,46 @@ fn print_function(out: &mut String, function: &Function) {
         }
         let _ = write!(out, "{ty} %{}", ident(name));
     }
-    out.push_str(") {\n");
+    out.push(')');
+    if let Some(count) = function.entry_count {
+        let _ = write!(out, " !prof !{}", defs.len());
+        defs.push(format!("!\"function_entry_count\", i64 {count}"));
+    }
+    out.push_str(" {\n");
     for block in &function.blocks {
-        print_block(out, block);
+        print_block(out, block, defs);
     }
     out.push_str("}\n");
 }
 
-fn print_block(out: &mut String, block: &Block) {
+fn print_block(out: &mut String, block: &Block, defs: &mut Vec<String>) {
     let _ = writeln!(out, "{}:", ident(&block.label));
     for (_, inst) in &block.insts {
         print_inst(out, inst);
     }
-    print_terminator(out, &block.term);
+    // Branch weights only make sense on multi-successor terminators; the parser
+    // never attaches them elsewhere.
+    let prof = match &block.term {
+        Terminator::CondBr { .. } | Terminator::Switch { .. } => block.prof.as_deref(),
+        _ => None,
+    };
+    print_terminator(out, &block.term, prof, defs);
+}
+
+/// Emits a branch-weights definition and returns its `, !prof !N` suffix.
+fn prof_suffix(prof: Option<&[u64]>, defs: &mut Vec<String>) -> String {
+    match prof {
+        Some(weights) => {
+            let mut body = String::from("!\"branch_weights\"");
+            for w in weights {
+                let _ = write!(body, ", i32 {w}");
+            }
+            let suffix = format!(", !prof !{}", defs.len());
+            defs.push(body);
+            suffix
+        }
+        None => String::new(),
+    }
 }
 
 fn print_inst(out: &mut String, inst: &Inst) {
@@ -195,7 +236,12 @@ fn print_inst(out: &mut String, inst: &Inst) {
     }
 }
 
-fn print_terminator(out: &mut String, term: &Terminator) {
+fn print_terminator(
+    out: &mut String,
+    term: &Terminator,
+    prof: Option<&[u64]>,
+    defs: &mut Vec<String>,
+) {
     out.push_str("  ");
     match term {
         Terminator::RetVoid => out.push_str("ret void\n"),
@@ -212,10 +258,11 @@ fn print_terminator(out: &mut String, term: &Terminator) {
         } => {
             let _ = writeln!(
                 out,
-                "br i1 {}, label %{}, label %{}",
+                "br i1 {}, label %{}, label %{}{}",
                 value(cond),
                 ident(then_dest),
-                ident(else_dest)
+                ident(else_dest),
+                prof_suffix(prof, defs)
             );
         }
         Terminator::Switch {
@@ -228,7 +275,7 @@ fn print_terminator(out: &mut String, term: &Terminator) {
             for (case, dest) in cases {
                 let _ = writeln!(out, "    {ty} {case}, label %{}", ident(dest));
             }
-            out.push_str("  ]\n");
+            let _ = writeln!(out, "  ]{}", prof_suffix(prof, defs));
         }
         Terminator::Unreachable => out.push_str("unreachable\n"),
     }

@@ -109,6 +109,54 @@ fn adpcm_gep_and_call_free_table_lookup_lowers_with_forbidden_nodes() {
 }
 
 #[test]
+fn prof_branch_weights_become_block_exec_counts() {
+    let program = parse_and_lower("sum-prof", &fixture("sum-prof.ll")).unwrap();
+    let by_name = |name: &str| {
+        program
+            .blocks()
+            .iter()
+            .find(|b| b.name() == name)
+            .unwrap_or_else(|| panic!("block {name} present"))
+    };
+    // entry has no weighted incoming edge → function_entry_count; for.body receives
+    // 50 from entry's then-edge plus 950 from its own back-edge; for.end receives
+    // 0 from entry's else-edge plus 50 from the loop exit.
+    assert_eq!(by_name("sum_weighted.entry").exec_count(), 50);
+    assert_eq!(by_name("sum_weighted.for.body").exec_count(), 1000);
+    assert_eq!(by_name("sum_weighted.for.end").exec_count(), 50);
+}
+
+#[test]
+fn modules_without_prof_default_to_exec_count_one() {
+    let program = parse_and_lower("crc32-O1", &fixture("crc32-O1.ll")).unwrap();
+    assert!(program.blocks().iter().all(|b| b.exec_count() == 1));
+}
+
+#[test]
+fn malformed_prof_metadata_is_dropped_not_fatal() {
+    // Wrong arity (three weights on a two-successor branch), a dangling reference,
+    // and a kind mismatch (branch weights on the define) must all lower cleanly
+    // with every count at its default.
+    let source = r#"
+define i32 @f(i32 %x) !prof !1 {
+entry:
+  %c = icmp sgt i32 %x, 0
+  br i1 %c, label %a, label %b, !prof !0
+a:
+  br label %b, !prof !9
+b:
+  %r = phi i32 [ 1, %entry ], [ 2, %a ]
+  ret i32 %r
+}
+
+!0 = !{!"branch_weights", i32 1, i32 2, i32 3}
+!1 = !{!"branch_weights", i32 4, i32 5}
+"#;
+    let program = parse_and_lower("malformed", source).unwrap();
+    assert!(program.blocks().iter().all(|b| b.exec_count() == 1));
+}
+
+#[test]
 fn intrinsic_calls_map_to_vocabulary_ops() {
     let source = r#"
 declare i32 @llvm.smax.i32(i32, i32)

@@ -126,3 +126,27 @@ fn printer_normalises_flags_and_metadata() {
     assert!(!printed.contains("noundef"), "{printed}");
     assert!(!printed.contains("!dbg"), "{printed}");
 }
+
+#[test]
+fn prof_metadata_survives_the_roundtrip_with_canonical_numbering() {
+    // Sparse, out-of-order metadata ids must come back dense and in first-use
+    // order: the entry count gets !0, the branch weights !1.
+    let source = "define i32 @f(i32 %x) !prof !42 {\n\
+                  entry:\n  %c = icmp sgt i32 %x, 0\n  \
+                  br i1 %c, label %a, label %b, !prof !7\n\
+                  a:\n  ret i32 1\n\
+                  b:\n  ret i32 2\n}\n\n\
+                  !7 = !{!\"branch_weights\", i32 9, i32 1}\n\
+                  !42 = !{!\"function_entry_count\", i64 500}\n";
+    let printed = assert_roundtrip("prof", source);
+    assert!(printed.contains(") !prof !0 {"), "{printed}");
+    assert!(printed.contains("label %b, !prof !1"), "{printed}");
+    assert!(
+        printed.contains("!0 = !{!\"function_entry_count\", i64 500}"),
+        "{printed}"
+    );
+    assert!(
+        printed.contains("!1 = !{!\"branch_weights\", i32 9, i32 1}"),
+        "{printed}"
+    );
+}
