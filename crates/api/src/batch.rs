@@ -5,7 +5,9 @@ use std::sync::Arc;
 use rayon::prelude::*;
 use rayon::ShardProgress;
 
-use ise_core::{CorpusOptions, CorpusStats, IseError, WarmCacheConfig, WarmPoolCache};
+use ise_core::{
+    CorpusOptions, CorpusStats, IseError, TemplateBudget, WarmCacheConfig, WarmPoolCache,
+};
 use ise_hw::SoftwareLatencyModel;
 
 use crate::request::{
@@ -121,11 +123,16 @@ impl BatchService {
         cache: &Arc<WarmPoolCache>,
     ) -> Result<(CorpusResponse, CorpusStats, Vec<ShardProgress>), IseError> {
         Self::validate_corpus(request)?;
-        let programs = request
+        // `resolve_corpus`: a multi-function `.ll` source contributes one program
+        // per function, so the response may list more programs than the request.
+        let programs: Vec<_> = request
             .programs
             .iter()
-            .map(ProgramSource::resolve)
-            .collect::<Result<Vec<_>, _>>()?;
+            .map(ProgramSource::resolve_corpus)
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .flatten()
+            .collect();
         let corpus_options = self.corpus_options(request);
         let model = ise_hw::DefaultCostModel::new();
         let outcome = ise_core::run_corpus_warm(&programs, &model, &corpus_options, cache);
@@ -146,6 +153,7 @@ impl BatchService {
             CorpusResponse {
                 constraints: request.constraints,
                 programs: outcomes,
+                templates: outcome.templates,
             },
             outcome.stats,
             outcome.shards,
@@ -163,9 +171,12 @@ impl BatchService {
     /// # Errors
     ///
     /// As [`run_corpus`](Self::run_corpus), plus `max_in_flight == 0` is an
-    /// [`IseError::InvalidRequest`]. A program source that fails to resolve
-    /// mid-stream stops the stream and returns its error (earlier programs have
-    /// already been analysed at that point; the work is discarded).
+    /// [`IseError::InvalidRequest`], and so is a `templates` budget: template
+    /// selection needs every program's candidate sites at once, which is exactly
+    /// the unbounded residency streaming exists to avoid. A program source that
+    /// fails to resolve mid-stream stops the stream and returns its error
+    /// (earlier programs have already been analysed at that point; the work is
+    /// discarded).
     pub fn run_corpus_streaming(
         &self,
         request: &CorpusRequest,
@@ -177,6 +188,11 @@ impl BatchService {
                 "streaming needs at least one in-flight program".to_string(),
             ));
         }
+        if request.templates.is_some() {
+            return Err(IseError::InvalidRequest(
+                "template selection is corpus-global and unavailable in streaming mode".to_string(),
+            ));
+        }
         let corpus_options = self.corpus_options(request);
         let model = ise_hw::DefaultCostModel::new();
         let software = SoftwareLatencyModel::new();
@@ -185,13 +201,14 @@ impl BatchService {
         let sources = request
             .programs
             .iter()
-            .map_while(|source| match source.resolve() {
-                Ok(program) => Some(program),
+            .map_while(|source| match source.resolve_corpus() {
+                Ok(programs) => Some(programs),
                 Err(error) => {
                     failure = Some(error);
                     None
                 }
-            });
+            })
+            .flatten();
         let stream = ise_core::run_corpus_streaming(
             sources,
             &model,
@@ -213,6 +230,7 @@ impl BatchService {
             CorpusResponse {
                 constraints: request.constraints,
                 programs: outcomes,
+                templates: None,
             },
             stream.stats,
             stream.shards,
@@ -243,6 +261,7 @@ impl BatchService {
             .with_driver(driver)
             .with_exploration_budget(request.config.exploration_budget)
             .with_dedup(request.dedup)
+            .with_templates(request.templates.map(TemplateBudget::new))
     }
 }
 
@@ -418,6 +437,95 @@ mod tests {
                 "max_in_flight {max_in_flight}"
             );
         }
+    }
+
+    /// Two functions in one `.ll` module; the corpus paths must analyse them as
+    /// two programs, exactly as if each had been lowered from its own file.
+    const PAIR_LL: &str = r#"
+define i32 @mac3(i32 %a, i32 %b, i32 %c) {
+entry:
+  %mul = mul i32 %a, %b
+  %add = add i32 %mul, %c
+  %shl = shl i32 %add, 2
+  %sum = add i32 %shl, %mul
+  ret i32 %sum
+}
+
+define i32 @mixbits(i32 %x, i32 %y) {
+entry:
+  %xor = xor i32 %x, %y
+  %shr = lshr i32 %xor, 3
+  %and = and i32 %shr, 151
+  %or = or i32 %and, %x
+  %not = xor i32 %or, -1
+  ret i32 %not
+}
+"#;
+
+    #[test]
+    fn multi_function_ll_slices_match_functions_lowered_alone() {
+        let split = PAIR_LL.find("define i32 @mixbits").expect("two defines");
+        let merged = CorpusRequest::new(vec![ProgramSource::LlvmIr {
+            name: "pair".into(),
+            text: PAIR_LL.into(),
+        }]);
+        let service = BatchService::new();
+        let (sliced, _, _) = service.run_corpus(&merged).expect("valid corpus");
+        assert_eq!(
+            sliced.programs.len(),
+            2,
+            "one outcome per function, not one merged program"
+        );
+        assert_eq!(sliced.programs[0].program, "pair.mac3");
+        assert_eq!(sliced.programs[1].program, "pair.mixbits");
+        let alone = CorpusRequest::new(vec![
+            ProgramSource::LlvmIr {
+                name: "pair.mac3".into(),
+                text: PAIR_LL[..split].to_string(),
+            },
+            ProgramSource::LlvmIr {
+                name: "pair.mixbits".into(),
+                text: PAIR_LL[split..].to_string(),
+            },
+        ]);
+        let (separate, _, _) = service.run_corpus(&alone).expect("valid corpus");
+        assert_eq!(
+            crate::to_json(&sliced),
+            crate::to_json(&separate),
+            "per-function selections are byte-identical to lowering each function alone"
+        );
+        let (streamed, _, _) = service
+            .run_corpus_streaming(&merged, 1)
+            .expect("valid corpus");
+        assert_eq!(crate::to_json(&sliced), crate::to_json(&streamed));
+    }
+
+    #[test]
+    fn template_budget_reports_without_changing_selections() {
+        let request = CorpusRequest::new(vec![
+            ProgramSource::Workload("adpcmdecode".into()),
+            ProgramSource::Workload("adpcmdecode".into()),
+        ]);
+        let service = BatchService::new();
+        let (plain, plain_stats, _) = service.run_corpus(&request).expect("valid corpus");
+        assert!(plain.templates.is_none());
+
+        let budgeted = request.clone().with_templates(Some(1.0e9));
+        let (with, stats, _) = service.run_corpus(&budgeted).expect("valid corpus");
+        let report = with.templates.as_ref().expect("report present");
+        assert!(report.speedup >= 1.0);
+        assert_eq!(
+            with.programs, plain.programs,
+            "template reporting is additive; per-program selections are untouched"
+        );
+        assert_eq!(stats, plain_stats);
+
+        let text = crate::to_json(&with);
+        let back: CorpusResponse = crate::from_json(&text).expect("round trip");
+        assert_eq!(back, with);
+
+        let err = service.run_corpus_streaming(&budgeted, 2).unwrap_err();
+        assert!(matches!(&err, IseError::InvalidRequest(m) if m.contains("streaming")));
     }
 
     #[test]

@@ -158,6 +158,38 @@ impl ProgramSource {
         }
     }
 
+    /// Resolves the source for a corpus, where an LLVM IR module with several
+    /// `define`s contributes one program **per function** (named
+    /// `<name>.<function>`, in source order) instead of an accidental merge of
+    /// every function's blocks into one program. Single-function modules,
+    /// workloads and inline programs resolve exactly as [`resolve`](Self::resolve),
+    /// so corpora without multi-function `.ll` sources are byte-identical to
+    /// before.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`resolve`](Self::resolve).
+    pub fn resolve_corpus(&self) -> Result<Vec<Program>, IseError> {
+        match self {
+            ProgramSource::LlvmIr { name, text } => {
+                let programs =
+                    ise_frontend::parse_and_lower_functions(name, text).map_err(|e| {
+                        IseError::Frontend {
+                            file: name.clone(),
+                            line: e.line,
+                            column: e.column,
+                            message: e.message,
+                        }
+                    })?;
+                for program in &programs {
+                    program.validate()?;
+                }
+                Ok(programs)
+            }
+            other => other.resolve().map(|program| vec![program]),
+        }
+    }
+
     /// The program name this source refers to, without resolving it.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -315,7 +347,7 @@ pub struct SweepResponse {
 /// shards the programs across the work-stealing scheduler; the response is
 /// byte-identical whatever the thread count and whether dedup is on or off (the
 /// [`CorpusStats`](ise_core::CorpusStats) are reported out of band).
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorpusRequest {
     /// The programs to analyse, in response order.
     pub programs: Vec<ProgramSource>,
@@ -328,6 +360,28 @@ pub struct CorpusRequest {
     /// Share Pareto fills between isomorphic blocks (`true`, the default) or run the
     /// reference per-program searches. Both modes produce byte-identical responses.
     pub dedup: bool,
+    /// Optional cross-site template selection: the area budget to select instruction
+    /// templates under, across the whole corpus (see
+    /// [`TemplateReport`](ise_core::TemplateReport)). Absent on the wire when unset.
+    pub templates: Option<f64>,
+}
+
+/// Hand-rolled so that an unset `templates` stays *off* the wire entirely: requests
+/// without the knob serialise byte-identically to the pre-template format.
+impl serde::Serialize for CorpusRequest {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("programs".to_string(), self.programs.to_value()),
+            ("constraints".to_string(), self.constraints.to_value()),
+            ("config".to_string(), self.config.to_value()),
+            ("options".to_string(), self.options.to_value()),
+            ("dedup".to_string(), self.dedup.to_value()),
+        ];
+        if let Some(budget) = self.templates {
+            fields.push(("templates".to_string(), budget.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 /// Hand-rolled so that everything except `programs` is optional on the wire: a corpus
@@ -353,6 +407,7 @@ impl<'de> serde::Deserialize<'de> for CorpusRequest {
             config: optional_or(fields, "config", IdentifierConfig::default())?,
             options: optional_or(fields, "options", DriverOptions::default())?,
             dedup: optional_or(fields, "dedup", true)?,
+            templates: optional_or(fields, "templates", None)?,
         })
     }
 }
@@ -367,6 +422,7 @@ impl CorpusRequest {
             config: IdentifierConfig::default(),
             options: DriverOptions::default(),
             dedup: true,
+            templates: None,
         }
     }
 
@@ -397,6 +453,13 @@ impl CorpusRequest {
         self.dedup = dedup;
         self
     }
+
+    /// Sets (or clears) the cross-site template-selection area budget.
+    #[must_use]
+    pub fn with_templates(mut self, area_budget: Option<f64>) -> Self {
+        self.templates = area_budget;
+        self
+    }
 }
 
 /// The result for one program of a corpus: exactly the selection and report a
@@ -419,12 +482,48 @@ pub struct CorpusProgramOutcome {
 /// between the deduplicated and the reference execution mode (the
 /// [`CorpusStats`](ise_core::CorpusStats) and per-shard progress are reported out of
 /// band).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorpusResponse {
     /// The constraints the corpus ran under.
     pub constraints: Constraints,
     /// One outcome per program, in request order.
     pub programs: Vec<CorpusProgramOutcome>,
+    /// The cross-site template selection, present iff the request set `templates`.
+    pub templates: Option<ise_core::TemplateReport>,
+}
+
+/// Hand-rolled so that the `templates` report is *omitted* (not `null`) when the
+/// request did not ask for one — responses to template-free requests stay
+/// byte-identical to the pre-template format, which the serve-mode soak test
+/// compares byte-for-byte against one-shot references.
+impl serde::Serialize for CorpusResponse {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("constraints".to_string(), self.constraints.to_value()),
+            ("programs".to_string(), self.programs.to_value()),
+        ];
+        if let Some(report) = &self.templates {
+            fields.push(("templates".to_string(), report.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for CorpusResponse {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = serde::expect_object(value, "CorpusResponse")?;
+        let templates = match fields.iter().find(|(key, _)| key == "templates") {
+            None => None,
+            Some((_, field)) => serde::Deserialize::from_value(field).map_err(|e| {
+                serde::Error::custom(format!("field `templates` of `CorpusResponse`: {e}"))
+            })?,
+        };
+        Ok(CorpusResponse {
+            constraints: serde::expect_field(fields, "constraints", "CorpusResponse")?,
+            programs: serde::expect_field(fields, "programs", "CorpusResponse")?,
+            templates,
+        })
+    }
 }
 
 /// The result of one identification job.
@@ -472,6 +571,37 @@ mod tests {
             .resolve()
             .unwrap_err();
         assert!(matches!(&err, IseError::InvalidRequest(m) if m.contains("adpcmdecode")));
+    }
+
+    #[test]
+    fn corpus_wire_format_omits_templates_when_unset() {
+        let request = CorpusRequest::new(vec![ProgramSource::Workload("gsm".into())]);
+        let text = crate::to_json(&request);
+        assert!(
+            !text.contains("templates"),
+            "no budget, no key on the wire: {text}"
+        );
+        let back: CorpusRequest = crate::from_json(&text).expect("round trip");
+        assert_eq!(back, request);
+
+        let budgeted = request.with_templates(Some(40.0));
+        let text = crate::to_json(&budgeted);
+        assert!(text.contains("\"templates\""), "{text}");
+        let back: CorpusRequest = crate::from_json(&text).expect("round trip");
+        assert_eq!(back, budgeted);
+
+        let response = CorpusResponse {
+            constraints: Constraints::default(),
+            programs: Vec::new(),
+            templates: None,
+        };
+        let text = crate::to_json(&response);
+        assert!(
+            !text.contains("templates"),
+            "no report, no key on the wire: {text}"
+        );
+        let back: CorpusResponse = crate::from_json(&text).expect("round trip");
+        assert_eq!(back, response);
     }
 
     #[test]

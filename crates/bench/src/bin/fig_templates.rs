@@ -1,0 +1,63 @@
+//! Prints the cross-site template Pareto table: speed-up at a ladder of area
+//! budgets, cross-site templates versus the per-block baseline, and writes
+//! `fig_templates.csv` into the output directory.
+//!
+//! Usage: `cargo run --release -p ise-bench --bin fig_templates [--quick] [output-dir]`
+
+use std::fs;
+use std::path::PathBuf;
+
+use ise_bench::template_bench::{self, TemplateBenchConfig};
+
+fn main() {
+    let mut quick = false;
+    let mut output_dir = PathBuf::from("results");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg.starts_with('-') {
+            eprintln!("error: unknown flag {arg:?}\nusage: fig_templates [--quick] [output-dir]");
+            std::process::exit(2);
+        } else {
+            output_dir = PathBuf::from(arg);
+        }
+    }
+    let config = if quick {
+        TemplateBenchConfig::quick()
+    } else {
+        TemplateBenchConfig::default()
+    };
+    let report = template_bench::run(&config);
+
+    println!("# Cross-site templates — speed-up at equal area budgets");
+    println!();
+    print!("{}", template_bench::markdown(&report));
+
+    if let Err(error) = fs::create_dir_all(&output_dir) {
+        eprintln!("warning: cannot create {}: {error}", output_dir.display());
+        return;
+    }
+    let mut csv = String::from(
+        "fraction,area_budget,templates_chosen,sites_covered,template_savings,\
+         template_speedup,baseline_cuts,baseline_savings,baseline_speedup\n",
+    );
+    for row in &report.rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            row.fraction,
+            row.area_budget,
+            row.templates_chosen,
+            row.sites_covered,
+            row.template_savings,
+            row.template_speedup,
+            row.baseline_cuts,
+            row.baseline_savings,
+            row.baseline_speedup,
+        ));
+    }
+    let csv_path = output_dir.join("fig_templates.csv");
+    match fs::write(&csv_path, csv) {
+        Ok(()) => println!("wrote {}", csv_path.display()),
+        Err(error) => eprintln!("warning: cannot write {}: {error}", csv_path.display()),
+    }
+}

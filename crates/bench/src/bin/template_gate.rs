@@ -1,0 +1,67 @@
+//! The template gate: asserts that the cross-site template selector matches the
+//! brute-force oracle and that cross-site selection matches or beats the per-block
+//! baseline at equal area on a duplicate-heavy corpus, and writes the
+//! machine-readable `BENCH_templates.json`.
+//!
+//! Usage: `cargo run --release -p ise-bench --bin template_gate [--quick] [output-dir]`
+//!
+//! Exit codes: `0` oracle-identical, cross-site wins and monotone coverage, `3` the
+//! selector diverged from the oracle, lost to the baseline at some budget, or site
+//! coverage regressed — CI runs this like `corpus_gate`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ise_bench::template_bench::{self, TemplateBenchConfig};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut output_dir = PathBuf::from("results");
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if arg.starts_with('-') {
+            eprintln!("error: unknown flag {arg:?}\nusage: template_gate [--quick] [output-dir]");
+            return ExitCode::from(2);
+        } else {
+            output_dir = PathBuf::from(arg);
+        }
+    }
+    let config = if quick {
+        TemplateBenchConfig::quick()
+    } else {
+        TemplateBenchConfig::default()
+    };
+    let report = template_bench::run(&config);
+
+    println!("# Template gate — cross-site templates vs per-block selection at equal area");
+    println!();
+    print!("{}", template_bench::markdown(&report));
+
+    if let Err(error) = fs::create_dir_all(&output_dir) {
+        eprintln!("warning: cannot create {}: {error}", output_dir.display());
+    }
+    let path = output_dir.join("BENCH_templates.json");
+    match fs::write(&path, template_bench::to_json(&report) + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("warning: cannot write {}: {error}", path.display()),
+    }
+
+    if !report.oracle_identical {
+        eprintln!("error: the branch-and-bound selector diverged from the brute-force oracle");
+        return ExitCode::from(3);
+    }
+    if !report.cross_site_wins {
+        eprintln!(
+            "error: cross-site template selection lost to the per-block baseline at equal \
+             area on the duplicate-heavy corpus"
+        );
+        return ExitCode::from(3);
+    }
+    if !template_bench::coverage_is_monotonic(&report) {
+        eprintln!("error: site coverage regressed across the budget ladder");
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}

@@ -27,6 +27,10 @@
 //!   versus cold dispatch on a duplicate-heavy corpus (>= 2x required), byte
 //!   identity against the one-shot path, the striped-lock concurrency row and a
 //!   snapshot persistence round trip, emitted as `BENCH_serve.json`;
+//! * [`template_bench`] — the template gate: cross-site template selection versus
+//!   the per-block baseline at a ladder of equal area budgets, with the selector
+//!   cross-checked against the brute-force oracle, emitted as
+//!   `BENCH_templates.json`;
 //! * [`report`] — CSV and Markdown rendering of the experiment rows.
 //!
 //! The binaries `fig8`, `fig11` and `sweep` print the tables and write CSV files; the
@@ -45,6 +49,7 @@ pub mod report;
 pub mod scaling;
 pub mod serve_bench;
 pub mod sweep_bench;
+pub mod template_bench;
 
 /// Default exploration budget (cuts considered per identifier invocation) applied to the
 /// exact algorithms when they are driven over the largest blocks; the paper similarly

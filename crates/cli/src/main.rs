@@ -59,7 +59,9 @@
 //!
 //! Exit codes: `0` success, `1` usage or file error, `2` at least one request in a
 //! batch (or the single `run`/`sweep`/`corpus` request) failed — for `client`, at
-//! least one response line carried an `"error"` envelope.
+//! least one response line carried an `"error"` envelope, or the server closed the
+//! connection before answering every request (a truncated final line counts as
+//! unanswered, never as a response).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -79,6 +81,7 @@ struct Options {
     stats: bool,
     ll: Option<String>,
     stream: Option<usize>,
+    templates: Option<f64>,
     addr: Option<String>,
     workers: Option<usize>,
     queue: Option<usize>,
@@ -127,6 +130,12 @@ fn usage() -> &'static str {
      \x20 --stream N             corpus only: keep at most N programs resident at\n\
      \x20                        once (bounded memory; the response is byte-\n\
      \x20                        identical to the batch run)\n\
+     \x20 --templates AREA       corpus only: also select cross-site instruction\n\
+     \x20                        templates (isomorphic cuts grouped across blocks\n\
+     \x20                        and programs) under a global area budget, reported\n\
+     \x20                        in a `templates` section of the response; needs\n\
+     \x20                        the whole corpus at once, so it conflicts with\n\
+     \x20                        --stream\n\
      \x20 --addr HOST:PORT       serve: listening address (default 127.0.0.1:9167;\n\
      \x20                        port 0 picks an ephemeral port, printed on stdout)\n\
      \x20 --workers N            serve: worker threads executing requests (default 2)\n\
@@ -150,6 +159,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         stats: false,
         ll: None,
         stream: None,
+        templates: None,
         addr: None,
         workers: None,
         queue: None,
@@ -199,6 +209,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--stream requires at least one in-flight program".to_string());
                 }
                 options.stream = Some(count);
+            }
+            "--templates" => {
+                let area: f64 = parsed(arg, iter.next())?;
+                if !area.is_finite() || area <= 0.0 {
+                    return Err("--templates requires a positive area budget".to_string());
+                }
+                options.templates = Some(area);
             }
             "--addr" => {
                 let Some(addr) = iter.next() else {
@@ -349,20 +366,24 @@ fn cmd_sweep(options: &Options, path: Option<&str>) -> Result<bool, IseError> {
 }
 
 /// Loads one corpus program file: `.json` programs deserialise, `.ll` files go
-/// through the LLVM IR front-end. Parse/lower failures carry `file:line:column`.
-fn load_corpus_program(file: &std::path::Path) -> Result<ise_api::ProgramSource, IseError> {
+/// through the LLVM IR front-end — a module with several `define`s contributes
+/// one program per function. Parse/lower failures carry `file:line:column`.
+fn load_corpus_program(file: &std::path::Path) -> Result<Vec<ise_api::ProgramSource>, IseError> {
     let name = file.display().to_string();
     let text = read_file(&name)?;
     if file.extension().is_some_and(|ext| ext == "ll") {
         // Parse eagerly (rather than deferring to resolve-time) so a broken file
         // is diagnosed here, with its position, and the rest of the corpus runs.
         let source = ise_api::ProgramSource::LlvmIr { name, text };
-        let program = source.resolve()?;
-        Ok(ise_api::ProgramSource::Inline(program))
+        let programs = source.resolve_corpus()?;
+        Ok(programs
+            .into_iter()
+            .map(ise_api::ProgramSource::Inline)
+            .collect())
     } else {
         let program = ise_api::program_from_json(&text)
             .map_err(|e| IseError::Io(format!("`{name}`: {e}")))?;
-        Ok(ise_api::ProgramSource::Inline(program))
+        Ok(vec![ise_api::ProgramSource::Inline(program)])
     }
 }
 
@@ -393,7 +414,7 @@ fn load_corpus_request(path: &str) -> Result<(ise_api::CorpusRequest, Vec<IseErr
         let mut failures = Vec::new();
         for file in &files {
             match load_corpus_program(file) {
-                Ok(source) => programs.push(source),
+                Ok(sources) => programs.extend(sources),
                 Err(error) => failures.push(error),
             }
         }
@@ -413,6 +434,9 @@ fn cmd_corpus(options: &Options, path: &str) -> Result<bool, IseError> {
     }
     if options.no_dedup {
         request.dedup = false;
+    }
+    if let Some(area) = options.templates {
+        request.templates = Some(area);
     }
     let service = BatchService::new();
     let outcome = match options.stream {
@@ -575,16 +599,19 @@ fn cmd_client(options: &Options, addr: &str, path: &str) -> Result<bool, IseErro
     // The server answers every request line exactly once (possibly out of
     // order across a pipelined batch; the `id` is the correlation key).
     let mut failed = false;
+    let mut truncated = false;
     let mut out = String::new();
     for _ in 0..requests.len() {
         let mut line = String::new();
         let n = reader
             .read_line(&mut line)
             .map_err(|e| IseError::Io(format!("receive failed: {e}")))?;
-        if n == 0 {
-            return Err(IseError::Io(
-                "the server closed the connection before answering every request".to_string(),
-            ));
+        // EOF before every answer arrived, or a final line the server never
+        // finished (no trailing newline): either way the stream is truncated.
+        // The cut-off fragment is dropped — it must never pass as a response.
+        if n == 0 || !line.ends_with('\n') {
+            truncated = true;
+            break;
         }
         let response = line.trim_end();
         if let Ok(json::Value::Object(fields)) = json::parse(response) {
@@ -598,7 +625,10 @@ fn cmd_client(options: &Options, addr: &str, path: &str) -> Result<bool, IseErro
             .map_err(|e| IseError::Io(format!("cannot write `{path}`: {e}")))?,
         None => print!("{out}"),
     }
-    Ok(failed)
+    if truncated {
+        eprintln!("error: the server closed the connection before answering every request");
+    }
+    Ok(failed || truncated)
 }
 
 fn main() -> ExitCode {
@@ -642,6 +672,20 @@ fn main() -> ExitCode {
     if options.stream.is_some() && first != Some("corpus") {
         eprintln!(
             "error: --stream applies only to the corpus command\n\n{}",
+            usage()
+        );
+        return ExitCode::from(1);
+    }
+    if options.templates.is_some() && first != Some("corpus") {
+        eprintln!(
+            "error: --templates applies only to the corpus command\n\n{}",
+            usage()
+        );
+        return ExitCode::from(1);
+    }
+    if options.templates.is_some() && options.stream.is_some() {
+        eprintln!(
+            "error: --templates needs the whole corpus at once and conflicts with --stream\n\n{}",
             usage()
         );
         return ExitCode::from(1);

@@ -231,6 +231,79 @@ fn shut_down(addr: &str, dir: &Path, mut guard: ServeGuard) {
     std::mem::forget(guard);
 }
 
+/// A server killed mid-request must surface as exit code 2 ("at least one
+/// request went unanswered"), never as a silent success: the client once
+/// treated a missing final newline as a complete response and EOF as a plain
+/// I/O error. A fake in-test listener makes both truncation modes
+/// deterministic — a clean close after answering only one of two requests,
+/// and a response line the server never finished.
+#[test]
+fn client_exits_2_when_the_server_closes_mid_stream() {
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    let dir = temp_dir("truncated");
+    let file = write_request_file_raw(
+        &dir,
+        "two.jsonl",
+        "{\"id\":0,\"kind\":\"stats\"}\n{\"id\":1,\"kind\":\"stats\"}\n",
+    );
+
+    for (complete, fragment) in [(1usize, ""), (0usize, "{\"id\":0,\"resp")] {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake server");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            // Drain both request lines so the client's writes never block.
+            for _ in 0..2 {
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("read request line");
+            }
+            for _ in 0..complete {
+                stream
+                    .write_all(b"{\"id\":0,\"response\":{\"entries\":0}}\n")
+                    .expect("write complete response");
+            }
+            stream
+                .write_all(fragment.as_bytes())
+                .expect("write fragment");
+            stream.flush().expect("flush");
+            // Dropping the stream here is the kill: id 1 is never answered.
+        });
+        let output = Command::new(cli())
+            .arg("client")
+            .arg(&addr)
+            .arg(&file)
+            .output()
+            .expect("run ise-cli client");
+        server.join().expect("fake server thread");
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "a truncated stream must exit 2 (complete={complete}); stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("closed the connection before answering"),
+            "stderr must name the truncation: {stderr}"
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert_eq!(
+            stdout.lines().count(),
+            complete,
+            "only complete response lines pass through; stdout: {stdout:?}"
+        );
+        if !fragment.is_empty() {
+            assert!(
+                !stdout.contains(fragment),
+                "the cut-off fragment must never be printed as a response: {stdout:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn soak_concurrent_mixed_load_is_byte_identical_and_warms() {
     let full = std::env::var("ISE_SOAK_FULL").is_ok_and(|v| v == "1");

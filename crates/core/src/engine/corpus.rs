@@ -50,6 +50,7 @@ use crate::selection::SelectionResult;
 use crate::structural::{StructuralForm, StructuralKey};
 
 use super::driver::{select_iteratively_core, BlockAnswer, DriverOptions};
+use super::templates::{TemplateBudget, TemplateReport};
 use super::warm::{
     BudgetGroup, CacheKey, CanonicalCandidate, CanonicalFill, FillEntry, WarmCacheConfig,
     WarmPoolCache,
@@ -70,6 +71,11 @@ pub struct CorpusOptions {
     /// runs the plain per-program driver — the reference path, byte-identical in its
     /// results but repeating every enumeration.
     pub dedup: bool,
+    /// Optional cross-site template selection: when set, the run additionally
+    /// extracts instruction templates across the whole corpus and selects them under
+    /// this area budget (see [`super::templates`]). Purely additive — the per-program
+    /// selections are byte-identical with or without it.
+    pub templates: Option<TemplateBudget>,
 }
 
 impl CorpusOptions {
@@ -81,6 +87,7 @@ impl CorpusOptions {
             driver: DriverOptions::default(),
             exploration_budget: None,
             dedup: true,
+            templates: None,
         }
     }
 
@@ -102,6 +109,13 @@ impl CorpusOptions {
     #[must_use]
     pub fn with_dedup(mut self, dedup: bool) -> Self {
         self.dedup = dedup;
+        self
+    }
+
+    /// Sets (or clears) the cross-site template-selection budget.
+    #[must_use]
+    pub fn with_templates(mut self, templates: Option<TemplateBudget>) -> Self {
+        self.templates = templates;
         self
     }
 }
@@ -165,6 +179,9 @@ pub struct CorpusOutcome {
     /// How many programs each worker shard processed (telemetry; varies with
     /// scheduling, never affects `selections` or the deterministic stats).
     pub shards: Vec<ShardProgress>,
+    /// The cross-site template selection, present iff [`CorpusOptions::templates`]
+    /// was set.
+    pub templates: Option<TemplateReport>,
 }
 
 /// Everything one *streaming* corpus run produces. Selections are handed to the
@@ -508,10 +525,20 @@ pub fn run_corpus_warm(
     let mut stats = stats;
     stats.programs = programs.len() as u64;
     stats.blocks_seen = blocks_seen;
+    let templates = options.templates.map(|budget| {
+        super::templates::run_template_selection(
+            programs,
+            model,
+            options.constraints,
+            options.exploration_budget,
+            budget,
+        )
+    });
     CorpusOutcome {
         selections,
         stats,
         shards,
+        templates,
     }
 }
 
@@ -684,6 +711,29 @@ mod tests {
         assert_eq!(deduped.selections, reference.selections);
         assert!(deduped.stats.exhausted_fills > 0);
         assert!(deduped.stats.direct_calls > 0);
+    }
+
+    #[test]
+    fn template_reporting_is_additive_and_leaves_selections_unchanged() {
+        let corpus: Vec<Program> = (0..4)
+            .map(|i| mac_program(&format!("p{i}"), i % 2 == 1))
+            .collect();
+        let model = DefaultCostModel::new();
+        let options = CorpusOptions::new(Constraints::new(4, 2)).with_driver(DriverOptions::new(4));
+        let plain = run_corpus(&corpus, &model, &options);
+        assert!(plain.templates.is_none());
+        let with_templates = run_corpus(
+            &corpus,
+            &model,
+            &options.with_templates(Some(TemplateBudget::new(1e9))),
+        );
+        assert_eq!(plain.selections, with_templates.selections);
+        assert_eq!(plain.stats, with_templates.stats);
+        let report = with_templates
+            .templates
+            .expect("budget set → report present");
+        assert!(report.templates_considered > 0);
+        assert!(report.speedup >= 1.0);
     }
 
     #[test]

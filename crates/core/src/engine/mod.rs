@@ -21,6 +21,7 @@ pub mod corpus;
 pub mod driver;
 pub mod registry;
 pub mod sweep;
+pub mod templates;
 pub mod warm;
 
 use ise_hw::CostModel;
@@ -38,6 +39,11 @@ pub use corpus::{
 pub use driver::{identify_blocks, select_program, DriverOptions};
 pub use registry::{IdentifierConfig, IdentifierFactory, IdentifierRegistry};
 pub use sweep::{sweep_program, SweepPlanner, SweepStats};
+pub use templates::{
+    extract_templates, run_template_selection, select_templates, select_templates_budgeted,
+    select_templates_exhaustive, SiteRef, Template, TemplateBudget, TemplateReport,
+    TemplateSelectPolicy, TemplateSelection,
+};
 pub use warm::{BudgetGroup, WarmCacheConfig, WarmCacheStats, WarmPoolCache, SNAPSHOT_FILE};
 
 /// A pluggable per-basic-block identification algorithm.

@@ -200,6 +200,27 @@ impl WarmPoolCache {
         &self.model_id
     }
 
+    /// Locks one segment, recovering from a poisoned mutex instead of wedging the
+    /// stripe forever.
+    ///
+    /// A request that panics while holding the stripe lock (a panicking fill being
+    /// recorded, an assertion in a callback) poisons the mutex; without recovery,
+    /// every later request hashing onto the stripe would panic on `lock()` for the
+    /// lifetime of the process. Recovery takes the guard out of the poison wrapper,
+    /// evicts exactly the in-flight slots (their fill never landed, so joiners would
+    /// wait forever; filled slots are immutable once set and remain valid) and clears
+    /// the poison flag. The next query under an evicted key simply re-runs its
+    /// deterministic fill.
+    fn lock_segment(&self, segment: usize) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Slot>> {
+        let mutex = &self.segments[segment];
+        mutex.lock().unwrap_or_else(|poisoned| {
+            let mut map = poisoned.into_inner();
+            map.retain(|_, slot| slot.cell.get().is_some());
+            mutex.clear_poison();
+            map
+        })
+    }
+
     fn segment_index(&self, key: &CacheKey) -> usize {
         let mut h = key.structural.hash();
         for &p in &key.excluded {
@@ -223,7 +244,7 @@ impl WarmPoolCache {
     pub(crate) fn lookup(&self, key: &CacheKey) -> Arc<OnceLock<FillEntry>> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed);
         let segment = self.segment_index(key);
-        let mut map = self.segments[segment].lock().expect("warm cache poisoned");
+        let mut map = self.lock_segment(segment);
         if let Some(slot) = map.get_mut(key) {
             slot.last_used = now;
             if slot.cell.get().is_some() {
@@ -251,7 +272,7 @@ impl WarmPoolCache {
         self.fills.fetch_add(1, Ordering::Relaxed);
         {
             let segment = self.segment_index(key);
-            let mut map = self.segments[segment].lock().expect("warm cache poisoned");
+            let mut map = self.lock_segment(segment);
             if let Some(slot) = map.get_mut(key) {
                 slot.bytes = bytes;
             } else {
@@ -275,8 +296,8 @@ impl WarmPoolCache {
             // thread may touch the victim between the scan and the removal — the
             // result is merely an approximate LRU order, never incorrectness.
             let mut victim: Option<(usize, u64)> = None;
-            for (index, segment) in self.segments.iter().enumerate() {
-                let map = segment.lock().expect("warm cache poisoned");
+            for index in 0..self.segments.len() {
+                let map = self.lock_segment(index);
                 for slot in map.values() {
                     if slot.bytes > 0 && victim.is_none_or(|(_, used)| slot.last_used < used) {
                         victim = Some((index, slot.last_used));
@@ -286,7 +307,7 @@ impl WarmPoolCache {
             let Some((segment, last_used)) = victim else {
                 return; // nothing evictable (everything in flight)
             };
-            let mut map = self.segments[segment].lock().expect("warm cache poisoned");
+            let mut map = self.lock_segment(segment);
             let key = map
                 .iter()
                 .find(|(_, slot)| slot.last_used == last_used && slot.bytes > 0)
@@ -306,8 +327,8 @@ impl WarmPoolCache {
     pub fn stats(&self) -> WarmCacheStats {
         let mut entries = 0u64;
         let mut filled = 0u64;
-        for segment in &self.segments {
-            let map = segment.lock().expect("warm cache poisoned");
+        for index in 0..self.segments.len() {
+            let map = self.lock_segment(index);
             entries += map.len() as u64;
             filled += map.values().filter(|s| s.cell.get().is_some()).count() as u64;
         }
@@ -336,8 +357,8 @@ impl WarmPoolCache {
     /// cache itself is untouched either way).
     pub fn save_snapshot(&self, path: &Path) -> io::Result<u64> {
         let mut slots: Vec<(CacheKey, Arc<OnceLock<FillEntry>>)> = Vec::new();
-        for segment in &self.segments {
-            let map = segment.lock().expect("warm cache poisoned");
+        for index in 0..self.segments.len() {
+            let map = self.lock_segment(index);
             for (key, slot) in map.iter() {
                 if slot.cell.get().is_some() {
                     slots.push((key.clone(), Arc::clone(&slot.cell)));
@@ -412,7 +433,7 @@ impl WarmPoolCache {
             let bytes = entry_bytes(&key, &entry);
             let now = self.clock.fetch_add(1, Ordering::Relaxed);
             let segment = self.segment_index(&key);
-            let mut map = self.segments[segment].lock().expect("warm cache poisoned");
+            let mut map = self.lock_segment(segment);
             if map.contains_key(&key) {
                 continue;
             }
@@ -753,6 +774,48 @@ mod tests {
             cache.record_fill(&k, cell.get().unwrap());
         }
         assert!(cache.lookup(&k).get().is_some());
+    }
+
+    /// One panicking fill must not wedge its stripe: the next request on the same
+    /// stripe still answers, the wedged in-flight slot is evicted (and refills on
+    /// demand), and filled slots survive untouched.
+    #[test]
+    fn poisoned_stripe_recovers_and_evicts_in_flight_slots() {
+        let cache = WarmPoolCache::new(WarmCacheConfig {
+            segments: 1,
+            ..WarmCacheConfig::default()
+        });
+        // A filled slot that must survive recovery.
+        let done = key(1, group());
+        let cell = cache.lookup(&done);
+        let _ = cell.set(FillEntry::Exhausted);
+        cache.record_fill(&done, cell.get().unwrap());
+        // An in-flight slot (created, fill never lands) that must be evicted.
+        let wedged = key(2, group());
+        let in_flight = cache.lookup(&wedged);
+        assert!(in_flight.get().is_none());
+        // Inject a fill that panics while holding the stripe lock.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.segments[0].lock().unwrap();
+            panic!("injected panicking fill");
+        }));
+        assert!(panicked.is_err());
+        assert!(cache.segments[0].is_poisoned());
+        // The next request on the same stripe answers instead of panicking forever.
+        let stats = cache.stats();
+        assert_eq!(stats.filled_entries, 1, "the filled slot survives");
+        assert_eq!(stats.entries, 1, "the in-flight slot was evicted");
+        assert!(
+            !cache.segments[0].is_poisoned(),
+            "recovery clears the poison flag"
+        );
+        assert!(cache.lookup(&done).get().is_some());
+        // The evicted key simply refills on its next use.
+        let cell = cache.lookup(&wedged);
+        assert!(cell.get().is_none());
+        let _ = cell.set(FillEntry::Exhausted);
+        cache.record_fill(&wedged, cell.get().unwrap());
+        assert!(cache.lookup(&wedged).get().is_some());
     }
 
     #[test]

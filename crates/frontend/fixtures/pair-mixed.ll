@@ -1,0 +1,28 @@
+; Two functions in one module — the corpus front-end slices this into one
+; program per define (`pair-mixed.mac3`, `pair-mixed.mixbits`); each slice must
+; be byte-identical to lowering that function's source on its own.
+; clang -O1 -S -emit-llvm -fno-discard-value-names pair.c
+source_filename = "pair.c"
+target datalayout = "e-m:e-p270:32:32-p271:32:32-p272:64:64-i64:64-f80:128-n8:16:32:64-S128"
+target triple = "x86_64-unknown-linux-gnu"
+
+define dso_local i32 @mac3(i32 noundef %a, i32 noundef %b, i32 noundef %c) local_unnamed_addr #0 {
+entry:
+  %mul = mul nsw i32 %a, %b
+  %add = add nsw i32 %mul, %c
+  %shl = shl i32 %add, 2
+  %sum = add nsw i32 %shl, %mul
+  ret i32 %sum
+}
+
+define dso_local i32 @mixbits(i32 noundef %x, i32 noundef %y) local_unnamed_addr #0 {
+entry:
+  %xor = xor i32 %x, %y
+  %shr = lshr i32 %xor, 3
+  %and = and i32 %shr, 151
+  %or = or i32 %and, %x
+  %not = xor i32 %or, -1
+  ret i32 %not
+}
+
+attributes #0 = { mustprogress nofree norecurse nosync nounwind willreturn uwtable }

@@ -43,7 +43,7 @@ pub mod printer;
 use std::fmt;
 
 pub use ast::Module;
-pub use lower::lower_module;
+pub use lower::{lower_module, lower_module_functions};
 pub use parser::{parse_module, ParseError};
 pub use printer::print_module;
 
@@ -93,4 +93,28 @@ impl From<ParseError> for FrontendError {
 pub fn parse_and_lower(program_name: &str, source: &str) -> Result<ise_ir::Program, FrontendError> {
     let module = parse_module(source)?;
     lower_module(&module, program_name)
+}
+
+/// Parses `.ll` text and lowers it into one [`ise_ir::Program`] *per defined
+/// function* — the corpus-facing entry point.
+///
+/// A module with several `define`s slices into one program per function, named
+/// `<program_name>.<function>` in source order (see
+/// [`lower_module_functions`]); a module with zero
+/// or one lowers exactly as [`parse_and_lower`], keeping the module-level name, so
+/// single-function files produce the same bytes through either entry point.
+///
+/// # Errors
+///
+/// Exactly as [`parse_and_lower`].
+pub fn parse_and_lower_functions(
+    program_name: &str,
+    source: &str,
+) -> Result<Vec<ise_ir::Program>, FrontendError> {
+    let module = parse_module(source)?;
+    if module.functions.len() <= 1 {
+        lower_module(&module, program_name).map(|program| vec![program])
+    } else {
+        lower_module_functions(&module, program_name)
+    }
 }

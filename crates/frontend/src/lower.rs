@@ -54,15 +54,47 @@ use std::collections::{HashMap, HashSet};
 pub fn lower_module(module: &Module, program_name: &str) -> Result<Program, FrontendError> {
     let mut program = Program::new(program_name);
     for function in &module.functions {
-        let uses = collect_uses(function);
-        let exec_counts = block_exec_counts(function);
-        for (block, exec) in function.blocks.iter().zip(exec_counts) {
-            let mut dfg = lower_block(function, &uses, block)?;
-            dfg.set_exec_count(exec);
-            program.add_block(dfg);
-        }
+        lower_function_into(&mut program, function)?;
     }
     Ok(program)
+}
+
+/// Lowers each function of a parsed module into its own [`Program`].
+///
+/// The slice for function `@f` is named `<program_name>.<f>` and carries exactly the
+/// blocks [`lower_module`] would produce for `@f` — slicing chooses which program a
+/// block lands in, never what the block contains. Each slice is therefore
+/// byte-identical to lowering that function's source on its own, which is what the
+/// corpus paths rely on: per-program knobs (instruction budgets, selection) apply per
+/// function instead of to an accidental merge of every `define` in the file.
+///
+/// # Errors
+///
+/// Exactly as [`lower_module`].
+pub fn lower_module_functions(
+    module: &Module,
+    program_name: &str,
+) -> Result<Vec<Program>, FrontendError> {
+    let mut programs = Vec::with_capacity(module.functions.len());
+    for function in &module.functions {
+        let mut program = Program::new(format!("{program_name}.{}", function.name));
+        lower_function_into(&mut program, function)?;
+        programs.push(program);
+    }
+    Ok(programs)
+}
+
+/// Lowers every block of one function, with its `!prof` execution counts, into
+/// `program` — the shared body of [`lower_module`] and [`lower_module_functions`].
+fn lower_function_into(program: &mut Program, function: &Function) -> Result<(), FrontendError> {
+    let uses = collect_uses(function);
+    let exec_counts = block_exec_counts(function);
+    for (block, exec) in function.blocks.iter().zip(exec_counts) {
+        let mut dfg = lower_block(function, &uses, block)?;
+        dfg.set_exec_count(exec);
+        program.add_block(dfg);
+    }
+    Ok(())
 }
 
 /// Infers per-block execution counts from `!prof` metadata, in block order.

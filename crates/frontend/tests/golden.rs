@@ -2,7 +2,7 @@
 //! validates, selected fixtures have known graph shapes, and malformed inputs
 //! report precise line/column errors.
 
-use ise_frontend::{parse_and_lower, parse_module};
+use ise_frontend::{parse_and_lower, parse_and_lower_functions, parse_module};
 use ise_ir::{OpaqueOp, Opcode};
 use std::fs;
 use std::path::PathBuf;
@@ -39,6 +39,31 @@ fn all_fixtures_parse_lower_and_validate() {
             "{name} lowered to an empty program"
         );
     }
+}
+
+#[test]
+fn multi_function_modules_slice_into_per_function_programs() {
+    let source = fixture("pair-mixed.ll");
+    // Whole-module lowering (`run`/`sweep`) still merges both functions…
+    let merged = parse_and_lower("pair-mixed", &source).unwrap();
+    assert_eq!(merged.blocks().len(), 2);
+    // …while the corpus entry point slices one program per define.
+    let slices = parse_and_lower_functions("pair-mixed", &source).unwrap();
+    assert_eq!(slices.len(), 2);
+    assert_eq!(slices[0].name(), "pair-mixed.mac3");
+    assert_eq!(slices[1].name(), "pair-mixed.mixbits");
+    // Each slice is identical to lowering that function's source alone.
+    let split = source
+        .find("define dso_local i32 @mixbits")
+        .expect("fixture has @mixbits");
+    let alone = vec![
+        parse_and_lower("pair-mixed.mac3", &source[..split]).unwrap(),
+        parse_and_lower("pair-mixed.mixbits", &source[split..]).unwrap(),
+    ];
+    assert_eq!(slices, alone);
+    // A single-function module keeps its module-level name through either entry point.
+    let single = parse_and_lower_functions("pair-mixed.mixbits", &source[split..]).unwrap();
+    assert_eq!(single, vec![alone[1].clone()]);
 }
 
 #[test]

@@ -54,6 +54,20 @@ pub struct SpeedupReport {
     pub instructions: Vec<SelectedInstruction>,
 }
 
+/// The speed-up implied by saving `saved_cycles` out of `baseline_cycles`, with the
+/// report's clamping rules: savings never exceed the baseline (at least one residual
+/// cycle remains, so the ratio stays finite) and a non-positive baseline reports 1.0.
+#[must_use]
+pub fn clamped_speedup(baseline_cycles: f64, saved_cycles: f64) -> f64 {
+    let saved = saved_cycles.min((baseline_cycles - 1.0).max(0.0));
+    let extended = (baseline_cycles - saved).max(1.0);
+    if baseline_cycles <= 0.0 {
+        1.0
+    } else {
+        baseline_cycles / extended
+    }
+}
+
 impl SpeedupReport {
     /// Builds a report from a baseline cycle count and a set of selected instructions.
     ///
@@ -69,11 +83,7 @@ impl SpeedupReport {
         // least one residual cycle so that the reported speed-up stays finite.
         let saved = saved.min((baseline_cycles - 1.0).max(0.0));
         let extended = (baseline_cycles - saved).max(1.0);
-        let speedup = if baseline_cycles <= 0.0 {
-            1.0
-        } else {
-            baseline_cycles / extended
-        };
+        let speedup = clamped_speedup(baseline_cycles, saved);
         SpeedupReport {
             baseline_cycles,
             extended_cycles: extended,
